@@ -1,0 +1,8 @@
+"""Bench A2: per-core vs chip-wide CPM fine-tuning."""
+
+from repro.experiments import ablation_granularity
+
+
+def test_ablation_granularity(experiment):
+    result = experiment(ablation_granularity.run)
+    assert result.metric("gain_ratio_per_core_over_chip_wide") > 1.1

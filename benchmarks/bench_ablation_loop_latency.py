@@ -1,0 +1,9 @@
+"""Bench A1: loop response latency vs di/dt droop speed."""
+
+from repro.experiments import ablation_loop_latency
+
+
+def test_ablation_loop_latency(experiment):
+    result = experiment(ablation_loop_latency.run)
+    assert result.metric("violations_fast_loop") == 0.0
+    assert result.metric("violations_slow_loop") > 0.0

@@ -1,0 +1,9 @@
+"""Bench A4: overclocking vs undervolting policy."""
+
+from repro.experiments import ablation_policy
+
+
+def test_ablation_policy(experiment):
+    result = experiment(ablation_policy.run)
+    assert result.metric("undervolt_vdd") < 1.25
+    assert result.metric("overclock_fastest_gain_pct") > 10.0

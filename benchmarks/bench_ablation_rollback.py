@@ -1,0 +1,8 @@
+"""Bench A3: optional rollback margin vs failure probability."""
+
+from repro.experiments import ablation_rollback
+
+
+def test_ablation_rollback(experiment):
+    result = experiment(ablation_rollback.run)
+    assert result.metric("rollback_monotone") == 1.0

@@ -1,0 +1,9 @@
+"""Bench A5: synchronized vs independent multi-core di/dt."""
+
+from repro.experiments import ablation_sync
+
+
+def test_ablation_sync(experiment):
+    result = experiment(ablation_sync.run)
+    assert result.metric("droop_ratio_sync_over_independent") > 1.5
+    assert result.metric("sync_is_worse") == 1.0

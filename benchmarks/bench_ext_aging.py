@@ -1,0 +1,9 @@
+"""Bench (extension): lifetime aging behaviour."""
+
+from repro.experiments import ext_aging
+
+
+def test_ext_aging(experiment):
+    result = experiment(ext_aging.run)
+    assert result.metric("frequency_loss_mhz") > 50.0
+    assert result.metric("recharacterization_recommended") == 1.0

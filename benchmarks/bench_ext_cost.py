@@ -1,0 +1,8 @@
+"""Bench (extension): test-time cost of the procedures."""
+
+from repro.experiments import ext_cost
+
+
+def test_ext_cost(experiment):
+    result = experiment(ext_cost.run)
+    assert result.metric("cost_ratio_char_over_deploy") > 100.0

@@ -1,0 +1,11 @@
+"""Bench (extension): energy efficiency of management scenarios."""
+
+from repro.experiments import ext_energy
+
+
+def test_ext_energy(experiment):
+    result = experiment(ext_energy.run)
+    assert result.metric("default_atm_efficiency_gain") > 1.0
+    assert result.metric("managed_max_critical_mj") < result.metric(
+        "static_critical_mj"
+    )

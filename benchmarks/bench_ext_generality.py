@@ -1,0 +1,9 @@
+"""Bench (extension): generality across ATM platforms."""
+
+from repro.experiments import ext_generality
+
+
+def test_ext_generality(experiment):
+    result = experiment(ext_generality.run)
+    assert result.metric("managed_beats_default_everywhere") == 1.0
+    assert result.metric("slope_tracks_grid_weakness") == 1.0

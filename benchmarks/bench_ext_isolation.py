@@ -1,0 +1,8 @@
+"""Bench (extension): socket isolation vs packed co-location."""
+
+from repro.experiments import ext_isolation
+
+
+def test_ext_isolation(experiment):
+    result = experiment(ext_isolation.run)
+    assert result.metric("isolation_dominates_performance") == 1.0

@@ -1,0 +1,9 @@
+"""Bench (extension): guarded per-application CPM prediction."""
+
+from repro.experiments import ext_predictor
+
+
+def test_ext_predictor(experiment):
+    result = experiment(ext_predictor.run)
+    assert result.metric("predictor_is_safe") == 1.0
+    assert result.metric("mean_extra_steps") > 0.2

@@ -1,0 +1,9 @@
+"""Bench (extension): calibration sensitivity analysis."""
+
+from repro.experiments import ext_sensitivity
+
+
+def test_ext_sensitivity(experiment):
+    result = experiment(ext_sensitivity.run)
+    assert result.metric("ordering_holds_all_resistances") == 1.0
+    assert result.metric("limit_ordering_violations") == 0.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 1 (frequency by timing-margin approach)."""
+
+from repro.experiments import fig01_margin_modes
+
+
+def test_fig01_margin_modes(experiment):
+    result = experiment(fig01_margin_modes.run)
+    assert result.metric("gain_ratio_finetuned_over_default") > 1.8
+    assert result.metric("finetuned_idle_max_mhz") > 5100.0

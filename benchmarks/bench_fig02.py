@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 2 (SqueezeNet latency by setting/schedule)."""
+
+from repro.experiments import fig02_squeezenet
+
+
+def test_fig02_squeezenet(experiment):
+    result = experiment(fig02_squeezenet.run)
+    assert result.metric("static_latency_ms") == 80.0
+    assert result.metric("best_latency_ms") < 72.0

@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 4b (factory preset inserted delays)."""
+
+from repro.experiments import fig04b_presets
+
+
+def test_fig04b_presets(experiment):
+    result = experiment(fig04b_presets.run)
+    assert result.metric("testbed_preset_range_ratio") > 2.5

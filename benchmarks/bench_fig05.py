@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 5 (frequency vs CPM delay reduction)."""
+
+from repro.experiments import fig05_freq_vs_reduction
+
+
+def test_fig05_freq_vs_reduction(experiment):
+    result = experiment(fig05_freq_vs_reduction.run)
+    assert result.metric("p1c6_step1_gain_mhz") > 200.0
+    assert result.metric("best_gain_over_static_pct") > 20.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 7 (idle-limit distributions and frequencies)."""
+
+from repro.experiments import fig07_idle_limits
+
+
+def test_fig07_idle_limits(experiment):
+    result = experiment(fig07_idle_limits.run)
+    assert result.metric("max_distribution_spread") <= 2
+    assert result.metric("cores_above_5ghz") >= 8

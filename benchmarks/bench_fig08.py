@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 8 (uBench rollback distributions)."""
+
+from repro.experiments import fig08_ubench_rollback
+
+
+def test_fig08_ubench_rollback(experiment):
+    result = experiment(fig08_ubench_rollback.run)
+    assert 4 <= result.metric("cores_needing_rollback") <= 8

@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 9 (x264 vs gcc CPM rollback)."""
+
+from repro.experiments import fig09_app_rollback
+
+
+def test_fig09_app_rollback(experiment):
+    result = experiment(fig09_app_rollback.run)
+    assert result.metric("cores_where_x264_needs_more") == 16

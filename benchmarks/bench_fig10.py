@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 10 (per-<app, core> rollback matrix)."""
+
+from repro.experiments import fig10_rollback_matrix
+
+
+def test_fig10_rollback_matrix(experiment):
+    result = experiment(fig10_rollback_matrix.run, trials=5)
+    assert result.metric("x264_mean_rollback") > result.metric("gcc_mean_rollback")
+    assert result.metric("heavy_apps_rank_worst") <= 3

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 11 (post-stress-test deployment frequencies)."""
+
+from repro.experiments import fig11_stress_test
+
+
+def test_fig11_stress_test(experiment):
+    result = experiment(fig11_stress_test.run)
+    assert result.metric("all_cores_survived_battery") == 1.0
+    assert result.metric("p0c1_minus_p0c7_mhz") > 200.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 12a (per-core frequency-vs-power model)."""
+
+from repro.experiments import fig12a_freq_model
+
+
+def test_fig12a_freq_model(experiment):
+    result = experiment(fig12a_freq_model.run)
+    assert 1.7 < result.metric("mean_mhz_per_watt") < 2.4
+    assert result.metric("min_r_squared") > 0.999

@@ -1,0 +1,8 @@
+"""Bench: regenerate Fig. 12b (per-app performance-vs-frequency model)."""
+
+from repro.experiments import fig12b_perf_model
+
+
+def test_fig12b_perf_model(experiment):
+    result = experiment(fig12b_perf_model.run)
+    assert result.metric("compute_over_memory_slope_ratio") > 2.0

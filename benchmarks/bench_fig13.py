@@ -1,0 +1,9 @@
+"""Bench: regenerate the Fig. 13 pipeline trace."""
+
+from repro.experiments import fig13_pipeline
+
+
+def test_fig13_pipeline(experiment):
+    result = experiment(fig13_pipeline.run)
+    assert result.metric("frequency_requirement_met") == 1.0
+    assert result.metric("power_budget_respected") == 1.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 14 (management-scenario comparison)."""
+
+from repro.experiments import fig14_management
+
+
+def test_fig14_management(experiment):
+    result = experiment(fig14_management.run)
+    assert (
+        result.metric("avg_default_atm_pct")
+        < result.metric("avg_unmanaged_finetuned_pct")
+        < result.metric("avg_managed_max_pct")
+    )
+    assert result.metric("qos_target_met_everywhere") == 1.0

@@ -1,0 +1,8 @@
+"""Bench: regenerate Table I (the full characterization sweep)."""
+
+from repro.experiments import table1_limits
+
+
+def test_table1_limits(experiment):
+    result = experiment(table1_limits.run)
+    assert result.metric("match_rate") >= 0.95

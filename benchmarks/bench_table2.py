@@ -1,0 +1,8 @@
+"""Bench: regenerate Table II (application classification)."""
+
+from repro.experiments import table2_classes
+
+
+def test_table2_classes(experiment):
+    result = experiment(table2_classes.run)
+    assert result.metric("critical_count") == 9

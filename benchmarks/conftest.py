@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures via
+the corresponding module in :mod:`repro.experiments`, times it with
+pytest-benchmark, prints the same rows/series the paper reports, and
+asserts the headline metric so a silent regression cannot masquerade as a
+performance win.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_render(benchmark, runner, **kwargs):
+    """Benchmark an experiment runner and print its report."""
+    result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture exposing the run-and-render helper bound to the benchmark."""
+
+    def _run(runner, **kwargs):
+        return run_and_render(benchmark, runner, **kwargs)
+
+    return _run

@@ -1,0 +1,54 @@
+"""Quickstart: fine-tune one core's ATM loop and watch frequency rise.
+
+Builds the paper's POWER7+ testbed, takes its fastest-characterized core
+(P0C3), and sweeps the CPM inserted-delay reduction from the factory
+default to the core's idle limit — the Fig. 5 experiment on one core.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ChipSim, power7plus_testbed
+from repro.atm.chip_sim import CoreAssignment, MarginMode
+from repro.units import STATIC_MARGIN_MHZ
+from repro.workloads import IDLE
+
+
+def main() -> None:
+    server = power7plus_testbed()
+    chip = server.chips[0]
+    sim = ChipSim(chip)
+    core = chip.core("P0C3")
+    core_index = [c.label for c in chip.cores].index("P0C3")
+    idle_limit = core.max_safe_reduction(0.0)
+
+    print(f"Fine-tuning {core.label} (factory preset code {core.preset_code})")
+    print(f"Static timing margin baseline: {STATIC_MARGIN_MHZ:.0f} MHz")
+    print()
+    print(f"{'reduction':>10}  {'frequency MHz':>14}  {'gain over static':>17}")
+    for steps in range(idle_limit + 1):
+        assignments = [
+            CoreAssignment(
+                workload=IDLE,
+                mode=MarginMode.ATM,
+                reduction_steps=steps if i == core_index else 0,
+            )
+            for i in range(chip.n_cores)
+        ]
+        state = sim.solve_steady_state(assignments)
+        freq = state.core_freq(core_index)
+        gain = 100.0 * (freq / STATIC_MARGIN_MHZ - 1.0)
+        print(f"{steps:>10}  {freq:>14.0f}  {gain:>16.1f}%")
+
+    print()
+    print(
+        f"{core.label} safely reaches its idle limit of {idle_limit} steps — "
+        "note the uneven per-step gains (CPM graduation non-linearity)."
+    )
+
+
+if __name__ == "__main__":
+    main()

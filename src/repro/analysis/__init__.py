@@ -1,0 +1,20 @@
+"""Fitting, distribution statistics, and ASCII rendering utilities."""
+
+from .fitting import LinearFit, fit_linear
+from .stats import DistributionSummary, summarize
+from .rendering import ascii_table, ascii_bars, format_matrix
+
+# NOTE: repro.analysis.report is intentionally NOT imported here — it
+# depends on repro.experiments, which depends back on the subpackages that
+# use these analysis helpers.  Import it explicitly:
+# ``from repro.analysis.report import generate_report``.
+
+__all__ = [
+    "LinearFit",
+    "fit_linear",
+    "DistributionSummary",
+    "summarize",
+    "ascii_table",
+    "ascii_bars",
+    "format_matrix",
+]

@@ -1,0 +1,71 @@
+"""Least-squares linear fitting with quality diagnostics.
+
+Both of the paper's predictors are straight lines — core frequency versus
+chip power (Eq. 1) and application performance versus frequency
+(Fig. 12b) — so one well-tested helper serves the whole library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y = slope * x + intercept`` with diagnostics."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    rmse: float
+    n_samples: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * x + self.intercept
+
+    def invert(self, y: float) -> float:
+        """Solve ``y = slope * x + intercept`` for ``x``.
+
+        Raises :class:`CalibrationError` for a (near-)zero slope, where the
+        inverse is undefined.
+        """
+        if abs(self.slope) < 1e-12:
+            raise CalibrationError("cannot invert a flat fit")
+        return (y - self.intercept) / self.slope
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``y`` on ``x``.
+
+    Requires at least two samples with non-degenerate ``x`` spread.
+    """
+    xs = np.asarray(x, dtype=float)
+    ys = np.asarray(y, dtype=float)
+    if xs.shape != ys.shape:
+        raise CalibrationError(
+            f"x and y must have equal length, got {xs.shape} vs {ys.shape}"
+        )
+    if xs.size < 2:
+        raise CalibrationError(f"need at least 2 samples to fit a line, got {xs.size}")
+    if float(np.ptp(xs)) == 0.0:
+        raise CalibrationError("x values are all identical; fit is degenerate")
+    slope, intercept = np.polyfit(xs, ys, 1)
+    predictions = slope * xs + intercept
+    residuals = ys - predictions
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ys - ys.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    rmse = float(np.sqrt(ss_res / xs.size))
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        rmse=rmse,
+        n_samples=int(xs.size),
+    )

@@ -1,0 +1,104 @@
+"""Plain-text rendering of experiment tables, bar series, and matrices.
+
+Every experiment module prints the same rows/series its paper counterpart
+reports; these helpers keep that output aligned and consistent without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ConfigurationError
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width table with a header rule."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must have equal length")
+    if not values:
+        raise ConfigurationError("bar chart needs at least one value")
+    peak = max(values)
+    if peak <= 0.0:
+        raise ConfigurationError("bar chart needs a positive maximum")
+    label_width = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[float]],
+    *,
+    title: str = "",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render a labeled numeric matrix (the Fig. 10 heatmap, in text)."""
+    if len(cells) != len(row_labels):
+        raise ConfigurationError("one row of cells per row label required")
+    for row in cells:
+        if len(row) != len(col_labels):
+            raise ConfigurationError("one cell per column label required")
+    row_width = max((len(l) for l in row_labels), default=0)
+    col_widths = [
+        max(len(col_labels[j]), *(len(fmt.format(cells[i][j])) for i in range(len(cells))))
+        if cells
+        else len(col_labels[j])
+        for j in range(len(col_labels))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * row_width + "  " + "  ".join(
+        col_labels[j].rjust(col_widths[j]) for j in range(len(col_labels))
+    )
+    lines.append(header)
+    for i, label in enumerate(row_labels):
+        cells_str = "  ".join(
+            fmt.format(cells[i][j]).rjust(col_widths[j]) for j in range(len(col_labels))
+        )
+        lines.append(f"{label.ljust(row_width)}  {cells_str}")
+    return "\n".join(lines)

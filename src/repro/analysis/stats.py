@@ -1,0 +1,64 @@
+"""Distribution summaries for repeated characterization trials.
+
+The paper's methodology deliberately repeats every failure experiment to
+build a *distribution* of operating limits (Sec. III-B) and reports each
+distribution's spread and lower bound.  :class:`DistributionSummary`
+captures exactly that view of a sample of integers (limit steps, rollback
+steps).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary of repeated integer-valued trials."""
+
+    values: tuple[int, ...]
+    counts: dict[int, int]
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.values)
+
+    @property
+    def minimum(self) -> int:
+        """Lower bound — the paper's definition of a safe *limit*."""
+        return min(self.values)
+
+    @property
+    def maximum(self) -> int:
+        return max(self.values)
+
+    @property
+    def spread(self) -> int:
+        """Number of distinct outcomes; the paper observes <= 2."""
+        return len(self.counts)
+
+    @property
+    def mode(self) -> int:
+        """Most frequent outcome (ties broken toward the smaller value)."""
+        best_count = max(self.counts.values())
+        return min(v for v, c in self.counts.items() if c == best_count)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def frequency_of(self, value: int) -> float:
+        """Fraction of trials that produced ``value``."""
+        return self.counts.get(value, 0) / self.n_trials
+
+
+def summarize(values: Sequence[int]) -> DistributionSummary:
+    """Build a :class:`DistributionSummary` from raw trial outcomes."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    ints = tuple(int(v) for v in values)
+    return DistributionSummary(values=ints, counts=dict(Counter(ints)))

@@ -1,0 +1,319 @@
+"""Chip-level steady-state solver: frequency ⇄ power fixed point.
+
+Every core's ATM equilibrium frequency depends on the chip voltage; the
+chip voltage depends (through IR drop) on total chip power; total power
+depends on every core's frequency.  :class:`ChipSim` resolves this loop by
+fixed-point iteration — the physical coupling behind the paper's central
+management problem: *a background job's power steals the critical job's
+frequency*.
+
+Each core runs in one of three margin modes:
+
+``STATIC``
+    Conventional static timing margin: the core clocks at a fixed
+    frequency (4.2 GHz p-state) regardless of conditions — the paper's
+    baseline.
+``ATM``
+    The adaptive loop is active with a configurable CPM delay reduction
+    (0 = the factory-default ATM).  An optional frequency cap models DVFS
+    throttling imposed by the management layer.
+``GATED``
+    The core's power domain is collapsed: no clock, no power draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..power.core_power import chip_power_w
+from ..power.pdn import PowerDeliveryNetwork
+from ..power.thermal import ThermalModel
+from ..silicon.chipspec import ChipSpec
+from ..units import STATIC_MARGIN_MHZ
+from ..workloads.base import IDLE, Workload
+from .core_sim import SafetyProbe, equilibrium_frequency_mhz
+from .failure import FailureMode
+
+
+class MarginMode(Enum):
+    """Timing-margin regime of one core."""
+
+    STATIC = "static"
+    ATM = "atm"
+    GATED = "gated"
+
+
+@dataclass(frozen=True)
+class CoreAssignment:
+    """What one core runs and how its margin is managed.
+
+    Parameters
+    ----------
+    workload:
+        The workload on the core (``IDLE`` for an unused, un-gated core).
+    mode:
+        Margin regime (static / ATM / power-gated).
+    reduction_steps:
+        CPM inserted-delay reduction below the preset (ATM mode only);
+        0 reproduces the factory-default ATM.
+    freq_cap_mhz:
+        Optional DVFS ceiling imposed by the management layer (ATM mode) or
+        an alternative fixed p-state (static mode).
+    """
+
+    workload: Workload = IDLE
+    mode: MarginMode = MarginMode.ATM
+    reduction_steps: int = 0
+    freq_cap_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.reduction_steps < 0:
+            raise ConfigurationError("reduction_steps must be >= 0")
+        if self.freq_cap_mhz is not None and self.freq_cap_mhz <= 0.0:
+            raise ConfigurationError("freq_cap_mhz must be positive")
+        if self.mode is not MarginMode.ATM and self.reduction_steps != 0:
+            raise ConfigurationError(
+                f"reduction_steps only applies to ATM mode, not {self.mode}"
+            )
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One core found unsafe in a steady-state safety check."""
+
+    core_label: str
+    workload_name: str
+    deficit_ps: float
+    mode: FailureMode
+
+
+@dataclass(frozen=True)
+class ChipSteadyState:
+    """Converged operating point of one chip."""
+
+    freqs_mhz: tuple[float, ...]
+    chip_power_w: float
+    vdd: float
+    temperature_c: float
+    iterations: int
+    assignments: tuple[CoreAssignment, ...] = field(repr=False, default=())
+
+    def core_freq(self, index: int) -> float:
+        """Frequency of core ``index`` at this operating point."""
+        if not (0 <= index < len(self.freqs_mhz)):
+            raise ConfigurationError(
+                f"core index must be in [0, {len(self.freqs_mhz)}), got {index}"
+            )
+        return self.freqs_mhz[index]
+
+    @property
+    def slowest_mhz(self) -> float:
+        """Frequency of the slowest non-gated core."""
+        active = [f for f in self.freqs_mhz if f > 0.0]
+        if not active:
+            raise ConfigurationError("all cores are gated")
+        return min(active)
+
+
+class ChipSim:
+    """Steady-state simulator of one chip.
+
+    Parameters
+    ----------
+    chip:
+        The chip's silicon specification.
+    thermal:
+        Thermal model (defaults sized for the POWER7+ package).
+    """
+
+    #: Convergence tolerance of the fixed-point iteration, in MHz.
+    TOLERANCE_MHZ = 1.0e-3
+
+    #: Iteration budget; the loop is a strong contraction (~2 MHz/W against
+    #: watt-level power changes per MHz), so convergence takes only a few
+    #: rounds — hitting this limit indicates a modeling bug.
+    MAX_ITERATIONS = 200
+
+    def __init__(self, chip: ChipSpec, thermal: ThermalModel | None = None):
+        self._chip = chip
+        self._pdn = PowerDeliveryNetwork(
+            resistance_ohm=chip.pdn_resistance_ohm, vrm_voltage=chip.vrm_voltage
+        )
+        self._thermal = thermal if thermal is not None else ThermalModel()
+
+    @property
+    def chip(self) -> ChipSpec:
+        return self._chip
+
+    @property
+    def pdn(self) -> PowerDeliveryNetwork:
+        return self._pdn
+
+    @property
+    def thermal(self) -> ThermalModel:
+        return self._thermal
+
+    def _validate_assignments(
+        self, assignments: tuple[CoreAssignment, ...]
+    ) -> None:
+        if len(assignments) != self._chip.n_cores:
+            raise ConfigurationError(
+                f"{self._chip.chip_id}: need {self._chip.n_cores} assignments, "
+                f"got {len(assignments)}"
+            )
+        for core, assignment in zip(self._chip.cores, assignments):
+            if (
+                assignment.mode is MarginMode.ATM
+                and assignment.reduction_steps > core.preset_code
+            ):
+                raise ConfigurationError(
+                    f"{core.label}: reduction {assignment.reduction_steps} exceeds "
+                    f"preset {core.preset_code}"
+                )
+
+    def _core_frequency(
+        self,
+        index: int,
+        assignment: CoreAssignment,
+        vdd: float,
+        temperature_c: float,
+    ) -> float:
+        if assignment.mode is MarginMode.GATED:
+            return 0.0
+        if assignment.mode is MarginMode.STATIC:
+            return (
+                assignment.freq_cap_mhz
+                if assignment.freq_cap_mhz is not None
+                else STATIC_MARGIN_MHZ
+            )
+        freq = equilibrium_frequency_mhz(
+            self._chip,
+            self._chip.cores[index],
+            assignment.reduction_steps,
+            vdd,
+            temperature_c,
+        )
+        if assignment.freq_cap_mhz is not None:
+            freq = min(freq, assignment.freq_cap_mhz)
+        return freq
+
+    def solve_steady_state(
+        self, assignments: tuple[CoreAssignment, ...] | list[CoreAssignment]
+    ) -> ChipSteadyState:
+        """Find the converged (frequency, power, voltage, temperature) point.
+
+        Raises :class:`SimulationError` if the fixed point does not
+        converge within the iteration budget.
+        """
+        assignments = tuple(assignments)
+        self._validate_assignments(assignments)
+        vdd = self._chip.vrm_voltage
+        temperature = self._thermal.ambient_c
+        freqs = np.array(
+            [
+                self._core_frequency(i, a, vdd, temperature)
+                for i, a in enumerate(assignments)
+            ]
+        )
+        activities = [a.workload.activity for a in assignments]
+        gated = [a.mode is MarginMode.GATED for a in assignments]
+
+        for iteration in range(1, self.MAX_ITERATIONS + 1):
+            # Gated cores contribute no power but chip_power_w expects a
+            # positive frequency; feed a placeholder that the gate flag
+            # zeroes out.
+            power_freqs = [f if f > 0.0 else STATIC_MARGIN_MHZ for f in freqs]
+            power = chip_power_w(
+                self._chip, power_freqs, activities, vdd, temperature, gated
+            )
+            vdd = self._pdn.chip_voltage(power)
+            temperature = self._thermal.steady_temperature_c(power)
+            new_freqs = np.array(
+                [
+                    self._core_frequency(i, a, vdd, temperature)
+                    for i, a in enumerate(assignments)
+                ]
+            )
+            if np.max(np.abs(new_freqs - freqs)) < self.TOLERANCE_MHZ:
+                return ChipSteadyState(
+                    freqs_mhz=tuple(float(f) for f in new_freqs),
+                    chip_power_w=float(power),
+                    vdd=float(vdd),
+                    temperature_c=float(temperature),
+                    iterations=iteration,
+                    assignments=assignments,
+                )
+            freqs = new_freqs
+        raise SimulationError(
+            f"{self._chip.chip_id}: steady-state solve did not converge in "
+            f"{self.MAX_ITERATIONS} iterations"
+        )
+
+    def check_safety(
+        self,
+        assignments: tuple[CoreAssignment, ...] | list[CoreAssignment],
+        probe: SafetyProbe,
+    ) -> list[SafetyViolation]:
+        """Probe every ATM core's configuration under its workload.
+
+        Static-margin and gated cores cannot violate timing (the static
+        guardband covers worst-case conditions by construction).  Returns
+        the violations found; an empty list means the schedule is safe.
+        """
+        assignments = tuple(assignments)
+        self._validate_assignments(assignments)
+        violations = []
+        for core, assignment in zip(self._chip.cores, assignments):
+            if assignment.mode is not MarginMode.ATM:
+                continue
+            result = probe.probe(core, assignment.reduction_steps, assignment.workload)
+            if not result.safe:
+                violations.append(
+                    SafetyViolation(
+                        core_label=core.label,
+                        workload_name=assignment.workload.name,
+                        deficit_ps=-result.slack_ps,
+                        mode=result.failure_mode,
+                    )
+                )
+        return violations
+
+    # -- convenience builders -------------------------------------------------
+
+    def uniform_assignments(
+        self,
+        workload: Workload = IDLE,
+        mode: MarginMode = MarginMode.ATM,
+        reduction_steps: int | None = None,
+        reductions: list[int] | tuple[int, ...] | None = None,
+    ) -> tuple[CoreAssignment, ...]:
+        """Build one assignment per core running the same workload.
+
+        ``reduction_steps`` applies one reduction to every core;
+        ``reductions`` supplies a per-core vector (e.g. a limit row of
+        Table I).  The two options are mutually exclusive.
+        """
+        if reduction_steps is not None and reductions is not None:
+            raise ConfigurationError(
+                "pass either reduction_steps or reductions, not both"
+            )
+        if reductions is not None:
+            if len(reductions) != self._chip.n_cores:
+                raise ConfigurationError(
+                    f"reductions must have {self._chip.n_cores} entries"
+                )
+            per_core = list(reductions)
+        else:
+            per_core = [reduction_steps or 0] * self._chip.n_cores
+        return tuple(
+            CoreAssignment(
+                workload=workload,
+                mode=mode,
+                reduction_steps=steps if mode is MarginMode.ATM else 0,
+            )
+            for steps in per_core
+        )

@@ -1,0 +1,248 @@
+"""Single-core ATM behaviour: equilibrium frequency and safety probing.
+
+Equilibrium
+-----------
+With the CPM programmed ``reduction_steps`` below the factory preset, the
+DPLL settles where the measured margin equals its threshold.  Everything
+the CPM is built from (inserted delay, synthetic path, threshold slack) is
+silicon and scales together with voltage and temperature, so the
+equilibrium cycle time is
+
+``T_eq = (D_synth + D_insert(code) + slack) · g(V) · h(T)``
+
+and the core frequency follows as its reciprocal.  The voltage factor is
+how total chip power (through IR drop) reaches every core's frequency —
+Eq. 1 of the paper emerges from this composition.
+
+Safety
+------
+Whether a configuration is *safe* under a workload compares two nominal
+delays: the protection remaining after the reduction versus the workload's
+requirement on this core (:meth:`CoreSpec.margin_slack_ps`).  Both sides
+scale with (V, T) the same way, so the comparison is operating-point
+invariant — matching the paper's observation that each limit is stable
+when measured under its own workload's load.  :class:`SafetyProbe` adds
+the run-to-run measurement noise that gives the paper's (tight) limit
+distributions, and samples a failure manifestation when a probe fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..silicon.chipspec import ChipSpec, CoreSpec
+from ..silicon.paths import alpha_power_delay_factor
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+from ..workloads.base import Workload
+from .failure import FailureMode, FailureModel
+
+
+def equilibrium_frequency_mhz(
+    chip: ChipSpec,
+    core: CoreSpec,
+    reduction_steps: int,
+    vdd: float = NOMINAL_VDD,
+    temperature_c: float = AMBIENT_TEMPERATURE_C,
+) -> float:
+    """ATM equilibrium frequency of ``core`` at the given operating point."""
+    code = core.preset_code - reduction_steps
+    if code < 0:
+        raise ConfigurationError(
+            f"{core.label}: reduction {reduction_steps} exceeds preset "
+            f"{core.preset_code}"
+        )
+    nominal_total = (
+        core.synth_path.base_delay_ps + core.inserted_delay_ps(code) + chip.slack_ps
+    )
+    scale = alpha_power_delay_factor(
+        vdd, v_threshold=core.synth_path.v_threshold, alpha=core.synth_path.alpha
+    ) * (
+        1.0
+        + core.synth_path.temp_coefficient_per_c
+        * (temperature_c - AMBIENT_TEMPERATURE_C)
+    )
+    cycle_ps = nominal_total * scale
+    return 1.0e6 / cycle_ps
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one safety probe of a (core, config, workload) triple."""
+
+    safe: bool
+    slack_ps: float
+    failure_mode: FailureMode | None = None
+
+    def __post_init__(self) -> None:
+        if self.safe and self.failure_mode is not None:
+            raise ConfigurationError("a safe probe cannot carry a failure mode")
+        if not self.safe and self.failure_mode is None:
+            raise ConfigurationError("a failing probe must carry a failure mode")
+
+
+class SafetyProbe:
+    """Stochastic safety evaluation of ATM configurations.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source for measurement noise and failure-mode draws.
+    noise_sigma_ps:
+        Run-to-run variation of the effective margin (thermal noise,
+        jitter, OS background activity).  The paper's repeated experiments
+        produce limit distributions spanning at most ~2 configuration
+        steps, which corresponds to a fraction of a typical step width.
+    failure_model:
+        Sampler for how violations manifest.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        noise_sigma_ps: float = 0.25,
+        failure_model: FailureModel | None = None,
+    ):
+        if noise_sigma_ps < 0.0:
+            raise ConfigurationError(
+                f"noise_sigma_ps must be >= 0, got {noise_sigma_ps}"
+            )
+        self._rng = rng
+        self._noise_sigma_ps = noise_sigma_ps
+        self._failure_model = (
+            failure_model if failure_model is not None else FailureModel()
+        )
+        self._probe_count = 0
+
+    @property
+    def noise_sigma_ps(self) -> float:
+        return self._noise_sigma_ps
+
+    @property
+    def probe_count(self) -> int:
+        """Total workload runs this probe has performed.
+
+        Each probe corresponds to one full benchmark execution on real
+        hardware, so the count is the raw currency of test-time cost
+        (:mod:`repro.core.cost_model`).
+        """
+        return self._probe_count
+
+    def probe(
+        self, core: CoreSpec, reduction_steps: int, workload: Workload
+    ) -> ProbeResult:
+        """Run the workload once at the given configuration.
+
+        Returns whether the run completed correctly; on failure, the result
+        carries the sampled manifestation (crash / abnormal exit / SDC).
+        """
+        self._probe_count += 1
+        slack = core.margin_slack_ps(reduction_steps, workload.stress)
+        if self._noise_sigma_ps > 0.0:
+            slack += float(self._rng.normal(0.0, self._noise_sigma_ps))
+        if slack >= 0.0:
+            return ProbeResult(safe=True, slack_ps=slack)
+        deficit = -slack
+        mode = self._failure_model.sample_mode(self._rng, deficit)
+        return ProbeResult(safe=False, slack_ps=slack, failure_mode=mode)
+
+    def max_safe_reduction(
+        self,
+        core: CoreSpec,
+        workload: Workload,
+        *,
+        start: int = 0,
+        repeats_per_step: int = 1,
+    ) -> int:
+        """One trial of the paper's limit search: walk up until failure.
+
+        Starting from ``start`` steps of reduction, increase the reduction
+        one step at a time, running the workload ``repeats_per_step`` times
+        at each point; the trial's answer is the last configuration at
+        which every repeat completed correctly.  (``start`` itself is
+        assumed to have been validated by the previous, less aggressive
+        characterization stage.)
+        """
+        if not (0 <= start <= core.preset_code):
+            raise ConfigurationError(
+                f"{core.label}: start must be in [0, {core.preset_code}]"
+            )
+        if repeats_per_step < 1:
+            raise ConfigurationError("repeats_per_step must be >= 1")
+        best = start
+        for steps in range(start + 1, core.preset_code + 1):
+            ok = all(
+                self.probe(core, steps, workload).safe
+                for _ in range(repeats_per_step)
+            )
+            if not ok:
+                break
+            best = steps
+        return best
+
+    def rollback_to_safe(
+        self,
+        core: CoreSpec,
+        workload: Workload,
+        *,
+        start: int,
+        repeats_per_step: int = 1,
+    ) -> int:
+        """One trial of the roll-back search used beyond the idle stage.
+
+        From ``start`` steps of reduction, *decrease* aggressiveness until
+        the workload passes ``repeats_per_step`` consecutive runs; returns
+        the resulting reduction (possibly 0 — fully back at the preset).
+        """
+        if not (0 <= start <= core.preset_code):
+            raise ConfigurationError(
+                f"{core.label}: start must be in [0, {core.preset_code}]"
+            )
+        for steps in range(start, -1, -1):
+            ok = all(
+                self.probe(core, steps, workload).safe
+                for _ in range(repeats_per_step)
+            )
+            if ok:
+                return steps
+        return 0
+
+
+@dataclass(frozen=True)
+class AtmCore:
+    """A (chip, core) pair with a live ATM configuration.
+
+    Convenience wrapper used by examples and the management layer when a
+    single core is manipulated on its own.
+    """
+
+    chip: ChipSpec
+    core: CoreSpec
+    reduction_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.reduction_steps <= self.core.preset_code):
+            raise ConfigurationError(
+                f"{self.core.label}: reduction must be in "
+                f"[0, {self.core.preset_code}], got {self.reduction_steps}"
+            )
+
+    def with_reduction(self, steps: int) -> "AtmCore":
+        """Return a copy reconfigured to ``steps`` of delay reduction."""
+        return AtmCore(chip=self.chip, core=self.core, reduction_steps=steps)
+
+    def frequency_mhz(
+        self,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> float:
+        """Equilibrium frequency at the given operating point."""
+        return equilibrium_frequency_mhz(
+            self.chip, self.core, self.reduction_steps, vdd, temperature_c
+        )
+
+    def is_safe(self, workload: Workload) -> bool:
+        """Noise-free safety of the current configuration under a workload."""
+        return self.core.margin_slack_ps(self.reduction_steps, workload.stress) >= 0.0

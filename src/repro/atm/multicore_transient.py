@@ -1,0 +1,184 @@
+"""Chip-level transient simulation: many cores, one supply.
+
+The single-core transient simulator treats di/dt events as local; on a
+real chip every core's current steps land on the *same* delivery network,
+and the adversarial trick of the paper's voltage virus (Sec. VII-A) is to
+release all cores' issue throttles in the same cycle so their steps add
+coherently.  This simulator draws each core's event train, optionally
+aligns the trains, superimposes every droop on the shared voltage, and
+asks how deep the combined excursions get and which cores violate.
+
+The headline question it answers (ablation A5): how much worse is a
+*synchronized* multi-core noise burst than the same activity spread out —
+i.e. why a per-core stressmark battery is not enough and the virus must
+throttle cores in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dpll.control_loop import DpllControlLoop, LoopConfig
+from ..errors import ConfigurationError
+from ..power.didt import DidtEvent, DidtEventGenerator
+from ..power.pdn import DroopResponse, PowerDeliveryNetwork
+from ..silicon.chipspec import ChipSpec
+from ..units import require_positive
+from ..workloads.base import Workload
+from .core_sim import equilibrium_frequency_mhz
+from .transient import TransientSimulator
+
+
+@dataclass(frozen=True)
+class MulticoreTransientResult:
+    """Outcome of one chip-level transient run."""
+
+    duration_ns: float
+    dc_voltage_v: float
+    min_voltage_v: float
+    per_core_violations: dict[str, int]
+    per_core_gated: dict[str, int]
+    total_events: int
+
+    @property
+    def total_violations(self) -> int:
+        return sum(self.per_core_violations.values())
+
+    @property
+    def worst_droop_v(self) -> float:
+        """Depth of the deepest excursion below the DC level (positive)."""
+        return self.dc_voltage_v - self.min_voltage_v
+
+
+class MulticoreTransientSimulator:
+    """Shared-supply transient simulation across a chip's cores."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        loop_config: LoopConfig | None = None,
+        droop: DroopResponse | None = None,
+        dt_ns: float = 0.25,
+    ):
+        require_positive(dt_ns, "dt_ns")
+        self._chip = chip
+        self._loop_config = loop_config if loop_config is not None else LoopConfig()
+        self._droop = droop if droop is not None else DroopResponse()
+        self._pdn = PowerDeliveryNetwork(
+            resistance_ohm=chip.pdn_resistance_ohm, vrm_voltage=chip.vrm_voltage
+        )
+        self._dt_ns = dt_ns
+
+    def _draw_events(
+        self,
+        rng: np.random.Generator,
+        workload: Workload,
+        duration_ns: float,
+        synchronized: bool,
+        generator: DidtEventGenerator,
+    ) -> list[list[DidtEvent]]:
+        """One event train per core; aligned in time when synchronized."""
+        n_cores = self._chip.n_cores
+        if synchronized:
+            # One master train; every core steps at the same instants.
+            master = generator.events(rng, duration_ns, workload.didt_activity)
+            return [list(master) for _ in range(n_cores)]
+        return [
+            generator.events(rng, duration_ns, workload.didt_activity)
+            for _ in range(n_cores)
+        ]
+
+    def run(
+        self,
+        workload: Workload,
+        reductions: list[int] | tuple[int, ...],
+        rng: np.random.Generator,
+        *,
+        duration_ns: float = 4000.0,
+        dc_chip_power_w: float = 120.0,
+        temperature_c: float = 65.0,
+        synchronized: bool = False,
+        didt_generator: DidtEventGenerator | None = None,
+    ) -> MulticoreTransientResult:
+        """Simulate the whole chip under ``workload`` on every core."""
+        require_positive(duration_ns, "duration_ns")
+        if len(reductions) != self._chip.n_cores:
+            raise ConfigurationError(
+                f"reductions must have {self._chip.n_cores} entries"
+            )
+        generator = (
+            didt_generator if didt_generator is not None else DidtEventGenerator()
+        )
+        event_trains = self._draw_events(
+            rng, workload, duration_ns, synchronized, generator
+        )
+        dc_voltage = self._pdn.chip_voltage(dc_chip_power_w)
+
+        # Flatten all trains once: every event perturbs the shared rail.
+        all_events = [event for train in event_trains for event in train]
+
+        # Reuse the single-core machinery per core, but drive all cores
+        # from the shared voltage waveform.
+        core_sims = [
+            TransientSimulator(
+                self._chip, core, self._loop_config, self._droop, self._dt_ns
+            )
+            for core in self._chip.cores
+        ]
+        loops = []
+        for index, core in enumerate(self._chip.cores):
+            start = equilibrium_frequency_mhz(
+                self._chip, core, reductions[index], dc_voltage, temperature_c
+            )
+            loops.append(DpllControlLoop(self._loop_config, initial_mhz=start))
+
+        steps_per_eval = max(
+            1, int(round(self._loop_config.evaluation_interval_ns / self._dt_ns))
+        )
+        n_steps = int(duration_ns / self._dt_ns)
+        min_voltage = dc_voltage
+        violations = {core.label: 0 for core in self._chip.cores}
+        gated_counts = {core.label: 0 for core in self._chip.cores}
+        gated = [False] * self._chip.n_cores
+
+        for step_index in range(n_steps):
+            time_ns = step_index * self._dt_ns
+            voltage = dc_voltage
+            for event in all_events:
+                if event.start_ns <= time_ns:
+                    voltage += self._droop.waveform_v(
+                        time_ns - event.start_ns, event.current_step_a
+                    )
+            min_voltage = min(min_voltage, voltage)
+            for index, core in enumerate(self._chip.cores):
+                loop = loops[index]
+                if step_index % steps_per_eval == 0:
+                    cycle_ps = 1.0e6 / loop.frequency_mhz
+                    margin = core_sims[index].cpm_margin_units(
+                        cycle_ps, voltage, temperature_c, reductions[index]
+                    )
+                    result = loop.step(margin)
+                    gated[index] = result.violation
+                    if gated[index]:
+                        gated_counts[core.label] += 1
+                if not gated[index]:
+                    deficit = core_sims[index].real_path_deficit_ps(
+                        1.0e6 / loop.frequency_mhz,
+                        voltage,
+                        temperature_c,
+                        reductions[index],
+                        workload,
+                    )
+                    if deficit > 0.0:
+                        violations[core.label] += 1
+
+        return MulticoreTransientResult(
+            duration_ns=duration_ns,
+            dc_voltage_v=dc_voltage,
+            min_voltage_v=min_voltage,
+            per_core_violations=violations,
+            per_core_gated=gated_counts,
+            total_events=len(all_events),
+        )

@@ -1,0 +1,107 @@
+"""Server-level simulation: multiple sockets, independent supplies.
+
+Each socket has its own VRM and power-delivery path, so the IR-drop
+coupling is *per chip*: workloads on P1 do not steal frequency from P0.
+The paper exploits exactly this by co-locating every evaluated critical /
+background mix on processor 0.  :class:`ServerSim` wraps one
+:class:`~repro.atm.chip_sim.ChipSim` per socket and adds label-based
+addressing across the whole machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..power.thermal import ThermalModel
+from ..silicon.chipspec import CoreSpec, ServerSpec
+from .chip_sim import ChipSim, ChipSteadyState, CoreAssignment
+
+
+@dataclass(frozen=True)
+class ServerSteadyState:
+    """Converged operating points of every socket, keyed by chip id."""
+
+    per_chip: dict[str, ChipSteadyState]
+
+    def frequency_of(self, server: ServerSpec, core_label: str) -> float:
+        """Frequency of the named core in this state."""
+        chip = server.chip_of(core_label)
+        state = self.per_chip[chip.chip_id]
+        for index, core in enumerate(chip.cores):
+            if core.label == core_label:
+                return state.core_freq(index)
+        raise ConfigurationError(f"no core labeled {core_label!r}")
+
+    @property
+    def total_power_w(self) -> float:
+        """Whole-server power draw."""
+        return sum(state.chip_power_w for state in self.per_chip.values())
+
+
+class ServerSim:
+    """Simulates a whole server, one independent chip solver per socket."""
+
+    def __init__(self, server: ServerSpec, thermal: ThermalModel | None = None):
+        self._server = server
+        self._chip_sims = {
+            chip.chip_id: ChipSim(chip, thermal) for chip in server.chips
+        }
+
+    @property
+    def server(self) -> ServerSpec:
+        return self._server
+
+    def chip_sim(self, chip_id: str) -> ChipSim:
+        """The per-socket simulator for ``chip_id``."""
+        try:
+            return self._chip_sims[chip_id]
+        except KeyError:
+            known = ", ".join(sorted(self._chip_sims))
+            raise ConfigurationError(
+                f"unknown chip {chip_id!r}; server has: {known}"
+            ) from None
+
+    def core_index(self, core_label: str) -> tuple[str, int]:
+        """Locate a core: returns ``(chip_id, index_within_chip)``."""
+        for chip in self._server.chips:
+            for index, core in enumerate(chip.cores):
+                if core.label == core_label:
+                    return chip.chip_id, index
+        raise ConfigurationError(f"no core labeled {core_label!r}")
+
+    def core_spec(self, core_label: str) -> CoreSpec:
+        """The :class:`CoreSpec` of the named core."""
+        chip_id, index = self.core_index(core_label)
+        return self.chip_sim(chip_id).chip.cores[index]
+
+    def solve_steady_state(
+        self, assignments: dict[str, tuple[CoreAssignment, ...] | list[CoreAssignment]]
+    ) -> ServerSteadyState:
+        """Solve every socket given per-chip assignment vectors.
+
+        ``assignments`` maps chip id → per-core assignment sequence; every
+        chip of the server must be present (sockets are physical — an
+        unused one still idles).
+        """
+        missing = {c.chip_id for c in self._server.chips} - set(assignments)
+        if missing:
+            raise ConfigurationError(
+                f"assignments missing for chips: {sorted(missing)}"
+            )
+        extra = set(assignments) - {c.chip_id for c in self._server.chips}
+        if extra:
+            raise ConfigurationError(f"unknown chips in assignments: {sorted(extra)}")
+        return ServerSteadyState(
+            per_chip={
+                chip_id: self._chip_sims[chip_id].solve_steady_state(per_core)
+                for chip_id, per_core in assignments.items()
+            }
+        )
+
+    def idle_assignments(self) -> dict[str, tuple[CoreAssignment, ...]]:
+        """All-idle, default-ATM assignments for every socket."""
+        return {
+            chip.chip_id: self._chip_sims[chip.chip_id].uniform_assignments()
+            for chip in self._server.chips
+        }

@@ -1,0 +1,287 @@
+"""Transient (nanosecond-scale) simulation: di/dt droops vs the DPLL loop.
+
+The steady-state solver answers *where the loop settles*; this module
+answers *whether the loop survives the trip*.  It advances a single core in
+sub-nanosecond steps while di/dt events perturb the supply:
+
+1. the workload's :class:`~repro.power.didt.DidtEventGenerator` schedules
+   current steps; each step excites the PDN's damped-sinusoid droop
+   (:class:`~repro.power.pdn.DroopResponse`), and all active droops
+   superimpose on the DC operating voltage;
+2. every loop evaluation interval, the core's CPM array is read at the
+   instantaneous voltage and the :class:`~repro.dpll.DpllControlLoop`
+   responds: a reading below threshold *gates the clock* for the following
+   interval (the instant, correct-by-construction response) and slews the
+   frequency down; readings above threshold slew it back up;
+3. every integration step at which the core is *not* gated, the real worst
+   path delay (synthetic path plus the workload's protection requirement)
+   is compared against the current cycle time; a shortfall while latches
+   are live is a timing violation.
+
+The decisive race is droop speed versus loop latency: a nanosecond-class
+loop sees the CPM margin collapse *before* the droop bottoms out and gates
+through the first swing, so almost nothing reaches the latches; a loop
+evaluated orders of magnitude slower lets entire droop events come and go
+between readings, exposing every deep excursion — exactly why workloads
+with violent di/dt behaviour (x264, the voltage virus) force conservative
+CPM settings (ablation A1 sweeps this race directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dpll.control_loop import DpllControlLoop, LoopConfig
+from ..errors import ConfigurationError
+from ..power.didt import DidtEvent, DidtEventGenerator
+from ..power.pdn import DroopResponse, PowerDeliveryNetwork
+from ..silicon.chipspec import ChipSpec, CoreSpec
+from ..silicon.paths import alpha_power_delay_factor
+from ..units import AMBIENT_TEMPERATURE_C, require_positive
+from ..workloads.base import Workload
+from ..workloads.ubench import UBENCH_STRESS
+from .core_sim import equilibrium_frequency_mhz
+from .telemetry import TraceRecorder
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Outcome of one transient run."""
+
+    duration_ns: float
+    violations: int
+    gated_intervals: int
+    min_voltage_v: float
+    min_frequency_mhz: float
+    final_frequency_mhz: float
+    events: tuple[DidtEvent, ...]
+    trace: TraceRecorder | None
+
+    @property
+    def survived(self) -> bool:
+        """True when no timing violation occurred."""
+        return self.violations == 0
+
+
+class TransientSimulator:
+    """Time-stepped single-core simulation of droops against the loop.
+
+    Parameters
+    ----------
+    chip / core:
+        The silicon under test.
+    loop_config:
+        DPLL tunables; the evaluation interval and down-slew rate are what
+        the A1 ablation varies.
+    droop:
+        PDN resonance model shared by all events.
+    dt_ns:
+        Integration step; must not exceed the loop evaluation interval.
+    """
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        core: CoreSpec,
+        loop_config: LoopConfig | None = None,
+        droop: DroopResponse | None = None,
+        dt_ns: float = 0.25,
+    ):
+        require_positive(dt_ns, "dt_ns")
+        self._chip = chip
+        self._core = core
+        self._loop_config = loop_config if loop_config is not None else LoopConfig()
+        if dt_ns > self._loop_config.evaluation_interval_ns:
+            raise ConfigurationError(
+                "dt_ns must not exceed the loop evaluation interval"
+            )
+        self._droop = droop if droop is not None else DroopResponse()
+        self._pdn = PowerDeliveryNetwork(
+            resistance_ohm=chip.pdn_resistance_ohm, vrm_voltage=chip.vrm_voltage
+        )
+        self._dt_ns = dt_ns
+
+    def _voltage_at(
+        self, time_ns: float, dc_voltage: float, events: list[DidtEvent]
+    ) -> float:
+        """DC level plus every active droop's contribution at ``time_ns``."""
+        voltage = dc_voltage
+        for event in events:
+            if event.start_ns <= time_ns:
+                voltage += self._droop.waveform_v(
+                    time_ns - event.start_ns, event.current_step_a
+                )
+        return voltage
+
+    def cpm_margin_units(
+        self, cycle_ps: float, vdd: float, temperature_c: float, reduction_steps: int
+    ) -> int:
+        """Worst CPM reading: quantized slack after the monitored delay."""
+        scale = alpha_power_delay_factor(
+            vdd,
+            v_threshold=self._core.synth_path.v_threshold,
+            alpha=self._core.synth_path.alpha,
+        ) * (
+            1.0
+            + self._core.synth_path.temp_coefficient_per_c
+            * (temperature_c - AMBIENT_TEMPERATURE_C)
+        )
+        code = self._core.preset_code - reduction_steps
+        occupied = (
+            self._core.synth_path.base_delay_ps + self._core.inserted_delay_ps(code)
+        ) * scale
+        margin_ps = cycle_ps - occupied
+        if margin_ps <= 0.0:
+            return 0
+        step = self._chip.inverter_step_ps * scale
+        return int(margin_ps / step)
+
+    def real_path_deficit_ps(
+        self,
+        cycle_ps: float,
+        vdd: float,
+        temperature_c: float,
+        reduction_steps: int,
+        workload: Workload,
+    ) -> float:
+        """How far the worst *real* path overshoots the cycle (<= 0 is safe).
+
+        The real worst path exceeds the CPM's synthetic mimic by the
+        protection requirement this workload has on this core, minus the
+        protection still provided by the (possibly reduced) inserted delay.
+        """
+        scale = alpha_power_delay_factor(
+            vdd,
+            v_threshold=self._core.synth_path.v_threshold,
+            alpha=self._core.synth_path.alpha,
+        ) * (
+            1.0
+            + self._core.synth_path.temp_coefficient_per_c
+            * (temperature_c - AMBIENT_TEMPERATURE_C)
+        )
+        protection_left = self._core.protection_headroom_ps - self._core.reduction_ps(
+            reduction_steps
+        )
+        # Split the workload's protection requirement into its static part
+        # (synthetic-vs-real path mismatch, present at DC) and its dynamic
+        # part (di/dt-driven, which this simulator applies through the
+        # droop waveforms instead).  Micro-benchmarks produce essentially
+        # no di/dt, so requirements up to the uBench stress level are
+        # static; everything an application demands beyond that is the
+        # voltage-noise share (Sec. V-A's reasoning).
+        static_requirement = self._core.required_protection_ps(
+            min(workload.stress, UBENCH_STRESS)
+        )
+        code = self._core.preset_code - reduction_steps
+        real_worst = (
+            self._core.synth_path.base_delay_ps
+            + self._core.inserted_delay_ps(code)
+            - protection_left
+            + static_requirement
+        ) * scale
+        return real_worst - cycle_ps
+
+    def run(
+        self,
+        workload: Workload,
+        reduction_steps: int,
+        rng: np.random.Generator,
+        *,
+        duration_ns: float = 2000.0,
+        dc_chip_power_w: float = 60.0,
+        temperature_c: float = 55.0,
+        synchronized_cores: int = 1,
+        record_trace: bool = False,
+        didt_generator: DidtEventGenerator | None = None,
+    ) -> TransientResult:
+        """Simulate ``duration_ns`` of the core running ``workload``.
+
+        ``dc_chip_power_w`` sets the DC operating point (the steady-state
+        solver provides realistic values); ``synchronized_cores`` passes
+        through to the event generator for stressmark scenarios.
+        """
+        require_positive(duration_ns, "duration_ns")
+        if not (0 <= reduction_steps <= self._core.preset_code):
+            raise ConfigurationError(
+                f"{self._core.label}: reduction must be in "
+                f"[0, {self._core.preset_code}]"
+            )
+        generator = (
+            didt_generator if didt_generator is not None else DidtEventGenerator()
+        )
+        events = generator.events(
+            rng,
+            duration_ns,
+            workload.didt_activity,
+            synchronized_cores=synchronized_cores,
+        )
+        dc_voltage = self._pdn.chip_voltage(dc_chip_power_w)
+        start_freq = equilibrium_frequency_mhz(
+            self._chip, self._core, reduction_steps, dc_voltage, temperature_c
+        )
+        loop = DpllControlLoop(self._loop_config, initial_mhz=start_freq)
+
+        trace = (
+            TraceRecorder(("time_ns", "vdd", "freq_mhz", "margin_units", "gated"))
+            if record_trace
+            else None
+        )
+        violations = 0
+        gated_intervals = 0
+        min_voltage = dc_voltage
+        min_freq = start_freq
+        steps_per_eval = max(
+            1, int(round(self._loop_config.evaluation_interval_ns / self._dt_ns))
+        )
+        n_steps = int(duration_ns / self._dt_ns)
+        margin_units = self._loop_config.threshold_units
+        gated = False
+
+        for step_index in range(n_steps):
+            time_ns = step_index * self._dt_ns
+            vdd = self._voltage_at(time_ns, dc_voltage, events)
+            min_voltage = min(min_voltage, vdd)
+            if step_index % steps_per_eval == 0:
+                cycle_ps = 1.0e6 / loop.frequency_mhz
+                margin_units = self.cpm_margin_units(
+                    cycle_ps, vdd, temperature_c, reduction_steps
+                )
+                result = loop.step(margin_units)
+                # A below-threshold reading gates the clock for the whole
+                # following interval: latches hold their state, so no data
+                # can be corrupted while the droop passes.
+                gated = result.violation
+                if gated:
+                    gated_intervals += 1
+                min_freq = min(min_freq, loop.frequency_mhz)
+            if not gated:
+                deficit = self.real_path_deficit_ps(
+                    1.0e6 / loop.frequency_mhz,
+                    vdd,
+                    temperature_c,
+                    reduction_steps,
+                    workload,
+                )
+                if deficit > 0.0:
+                    violations += 1
+            if trace is not None:
+                trace.record(
+                    time_ns=time_ns,
+                    vdd=vdd,
+                    freq_mhz=loop.frequency_mhz,
+                    margin_units=float(margin_units),
+                    gated=1.0 if gated else 0.0,
+                )
+
+        return TransientResult(
+            duration_ns=duration_ns,
+            violations=violations,
+            gated_intervals=gated_intervals,
+            min_voltage_v=min_voltage,
+            min_frequency_mhz=min_freq,
+            final_frequency_mhz=loop.frequency_mhz,
+            events=tuple(events),
+            trace=trace,
+        )

@@ -1,0 +1,218 @@
+"""Command-line interface: characterize, deploy, schedule, reproduce.
+
+Mirrors the stages a vendor/operator would actually run:
+
+``python -m repro experiment <id|all>``
+    Regenerate one (or every) paper table/figure and print the report.
+``python -m repro characterize [--seed N] [--random] [--out FILE]``
+    Run the Fig. 6 methodology on the testbed (or a sampled chip) and
+    optionally save the limit table as JSON.
+``python -m repro deploy --limits FILE [--rollback N] [--out FILE]``
+    Run the stress-test deployment against saved limits.
+``python -m repro schedule --critical APP --background APP [--qos X]``
+    Evaluate the Fig. 14 scenarios for one application pair.
+``python -m repro list-workloads``
+    Show every modeled workload and its observables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .atm.chip_sim import ChipSim
+from .core.characterize import Characterizer
+from .core.limits import LimitTable
+from .core.manager import AtmManager
+from .core.persistence import (
+    load_limit_table,
+    save_deployment,
+    save_limit_table,
+)
+from .core.stress_test import StressTestProcedure
+from .errors import ReproError
+from .experiments import REGISTRY, run_experiment
+from .rng import RngStreams
+from .silicon import power7plus_testbed, sample_chip
+from .workloads.classification import is_critical
+from .workloads.registry import ALL_WORKLOADS, get_workload
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.id == "all":
+        for experiment_id in REGISTRY:
+            print(run_experiment(experiment_id, seed=args.seed).render())
+            print()
+        return 0
+    print(run_experiment(args.id, seed=args.seed).render())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    characterizer = Characterizer(RngStreams(args.seed), trials=args.trials)
+    if args.random:
+        chip = sample_chip(args.seed)
+        characterization = characterizer.characterize_chip(chip)
+        table = LimitTable(characterization.limits)
+    else:
+        server = power7plus_testbed(args.seed)
+        table, _ = characterizer.characterize_server(server)
+    print(table.render())
+    if args.out:
+        path = save_limit_table(table, args.out)
+        print(f"\nlimit table written to {path}")
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    limits = load_limit_table(args.limits)
+    server = power7plus_testbed(args.seed)
+    procedure = StressTestProcedure(RngStreams(args.seed))
+    for chip in server.chips:
+        if any(core.label not in limits for core in chip.cores):
+            continue
+        config = procedure.deploy_chip(chip, limits, rollback_steps=args.rollback)
+        sim = ChipSim(chip)
+        freqs = config.idle_frequencies_mhz(sim)
+        print(f"{chip.chip_id}: deployed reductions "
+              f"{list(config.reductions(chip))}")
+        for label, freq in freqs.items():
+            print(f"  {label}: {freq:.0f} MHz")
+        print(f"  speed differential: {config.speed_differential_mhz(sim):.0f} MHz")
+        if args.out:
+            path = save_deployment(config, f"{args.out}.{chip.chip_id}.json")
+            print(f"  deployment written to {path}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    critical = get_workload(args.critical)
+    background = get_workload(args.background)
+    if not is_critical(critical):
+        print(f"error: {critical.name} is not a critical application",
+              file=sys.stderr)
+        return 2
+    server = power7plus_testbed(args.seed)
+    chip = server.chips[0]
+    sim = ChipSim(chip)
+    characterizer = Characterizer(RngStreams(args.seed), trials=args.trials)
+    characterization = characterizer.characterize_chip(chip)
+    manager = AtmManager(sim, LimitTable(characterization.limits))
+
+    criticals = [critical]
+    backgrounds = [background] * (chip.n_cores - 1)
+    scenarios = [
+        manager.run_static_margin(criticals, backgrounds),
+        manager.run_default_atm(criticals, backgrounds),
+        manager.run_unmanaged_finetuned(criticals, backgrounds),
+        manager.run_managed_max(criticals, backgrounds),
+        manager.run_managed_qos(criticals, backgrounds, target_speedup=args.qos),
+    ]
+    base = scenarios[0].critical_speedups[critical.name]
+    print(f"{critical.name} co-located with {chip.n_cores - 1}x {background.name}")
+    for result in scenarios:
+        gain = 100.0 * (result.critical_speedups[critical.name] / base - 1.0)
+        print(
+            f"  {result.scenario:<45} gain {gain:5.1f}%  "
+            f"chip {result.state.chip_power_w:6.1f} W  "
+            f"bg: {result.background_setting}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import write_report
+
+    ids = (
+        tuple(part.strip() for part in args.experiments.split(",") if part.strip())
+        if args.experiments
+        else None
+    )
+    path = write_report(args.out, seed=args.seed, experiment_ids=ids)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_list_workloads(_args: argparse.Namespace) -> int:
+    header = (
+        f"{'name':<18} {'suite':<11} {'activity':>8} {'stress':>7} "
+        f"{'didt':>6} {'mem':>5}  role"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in sorted(ALL_WORKLOADS):
+        workload = ALL_WORKLOADS[name]
+        try:
+            role = "critical" if is_critical(workload) else "background"
+        except ReproError:
+            role = "(test tool)"
+        print(
+            f"{workload.name:<18} {workload.suite.value:<11} "
+            f"{workload.activity:>8.2f} {workload.stress:>7.2f} "
+            f"{workload.didt_activity:>6.2f} {workload.mem_boundedness:>5.2f}  {role}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ATM fine-tuning reproduction (HPCA 2019)",
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("id", choices=[*REGISTRY, "all"])
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_char = sub.add_parser("characterize", help="run the Fig. 6 methodology")
+    p_char.add_argument("--random", action="store_true",
+                        help="characterize a sampled chip instead of the testbed")
+    p_char.add_argument("--trials", type=int, default=10)
+    p_char.add_argument("--out", help="write the limit table JSON here")
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_dep = sub.add_parser("deploy", help="stress-test deployment from saved limits")
+    p_dep.add_argument("--limits", required=True, help="limit table JSON")
+    p_dep.add_argument("--rollback", type=int, default=0)
+    p_dep.add_argument("--out", help="write per-chip deployment JSON with this prefix")
+    p_dep.set_defaults(func=_cmd_deploy)
+
+    p_sched = sub.add_parser("schedule", help="evaluate the Fig. 14 scenarios")
+    p_sched.add_argument("--critical", required=True)
+    p_sched.add_argument("--background", required=True)
+    p_sched.add_argument("--qos", type=float, default=1.10)
+    p_sched.add_argument("--trials", type=int, default=8)
+    p_sched.set_defaults(func=_cmd_schedule)
+
+    p_list = sub.add_parser("list-workloads", help="show all modeled workloads")
+    p_list.set_defaults(func=_cmd_list_workloads)
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    p_report.add_argument("--out", default="REPORT.md")
+    p_report.add_argument(
+        "--experiments",
+        help="comma-separated experiment ids (default: all)",
+    )
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""QoS admission control: grow a chip's job mix without breaking promises.
+
+The manager evaluates one job mix at a time; a production cluster instead
+receives jobs *incrementally* and must answer, per request: *can this job
+be added while every already-admitted critical application keeps its QoS
+promise?*  :class:`AdmissionController` maintains the admitted mix and
+answers by construction — it re-plans the candidate mix with the balance
+policy and admits only if a feasible throttle setting exists that meets
+every critical job's target.
+
+Decisions are transactional: a rejected candidate leaves the admitted mix
+untouched, and every accepted state carries the evaluated scenario so the
+caller can apply it (per-core assignments) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ReproError
+from ..workloads.base import Workload
+from ..workloads.classification import is_critical
+from .manager import AtmManager, ScenarioResult
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    admitted: bool
+    reason: str
+    scenario: ScenarioResult | None
+
+    def __post_init__(self) -> None:
+        if self.admitted and self.scenario is None:
+            raise ConfigurationError("an admitted decision must carry a scenario")
+
+
+class AdmissionController:
+    """Incremental QoS admission on top of one chip's manager.
+
+    Parameters
+    ----------
+    manager:
+        The chip's management layer (policy already selected).
+    target_speedup:
+        QoS promise applied to every admitted critical application.
+    """
+
+    def __init__(self, manager: AtmManager, *, target_speedup: float = 1.10):
+        if target_speedup <= 1.0:
+            raise ConfigurationError(
+                f"target speedup must exceed 1.0, got {target_speedup}"
+            )
+        self._manager = manager
+        self._target = target_speedup
+        self._criticals: list[Workload] = []
+        self._backgrounds: list[Workload] = []
+        self._current: ScenarioResult | None = None
+
+    @property
+    def admitted_criticals(self) -> tuple[Workload, ...]:
+        return tuple(self._criticals)
+
+    @property
+    def admitted_backgrounds(self) -> tuple[Workload, ...]:
+        return tuple(self._backgrounds)
+
+    @property
+    def current_scenario(self) -> ScenarioResult | None:
+        """The evaluated scenario of the admitted mix (None when empty)."""
+        return self._current
+
+    def _evaluate(
+        self, criticals: list[Workload], backgrounds: list[Workload]
+    ) -> ScenarioResult:
+        return self._manager.run_managed_qos(
+            criticals, backgrounds, target_speedup=self._target
+        )
+
+    def _try(self, criticals: list[Workload], backgrounds: list[Workload]) -> AdmissionDecision:
+        try:
+            scenario = self._evaluate(criticals, backgrounds)
+        except ReproError as exc:
+            return AdmissionDecision(admitted=False, reason=str(exc), scenario=None)
+        below = [
+            name
+            for name, speedup in scenario.critical_speedups.items()
+            if speedup < self._target - 5e-3
+        ]
+        if below:
+            return AdmissionDecision(
+                admitted=False,
+                reason=f"QoS target missed for: {', '.join(sorted(below))}",
+                scenario=None,
+            )
+        self._criticals = criticals
+        self._backgrounds = backgrounds
+        self._current = scenario
+        return AdmissionDecision(
+            admitted=True,
+            reason="all critical promises satisfiable",
+            scenario=scenario,
+        )
+
+    def request(self, workload: Workload) -> AdmissionDecision:
+        """Ask to add one job; Table II decides which class it joins.
+
+        A workload without a Table II entry (uBench, stressmarks) is not a
+        schedulable application and is rejected outright.
+        """
+        try:
+            critical = is_critical(workload)
+        except ReproError as exc:
+            return AdmissionDecision(admitted=False, reason=str(exc), scenario=None)
+        if critical:
+            return self._try([*self._criticals, workload], list(self._backgrounds))
+        return self._try(list(self._criticals), [*self._backgrounds, workload])
+
+    def release(self, workload_name: str) -> bool:
+        """Remove one admitted instance by name; returns whether found.
+
+        The remaining mix is re-evaluated (it can only get easier, but the
+        stored scenario must describe the actual state).
+        """
+        for pool in (self._criticals, self._backgrounds):
+            for index, workload in enumerate(pool):
+                if workload.name == workload_name:
+                    del pool[index]
+                    if self._criticals:
+                        self._current = self._evaluate(
+                            list(self._criticals), list(self._backgrounds)
+                        )
+                    else:
+                        self._current = None
+                    return True
+        return False

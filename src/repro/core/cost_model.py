@@ -1,0 +1,149 @@
+"""Test-time cost model: why deployment uses the stress-test procedure.
+
+Sec. VII-A's pivotal engineering argument: the full characterization
+(profiling every <application, core> pair with repeated trials) reveals
+the opportunity but is far too expensive to run on every manufactured
+part, while the stress-test battery achieves the correctness guarantee
+with a tiny, fixed number of runs.  This module makes that argument
+quantitative by *counting* benchmark executions.
+
+Costs are expressed in workload runs and converted to wall-clock using
+per-run durations: micro-benchmarks finish in seconds; SPEC/PARSEC
+reference runs take minutes; stressmarks are engineered to be short.
+The absolute minutes are indicative — the *ratio* between procedures is
+the result, and it is two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class RunCosts:
+    """Wall-clock duration of one run of each workload class, in seconds."""
+
+    idle_probe_s: float = 10.0
+    ubench_run_s: float = 30.0
+    application_run_s: float = 300.0
+    stressmark_run_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "idle_probe_s",
+            "ubench_run_s",
+            "application_run_s",
+            "stressmark_run_s",
+        ):
+            require_positive(getattr(self, name), name)
+
+
+@dataclass(frozen=True)
+class ProcedureCost:
+    """Counted cost of one characterization/deployment procedure."""
+
+    name: str
+    runs: int
+    wall_clock_s: float
+
+    @property
+    def wall_clock_hours(self) -> float:
+        return self.wall_clock_s / 3600.0
+
+    def ratio_to(self, other: "ProcedureCost") -> float:
+        """How many times more wall-clock this procedure takes."""
+        if other.wall_clock_s <= 0.0:
+            raise ConfigurationError("reference procedure has zero cost")
+        return self.wall_clock_s / other.wall_clock_s
+
+
+def full_characterization_cost(
+    *,
+    n_cores: int,
+    n_applications: int,
+    trials: int,
+    repeats_per_step: int,
+    mean_idle_steps: float = 8.0,
+    mean_rollback_steps: float = 0.75,
+    costs: RunCosts | None = None,
+) -> ProcedureCost:
+    """Cost of the complete Fig. 6 methodology on one chip.
+
+    Per core and trial: the idle stage walks ~``mean_idle_steps``
+    configurations; the uBench stage re-validates three programs; every
+    application is then rolled back ~``mean_rollback_steps``+1
+    configurations from the uBench limit.
+    """
+    if n_cores < 1 or n_applications < 1 or trials < 1 or repeats_per_step < 1:
+        raise ConfigurationError("all counts must be >= 1")
+    run_costs = costs if costs is not None else RunCosts()
+
+    idle_runs = n_cores * trials * mean_idle_steps * repeats_per_step
+    ubench_runs = n_cores * trials * 3 * repeats_per_step
+    app_configs_visited = mean_rollback_steps + 1.0
+    app_runs = (
+        n_cores * trials * n_applications * app_configs_visited * repeats_per_step
+    )
+    total_runs = idle_runs + ubench_runs + app_runs
+    wall_clock = (
+        idle_runs * run_costs.idle_probe_s
+        + ubench_runs * run_costs.ubench_run_s
+        + app_runs * run_costs.application_run_s
+    )
+    return ProcedureCost(
+        name="full characterization",
+        runs=int(round(total_runs)),
+        wall_clock_s=wall_clock,
+    )
+
+
+def stress_test_cost(
+    *,
+    n_cores: int,
+    battery_size: int,
+    repeats: int,
+    mean_backoff_steps: float = 0.2,
+    costs: RunCosts | None = None,
+) -> ProcedureCost:
+    """Cost of the Sec. VII-A deployment procedure on one chip.
+
+    Each core runs the battery ``repeats`` times at its candidate
+    configuration, plus the occasional one-step back-off re-run.
+    """
+    if n_cores < 1 or battery_size < 1 or repeats < 1:
+        raise ConfigurationError("all counts must be >= 1")
+    run_costs = costs if costs is not None else RunCosts()
+    runs = n_cores * battery_size * repeats * (1.0 + mean_backoff_steps)
+    return ProcedureCost(
+        name="stress-test deployment",
+        runs=int(round(runs)),
+        wall_clock_s=runs * run_costs.stressmark_run_s,
+    )
+
+
+def prediction_cost(
+    *,
+    n_cores: int,
+    counter_profile_s: float = 120.0,
+    costs: RunCosts | None = None,
+) -> ProcedureCost:
+    """Cost of deploying a *new application* with the guarded predictor.
+
+    One counter-profiling run of the application plus one validating
+    battery pass at the predicted setting per target core — the marginal
+    cost that makes the aggressive governor plausible at all.
+    """
+    if n_cores < 1:
+        raise ConfigurationError("n_cores must be >= 1")
+    require_positive(counter_profile_s, "counter_profile_s")
+    run_costs = costs if costs is not None else RunCosts()
+    runs = 1 + n_cores
+    wall_clock = counter_profile_s + n_cores * run_costs.stressmark_run_s
+    return ProcedureCost(
+        name="guarded prediction (per new app)",
+        runs=runs,
+        wall_clock_s=wall_clock,
+    )

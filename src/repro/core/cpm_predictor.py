@@ -1,0 +1,169 @@
+"""Per-application CPM-setting prediction (the paper's deferred future work).
+
+Sec. VII-A explains why the paper does not deploy per-application CPM
+prediction: any over-prediction risks system failure, and accuracy would
+require deep knowledge of each program's di/dt behaviour and activated
+circuit paths.  This module implements the *safe* variant the paper hints
+at — predict from profiled neighbours, then guard the prediction:
+
+1. each profiled application contributes a training point
+   ``(observables, measured limit)`` per core, where the observables are
+   cheap to collect on a new application (activity, di/dt proxy,
+   memory-boundedness from performance counters);
+2. a new application's limit on a core is predicted from its nearest
+   profiled neighbours in observable space, taking the *minimum* of their
+   measured limits (never interpolating upward);
+3. a configurable safety margin is subtracted, and the result is floored
+   at the core's thread-worst limit — so a mis-predicted application can
+   never receive a configuration less safe than the stress-test-validated
+   deployment.
+
+The guarded predictor therefore trades some of the aggressive governor's
+upside for a hard correctness floor, which is the only form in which
+prediction is deployable (the paper's exact argument).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..workloads.base import Workload
+from .characterize import ChipCharacterization
+from .limits import LimitTable
+
+
+def workload_features(workload: Workload) -> tuple[float, float, float]:
+    """Observable feature vector of a workload.
+
+    Deliberately excludes the ground-truth ``stress`` scalar: the
+    predictor must work from quantities measurable on unknown
+    applications (counters and power telemetry), not from the hidden
+    variable that generated the training labels.
+    """
+    return (
+        workload.activity,
+        workload.didt_activity,
+        workload.mem_boundedness,
+    )
+
+
+def _distance(a: tuple[float, float, float], b: tuple[float, float, float]) -> float:
+    # di/dt activity is the dominant stress driver; weight it up.
+    weights = (1.0, 2.0, 0.5)
+    return math.sqrt(
+        sum(w * (x - y) ** 2 for w, x, y in zip(weights, a, b))
+    )
+
+
+@dataclass(frozen=True)
+class CpmPrediction:
+    """A guarded prediction for one <application, core> pair."""
+
+    core_label: str
+    app_name: str
+    raw_prediction: int
+    guarded_reduction: int
+    neighbor_apps: tuple[str, ...]
+
+    @property
+    def was_clamped(self) -> bool:
+        """Whether the safety guard changed the raw prediction."""
+        return self.guarded_reduction != self.raw_prediction
+
+
+class GuardedCpmPredictor:
+    """Nearest-neighbour CPM-setting predictor with a correctness floor.
+
+    Parameters
+    ----------
+    characterization:
+        Per-chip profiling data (the training set).
+    limits:
+        The limit table supplying each core's thread-worst floor.
+    n_neighbors:
+        How many profiled neighbours vote; the prediction is the *minimum*
+        of their measured limits (conservative aggregation).
+    safety_margin_steps:
+        Extra steps subtracted from the neighbour minimum.
+    """
+
+    def __init__(
+        self,
+        characterization: dict[str, ChipCharacterization],
+        limits: LimitTable,
+        *,
+        n_neighbors: int = 3,
+        safety_margin_steps: int = 1,
+    ):
+        if n_neighbors < 1:
+            raise ConfigurationError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if safety_margin_steps < 0:
+            raise ConfigurationError("safety_margin_steps must be >= 0")
+        if not characterization:
+            raise ConfigurationError("characterization must not be empty")
+        self._characterization = characterization
+        self._limits = limits
+        self._n_neighbors = n_neighbors
+        self._safety_margin = safety_margin_steps
+        # Training index: core label -> list of (features, app name, limit).
+        self._training: dict[str, list[tuple[tuple[float, float, float], str, int]]] = {}
+        self._app_features: dict[str, tuple[float, float, float]] = {}
+
+    def fit(self, profiled_apps: dict[str, Workload]) -> None:
+        """Index the profiled applications' features and measured limits.
+
+        ``profiled_apps`` maps application name → workload model for every
+        application present in the characterization data.
+        """
+        if not profiled_apps:
+            raise ConfigurationError("profiled_apps must not be empty")
+        self._training.clear()
+        self._app_features = {
+            name: workload_features(w) for name, w in profiled_apps.items()
+        }
+        for chip_char in self._characterization.values():
+            for (app_name, core_label), result in chip_char.apps.items():
+                if app_name not in profiled_apps:
+                    continue
+                self._training.setdefault(core_label, []).append(
+                    (self._app_features[app_name], app_name, result.app_limit)
+                )
+        if not self._training:
+            raise ConfigurationError(
+                "no overlap between profiled_apps and the characterization data"
+            )
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._training)
+
+    def predict(self, core_label: str, workload: Workload) -> CpmPrediction:
+        """Guarded CPM reduction for ``workload`` on ``core_label``."""
+        if not self._training:
+            raise ConfigurationError("call fit() before predict()")
+        points = self._training.get(core_label)
+        if not points:
+            raise ConfigurationError(
+                f"no training data for core {core_label!r}"
+            )
+        features = workload_features(workload)
+        ranked = sorted(points, key=lambda p: _distance(features, p[0]))
+        neighbors = ranked[: self._n_neighbors]
+        raw = min(limit for _, _, limit in neighbors)
+        floor = self._limits.of(core_label).thread_worst
+        guarded = max(floor, raw - self._safety_margin)
+        return CpmPrediction(
+            core_label=core_label,
+            app_name=workload.name,
+            raw_prediction=raw,
+            guarded_reduction=guarded,
+            neighbor_apps=tuple(name for _, name, _ in neighbors),
+        )
+
+    def predict_chip(
+        self, core_labels: tuple[str, ...], workload: Workload
+    ) -> dict[str, CpmPrediction]:
+        """Predictions for one workload across a chip's cores."""
+        return {label: self.predict(label, workload) for label in core_labels}

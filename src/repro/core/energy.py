@@ -1,0 +1,85 @@
+"""Energy and efficiency accounting for management scenarios.
+
+ATM is ultimately an *efficiency* mechanism: the paper converts reclaimed
+margin into frequency, but the figure of merit a datacenter operator
+tracks is work per joule.  This module derives energy metrics from a
+converged :class:`~repro.atm.chip_sim.ChipSteadyState` plus its
+placement:
+
+* **critical energy-per-task** — chip energy consumed over one critical
+  inference/request (latency × chip power);
+* **throughput-normalized power** — chip power divided by the aggregate
+  speedup-weighted work rate of all scheduled jobs;
+* **efficiency ratios** between scenarios, the apples-to-apples way to
+  compare "managed max" (fast but idle background) with "managed QoS"
+  (slightly slower critical, fully productive background).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import STATIC_MARGIN_MHZ
+from .manager import ScenarioResult
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy metrics of one evaluated scenario."""
+
+    scenario: str
+    chip_power_w: float
+    critical_energy_j: dict[str, float]
+    aggregate_work_rate: float
+    power_per_work: float
+
+    def efficiency_vs(self, other: "EnergyReport") -> float:
+        """How many times more work-per-watt this scenario delivers.
+
+        Values above 1.0 mean this scenario is more efficient than
+        ``other``.
+        """
+        if other.power_per_work <= 0.0:
+            raise ConfigurationError("reference scenario has no work rate")
+        return other.power_per_work / self.power_per_work
+
+
+def energy_report(result: ScenarioResult) -> EnergyReport:
+    """Compute the energy metrics of a scenario result.
+
+    Aggregate work rate sums each scheduled job's speedup over the
+    static-margin baseline (idle cores contribute nothing), so a scenario
+    that throttles its background gives up work rate that must be paid
+    for by critical-side gains to win on efficiency.
+    """
+    if result.placement is None:
+        raise ConfigurationError("scenario result carries no placement")
+    state = result.state
+    if not state.assignments:
+        raise ConfigurationError("steady state carries no assignments")
+
+    work_rate = 0.0
+    critical_energy: dict[str, float] = {}
+    for index, assignment in enumerate(state.assignments):
+        workload = assignment.workload
+        if workload.name == "idle":
+            continue
+        freq = state.freqs_mhz[index]
+        if freq <= 0.0:
+            continue  # power-gated
+        speedup = workload.speedup_at(freq, STATIC_MARGIN_MHZ)
+        work_rate += speedup
+        if workload.is_latency_critical and workload.name in result.critical_speedups:
+            latency_s = workload.latency_ms_at(freq) / 1000.0
+            critical_energy[workload.name] = latency_s * state.chip_power_w
+
+    if work_rate <= 0.0:
+        raise ConfigurationError("scenario schedules no work")
+    return EnergyReport(
+        scenario=result.scenario,
+        chip_power_w=state.chip_power_w,
+        critical_energy_j=critical_energy,
+        aggregate_work_rate=work_rate,
+        power_per_work=state.chip_power_w / work_rate,
+    )

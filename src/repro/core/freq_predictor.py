@@ -1,0 +1,137 @@
+"""Per-core frequency predictor: f̄ = −k′·P̄ + b (paper Eq. 1, Fig. 12a).
+
+On a fine-tuned ATM system, a core's sustained frequency is governed by
+long-term supply effects — dominated by the IR voltage drop, which is
+proportional to total chip power — while transient di/dt events are
+absorbed by the control loop.  Subtracting the IR drop from the regulator
+voltage makes average frequency *linear in total chip power*, with the
+intercept ``b`` encoding the core's static CPM configuration and the slope
+``k′`` the shared power-delivery resistance (≈ 2 MHz/W on the testbed).
+
+:func:`fit_core_frequency_models` produces the training sweep the paper's
+deployment would gather (vary the number of active co-runners, record
+<chip power, core frequency> pairs) and fits one predictor per core.  In
+practice each core stores its model and the runtime indexes it by the
+chip's measured power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.fitting import LinearFit, fit_linear
+from ..atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from ..errors import CalibrationError, ConfigurationError
+from ..workloads.base import IDLE, Workload
+from ..workloads.ubench import DAXPY_SMT4
+
+
+@dataclass(frozen=True)
+class CoreFrequencyPredictor:
+    """Fitted Eq. 1 model for one core at one CPM configuration."""
+
+    core_label: str
+    reduction_steps: int
+    fit: LinearFit
+
+    @property
+    def mhz_per_watt(self) -> float:
+        """Frequency lost per watt of total chip power (positive number)."""
+        return -self.fit.slope
+
+    def predict_mhz(self, chip_power_w: float) -> float:
+        """Predicted sustained frequency at the given total chip power."""
+        if chip_power_w < 0.0:
+            raise ConfigurationError(f"power must be >= 0, got {chip_power_w}")
+        return self.fit.predict(chip_power_w)
+
+    def power_budget_for_mhz(self, target_mhz: float) -> float:
+        """Largest total chip power at which the core still reaches target.
+
+        The inverse query the management layer relies on: a critical
+        application's QoS target maps to a frequency, which maps to the
+        chip power budget its co-runners must respect.
+        """
+        if target_mhz <= 0.0:
+            raise ConfigurationError(f"target must be positive, got {target_mhz}")
+        budget = self.fit.invert(target_mhz)
+        if budget <= 0.0:
+            raise CalibrationError(
+                f"{self.core_label}: target {target_mhz:.0f} MHz is unreachable "
+                f"at any power (budget {budget:.1f} W)"
+            )
+        return budget
+
+
+def frequency_power_sweep(
+    sim: ChipSim,
+    core_index: int,
+    reductions: tuple[int, ...] | list[int],
+    *,
+    load_workload: Workload = DAXPY_SMT4,
+    observed_workload: Workload = IDLE,
+) -> list[tuple[float, float]]:
+    """Collect <chip power, core frequency> samples for one core.
+
+    The sweep holds ``core_index`` on a light observed workload at its
+    assigned reduction while activating 0..N-1 co-runner cores on a
+    high-power load (the paper varies co-located daxpy threads), then
+    solves the chip's steady state for each point.
+    """
+    chip = sim.chip
+    if not (0 <= core_index < chip.n_cores):
+        raise ConfigurationError(
+            f"core_index must be in [0, {chip.n_cores}), got {core_index}"
+        )
+    if len(reductions) != chip.n_cores:
+        raise ConfigurationError(f"reductions must have {chip.n_cores} entries")
+    samples = []
+    others = [i for i in range(chip.n_cores) if i != core_index]
+    for active_count in range(len(others) + 1):
+        loaded = set(others[:active_count])
+        assignments = []
+        for index in range(chip.n_cores):
+            if index == core_index:
+                workload = observed_workload
+            elif index in loaded:
+                workload = load_workload
+            else:
+                workload = IDLE
+            assignments.append(
+                CoreAssignment(
+                    workload=workload,
+                    mode=MarginMode.ATM,
+                    reduction_steps=reductions[index],
+                )
+            )
+        state = sim.solve_steady_state(assignments)
+        samples.append((state.chip_power_w, state.core_freq(core_index)))
+    return samples
+
+
+def fit_core_frequency_models(
+    sim: ChipSim,
+    reductions: tuple[int, ...] | list[int],
+) -> dict[str, CoreFrequencyPredictor]:
+    """Fit one Eq. 1 predictor per core of a chip.
+
+    ``reductions`` is the deployed per-core CPM configuration (typically
+    the thread-worst row of the limit table).
+    """
+    predictors = {}
+    for index, core in enumerate(sim.chip.cores):
+        samples = frequency_power_sweep(sim, index, reductions)
+        powers = [s[0] for s in samples]
+        freqs = [s[1] for s in samples]
+        fit = fit_linear(powers, freqs)
+        if fit.slope >= 0.0:
+            raise CalibrationError(
+                f"{core.label}: frequency-vs-power slope must be negative, "
+                f"got {fit.slope:.4f}"
+            )
+        predictors[core.label] = CoreFrequencyPredictor(
+            core_label=core.label,
+            reduction_steps=reductions[index],
+            fit=fit,
+        )
+    return predictors

@@ -1,0 +1,153 @@
+"""CPM configuration governors (paper Sec. VII-C, Fig. 13 top).
+
+The operator selects how aggressively the fine-tuned system runs:
+
+``DEFAULT``
+    Every core at its stress-test-validated thread-worst limit: the
+    paper's recommended reliability/performance trade-off, and the policy
+    its evaluation uses.
+
+``AGGRESSIVE``
+    Each core at the best configuration known safe for the *specific*
+    application it will run (per-application profiling or prediction).
+    More performance, at the risk of failure if the profile is wrong —
+    the paper defers full exploration to future work but the mechanism is
+    implemented here.
+
+``CONSERVATIVE``
+    Thread-worst settings, but critical work may only be placed on the
+    chip's most *robust* cores — those whose control loops needed the
+    least rollback between the uBench limit and thread-worst.  Best for
+    unknown applications or when correctness is paramount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from ..silicon.chipspec import ChipSpec
+from ..workloads.base import Workload
+from .characterize import ChipCharacterization
+from .limits import LimitTable
+
+
+class GovernorPolicy(Enum):
+    """Operator-selected aggressiveness of the fine-tuned deployment."""
+
+    DEFAULT = "default"
+    AGGRESSIVE = "aggressive"
+    CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """Per-core reductions plus placement constraints for one chip."""
+
+    policy: GovernorPolicy
+    reductions: tuple[int, ...]
+    eligible_critical_cores: tuple[str, ...]
+
+
+class Governor:
+    """Maps a policy to concrete per-core CPM reductions.
+
+    Parameters
+    ----------
+    limits:
+        The characterized limit table (Table I).
+    characterization:
+        Full per-<app, core> characterization; required only by the
+        AGGRESSIVE policy, which needs per-application limits.
+    robust_core_count:
+        How many cores the CONSERVATIVE policy admits for critical work.
+    """
+
+    def __init__(
+        self,
+        limits: LimitTable,
+        characterization: dict[str, ChipCharacterization] | None = None,
+        *,
+        robust_core_count: int = 4,
+    ):
+        if robust_core_count < 1:
+            raise ConfigurationError("robust_core_count must be >= 1")
+        self._limits = limits
+        self._characterization = characterization
+        self._robust_core_count = robust_core_count
+
+    @property
+    def limits(self) -> LimitTable:
+        return self._limits
+
+    def _app_limit(self, chip: ChipSpec, core_label: str, app: Workload) -> int:
+        if self._characterization is None:
+            raise ConfigurationError(
+                "AGGRESSIVE policy needs the full per-app characterization"
+            )
+        chip_char = self._characterization.get(chip.chip_id)
+        if chip_char is None:
+            raise ConfigurationError(
+                f"no characterization recorded for chip {chip.chip_id!r}"
+            )
+        key = (app.name, core_label)
+        if key not in chip_char.apps:
+            raise ConfigurationError(
+                f"application {app.name!r} was not profiled on {core_label}"
+            )
+        return chip_char.apps[key].app_limit
+
+    def decide(
+        self,
+        chip: ChipSpec,
+        policy: GovernorPolicy,
+        per_core_apps: tuple[Workload | None, ...] | None = None,
+    ) -> GovernorDecision:
+        """Produce the reduction vector for ``chip`` under ``policy``.
+
+        ``per_core_apps`` (one entry per core, ``None`` = idle) is required
+        by the AGGRESSIVE policy, which tailors each core's configuration
+        to its scheduled application; idle cores fall back to thread-worst.
+        """
+        labels = tuple(core.label for core in chip.cores)
+        thread_worst = tuple(self._limits.of(label).thread_worst for label in labels)
+
+        if policy is GovernorPolicy.DEFAULT:
+            return GovernorDecision(
+                policy=policy,
+                reductions=thread_worst,
+                eligible_critical_cores=labels,
+            )
+
+        if policy is GovernorPolicy.CONSERVATIVE:
+            chip_limits = LimitTable(
+                {label: self._limits.of(label) for label in labels}
+            )
+            robust = chip_limits.most_robust_cores(
+                min(self._robust_core_count, len(labels))
+            )
+            return GovernorDecision(
+                policy=policy,
+                reductions=thread_worst,
+                eligible_critical_cores=robust,
+            )
+
+        if policy is GovernorPolicy.AGGRESSIVE:
+            if per_core_apps is None or len(per_core_apps) != len(labels):
+                raise ConfigurationError(
+                    "AGGRESSIVE policy needs one scheduled app (or None) per core"
+                )
+            reductions = []
+            for label, worst, app in zip(labels, thread_worst, per_core_apps):
+                if app is None:
+                    reductions.append(worst)
+                else:
+                    reductions.append(self._app_limit(chip, label, app))
+            return GovernorDecision(
+                policy=policy,
+                reductions=tuple(reductions),
+                eligible_critical_cores=labels,
+            )
+
+        raise ConfigurationError(f"unknown policy {policy!r}")

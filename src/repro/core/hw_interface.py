@@ -1,0 +1,130 @@
+"""The hardware boundary: what a real ATM backend must implement.
+
+Everything in :mod:`repro.core` interacts with silicon through a narrow
+surface — program a core's CPM code, run a workload and learn whether it
+completed correctly, read frequencies and chip power.  This module states
+that surface as a :class:`typing.Protocol` and provides the simulator
+adapter, so the claim "the contribution layer runs unchanged on real
+hardware" is a type-checked interface rather than a comment:
+
+* a **real POWER7+ backend** would implement :class:`AtmHardware` with
+  service-processor commands (CPM writes), `perf`/sensor reads, and
+  actual benchmark invocations with result checking;
+* :class:`SimulatedHardware` implements the same protocol over
+  :class:`~repro.atm.chip_sim.ChipSim` and
+  :class:`~repro.atm.core_sim.SafetyProbe`.
+
+:func:`measure_limit` shows the pattern: it performs the paper's limit
+walk *purely through the protocol* — no simulator types appear — and the
+tests verify it agrees with the ground-truth characterization.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from ..atm.core_sim import SafetyProbe
+from ..errors import ConfigurationError
+from ..workloads.base import IDLE, Workload
+
+
+@runtime_checkable
+class AtmHardware(Protocol):
+    """The operations the fine-tuning stack needs from a chip."""
+
+    def core_labels(self) -> tuple[str, ...]:
+        """Labels of the chip's cores."""
+
+    def preset_code(self, core_label: str) -> int:
+        """Factory preset inserted-delay code of one core."""
+
+    def set_reduction(self, core_label: str, steps: int) -> None:
+        """Program one core's CPM code to ``preset - steps``."""
+
+    def run_and_check(self, core_label: str, workload: Workload) -> bool:
+        """Run ``workload`` on the core; True iff it completed correctly."""
+
+    def read_frequency_mhz(self, core_label: str) -> float:
+        """Sustained frequency of one core at the current configuration."""
+
+    def read_chip_power_w(self) -> float:
+        """Total chip power at the current configuration."""
+
+
+class SimulatedHardware:
+    """The simulator behind the :class:`AtmHardware` protocol."""
+
+    def __init__(self, sim: ChipSim, rng: np.random.Generator, *,
+                 noise_sigma_ps: float = 0.1):
+        self._sim = sim
+        self._probe = SafetyProbe(rng, noise_sigma_ps=noise_sigma_ps)
+        self._reductions = {core.label: 0 for core in sim.chip.cores}
+
+    def core_labels(self) -> tuple[str, ...]:
+        return tuple(core.label for core in self._sim.chip.cores)
+
+    def preset_code(self, core_label: str) -> int:
+        return self._sim.chip.core(core_label).preset_code
+
+    def set_reduction(self, core_label: str, steps: int) -> None:
+        core = self._sim.chip.core(core_label)
+        if not (0 <= steps <= core.preset_code):
+            raise ConfigurationError(
+                f"{core_label}: reduction must be in [0, {core.preset_code}]"
+            )
+        self._reductions[core_label] = steps
+
+    def run_and_check(self, core_label: str, workload: Workload) -> bool:
+        core = self._sim.chip.core(core_label)
+        return self._probe.probe(
+            core, self._reductions[core_label], workload
+        ).safe
+
+    def _solve(self):
+        assignments = tuple(
+            CoreAssignment(
+                workload=IDLE,
+                mode=MarginMode.ATM,
+                reduction_steps=self._reductions[core.label],
+            )
+            for core in self._sim.chip.cores
+        )
+        return self._sim.solve_steady_state(assignments)
+
+    def read_frequency_mhz(self, core_label: str) -> float:
+        state = self._solve()
+        index = self.core_labels().index(core_label)
+        return state.core_freq(index)
+
+    def read_chip_power_w(self) -> float:
+        return self._solve().chip_power_w
+
+
+def measure_limit(
+    hardware: AtmHardware,
+    core_label: str,
+    workload: Workload,
+    *,
+    repeats: int = 2,
+) -> int:
+    """The paper's limit walk, expressed only through the protocol.
+
+    Raises the reduction one step at a time, running ``workload``
+    ``repeats`` times per point; returns the last configuration at which
+    every run completed correctly, and leaves the core programmed there.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    preset = hardware.preset_code(core_label)
+    best = 0
+    for steps in range(1, preset + 1):
+        hardware.set_reduction(core_label, steps)
+        if all(hardware.run_and_check(core_label, workload) for _ in range(repeats)):
+            best = steps
+        else:
+            break
+    hardware.set_reduction(core_label, best)
+    return best

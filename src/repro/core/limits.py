@@ -1,0 +1,162 @@
+"""Per-core ATM reconfiguration limits (the paper's Table I).
+
+A :class:`CoreLimits` holds the four characterized limit steps of one core;
+a :class:`LimitTable` collects them for a whole server, renders the Table I
+layout, and answers the queries the management layer needs (robustness
+ranking, per-policy reduction vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.rendering import ascii_table
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoreLimits:
+    """The four characterized limits of one core, in reduction steps.
+
+    The invariant ``idle >= ubench >= thread_normal >= thread_worst``
+    reflects the methodology: each stage starts from the previous stage's
+    configuration and can only roll back.
+    """
+
+    core_label: str
+    idle: int
+    ubench: int
+    thread_normal: int
+    thread_worst: int
+
+    def __post_init__(self) -> None:
+        values = (self.idle, self.ubench, self.thread_normal, self.thread_worst)
+        if any(v < 0 for v in values):
+            raise ConfigurationError(f"{self.core_label}: limits must be >= 0")
+        if not (
+            self.idle >= self.ubench >= self.thread_normal >= self.thread_worst
+        ):
+            raise ConfigurationError(
+                f"{self.core_label}: limits must satisfy "
+                f"idle >= ubench >= thread_normal >= thread_worst, got {values}"
+            )
+
+    @property
+    def robustness_rollback(self) -> int:
+        """Steps of rollback between the uBench limit and thread-worst.
+
+        The paper defines a core's *robustness* as its immunity to rollback
+        from the uBench limit (Sec. VI): a robust core's control loop
+        handles any application's system effects without backing off.
+        Smaller is more robust.
+        """
+        return self.ubench - self.thread_worst
+
+
+class LimitTable:
+    """Table I: the limit rows for every core of a server."""
+
+    ROW_NAMES = ("idle limit", "uBench limit", "thread normal", "thread worst")
+
+    def __init__(self, limits: dict[str, CoreLimits]):
+        if not limits:
+            raise ConfigurationError("limit table must not be empty")
+        for label, core_limits in limits.items():
+            if label != core_limits.core_label:
+                raise ConfigurationError(
+                    f"key {label!r} does not match CoreLimits.core_label "
+                    f"{core_limits.core_label!r}"
+                )
+        self._limits = dict(limits)
+
+    @property
+    def core_labels(self) -> tuple[str, ...]:
+        return tuple(self._limits)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._limits
+
+    def of(self, core_label: str) -> CoreLimits:
+        """Limits of one core; raises for unknown labels."""
+        try:
+            return self._limits[core_label]
+        except KeyError:
+            raise ConfigurationError(
+                f"no limits recorded for core {core_label!r}"
+            ) from None
+
+    def row(self, name: str) -> tuple[int, ...]:
+        """One Table I row across all cores, in insertion order."""
+        attr = {
+            "idle limit": "idle",
+            "uBench limit": "ubench",
+            "thread normal": "thread_normal",
+            "thread worst": "thread_worst",
+        }.get(name)
+        if attr is None:
+            raise ConfigurationError(
+                f"unknown row {name!r}; rows are {self.ROW_NAMES}"
+            )
+        return tuple(getattr(self._limits[label], attr) for label in self._limits)
+
+    def most_robust_cores(self, count: int) -> tuple[str, ...]:
+        """The ``count`` cores with the smallest robustness rollback.
+
+        Ties are broken toward higher thread-worst limits (more performance
+        among equally robust cores), then by label for determinism.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        ranked = sorted(
+            self._limits.values(),
+            key=lambda cl: (cl.robustness_rollback, -cl.thread_worst, cl.core_label),
+        )
+        return tuple(cl.core_label for cl in ranked[:count])
+
+    def render(self) -> str:
+        """Render the Table I layout (rows = limits, columns = cores)."""
+        headers = ["", *self._limits.keys()]
+        rows = [[name, *self.row(name)] for name in self.ROW_NAMES]
+        return ascii_table(
+            headers,
+            rows,
+            title="ATM reconfiguration limits (steps of CPM delay reduction)",
+        )
+
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        """Plain-dict form for persistence and comparisons in tests."""
+        return {
+            label: {
+                "idle": cl.idle,
+                "ubench": cl.ubench,
+                "thread_normal": cl.thread_normal,
+                "thread_worst": cl.thread_worst,
+            }
+            for label, cl in self._limits.items()
+        }
+
+    @classmethod
+    def from_rows(
+        cls,
+        core_labels: tuple[str, ...],
+        idle: tuple[int, ...],
+        ubench: tuple[int, ...],
+        thread_normal: tuple[int, ...],
+        thread_worst: tuple[int, ...],
+    ) -> "LimitTable":
+        """Build a table from four parallel rows (the Table I layout)."""
+        lengths = {len(core_labels), len(idle), len(ubench), len(thread_normal), len(thread_worst)}
+        if len(lengths) != 1:
+            raise ConfigurationError("all rows must have one entry per core")
+        return cls(
+            {
+                label: CoreLimits(
+                    core_label=label,
+                    idle=idle[i],
+                    ubench=ubench[i],
+                    thread_normal=thread_normal[i],
+                    thread_worst=thread_worst[i],
+                )
+                for i, label in enumerate(core_labels)
+            }
+        )

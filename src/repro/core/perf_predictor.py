@@ -1,0 +1,100 @@
+"""Per-application performance predictor (paper Fig. 12b).
+
+Application performance scales linearly with core frequency over the ATM
+range, with a slope set by memory behaviour: a compute-bound workload like
+x264 converts nearly all extra frequency into speedup, while cache misses
+cap a memory-bound workload like mcf.  The paper fits one line per
+application and chains it behind the per-core frequency predictor so that
+thread performance on any core can be inferred from total chip power.
+
+:func:`fit_performance_predictor` builds the line from a frequency sweep
+exactly as the deployment procedure would (profile the application at a
+few DVFS points); the underlying workload model is smooth enough that the
+linear fit's R² is ~1 over the 4.2–5.2 GHz span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.fitting import LinearFit, fit_linear
+from ..errors import CalibrationError, ConfigurationError
+from ..units import STATIC_MARGIN_MHZ
+from ..workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class AppPerformancePredictor:
+    """Fitted speedup-vs-frequency line for one application.
+
+    Speedup is relative to the application's performance at the static
+    margin frequency (4.2 GHz), matching how the paper reports gains.
+    """
+
+    app_name: str
+    fit: LinearFit
+    base_mhz: float = STATIC_MARGIN_MHZ
+
+    def predict_speedup(self, freq_mhz: float) -> float:
+        """Speedup over the static-margin run at ``freq_mhz``."""
+        if freq_mhz <= 0.0:
+            raise ConfigurationError(f"frequency must be positive, got {freq_mhz}")
+        return self.fit.predict(freq_mhz)
+
+    def frequency_for_speedup(self, target_speedup: float) -> float:
+        """Frequency needed to reach ``target_speedup`` (QoS inversion)."""
+        if target_speedup <= 0.0:
+            raise ConfigurationError(
+                f"target speedup must be positive, got {target_speedup}"
+            )
+        freq = self.fit.invert(target_speedup)
+        if freq <= 0.0:
+            raise CalibrationError(
+                f"{self.app_name}: speedup {target_speedup:.3f} maps to a "
+                f"non-physical frequency"
+            )
+        return freq
+
+    @property
+    def speedup_per_ghz(self) -> float:
+        """Slope in speedup per GHz — the Fig. 12b comparison number."""
+        return self.fit.slope * 1000.0
+
+
+def fit_performance_predictor(
+    workload: Workload,
+    *,
+    freq_range_mhz: tuple[float, float] = (4200.0, 5200.0),
+    n_points: int = 9,
+    base_mhz: float = STATIC_MARGIN_MHZ,
+) -> AppPerformancePredictor:
+    """Fit the speedup-vs-frequency line for one application.
+
+    Profiles the workload model across ``n_points`` frequencies spanning
+    the ATM range — the software equivalent of running the application at
+    a few fixed p-states and timing it.
+    """
+    low, high = freq_range_mhz
+    if not (0.0 < low < high):
+        raise ConfigurationError(f"invalid frequency range {freq_range_mhz}")
+    if n_points < 2:
+        raise ConfigurationError(f"need at least 2 sweep points, got {n_points}")
+    freqs = np.linspace(low, high, n_points)
+    speedups = [workload.speedup_at(float(f), base_mhz) for f in freqs]
+    fit = fit_linear(freqs, speedups)
+    return AppPerformancePredictor(app_name=workload.name, fit=fit, base_mhz=base_mhz)
+
+
+def fit_population(
+    workloads: tuple[Workload, ...],
+    **kwargs: object,
+) -> dict[str, AppPerformancePredictor]:
+    """Fit predictors for a population of applications, keyed by name."""
+    if not workloads:
+        raise ConfigurationError("workload population must not be empty")
+    return {
+        w.name: fit_performance_predictor(w, **kwargs)  # type: ignore[arg-type]
+        for w in workloads
+    }

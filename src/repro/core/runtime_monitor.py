@@ -1,0 +1,122 @@
+"""Field telemetry monitor: detect drift away from the deployed models.
+
+A fine-tuned fleet ships with per-core Eq. 1 predictors fitted at
+deployment.  In the field, each core's sustained frequency should track
+the predictor given measured chip power; a growing *negative* residual
+(core persistently slower than predicted) is the signature of silicon
+aging or a degrading supply — both reasons to re-characterize before the
+eroded headroom becomes a correctness problem.
+
+:class:`DriftMonitor` consumes ``(chip_power_w, core_freq_mhz)`` telemetry
+samples per core, maintains an exponentially-weighted mean of the
+prediction residual, and reports cores whose drift exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .freq_predictor import CoreFrequencyPredictor
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """Current drift assessment of one core."""
+
+    core_label: str
+    samples: int
+    mean_residual_mhz: float
+    drifting: bool
+
+
+class DriftMonitor:
+    """Per-core residual tracking against deployed Eq. 1 predictors.
+
+    Parameters
+    ----------
+    predictors:
+        The deployed per-core frequency predictors.
+    threshold_mhz:
+        A core whose smoothed residual falls below ``-threshold_mhz`` is
+        flagged as drifting (it runs persistently slower than the model).
+    smoothing:
+        EWMA coefficient applied to new residuals (0 < smoothing <= 1);
+        small values average over more samples.
+    min_samples:
+        Number of samples before a core may be flagged, suppressing
+        cold-start noise.
+    """
+
+    def __init__(
+        self,
+        predictors: dict[str, CoreFrequencyPredictor],
+        *,
+        threshold_mhz: float = 25.0,
+        smoothing: float = 0.1,
+        min_samples: int = 10,
+    ):
+        if not predictors:
+            raise ConfigurationError("predictors must not be empty")
+        require_positive(threshold_mhz, "threshold_mhz")
+        if not (0.0 < smoothing <= 1.0):
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing}")
+        if min_samples < 1:
+            raise ConfigurationError(f"min_samples must be >= 1, got {min_samples}")
+        self._predictors = dict(predictors)
+        self._threshold_mhz = threshold_mhz
+        self._smoothing = smoothing
+        self._min_samples = min_samples
+        self._residual: dict[str, float] = {}
+        self._count: dict[str, int] = {label: 0 for label in predictors}
+
+    def observe(
+        self, core_label: str, chip_power_w: float, core_freq_mhz: float
+    ) -> DriftStatus:
+        """Feed one telemetry sample; returns the core's updated status."""
+        predictor = self._predictors.get(core_label)
+        if predictor is None:
+            raise ConfigurationError(f"no predictor for core {core_label!r}")
+        if core_freq_mhz <= 0.0:
+            raise ConfigurationError(
+                f"frequency sample must be positive, got {core_freq_mhz}"
+            )
+        residual = core_freq_mhz - predictor.predict_mhz(chip_power_w)
+        if core_label not in self._residual:
+            self._residual[core_label] = residual
+        else:
+            self._residual[core_label] = (
+                (1.0 - self._smoothing) * self._residual[core_label]
+                + self._smoothing * residual
+            )
+        self._count[core_label] += 1
+        return self.status(core_label)
+
+    def status(self, core_label: str) -> DriftStatus:
+        """Current assessment of ``core_label``."""
+        if core_label not in self._predictors:
+            raise ConfigurationError(f"no predictor for core {core_label!r}")
+        samples = self._count[core_label]
+        mean = self._residual.get(core_label, 0.0)
+        drifting = samples >= self._min_samples and mean < -self._threshold_mhz
+        return DriftStatus(
+            core_label=core_label,
+            samples=samples,
+            mean_residual_mhz=mean,
+            drifting=drifting,
+        )
+
+    def drifting_cores(self) -> tuple[str, ...]:
+        """Labels of every core currently flagged, sorted for determinism."""
+        return tuple(
+            sorted(
+                label
+                for label in self._predictors
+                if self.status(label).drifting
+            )
+        )
+
+    def recommend_recharacterization(self) -> bool:
+        """True when any core has drifted past the threshold."""
+        return bool(self.drifting_cores())

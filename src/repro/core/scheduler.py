@@ -1,0 +1,197 @@
+"""Variation-aware placement of critical and background applications.
+
+On a fine-tuned chip, *where* a critical application runs determines its
+frequency (process variation) and *who* it runs next to determines how
+much of that frequency survives (voltage variation through shared power).
+The scheduler therefore:
+
+1. ranks a chip's eligible cores by their predicted frequency at the
+   expected operating power (per-core Eq. 1 predictors),
+2. places critical applications on the fastest eligible cores, honouring
+   the Table II rule that two memory-intensive applications never share a
+   chip,
+3. fills remaining cores with background jobs (throttling of those jobs is
+   the job of :mod:`repro.core.throttle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError, SchedulingError
+from ..silicon.chipspec import ChipSpec
+from ..workloads.base import Workload
+from ..workloads.classification import MemBehavior, classify, is_critical
+from .freq_predictor import CoreFrequencyPredictor
+
+
+class CriticalPlacement(Enum):
+    """Where critical jobs land among the eligible cores.
+
+    ``FASTEST`` is the managed policy; ``CARELESS`` models an unmanaged
+    system that ignores core speed (in expectation it lands on a median
+    core); ``SLOWEST`` is the adversarial bound.
+    """
+
+    FASTEST = "fastest"
+    CARELESS = "careless"
+    SLOWEST = "slowest"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A concrete mapping of applications to one chip's cores."""
+
+    chip_id: str
+    critical: dict[str, Workload]
+    background: dict[str, Workload]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.critical) & set(self.background)
+        if overlap:
+            raise ConfigurationError(
+                f"cores assigned both critical and background work: {sorted(overlap)}"
+            )
+
+    def workload_on(self, core_label: str) -> Workload | None:
+        """The workload on ``core_label``, or None if the core is free."""
+        if core_label in self.critical:
+            return self.critical[core_label]
+        return self.background.get(core_label)
+
+    @property
+    def occupied_cores(self) -> tuple[str, ...]:
+        return tuple(self.critical) + tuple(self.background)
+
+
+def rank_cores_by_speed(
+    predictors: dict[str, CoreFrequencyPredictor],
+    expected_chip_power_w: float,
+    eligible: tuple[str, ...],
+) -> tuple[str, ...]:
+    """Eligible core labels, fastest first at the expected power."""
+    if expected_chip_power_w < 0.0:
+        raise ConfigurationError("expected power must be >= 0")
+    missing = [label for label in eligible if label not in predictors]
+    if missing:
+        raise ConfigurationError(f"no frequency predictor for cores: {missing}")
+    return tuple(
+        sorted(
+            eligible,
+            key=lambda label: predictors[label].predict_mhz(expected_chip_power_w),
+            reverse=True,
+        )
+    )
+
+
+class VariationAwareScheduler:
+    """Places applications on one chip using the per-core predictors."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        predictors: dict[str, CoreFrequencyPredictor],
+        *,
+        expected_chip_power_w: float = 90.0,
+    ):
+        missing = [c.label for c in chip.cores if c.label not in predictors]
+        if missing:
+            raise ConfigurationError(
+                f"chip {chip.chip_id}: missing predictors for {missing}"
+            )
+        self._chip = chip
+        self._predictors = predictors
+        self._expected_power_w = expected_chip_power_w
+
+    @property
+    def chip(self) -> ChipSpec:
+        return self._chip
+
+    def _check_colocation(
+        self, criticals: list[Workload], backgrounds: list[Workload]
+    ) -> None:
+        """Enforce the Table II rule: at most one memory-intensive app.
+
+        Multiple instances of the *same* background application count once
+        — the paper co-locates one critical job with several copies of one
+        background job (e.g. seq2seq next to streamcluster instances).
+        """
+        intensive = {
+            w.name
+            for w in (*criticals, *backgrounds)
+            if classify(w).mem is MemBehavior.INTENSIVE
+        }
+        if len(intensive) > 1:
+            raise SchedulingError(
+                "co-locating two distinct memory-intensive applications is not "
+                f"allowed (requested: {sorted(intensive)})"
+            )
+
+    def place(
+        self,
+        criticals: list[Workload],
+        backgrounds: list[Workload],
+        *,
+        eligible_critical_cores: tuple[str, ...] | None = None,
+        critical_placement: CriticalPlacement = CriticalPlacement.FASTEST,
+    ) -> Placement:
+        """Build a placement for the given job mix.
+
+        ``critical_placement`` selects which eligible cores host the
+        critical applications; background jobs then fill the remaining
+        cores fastest-first.
+        """
+        for workload in criticals:
+            if not is_critical(workload):
+                raise SchedulingError(
+                    f"{workload.name} is classified background, not critical"
+                )
+        self._check_colocation(criticals, backgrounds)
+        all_labels = tuple(core.label for core in self._chip.cores)
+        eligible = (
+            eligible_critical_cores
+            if eligible_critical_cores is not None
+            else all_labels
+        )
+        unknown = set(eligible) - set(all_labels)
+        if unknown:
+            raise ConfigurationError(
+                f"eligible cores not on chip {self._chip.chip_id}: {sorted(unknown)}"
+            )
+        if len(criticals) > len(eligible):
+            raise SchedulingError(
+                f"{len(criticals)} critical jobs but only {len(eligible)} "
+                f"eligible cores"
+            )
+        if len(criticals) + len(backgrounds) > len(all_labels):
+            raise SchedulingError(
+                f"{len(criticals) + len(backgrounds)} jobs exceed "
+                f"{len(all_labels)} cores"
+            )
+
+        ranked_eligible = rank_cores_by_speed(
+            self._predictors, self._expected_power_w, eligible
+        )
+        if critical_placement is CriticalPlacement.SLOWEST:
+            ranked_eligible = tuple(reversed(ranked_eligible))
+        elif critical_placement is CriticalPlacement.CARELESS:
+            # Expected outcome of speed-oblivious assignment: start the
+            # fill from the median-speed core.
+            start = len(ranked_eligible) // 2
+            ranked_eligible = ranked_eligible[start:] + ranked_eligible[:start]
+        critical_map = dict(zip(ranked_eligible, criticals))
+
+        remaining = [l for l in all_labels if l not in critical_map]
+        ranked_remaining = rank_cores_by_speed(
+            self._predictors, self._expected_power_w, tuple(remaining)
+        )
+        background_map = dict(zip(ranked_remaining, backgrounds))
+        if len(background_map) < len(backgrounds):
+            raise SchedulingError("not enough cores for the background jobs")
+
+        return Placement(
+            chip_id=self._chip.chip_id,
+            critical=critical_map,
+            background=background_map,
+        )

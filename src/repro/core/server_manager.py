@@ -1,0 +1,169 @@
+"""Server-wide management: scheduling across sockets.
+
+The paper evaluates on one socket (P0) because the frequency coupling is
+per chip — each socket has its own VRM and delivery path.  A real
+deployment still has to decide *which socket* each job mix lands on, and
+the per-chip independence is itself an asset: splitting critical work and
+power-hungry background work across sockets removes the IR-drop
+interference entirely.
+
+:class:`ServerAtmManager` owns one :class:`~repro.core.manager.AtmManager`
+per socket and implements two placement strategies:
+
+``PACK``
+    Co-locate each critical job with its background jobs on one socket
+    (the paper's evaluated configuration — interference managed by
+    throttling).
+``ISOLATE``
+    Put critical jobs on one socket and background jobs on the other, so
+    the critical socket's power stays minimal without throttling anyone.
+    Background throughput is preserved; the cost is that the critical
+    socket's other cores idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..atm.system import ServerSim
+from ..errors import ConfigurationError, SchedulingError
+from ..power.thermal import ThermalModel
+from ..workloads.base import Workload
+from .governor import GovernorPolicy
+from .limits import LimitTable
+from .manager import AtmManager, ScenarioResult
+
+
+class SocketStrategy(Enum):
+    """How job mixes are split across sockets."""
+
+    PACK = "pack"
+    ISOLATE = "isolate"
+
+
+@dataclass(frozen=True)
+class ServerScenarioResult:
+    """Outcome of a server-level scheduling decision."""
+
+    strategy: SocketStrategy
+    per_chip: dict[str, ScenarioResult]
+    critical_speedups: dict[str, float]
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(r.state.chip_power_w for r in self.per_chip.values())
+
+    @property
+    def mean_critical_speedup(self) -> float:
+        if not self.critical_speedups:
+            raise ConfigurationError("no critical applications scheduled")
+        return sum(self.critical_speedups.values()) / len(self.critical_speedups)
+
+
+class ServerAtmManager:
+    """Manages a whole multi-socket server of fine-tuned chips."""
+
+    def __init__(
+        self,
+        server_sim: ServerSim,
+        limits: LimitTable,
+        *,
+        policy: GovernorPolicy = GovernorPolicy.DEFAULT,
+        thermal: ThermalModel | None = None,
+    ):
+        self._server_sim = server_sim
+        self._limits = limits
+        self._managers: dict[str, AtmManager] = {}
+        for chip in server_sim.server.chips:
+            chip_limits = LimitTable(
+                {core.label: limits.of(core.label) for core in chip.cores}
+            )
+            self._managers[chip.chip_id] = AtmManager(
+                server_sim.chip_sim(chip.chip_id), chip_limits, policy=policy
+            )
+
+    @property
+    def chip_ids(self) -> tuple[str, ...]:
+        return tuple(self._managers)
+
+    def manager(self, chip_id: str) -> AtmManager:
+        """Per-socket manager; raises for unknown chip ids."""
+        try:
+            return self._managers[chip_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown chip {chip_id!r}") from None
+
+    def _fastest_chip_first(self) -> list[str]:
+        """Chips ordered by the speed of their fastest deployed core."""
+
+        def best_mhz(chip_id: str) -> float:
+            manager = self._managers[chip_id]
+            predictors = manager.frequency_predictors()
+            return max(p.predict_mhz(60.0) for p in predictors.values())
+
+        return sorted(self._managers, key=best_mhz, reverse=True)
+
+    def run(
+        self,
+        criticals: list[Workload],
+        backgrounds: list[Workload],
+        *,
+        strategy: SocketStrategy = SocketStrategy.PACK,
+        qos_target: float | None = None,
+    ) -> ServerScenarioResult:
+        """Schedule the mix server-wide and evaluate the steady state.
+
+        With ``qos_target`` set, packed sockets run the balance policy;
+        otherwise they maximize critical performance.  The ISOLATE
+        strategy needs at least two sockets.
+        """
+        if not criticals:
+            raise SchedulingError("need at least one critical application")
+        chip_order = self._fastest_chip_first()
+
+        if strategy is SocketStrategy.PACK:
+            # All criticals plus their backgrounds on the fastest socket
+            # (matching the paper's co-location on P0); remaining sockets
+            # idle at their deployed configuration.
+            host = chip_order[0]
+            manager = self._managers[host]
+            if qos_target is not None:
+                result = manager.run_managed_qos(
+                    criticals, backgrounds, target_speedup=qos_target
+                )
+            else:
+                result = manager.run_managed_max(criticals, backgrounds)
+            per_chip = {host: result}
+            for other in chip_order[1:]:
+                per_chip[other] = self._managers[other].run_managed_max_idle()
+            return ServerScenarioResult(
+                strategy=strategy,
+                per_chip=per_chip,
+                critical_speedups=dict(result.critical_speedups),
+            )
+
+        if strategy is SocketStrategy.ISOLATE:
+            if len(chip_order) < 2:
+                raise SchedulingError("ISOLATE needs at least two sockets")
+            critical_host = chip_order[0]
+            background_host = chip_order[1]
+            critical_result = self._managers[critical_host].run_managed_max(
+                criticals, []
+            )
+            background_result = self._managers[background_host].run_background_only(
+                backgrounds
+            )
+            per_chip = {
+                critical_host: critical_result,
+                background_host: background_result,
+            }
+            for other in chip_order[2:]:
+                per_chip[other] = self._managers[other].run_managed_max_idle()
+            return ServerScenarioResult(
+                strategy=strategy,
+                per_chip=per_chip,
+                critical_speedups=dict(critical_result.critical_speedups),
+            )
+
+        raise ConfigurationError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,181 @@
+"""Test-time stress-test deployment procedure (paper Sec. VII-A, Fig. 11).
+
+Exhaustively characterizing every <application, core> pair is too costly
+for real deployment, and predicting per-application CPM settings would
+require perfect accuracy.  The paper instead validates each core's
+thread-worst configuration with a worst-case stress battery — a
+synchronized di/dt voltage virus on top of 32 daxpy threads plus an ISA
+coverage suite — whose stress, by construction, exceeds any realistic
+workload.  A configuration that survives the battery is safe for
+everything; the vendor may additionally roll back one or two steps for an
+extra guarantee, which preserves the exposed inter-core variation trend.
+
+:class:`StressTestProcedure` runs the battery per core, optionally applies
+the rollback, and emits a :class:`DeploymentConfig` — the per-core CPM
+reduction vector the management layer deploys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..atm.chip_sim import ChipSim
+from ..atm.core_sim import SafetyProbe
+from ..errors import ConfigurationError, HardwareFailure
+from ..rng import RngStreams
+from ..silicon.chipspec import ChipSpec
+from ..workloads.base import Workload
+from ..workloads.stressmark import STRESS_BATTERY
+from .limits import LimitTable
+
+
+@dataclass(frozen=True)
+class CoreDeployment:
+    """Outcome of the stress-test for one core."""
+
+    core_label: str
+    thread_worst_limit: int
+    validated_limit: int
+    deployed_reduction: int
+    survived_battery: bool
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.deployed_reduction <= self.validated_limit):
+            raise ConfigurationError(
+                f"{self.core_label}: deployed reduction must be in "
+                f"[0, {self.validated_limit}]"
+            )
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Per-core CPM configuration ready for field deployment."""
+
+    chip_id: str
+    cores: dict[str, CoreDeployment]
+    rollback_steps: int
+
+    def reductions(self, chip: ChipSpec) -> tuple[int, ...]:
+        """The deployed reduction vector in the chip's core order."""
+        return tuple(
+            self.cores[core.label].deployed_reduction for core in chip.cores
+        )
+
+    def idle_frequencies_mhz(self, sim: ChipSim) -> dict[str, float]:
+        """Idle-system frequencies under the deployed config (Fig. 11)."""
+        state = sim.solve_steady_state(
+            sim.uniform_assignments(reductions=list(self.reductions(sim.chip)))
+        )
+        return {
+            core.label: state.core_freq(index)
+            for index, core in enumerate(sim.chip.cores)
+        }
+
+    def speed_differential_mhz(self, sim: ChipSim) -> float:
+        """Fastest-minus-slowest idle frequency across the chip's cores.
+
+        The headline variability number: the paper measures over 200 MHz
+        between P0C1 and P0C7 at the limit configuration.
+        """
+        freqs = self.idle_frequencies_mhz(sim)
+        return max(freqs.values()) - min(freqs.values())
+
+
+class StressTestProcedure:
+    """Runs the worst-case battery and emits the deployment configuration.
+
+    Parameters
+    ----------
+    streams:
+        Randomness for the stochastic stress probes.
+    battery:
+        The stressmark set; defaults to the paper's combination
+        (voltage virus, power virus, ISA suite).
+    repeats:
+        Runs of each stressmark per configuration point.  The battery is
+        adversarial and short, so vendors iterate it many times; 5 per
+        mark keeps the reproduction fast while exercising the repetition
+        logic.
+    """
+
+    def __init__(
+        self,
+        streams: RngStreams,
+        battery: tuple[Workload, ...] = STRESS_BATTERY,
+        *,
+        repeats: int = 5,
+        noise_sigma_ps: float = 0.1,
+    ):
+        if not battery:
+            raise ConfigurationError("stress battery must not be empty")
+        if repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+        self._streams = streams
+        self._battery = battery
+        self._repeats = repeats
+        self._noise_sigma_ps = noise_sigma_ps
+
+    def validate_core(
+        self, chip: ChipSpec, core_label: str, candidate_reduction: int
+    ) -> tuple[int, bool]:
+        """Stress one core at ``candidate_reduction``.
+
+        Returns ``(validated_limit, survived_unrolled)``: if the candidate
+        fails the battery, the procedure backs off one step at a time until
+        the battery passes, exactly as a vendor flow would.
+        """
+        core = chip.core(core_label)
+        probe = SafetyProbe(
+            self._streams.stream(f"stress.{core_label}"),
+            noise_sigma_ps=self._noise_sigma_ps,
+        )
+        reduction = candidate_reduction
+        survived_first = True
+        while reduction >= 0:
+            passed = all(
+                probe.probe(core, reduction, mark).safe
+                for mark in self._battery
+                for _ in range(self._repeats)
+            )
+            if passed:
+                return reduction, survived_first
+            survived_first = False
+            reduction -= 1
+        raise HardwareFailure(
+            f"{core_label}: even the factory preset fails the stress battery",
+            core_id=core_label,
+        )
+
+    def deploy_chip(
+        self,
+        chip: ChipSpec,
+        limits: LimitTable,
+        *,
+        rollback_steps: int = 0,
+    ) -> DeploymentConfig:
+        """Validate every core's thread-worst limit and apply the rollback.
+
+        ``rollback_steps`` is the vendor's optional extra safety margin
+        (0-2 in the paper's Fig. 11); it is clamped at zero reduction per
+        core so a conservative rollback never *raises* a core above its
+        preset.
+        """
+        if rollback_steps < 0:
+            raise ConfigurationError(
+                f"rollback_steps must be >= 0, got {rollback_steps}"
+            )
+        deployments = {}
+        for core in chip.cores:
+            thread_worst = limits.of(core.label).thread_worst
+            validated, survived = self.validate_core(chip, core.label, thread_worst)
+            deployed = max(0, validated - rollback_steps)
+            deployments[core.label] = CoreDeployment(
+                core_label=core.label,
+                thread_worst_limit=thread_worst,
+                validated_limit=validated,
+                deployed_reduction=deployed,
+                survived_battery=survived,
+            )
+        return DeploymentConfig(
+            chip_id=chip.chip_id, cores=deployments, rollback_steps=rollback_steps
+        )

@@ -1,0 +1,31 @@
+"""Critical Path Monitor (CPM) component models.
+
+A CPM measures a core's spare timing margin each cycle with three cascaded
+stages (paper Fig. 4a): a programmable **inserted delay**, a **synthetic
+path** that mimics real pipeline circuit delay, and an **inverter chain**
+that quantizes whatever time remains into an integer count.  The worst
+count across a core's CPMs is reported to the DPLL every cycle.
+
+The aggregate behaviour of a core's CPM array is also encoded compactly in
+:class:`repro.silicon.chipspec.CoreSpec` for the steady-state solver; the
+component classes here agree with that aggregate by construction and exist
+for the transient simulator, the factory-calibration procedure, and
+component-level tests.
+"""
+
+from .inserted_delay import InsertedDelayStage
+from .synthetic_path import SyntheticPath
+from .inverter_chain import InverterChain
+from .monitor import CriticalPathMonitor, CoreCpmArray, build_cpm_array
+from .calibration import FactoryCalibration, preset_for_uniform_frequency
+
+__all__ = [
+    "InsertedDelayStage",
+    "SyntheticPath",
+    "InverterChain",
+    "CriticalPathMonitor",
+    "CoreCpmArray",
+    "build_cpm_array",
+    "FactoryCalibration",
+    "preset_for_uniform_frequency",
+]

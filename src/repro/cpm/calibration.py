@@ -1,0 +1,114 @@
+"""Factory calibration of CPM inserted-delay presets.
+
+Before a processor ships, the vendor programs each CPM's inserted delay so
+the default ATM configuration delivers *uniform* core performance
+(Sec. III-A): fast corners receive extra delay to fill the empty time after
+their circuits finish switching, slow corners receive less.  The wide
+preset spread of Fig. 4b is the direct image of process variation.
+
+:func:`preset_for_uniform_frequency` performs the search for one core;
+:class:`FactoryCalibration` runs it for a whole chip and reports the preset
+vector (the Fig. 4b data for any chip, sampled or testbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..silicon.chipspec import ChipSpec, CoreSpec, idle_operating_point
+from ..silicon.paths import PathTimingModel
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD, mhz_to_cycle_ps
+
+
+def preset_for_uniform_frequency(
+    synth_path: PathTimingModel,
+    step_widths_ps: tuple[float, ...],
+    target_mhz: float,
+    slack_ps: float,
+    *,
+    vdd: float = NOMINAL_VDD,
+    temperature_c: float = AMBIENT_TEMPERATURE_C,
+) -> int:
+    """Return the smallest code at which ATM equilibrium <= ``target_mhz``.
+
+    The ATM equilibrium cycle time at code ``c`` is the occupied CPM time
+    plus the threshold slack; the factory wants the *default* equilibrium
+    to sit at the uniform target, so it raises the code until the
+    equilibrium frequency first drops to (or below) the target.
+
+    Raises :class:`CalibrationError` when even the maximum code leaves the
+    core above target (a pathologically fast core for the chosen step
+    widths).
+    """
+    target_cycle = mhz_to_cycle_ps(target_mhz)
+    path_delay = synth_path.delay_ps(vdd, temperature_c)
+    scale = path_delay / synth_path.base_delay_ps  # operating-point factor
+    cumulative = 0.0
+    for code, width in enumerate(step_widths_ps, start=1):
+        cumulative += width
+        equilibrium_cycle = path_delay + (cumulative + slack_ps) * scale
+        if equilibrium_cycle >= target_cycle:
+            return code
+    raise CalibrationError(
+        "no inserted-delay code brings the core down to the uniform target; "
+        f"max code leaves equilibrium above {target_mhz} MHz"
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Preset codes chosen for one chip, in core order."""
+
+    chip_id: str
+    target_mhz: float
+    preset_codes: tuple[int, ...]
+    core_labels: tuple[str, ...]
+
+    def spread(self) -> tuple[int, int]:
+        """(min, max) of the preset codes — Fig. 4b's headline statistic."""
+        return min(self.preset_codes), max(self.preset_codes)
+
+
+class FactoryCalibration:
+    """Runs the test-time preset search for every core of a chip.
+
+    ``vdd`` and ``temperature_c`` locate the operating point the uniform
+    target refers to; they default to the idle operating point, matching
+    where the chip factories anchor their targets.
+    """
+
+    def __init__(
+        self,
+        target_mhz: float,
+        *,
+        vdd: float | None = None,
+        temperature_c: float | None = None,
+    ):
+        if target_mhz <= 0.0:
+            raise CalibrationError(f"target_mhz must be positive, got {target_mhz}")
+        idle_vdd, idle_temp = idle_operating_point()
+        self._target_mhz = target_mhz
+        self._vdd = vdd if vdd is not None else idle_vdd
+        self._temperature_c = temperature_c if temperature_c is not None else idle_temp
+
+    def calibrate_core(self, chip: ChipSpec, core: CoreSpec) -> int:
+        """Return the preset code the factory would choose for ``core``."""
+        return preset_for_uniform_frequency(
+            core.synth_path,
+            core.step_widths_ps,
+            self._target_mhz,
+            chip.slack_ps,
+            vdd=self._vdd,
+            temperature_c=self._temperature_c,
+        )
+
+    def calibrate_chip(self, chip: ChipSpec) -> CalibrationReport:
+        """Calibrate every core; returns the preset vector."""
+        codes = tuple(self.calibrate_core(chip, core) for core in chip.cores)
+        return CalibrationReport(
+            chip_id=chip.chip_id,
+            target_mhz=self._target_mhz,
+            preset_codes=codes,
+            core_labels=tuple(core.label for core in chip.cores),
+        )

@@ -1,0 +1,93 @@
+"""The CPM's programmable inserted-delay stage.
+
+The inserted delay is the fine-tuning knob of the whole paper: a chain of
+inverters whose effective length is selected by a configuration code.  The
+factory presets it so the CPM reports *less* margin than physically exists
+(extra protection, and performance-equalizing across cores); the paper's
+procedure lowers the code to expose that hidden margin.
+
+Manufacturing makes the per-code step widths non-uniform (Sec. IV-C), which
+is captured by the ``step_widths_ps`` vector.  Being built from the same
+transistors as the rest of the chip, the stage's delay scales with voltage
+and temperature exactly like other paths.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..silicon.paths import alpha_power_delay_factor
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+
+
+class InsertedDelayStage:
+    """Programmable delay element with non-uniform step graduation.
+
+    Parameters
+    ----------
+    step_widths_ps:
+        Nominal width of each code step: ``step_widths_ps[i]`` is the delay
+        added when the code is raised from ``i`` to ``i + 1``.
+    code:
+        Initial configuration code (0 … ``len(step_widths_ps)``).
+    temp_coefficient_per_c:
+        Fractional delay change per °C, matching the synthetic path.
+    """
+
+    def __init__(
+        self,
+        step_widths_ps: tuple[float, ...],
+        code: int = 0,
+        temp_coefficient_per_c: float = 2.0e-4,
+    ):
+        if not step_widths_ps:
+            raise ConfigurationError("step_widths_ps must not be empty")
+        if any(w < 0.0 for w in step_widths_ps):
+            raise ConfigurationError("step widths must be >= 0")
+        self._step_widths = tuple(float(w) for w in step_widths_ps)
+        self._temp_coefficient = temp_coefficient_per_c
+        self._code = 0
+        self.set_code(code)
+
+    @property
+    def code(self) -> int:
+        """Current configuration code."""
+        return self._code
+
+    @property
+    def max_code(self) -> int:
+        """Largest valid configuration code."""
+        return len(self._step_widths)
+
+    def set_code(self, code: int) -> None:
+        """Program the stage to ``code`` inverter-pair steps of delay."""
+        if not (0 <= code <= self.max_code):
+            raise ConfigurationError(
+                f"inserted-delay code must be in [0, {self.max_code}], got {code}"
+            )
+        self._code = code
+
+    def reduce(self, steps: int) -> None:
+        """Lower the code by ``steps`` — the paper's fine-tuning action."""
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        self.set_code(self._code - steps)
+
+    def nominal_delay_ps(self, code: int | None = None) -> float:
+        """Delay at nominal V/T for ``code`` (default: the current code)."""
+        effective = self._code if code is None else code
+        if not (0 <= effective <= self.max_code):
+            raise ConfigurationError(
+                f"code must be in [0, {self.max_code}], got {effective}"
+            )
+        return float(sum(self._step_widths[:effective]))
+
+    def delay_ps(
+        self,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> float:
+        """Delay at the given operating point for the current code."""
+        scale = alpha_power_delay_factor(vdd) * (
+            1.0 + self._temp_coefficient * (temperature_c - AMBIENT_TEMPERATURE_C)
+        )
+        return self.nominal_delay_ps() * scale

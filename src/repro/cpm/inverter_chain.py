@@ -1,0 +1,72 @@
+"""The CPM's output inverter chain (margin quantizer).
+
+After the launched edge traverses the inserted delay and the synthetic
+path, whatever time remains in the clock cycle lets the edge run down a
+chain of inverters; a snapshot of how far it got is the CPM's integer
+output.  The chain therefore quantizes the spare margin with a resolution
+of one inverter delay and saturates at the chain length.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..silicon.paths import alpha_power_delay_factor
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+
+
+class InverterChain:
+    """Quantizes spare timing margin into an inverter count.
+
+    Parameters
+    ----------
+    step_ps:
+        Nominal delay of one inverter stage, in picoseconds.
+    length:
+        Number of inverters — the saturation value of the output.
+    """
+
+    def __init__(self, step_ps: float = 1.7, length: int = 12):
+        if step_ps <= 0.0:
+            raise ConfigurationError(f"step_ps must be positive, got {step_ps}")
+        if length < 1:
+            raise ConfigurationError(f"length must be >= 1, got {length}")
+        self._step_ps = step_ps
+        self._length = length
+
+    @property
+    def step_ps(self) -> float:
+        """Nominal per-inverter delay."""
+        return self._step_ps
+
+    @property
+    def length(self) -> int:
+        """Chain length (output saturation value)."""
+        return self._length
+
+    def effective_step_ps(
+        self,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> float:
+        """Per-inverter delay at the given operating point."""
+        scale = alpha_power_delay_factor(vdd) * (
+            1.0 + 2.0e-4 * (temperature_c - AMBIENT_TEMPERATURE_C)
+        )
+        return self._step_ps * scale
+
+    def quantize(
+        self,
+        margin_ps: float,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> int:
+        """Return the inverter count for ``margin_ps`` of spare time.
+
+        Negative margin (the edge did not even clear the synthetic path)
+        reports zero — the hardware cannot count backwards; the DPLL treats
+        a count below its threshold as a violation.
+        """
+        if margin_ps <= 0.0:
+            return 0
+        count = int(margin_ps / self.effective_step_ps(vdd, temperature_c))
+        return min(count, self._length)

@@ -1,0 +1,59 @@
+"""The CPM's synthetic timing path.
+
+The synthetic path is a hardware replica of representative pipeline logic —
+AND/OR/XOR gates and wire segments — whose propagation delay tracks the
+real critical paths' sensitivity to voltage and temperature.  It can only
+*mimic* the real paths, though: the residual mismatch between the synthetic
+delay and the worst real path activated by a workload is exactly why
+aggressive configurations fail (Sec. V-B) and is modeled per-core by
+:attr:`repro.silicon.chipspec.CoreSpec.protection_headroom_ps` together
+with the stress-requirement curve.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..silicon.paths import PathTimingModel
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+
+
+class SyntheticPath:
+    """Thin behavioural wrapper around a :class:`PathTimingModel`.
+
+    Parameters
+    ----------
+    timing:
+        Delay model of this synthetic path instance.
+    position:
+        Which functional unit the CPM sits in (e.g. ``"ifu"``); purely
+        informational but kept because spatial placement is why POWER7+
+        carries five CPMs per core.
+    """
+
+    POSITIONS = ("ifu", "isu", "fxu", "fpu", "llc")
+
+    def __init__(self, timing: PathTimingModel, position: str = "ifu"):
+        if position not in self.POSITIONS:
+            raise ConfigurationError(
+                f"position must be one of {self.POSITIONS}, got {position!r}"
+            )
+        self._timing = timing
+        self._position = position
+
+    @property
+    def position(self) -> str:
+        """Functional-unit placement of this path."""
+        return self._position
+
+    @property
+    def timing(self) -> PathTimingModel:
+        """The underlying delay model."""
+        return self._timing
+
+    def delay_ps(
+        self,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> float:
+        """Propagation delay at the given operating point."""
+        return self._timing.delay_ps(vdd, temperature_c)

@@ -1,0 +1,22 @@
+"""Adaptive frequency control: the DPLL loop and the off-chip Vdd controller.
+
+The per-core digital phase-locked loop (DPLL) compares each cycle's worst
+CPM reading against a threshold and slews the core clock — up slowly when
+margin is abundant, down quickly (or gating a cycle outright) on a margin
+violation (paper Sec. II).  The off-chip voltage controller watches a 32 ms
+sliding-window average of the slowest core's frequency and decides how much
+chip-wide V_dd can be shaved without missing the user's frequency target;
+the paper disables undervolting to convert all reclaimed margin into
+frequency, and so does this library's default policy.
+"""
+
+from .control_loop import DpllControlLoop, LoopConfig, LoopStepResult
+from .voltage_controller import OffChipVoltageController, VoltagePolicy
+
+__all__ = [
+    "DpllControlLoop",
+    "LoopConfig",
+    "LoopStepResult",
+    "OffChipVoltageController",
+    "VoltagePolicy",
+]

@@ -1,0 +1,161 @@
+"""Per-core DPLL adaptive frequency control loop.
+
+The loop's behaviour, per evaluation interval (a handful of cycles):
+
+* reading **below** threshold → *margin violation*: gate the next cycle
+  (cheapest correct response) and slew frequency down sharply;
+* reading **at** threshold → hold;
+* reading **above** threshold → slew frequency up gently toward the excess.
+
+Two asymmetric slew rates matter physically: the loop must *shed* frequency
+within nanoseconds to survive a di/dt droop, but may *gain* frequency
+lazily.  The loop's total response latency (sensor + decision + slew) is
+the quantity the ablation bench A1 sweeps: droops faster than the loop can
+answer are exactly what forces conservative CPM settings for noisy
+workloads like x264.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class LoopConfig:
+    """Tunables of one DPLL control loop.
+
+    Parameters
+    ----------
+    threshold_units:
+        Margin (inverter counts) the loop regulates toward.  Readings below
+        this are violations.
+    up_slew_mhz_per_us:
+        Frequency gain rate when margin is abundant.
+    down_slew_mhz_per_us:
+        Frequency shed rate on a violation (much larger than the up rate).
+    evaluation_interval_ns:
+        Time between loop decisions; the POWER7+ loop round trip is a few
+        cycles, i.e. on the order of a nanosecond.
+    f_min_mhz / f_max_mhz:
+        Hard clamps of the DPLL output range.
+    """
+
+    threshold_units: int = 2
+    up_slew_mhz_per_us: float = 50.0
+    down_slew_mhz_per_us: float = 2000.0
+    evaluation_interval_ns: float = 1.0
+    f_min_mhz: float = 2100.0
+    f_max_mhz: float = 5500.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_units < 0:
+            raise ConfigurationError("threshold_units must be >= 0")
+        require_positive(self.up_slew_mhz_per_us, "up_slew_mhz_per_us")
+        require_positive(self.down_slew_mhz_per_us, "down_slew_mhz_per_us")
+        require_positive(self.evaluation_interval_ns, "evaluation_interval_ns")
+        if not (0.0 < self.f_min_mhz < self.f_max_mhz):
+            raise ConfigurationError(
+                f"need 0 < f_min < f_max, got [{self.f_min_mhz}, {self.f_max_mhz}]"
+            )
+
+
+@dataclass(frozen=True)
+class LoopStepResult:
+    """Outcome of one loop evaluation."""
+
+    frequency_mhz: float
+    violation: bool
+    gated_cycle: bool
+
+
+class DpllControlLoop:
+    """Stateful frequency controller for one core.
+
+    The loop is driven by :meth:`step`, which consumes the current worst
+    CPM reading and returns the new frequency plus whether the interval
+    suffered a violation / gated cycle.  A frequency cap can be imposed
+    externally (DVFS p-state limits from the management layer).
+    """
+
+    def __init__(self, config: LoopConfig | None = None, initial_mhz: float = 4200.0):
+        self._config = config if config is not None else LoopConfig()
+        if not (self._config.f_min_mhz <= initial_mhz <= self._config.f_max_mhz):
+            raise ConfigurationError(
+                f"initial frequency {initial_mhz} outside loop range"
+            )
+        self._frequency_mhz = initial_mhz
+        self._cap_mhz = self._config.f_max_mhz
+        self._violations = 0
+        self._gated_cycles = 0
+        self._steps = 0
+
+    @property
+    def config(self) -> LoopConfig:
+        return self._config
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Current DPLL output frequency."""
+        return self._frequency_mhz
+
+    @property
+    def violation_count(self) -> int:
+        """Total margin violations seen since construction."""
+        return self._violations
+
+    @property
+    def gated_cycle_count(self) -> int:
+        """Total cycles gated in response to violations."""
+        return self._gated_cycles
+
+    @property
+    def step_count(self) -> int:
+        """Total loop evaluations performed."""
+        return self._steps
+
+    def set_cap_mhz(self, cap_mhz: float) -> None:
+        """Impose an external frequency ceiling (DVFS throttling)."""
+        if cap_mhz <= 0.0:
+            raise ConfigurationError(f"cap must be positive, got {cap_mhz}")
+        self._cap_mhz = min(cap_mhz, self._config.f_max_mhz)
+        self._frequency_mhz = min(self._frequency_mhz, self._cap_mhz)
+
+    def step(self, margin_units: int) -> LoopStepResult:
+        """Advance one evaluation interval with the given CPM reading."""
+        if margin_units < 0:
+            raise ConfigurationError(f"margin reading must be >= 0, got {margin_units}")
+        cfg = self._config
+        interval_us = cfg.evaluation_interval_ns / 1000.0
+        violation = margin_units < cfg.threshold_units
+        gated = False
+        if violation:
+            self._frequency_mhz -= cfg.down_slew_mhz_per_us * interval_us
+            gated = True
+            self._violations += 1
+            self._gated_cycles += 1
+        elif margin_units > cfg.threshold_units:
+            # Scale the climb by how much excess margin is visible so the
+            # loop converges instead of hunting.
+            excess = margin_units - cfg.threshold_units
+            self._frequency_mhz += cfg.up_slew_mhz_per_us * interval_us * excess
+        self._frequency_mhz = max(
+            cfg.f_min_mhz, min(self._frequency_mhz, self._cap_mhz)
+        )
+        self._steps += 1
+        return LoopStepResult(
+            frequency_mhz=self._frequency_mhz, violation=violation, gated_cycle=gated
+        )
+
+    def response_latency_ns(self) -> float:
+        """Worst-case time to shed 100 MHz after a violation begins.
+
+        A summary figure for the A1 ablation: droops that develop faster
+        than this cannot be fully absorbed by the loop and must instead be
+        covered by inserted-delay protection.
+        """
+        cfg = self._config
+        shed_time_us = 100.0 / cfg.down_slew_mhz_per_us
+        return cfg.evaluation_interval_ns + shed_time_us * 1000.0

@@ -1,0 +1,123 @@
+"""Off-chip voltage controller (the overclock-vs-undervolt policy stage).
+
+The POWER7+ off-chip controller reads a 32 ms sliding-window average of the
+*slowest* core's frequency and lowers chip-wide V_dd until that average
+would fall to the user's frequency target — converting reclaimed margin to
+power savings instead of speed.  Because V_dd is shared, the slowest core
+of the chip caps the achievable undervolt; that restriction is exactly why
+the paper chooses the overclocking policy (each core adapts independently)
+and why this library defaults to :attr:`VoltagePolicy.OVERCLOCK`.
+
+The undervolting path is still implemented faithfully: the A4 ablation
+bench compares the two policies' frequency and power outcomes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from ..units import VOLTAGE_CONTROLLER_WINDOW_MS, require_positive
+
+
+class VoltagePolicy(Enum):
+    """What to do with margin the ATM loop reclaims."""
+
+    #: Keep V_dd pinned; every core runs as fast as its loop allows.  The
+    #: paper's configuration.
+    OVERCLOCK = "overclock"
+
+    #: Shave chip-wide V_dd until the slowest core just meets the target
+    #: frequency; margin becomes power savings.
+    UNDERVOLT = "undervolt"
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the off-chip controller."""
+
+    window_ms: float = VOLTAGE_CONTROLLER_WINDOW_MS
+    sample_period_ms: float = 1.0
+    target_mhz: float = 4200.0
+    vdd_step_v: float = 0.005
+    vdd_min_v: float = 0.95
+    vdd_max_v: float = 1.25
+
+    def __post_init__(self) -> None:
+        require_positive(self.window_ms, "window_ms")
+        require_positive(self.sample_period_ms, "sample_period_ms")
+        require_positive(self.target_mhz, "target_mhz")
+        require_positive(self.vdd_step_v, "vdd_step_v")
+        if not (0.0 < self.vdd_min_v < self.vdd_max_v):
+            raise ConfigurationError("need 0 < vdd_min < vdd_max")
+
+
+class OffChipVoltageController:
+    """Sliding-window V_dd governor for one chip.
+
+    Feed it one sample per millisecond via :meth:`observe`; it returns the
+    VRM set-point to apply next.  Under :attr:`VoltagePolicy.OVERCLOCK` the
+    set-point never moves.
+    """
+
+    def __init__(
+        self,
+        policy: VoltagePolicy = VoltagePolicy.OVERCLOCK,
+        config: ControllerConfig | None = None,
+    ):
+        self._policy = policy
+        self._config = config if config is not None else ControllerConfig()
+        window_samples = max(
+            1, int(round(self._config.window_ms / self._config.sample_period_ms))
+        )
+        self._window: deque[float] = deque(maxlen=window_samples)
+        self._vdd_setpoint = self._config.vdd_max_v
+
+    @property
+    def policy(self) -> VoltagePolicy:
+        return self._policy
+
+    @property
+    def vdd_setpoint(self) -> float:
+        """Current VRM output voltage command."""
+        return self._vdd_setpoint
+
+    @property
+    def window_fill(self) -> int:
+        """Number of samples currently in the sliding window."""
+        return len(self._window)
+
+    def sliding_average_mhz(self) -> float:
+        """Windowed average of the slowest-core frequency samples."""
+        if not self._window:
+            raise ConfigurationError("no samples observed yet")
+        return sum(self._window) / len(self._window)
+
+    def observe(self, slowest_core_mhz: float) -> float:
+        """Record one sample and return the updated V_dd set-point.
+
+        The controller only *lowers* voltage while the windowed slowest-core
+        average stays above target with a full window, and raises it one
+        step as soon as the average dips below target — the conservative
+        asymmetry a correctness-critical governor needs.
+        """
+        if slowest_core_mhz <= 0.0:
+            raise ConfigurationError(
+                f"frequency sample must be positive, got {slowest_core_mhz}"
+            )
+        self._window.append(slowest_core_mhz)
+        if self._policy is VoltagePolicy.OVERCLOCK:
+            return self._vdd_setpoint
+        average = self.sliding_average_mhz()
+        cfg = self._config
+        if average < cfg.target_mhz:
+            self._vdd_setpoint = min(
+                cfg.vdd_max_v, self._vdd_setpoint + cfg.vdd_step_v
+            )
+        elif len(self._window) == self._window.maxlen:
+            self._vdd_setpoint = max(
+                cfg.vdd_min_v, self._vdd_setpoint - cfg.vdd_step_v
+            )
+        return self._vdd_setpoint

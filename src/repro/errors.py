@@ -1,0 +1,85 @@
+"""Exception hierarchy for the ATM reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration mistakes from simulated hardware events.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was built or reconfigured with invalid parameters.
+
+    Raised for out-of-range CPM inserted delays, non-physical voltages,
+    malformed chip specifications, and similar caller mistakes.
+    """
+
+
+class CalibrationError(ReproError):
+    """A calibration or fitting procedure could not converge.
+
+    Raised, for example, when the factory CPM preset search cannot find a
+    delay code that equalizes core frequency, or when a predictor is fitted
+    with fewer samples than model parameters.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an internally inconsistent state.
+
+    This indicates a bug in the simulation (e.g. a negative power draw or a
+    non-converging steady-state solve), not a modeled hardware failure.
+    """
+
+
+class HardwareFailure(ReproError):
+    """Base class for *modeled* hardware failure events.
+
+    These are expected outcomes of aggressive ATM configurations — the whole
+    characterization methodology of the paper consists of provoking them and
+    rolling the CPM configuration back. They carry the failing core and the
+    margin deficit that triggered the event.
+    """
+
+    def __init__(self, message: str, *, core_id: str = "", deficit_ps: float = 0.0):
+        super().__init__(message)
+        #: Identifier of the failing core, e.g. ``"P0C3"``.
+        self.core_id = core_id
+        #: How far (in picoseconds) the real path delay exceeded the cycle
+        #: budget when the violation occurred.
+        self.deficit_ps = deficit_ps
+
+
+class TimingViolation(HardwareFailure):
+    """A pipeline path missed its cycle deadline.
+
+    Depending on severity this manifests as one of the concrete failure
+    modes below; :class:`TimingViolation` itself is raised by low-level
+    timing checks before the failure mode is drawn.
+    """
+
+
+class SystemCrash(TimingViolation):
+    """Timing violation severe enough to take the whole system down."""
+
+
+class ApplicationError(TimingViolation):
+    """Abnormal application termination (e.g. segmentation fault)."""
+
+
+class SilentDataCorruption(TimingViolation):
+    """Run completed but the result-checking tool flagged wrong output."""
+
+
+class SchedulingError(ReproError):
+    """The management layer could not satisfy a scheduling request.
+
+    Raised when a QoS target is infeasible for every core/co-runner
+    combination, or when more critical applications are submitted than
+    cores exist to host them.
+    """

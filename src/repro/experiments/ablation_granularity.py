@@ -1,0 +1,85 @@
+"""Ablation A2 — per-core versus chip-wide CPM fine-tuning.
+
+Sec. IV-C concludes that no single CPM configuration works for all cores:
+the non-linear graduation and inter-core variation force per-core tuning.
+This ablation quantifies the cost of the chip-wide alternative, where one
+uniform reduction must be safe on *every* core (i.e. the minimum of the
+per-core thread-worst limits):
+
+* chip-wide tuning is pinned to the weakest core's limit, giving up most
+  of the frequency the fast cores could reach;
+* per-core tuning keeps each core at its own limit.
+
+The metric is the average idle-frequency gain over the static margin for
+both schemes, plus the frequency the fastest core leaves on the table
+under chip-wide tuning.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..silicon import power7plus_testbed
+from ..silicon.chipspec import TESTBED_THREAD_WORST_LIMITS
+from ..units import STATIC_MARGIN_MHZ
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Compare per-core and chip-wide fine-tuning on processor 0."""
+    server = power7plus_testbed(seed)
+    sim = ChipSim(server.chips[0])
+    per_core_limits = list(TESTBED_THREAD_WORST_LIMITS[:8])
+    chip_wide = min(per_core_limits)
+
+    per_core_state = sim.solve_steady_state(
+        sim.uniform_assignments(reductions=per_core_limits)
+    )
+    chip_wide_state = sim.solve_steady_state(
+        sim.uniform_assignments(reduction_steps=chip_wide)
+    )
+
+    rows = []
+    left_on_table = []
+    for index, core in enumerate(sim.chip.cores):
+        per_core_freq = per_core_state.core_freq(index)
+        uniform_freq = chip_wide_state.core_freq(index)
+        left_on_table.append(per_core_freq - uniform_freq)
+        rows.append(
+            (
+                core.label,
+                per_core_limits[index],
+                round(per_core_freq),
+                chip_wide,
+                round(uniform_freq),
+                round(per_core_freq - uniform_freq),
+            )
+        )
+
+    body = ascii_table(
+        (
+            "core",
+            "per-core steps",
+            "per-core MHz",
+            "chip-wide steps",
+            "chip-wide MHz",
+            "lost MHz",
+        ),
+        rows,
+        title="A2: per-core vs chip-wide CPM fine-tuning (idle, thread-worst)",
+    )
+    mean_per_core = sum(per_core_state.freqs_mhz) / len(per_core_state.freqs_mhz)
+    mean_chip_wide = sum(chip_wide_state.freqs_mhz) / len(chip_wide_state.freqs_mhz)
+    metrics = {
+        "per_core_mean_gain_mhz": mean_per_core - STATIC_MARGIN_MHZ,
+        "chip_wide_mean_gain_mhz": mean_chip_wide - STATIC_MARGIN_MHZ,
+        "max_freq_left_on_table_mhz": max(left_on_table),
+        "gain_ratio_per_core_over_chip_wide": (mean_per_core - STATIC_MARGIN_MHZ)
+        / (mean_chip_wide - STATIC_MARGIN_MHZ),
+    }
+    return ExperimentResult(
+        experiment_id="ablation_a2",
+        title="Per-core vs chip-wide fine-tuning",
+        body=body,
+        metrics=metrics,
+    )

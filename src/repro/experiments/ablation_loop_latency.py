@@ -1,0 +1,85 @@
+"""Ablation A1 — control-loop response latency versus di/dt droop speed.
+
+The paper's Sec. II requires the DPLL feedback round trip to stay within a
+few cycles to answer fast voltage noise; this ablation quantifies why.  It
+runs the transient simulator on one core under x264's di/dt environment
+at the core's thread-worst configuration, sweeping the loop's evaluation
+interval from nanoseconds (faithful hardware) to microseconds (a
+hypothetical software loop), and reports violations and the minimum
+frequency excursion.
+
+Expected shape: a nanosecond-class loop sheds frequency inside the droop
+and survives; slowing the loop by orders of magnitude leaves the first
+swing uncovered and violations appear — the physical reason aggressive
+CPM settings need rollback for flush-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..atm.transient import TransientSimulator
+from ..dpll.control_loop import LoopConfig
+from ..power.didt import DidtEventGenerator
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from ..silicon.chipspec import TESTBED_UBENCH_LIMITS
+from ..workloads.spec import X264
+from .common import ExperimentResult
+
+#: Loop evaluation intervals swept, in nanoseconds.
+INTERVALS_NS = (1.0, 4.0, 16.0, 64.0, 256.0)
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Sweep loop latency on P0C0 under x264 noise."""
+    server = power7plus_testbed(seed)
+    chip = server.chips[0]
+    core = chip.cores[0]
+    streams = RngStreams(seed)
+    # Run at the uBench limit: statically sound, so only x264's fast di/dt
+    # droops — and the loop's ability to gate through them — decide safety.
+    reduction = TESTBED_UBENCH_LIMITS[0]
+
+    rows = []
+    violations_by_interval = {}
+    for interval_ns in INTERVALS_NS:
+        config = LoopConfig(evaluation_interval_ns=interval_ns)
+        simulator = TransientSimulator(chip, core, loop_config=config, dt_ns=0.25)
+        result = simulator.run(
+            X264,
+            reduction,
+            streams.fresh(f"a1.{interval_ns}"),
+            duration_ns=8000.0,
+            dc_chip_power_w=80.0,
+            didt_generator=DidtEventGenerator(base_rate_per_us=2.0, mean_step_a=8.0),
+        )
+        violations_by_interval[interval_ns] = result.violations
+        rows.append(
+            (
+                interval_ns,
+                result.violations,
+                result.gated_intervals,
+                round(result.min_voltage_v, 4),
+                round(result.min_frequency_mhz),
+            )
+        )
+
+    body = ascii_table(
+        ("loop interval ns", "violations", "gated intervals", "min Vdd", "min MHz"),
+        rows,
+        title="A1: DPLL response latency vs di/dt (x264, uBench-limit config)",
+    )
+    metrics = {
+        "violations_fast_loop": float(violations_by_interval[INTERVALS_NS[0]]),
+        "violations_slow_loop": float(violations_by_interval[INTERVALS_NS[-1]]),
+        "slowdown_hurts": 1.0
+        if violations_by_interval[INTERVALS_NS[-1]]
+        >= violations_by_interval[INTERVALS_NS[0]]
+        else 0.0,
+    }
+    return ExperimentResult(
+        experiment_id="ablation_a1",
+        title="Loop latency vs droop speed",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,51 @@
+"""Shared scaffolding for the experiment modules.
+
+Every reproduced table/figure lives in its own module exposing a
+``run(seed=...) -> ExperimentResult``.  The result object carries the same
+rows/series the paper reports plus a flat ``metrics`` dict that
+EXPERIMENTS.md and the integration tests compare against the paper's
+numbers.  ``render()`` produces the plain-text artifact the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured outcome of one reproduced experiment."""
+
+    experiment_id: str
+    title: str
+    body: str
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ConfigurationError("experiment_id must be non-empty")
+        if not self.title:
+            raise ConfigurationError("title must be non-empty")
+
+    def render(self) -> str:
+        """Full plain-text report for this experiment."""
+        lines = [f"== {self.experiment_id}: {self.title} ==", "", self.body]
+        if self.metrics:
+            lines.append("")
+            lines.append("key metrics:")
+            for name in sorted(self.metrics):
+                lines.append(f"  {name} = {self.metrics[name]:.4g}")
+        return "\n".join(lines)
+
+    def metric(self, name: str) -> float:
+        """One metric by name; raises for unknown names."""
+        try:
+            return self.metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(self.metrics))
+            raise ConfigurationError(
+                f"unknown metric {name!r}; available: {known}"
+            ) from None

@@ -1,0 +1,95 @@
+"""Extension — aging: ATM degrades gracefully, fine-tuning needs refresh.
+
+Not a paper figure: this experiment explores the lifetime behaviour the
+paper's deployment story implies.  Three questions:
+
+1. **Graceful degradation.**  As BTI slows the silicon, the CPM synthetic
+   paths age with the real paths, so the default ATM loop simply
+   re-converges lower — no correctness cliff, unlike a static margin that
+   silently burns its fixed guardband.
+2. **Headroom erosion.**  Part of the aged delay appears as new
+   CPM-vs-real-path mismatch, shrinking the fine-tuning limits: the idle
+   limits re-characterized at 7 years sit below the fresh ones.
+3. **Detection.**  A :class:`~repro.core.runtime_monitor.DriftMonitor`
+   fitted on fresh Eq. 1 predictors flags the aged chip from ordinary
+   telemetry, triggering re-characterization before the eroded headroom
+   threatens the deployed configuration.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..core.characterize import Characterizer
+from ..core.freq_predictor import fit_core_frequency_models
+from ..core.runtime_monitor import DriftMonitor
+from ..rng import RngStreams
+from ..silicon import age_chip, power7plus_testbed
+from ..silicon.chipspec import TESTBED_THREAD_WORST_LIMITS
+from ..workloads.spec import GCC
+from .common import ExperimentResult
+
+#: Field ages evaluated, in years.
+AGES_YEARS = (0.0, 3.0, 7.0)
+
+
+def run(seed: int = 2019, trials: int = 5) -> ExperimentResult:
+    """Age processor 0 and measure frequency, limits, and detectability."""
+    server = power7plus_testbed(seed)
+    fresh_chip = server.chips[0]
+    characterizer = Characterizer(RngStreams(seed), trials=trials)
+    reductions = tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+
+    rows = []
+    idle_freqs = {}
+    idle_limit_sums = {}
+    for years in AGES_YEARS:
+        chip = age_chip(fresh_chip, years) if years > 0.0 else fresh_chip
+        sim = ChipSim(chip)
+        state = sim.solve_steady_state(sim.uniform_assignments())
+        idle_freqs[years] = state.freqs_mhz[0]
+        limits = [
+            characterizer.characterize_idle(core).idle_limit for core in chip.cores
+        ]
+        idle_limit_sums[years] = sum(limits)
+        rows.append((f"{years:g}", round(state.freqs_mhz[0]), sum(limits)))
+
+    body = ascii_table(
+        ("age years", "default ATM idle MHz", "sum of idle limits (steps)"),
+        rows,
+        title="Aging: loop frequency and re-characterized limits vs field age",
+    )
+
+    # Drift detection: predictors fitted on the fresh chip, telemetry from
+    # the aged chip.
+    fresh_sim = ChipSim(fresh_chip)
+    predictors = fit_core_frequency_models(fresh_sim, reductions)
+    monitor = DriftMonitor(predictors, threshold_mhz=25.0, min_samples=5)
+    aged_sim = ChipSim(age_chip(fresh_chip, AGES_YEARS[-1]))
+    aged_state = aged_sim.solve_steady_state(
+        aged_sim.uniform_assignments(workload=GCC, reductions=list(reductions))
+    )
+    for _ in range(20):
+        for index, core in enumerate(fresh_chip.cores):
+            monitor.observe(
+                core.label, aged_state.chip_power_w, aged_state.core_freq(index)
+            )
+    flagged = monitor.drifting_cores()
+
+    metrics = {
+        "fresh_idle_mhz": idle_freqs[0.0],
+        "aged7y_idle_mhz": idle_freqs[AGES_YEARS[-1]],
+        "frequency_loss_mhz": idle_freqs[0.0] - idle_freqs[AGES_YEARS[-1]],
+        "fresh_idle_limit_sum": float(idle_limit_sums[0.0]),
+        "aged7y_idle_limit_sum": float(idle_limit_sums[AGES_YEARS[-1]]),
+        "drifting_cores_detected": float(len(flagged)),
+        "recharacterization_recommended": 1.0
+        if monitor.recommend_recharacterization()
+        else 0.0,
+    }
+    return ExperimentResult(
+        experiment_id="ext_aging",
+        title="Lifetime behaviour of a fine-tuned ATM system",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,108 @@
+"""Extension — test-time cost: characterization vs stress-test deployment.
+
+Quantifies Sec. VII-A's engineering argument with both the analytic cost
+model and *measured* probe counts from the simulated procedures:
+
+* the full Fig. 6 characterization of one 8-core chip against the
+  realistic application population costs thousands of benchmark runs —
+  research-grade, not production-grade;
+* the stress-test battery certifies the same correctness guarantee in a
+  fixed few-dozen runs per chip — the procedure vendors can actually ship;
+* onboarding one *new* application under the guarded predictor costs a
+  handful of runs.
+
+The measured counts come from :attr:`SafetyProbe.probe_count`
+instrumentation, so the analytic model is validated against the actual
+procedure implementations, not just assumed.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..core.characterize import Characterizer
+from ..core.cost_model import (
+    full_characterization_cost,
+    prediction_cost,
+    stress_test_cost,
+)
+from ..core.limits import LimitTable
+from ..core.stress_test import StressTestProcedure
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from ..workloads.registry import realistic_applications
+from ..workloads.stressmark import STRESS_BATTERY
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019, trials: int = 10) -> ExperimentResult:
+    """Compare procedure costs analytically and by measured probe counts."""
+    server = power7plus_testbed(seed)
+    chip = server.chips[0]
+    apps = realistic_applications()
+
+    # Measured: full characterization probe count on one chip.
+    characterizer = Characterizer(RngStreams(seed), trials=trials)
+    characterization = characterizer.characterize_chip(chip, applications=apps)
+    measured_char_runs = characterizer.total_probe_count
+    limits = LimitTable(characterization.limits)
+
+    # Measured: stress-test deployment run count, derived from the
+    # battery geometry plus any observed back-off re-runs.
+    procedure = StressTestProcedure(RngStreams(seed + 1))
+    config = procedure.deploy_chip(chip, limits)
+    backoffs = sum(
+        d.thread_worst_limit - d.validated_limit for d in config.cores.values()
+    )
+    measured_deploy_runs = (
+        chip.n_cores * len(STRESS_BATTERY) * 5 * (1 + backoffs)
+    )
+
+    analytic_char = full_characterization_cost(
+        n_cores=chip.n_cores,
+        n_applications=len(apps),
+        trials=trials,
+        repeats_per_step=2,
+    )
+    analytic_deploy = stress_test_cost(
+        n_cores=chip.n_cores, battery_size=len(STRESS_BATTERY), repeats=5
+    )
+    analytic_predict = prediction_cost(n_cores=chip.n_cores)
+
+    rows = [
+        (
+            analytic_char.name,
+            analytic_char.runs,
+            round(analytic_char.wall_clock_hours, 1),
+            measured_char_runs,
+        ),
+        (
+            analytic_deploy.name,
+            analytic_deploy.runs,
+            round(analytic_deploy.wall_clock_hours, 2),
+            measured_deploy_runs,
+        ),
+        (
+            analytic_predict.name,
+            analytic_predict.runs,
+            round(analytic_predict.wall_clock_hours, 2),
+            analytic_predict.runs,
+        ),
+    ]
+    body = ascii_table(
+        ("procedure", "analytic runs", "wall-clock h", "measured runs"),
+        rows,
+        title="Test-time cost per 8-core chip (realistic app population)",
+    )
+    metrics = {
+        "characterization_runs_measured": float(measured_char_runs),
+        "deployment_runs_measured": float(measured_deploy_runs),
+        "cost_ratio_char_over_deploy": analytic_char.ratio_to(analytic_deploy),
+        "characterization_hours": analytic_char.wall_clock_hours,
+        "deployment_hours": analytic_deploy.wall_clock_hours,
+    }
+    return ExperimentResult(
+        experiment_id="ext_cost",
+        title="Test-time cost of characterization vs deployment",
+        body=body,
+        metrics=metrics,
+    )

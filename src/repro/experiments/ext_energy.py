@@ -1,0 +1,109 @@
+"""Extension — energy efficiency of the Fig. 14 management scenarios.
+
+ATM converts reclaimed margin into frequency at constant voltage, so the
+*marginal* energy cost of the extra performance is small — but the
+management policies trade background work against critical speed in ways
+raw speedup numbers hide.  This experiment recomputes the Fig. 14
+squeezenet:x264 scenario set through the energy lens:
+
+* chip power and aggregate work rate (speedup-weighted job throughput);
+* power per unit of work (lower is better);
+* critical energy-per-inference.
+
+Expected shape: default ATM improves work-per-watt over the static margin
+(free performance from reclaimed margin); managed-max minimizes critical
+joules-per-inference but pays for it in aggregate work rate; the QoS
+balance policy recovers most of the background throughput while holding
+the critical promise.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..core.energy import energy_report
+from ..core.limits import LimitTable
+from ..core.manager import AtmManager
+from ..silicon import power7plus_testbed
+from ..silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_NORMAL_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+    TESTBED_UBENCH_LIMITS,
+)
+from ..workloads.dnn import SQUEEZENET
+from ..workloads.spec import X264
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Energy metrics across the management scenarios."""
+    server = power7plus_testbed(seed)
+    sim = ChipSim(server.chips[0])
+    labels = tuple(core.label for core in server.chips[0].cores)
+    limits = LimitTable.from_rows(
+        labels,
+        TESTBED_IDLE_LIMITS[:8],
+        TESTBED_UBENCH_LIMITS[:8],
+        TESTBED_THREAD_NORMAL_LIMITS[:8],
+        TESTBED_THREAD_WORST_LIMITS[:8],
+    )
+    manager = AtmManager(sim, limits)
+    criticals, backgrounds = [SQUEEZENET], [X264] * 7
+
+    scenarios = {
+        "static margin": manager.run_static_margin(criticals, backgrounds),
+        "default ATM": manager.run_default_atm(criticals, backgrounds),
+        "fine-tuned unmanaged": manager.run_unmanaged_finetuned(
+            criticals, backgrounds
+        ),
+        "managed max": manager.run_managed_max(criticals, backgrounds),
+        "managed QoS 1.10x": manager.run_managed_qos(
+            criticals, backgrounds, target_speedup=1.10
+        ),
+    }
+    reports = {name: energy_report(result) for name, result in scenarios.items()}
+
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            (
+                name,
+                round(report.chip_power_w, 1),
+                round(report.aggregate_work_rate, 2),
+                round(report.power_per_work, 2),
+                round(1000.0 * report.critical_energy_j["squeezenet"], 0),
+            )
+        )
+    body = ascii_table(
+        (
+            "scenario",
+            "chip W",
+            "work rate",
+            "W per work",
+            "critical mJ/inference",
+        ),
+        rows,
+        title="Energy view of the squeezenet:x264 management scenarios",
+    )
+
+    static = reports["static margin"]
+    metrics = {
+        "default_atm_efficiency_gain": reports["default ATM"].efficiency_vs(static),
+        "finetuned_efficiency_gain": reports["fine-tuned unmanaged"].efficiency_vs(
+            static
+        ),
+        "qos_work_rate_over_managed_max": (
+            reports["managed QoS 1.10x"].aggregate_work_rate
+            / reports["managed max"].aggregate_work_rate
+        ),
+        "managed_max_critical_mj": 1000.0
+        * reports["managed max"].critical_energy_j["squeezenet"],
+        "static_critical_mj": 1000.0 * static.critical_energy_j["squeezenet"],
+    }
+    return ExperimentResult(
+        experiment_id="ext_energy",
+        title="Energy efficiency of ATM management",
+        body=body,
+        metrics=metrics,
+    )

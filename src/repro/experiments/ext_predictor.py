@@ -1,0 +1,81 @@
+"""Extension — the guarded per-application CPM predictor (future work).
+
+The paper defers per-application CPM prediction because a mis-prediction
+can crash the system.  This experiment evaluates the *guarded* predictor
+of :mod:`repro.core.cpm_predictor` with leave-one-out validation over the
+profiled application population on processor 0:
+
+* for each held-out application, predict its CPM setting on every core
+  from the remaining applications' profiles;
+* **safety**: count predictions exceeding the held-out application's true
+  limit (must be zero for light/medium applications; the guard floors
+  everything at thread-worst, which by construction is safe for every
+  *profiled* population member);
+* **upside**: average extra reduction steps granted over the thread-worst
+  deployment — the performance the aggressive governor would unlock.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..core.characterize import Characterizer
+from ..core.cpm_predictor import GuardedCpmPredictor
+from ..core.limits import LimitTable
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from ..workloads.registry import realistic_applications
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019, trials: int = 5) -> ExperimentResult:
+    """Leave-one-out evaluation of the guarded CPM predictor."""
+    server = power7plus_testbed(seed)
+    chip = server.chips[0]
+    apps = realistic_applications()
+    characterizer = Characterizer(RngStreams(seed), trials=trials)
+    characterization = characterizer.characterize_chip(chip, applications=apps)
+    limits = LimitTable(characterization.limits)
+
+    rows = []
+    unsafe_total = 0
+    upside_total = 0.0
+    cells = 0
+    for held_out in apps:
+        train = {w.name: w for w in apps if w.name != held_out.name}
+        predictor = GuardedCpmPredictor({chip.chip_id: characterization}, limits)
+        predictor.fit(train)
+        unsafe = 0
+        upside = 0.0
+        for core in chip.cores:
+            prediction = predictor.predict(core.label, held_out)
+            true_limit = core.max_safe_reduction(held_out.stress)
+            if prediction.guarded_reduction > true_limit:
+                unsafe += 1
+            upside += (
+                prediction.guarded_reduction - limits.of(core.label).thread_worst
+            )
+            cells += 1
+        unsafe_total += unsafe
+        upside_total += upside
+        rows.append(
+            (held_out.name, round(held_out.stress, 2), unsafe, round(upside / 8, 2))
+        )
+
+    rows.sort(key=lambda r: r[1])
+    body = ascii_table(
+        ("held-out app", "stress", "unsafe cores", "avg extra steps"),
+        rows,
+        title="Guarded CPM prediction, leave-one-out over the profiled set",
+    )
+    metrics = {
+        "unsafe_predictions": float(unsafe_total),
+        "cells_evaluated": float(cells),
+        "mean_extra_steps": upside_total / cells,
+        "predictor_is_safe": 1.0 if unsafe_total == 0 else 0.0,
+    }
+    return ExperimentResult(
+        experiment_id="ext_predictor",
+        title="Guarded per-application CPM prediction",
+        body=body,
+        metrics=metrics,
+    )

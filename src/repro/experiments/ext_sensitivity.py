@@ -1,0 +1,161 @@
+"""Extension — sensitivity of the reproduction to its calibration knobs.
+
+A reproduction built on a calibrated simulator owes the reader an answer
+to "how much do your conclusions depend on the constants you chose?".
+This experiment perturbs the two most influential substrate parameters
+and re-measures the headline results:
+
+* **PDN resistance ±30%** — the Eq. 1 slope must scale proportionally
+  (it is pure physics: slope ≈ k·R/V), while the Fig. 14 scenario
+  *ordering* must not change;
+* **measurement noise ×4** — the Table I match rate may lose a few
+  borderline cells but must stay high, and the limit-ordering invariant
+  must hold exactly.
+
+If either qualitative conclusion flipped under these perturbations, the
+reproduction would be curve-fitting rather than modeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..core.characterize import Characterizer
+from ..core.freq_predictor import fit_core_frequency_models
+from ..core.limits import LimitTable
+from ..core.manager import AtmManager
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from ..silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_NORMAL_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+    TESTBED_UBENCH_LIMITS,
+)
+from ..workloads.dnn import SQUEEZENET
+from ..workloads.spec import GCC, X264
+from .common import ExperimentResult
+
+PAPER_ROWS = {
+    "idle limit": TESTBED_IDLE_LIMITS,
+    "uBench limit": TESTBED_UBENCH_LIMITS,
+    "thread normal": TESTBED_THREAD_NORMAL_LIMITS,
+    "thread worst": TESTBED_THREAD_WORST_LIMITS,
+}
+
+
+def _scenario_ordering_holds(chip) -> tuple[bool, float]:
+    """Check default < unmanaged < managed for squeezenet:x264."""
+    sim = ChipSim(chip)
+    labels = tuple(core.label for core in chip.cores)
+    limits = LimitTable.from_rows(
+        labels,
+        TESTBED_IDLE_LIMITS[:8],
+        TESTBED_UBENCH_LIMITS[:8],
+        TESTBED_THREAD_NORMAL_LIMITS[:8],
+        TESTBED_THREAD_WORST_LIMITS[:8],
+    )
+    manager = AtmManager(sim, limits)
+    criticals, backgrounds = [SQUEEZENET], [X264] * 7
+    default = manager.run_default_atm(criticals, backgrounds)
+    unmanaged = manager.run_unmanaged_finetuned(criticals, backgrounds)
+    managed = manager.run_managed_max(criticals, backgrounds)
+    ordered = (
+        default.critical_speedups["squeezenet"]
+        < unmanaged.critical_speedups["squeezenet"]
+        < managed.critical_speedups["squeezenet"]
+    )
+    return ordered, managed.critical_speedups["squeezenet"]
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Perturb calibration constants; check conclusions survive."""
+    server = power7plus_testbed(seed)
+    base_chip = server.chips[0]
+    rows = []
+
+    # -- PDN resistance sweep -------------------------------------------------
+    slopes = {}
+    orderings = {}
+    for scale in (0.7, 1.0, 1.3):
+        chip = replace(
+            base_chip,
+            chip_id=f"P0r{scale:g}",
+            pdn_resistance_ohm=base_chip.pdn_resistance_ohm * scale,
+        )
+        sim = ChipSim(chip)
+        predictors = fit_core_frequency_models(
+            sim, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+        )
+        mean_slope = sum(p.mhz_per_watt for p in predictors.values()) / len(
+            predictors
+        )
+        slopes[scale] = mean_slope
+        ordered, managed_gain = _scenario_ordering_holds(chip)
+        orderings[scale] = ordered
+        rows.append(
+            (
+                f"PDN resistance x{scale:g}",
+                round(mean_slope, 3),
+                "yes" if ordered else "NO",
+                round(100.0 * (managed_gain - 1.0), 1),
+            )
+        )
+
+    # -- measurement noise sweep ------------------------------------------------
+    match_rates = {}
+    ordering_violations = 0
+    for noise_scale in (1.0, 4.0):
+        characterizer = Characterizer(
+            RngStreams(seed), trials=8, noise_sigma_ps=0.1 * noise_scale
+        )
+        characterization = characterizer.characterize_chip(
+            base_chip, applications=(GCC, X264)
+        )
+        matches = 0
+        for label, limits in characterization.limits.items():
+            index = [c.label for c in base_chip.cores].index(label)
+            if limits.idle == TESTBED_IDLE_LIMITS[index]:
+                matches += 1
+            if limits.thread_worst == TESTBED_THREAD_WORST_LIMITS[index]:
+                matches += 1
+            if not (
+                limits.idle
+                >= limits.ubench
+                >= limits.thread_normal
+                >= limits.thread_worst
+            ):
+                ordering_violations += 1
+        match_rates[noise_scale] = matches / 16.0
+        rows.append(
+            (
+                f"probe noise x{noise_scale:g}",
+                round(match_rates[noise_scale], 3),
+                "yes" if ordering_violations == 0 else "NO",
+                float("nan"),
+            )
+        )
+
+    body = ascii_table(
+        ("perturbation", "slope or match", "conclusion holds", "managed gain %"),
+        rows,
+        title="Sensitivity of headline results to calibration constants",
+    )
+    slope_ratio_low = slopes[0.7] / slopes[1.0]
+    slope_ratio_high = slopes[1.3] / slopes[1.0]
+    metrics = {
+        "slope_tracks_resistance_low": slope_ratio_low,
+        "slope_tracks_resistance_high": slope_ratio_high,
+        "ordering_holds_all_resistances": 1.0 if all(orderings.values()) else 0.0,
+        "match_rate_noise_x1": match_rates[1.0],
+        "match_rate_noise_x4": match_rates[4.0],
+        "limit_ordering_violations": float(ordering_violations),
+    }
+    return ExperimentResult(
+        experiment_id="ext_sensitivity",
+        title="Calibration sensitivity analysis",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,122 @@
+"""Fig. 1 — frequency ranges of the four timing-margin approaches.
+
+Reproduces the paper's motivating comparison on processor 0 of the
+testbed:
+
+1. **chip-wide static margin** — every core fixed at 4.2 GHz;
+2. **per-core static margin** — each core at its own fixed <v, f>, which
+   must guard against worst-case voltage variation (maximum DC drop plus
+   the first di/dt swing plus the tester's fixed margin), putting the
+   fastest cores near 4.5 GHz;
+3. **default ATM** — ~4.6 GHz uniform when idle, eroding to ~4.4 GHz under
+   the 8-thread daxpy DC-drop worst case;
+4. **fine-tuned ATM** — per-core idle-limit frequencies up to ~5.2 GHz
+   when idle, with the slowest core falling to ~4.5 GHz under the same
+   worst-case load at the thread-worst configuration.
+
+The paper's headline claims checked here: fine-tuning roughly doubles the
+ATM frequency gain over the static margin, and the fine-tuned idle peak
+beats the fastest per-core static core by ~10%.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+)
+from ..silicon.paths import alpha_power_delay_factor
+from ..silicon import power7plus_testbed
+from ..units import STATIC_MARGIN_MHZ, STRESSMARK_CHIP_POWER_W
+from ..workloads.ubench import DAXPY_SMT4
+from .common import ExperimentResult
+
+#: Fixed tester guardband fraction added on top of the physical worst case
+#: when setting per-core static <v, f> points (aging, test uncertainty).
+_TESTER_MARGIN_FRACTION = 0.04
+
+#: Worst-case di/dt first-swing voltage excursion as a fraction of V_dd
+#: (the paper quotes ~3% per effect).
+_DIDT_GUARD_FRACTION = 0.03
+
+
+def _per_core_static_mhz(sim: ChipSim, idle_freqs: list[float]) -> list[float]:
+    """Estimate each core's fixed static-margin frequency.
+
+    A per-core static setpoint starts from the core's inherent speed (its
+    fine-tuned idle frequency) and subtracts guardband for the worst-case
+    DC drop, the worst di/dt swing, and the tester's fixed margin — the
+    "must guard against worst case" cost that ATM avoids.
+    """
+    chip = sim.chip
+    vdd_dc_worst = sim.pdn.chip_voltage(STRESSMARK_CHIP_POWER_W)
+    vdd_worst = vdd_dc_worst - _DIDT_GUARD_FRACTION * chip.vrm_voltage
+    slowdown = alpha_power_delay_factor(vdd_worst)
+    # The chip-wide 4.2 GHz rating is, by definition, what the *slowest*
+    # core already guarantees under worst-case conditions, so no per-core
+    # static setpoint sits below it.
+    return [
+        max(
+            STATIC_MARGIN_MHZ,
+            freq / slowdown * (1.0 - _TESTER_MARGIN_FRACTION),
+        )
+        for freq in idle_freqs
+    ]
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Reproduce Fig. 1 on processor 0 of the testbed."""
+    server = power7plus_testbed(seed)
+    sim = ChipSim(server.chips[0])
+    idle_limits = list(TESTBED_IDLE_LIMITS[:8])
+    worst_limits = list(TESTBED_THREAD_WORST_LIMITS[:8])
+
+    # Default ATM: idle and 8x daxpy_smt4 worst case, factory configuration.
+    default_idle = sim.solve_steady_state(sim.uniform_assignments())
+    default_loaded = sim.solve_steady_state(
+        sim.uniform_assignments(workload=DAXPY_SMT4)
+    )
+
+    # Fine-tuned ATM: idle at the idle limits, loaded at thread-worst.
+    tuned_idle = sim.solve_steady_state(
+        sim.uniform_assignments(reductions=idle_limits)
+    )
+    tuned_loaded = sim.solve_steady_state(
+        sim.uniform_assignments(workload=DAXPY_SMT4, reductions=worst_limits)
+    )
+
+    static_per_core = _per_core_static_mhz(sim, list(tuned_idle.freqs_mhz))
+
+    rows = [
+        ("chip-wide static", STATIC_MARGIN_MHZ, STATIC_MARGIN_MHZ),
+        ("per-core static", min(static_per_core), max(static_per_core)),
+        ("default ATM", min(default_loaded.freqs_mhz), max(default_idle.freqs_mhz)),
+        ("fine-tuned ATM", min(tuned_loaded.freqs_mhz), max(tuned_idle.freqs_mhz)),
+    ]
+    body = ascii_table(
+        ("margin mode", "worst-case MHz", "best-case MHz"),
+        [(name, round(lo), round(hi)) for name, lo, hi in rows],
+        title="Fig. 1: frequency range by timing-margin approach (P0)",
+    )
+
+    default_gain = max(default_idle.freqs_mhz) - STATIC_MARGIN_MHZ
+    tuned_gain = max(tuned_idle.freqs_mhz) - STATIC_MARGIN_MHZ
+    metrics = {
+        "chip_wide_static_mhz": STATIC_MARGIN_MHZ,
+        "per_core_static_max_mhz": max(static_per_core),
+        "default_atm_idle_mhz": max(default_idle.freqs_mhz),
+        "default_atm_worst_mhz": min(default_loaded.freqs_mhz),
+        "finetuned_idle_max_mhz": max(tuned_idle.freqs_mhz),
+        "finetuned_worst_min_mhz": min(tuned_loaded.freqs_mhz),
+        "gain_ratio_finetuned_over_default": tuned_gain / default_gain,
+        "finetuned_peak_over_static_percore": max(tuned_idle.freqs_mhz)
+        / max(static_per_core),
+    }
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Frequency under four timing-margin approaches",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,59 @@
+"""Fig. 8 — uBench rollback distributions of the problematic cores.
+
+Running coremark / daxpy / stream at the idle limit fails on a handful of
+cores whose idle limit is too aggressive to cover the long paths the
+micro-benchmarks activate; those cores need 1-3 steps of rollback.  This
+experiment runs the uBench stage on all 16 testbed cores and reports the
+rollback distribution of every core that needed one (the paper finds six
+such cores across the two chips).
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..core.characterize import Characterizer
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019, trials: int = 10) -> ExperimentResult:
+    """Reproduce Fig. 8: which cores roll back from the idle limit."""
+    server = power7plus_testbed(seed)
+    characterizer = Characterizer(RngStreams(seed), trials=trials)
+
+    rows = []
+    rollback_cores = []
+    for chip in server.chips:
+        for core in chip.cores:
+            idle = characterizer.characterize_idle(core)
+            ubench = characterizer.characterize_ubench(core, idle.idle_limit)
+            if ubench.needed_rollback:
+                dist = ubench.rollback_distribution
+                rollback_cores.append(core.label)
+                rows.append(
+                    (
+                        core.label,
+                        idle.idle_limit,
+                        ubench.ubench_limit,
+                        dist.minimum,
+                        dist.maximum,
+                    )
+                )
+
+    body = ascii_table(
+        ("core", "idle limit", "uBench limit", "min rollback", "max rollback"),
+        rows,
+        title="Fig. 8: cores needing CPM rollback from idle limit for uBench",
+    )
+    max_rollback = max((row[4] for row in rows), default=0)
+    metrics = {
+        "cores_needing_rollback": float(len(rollback_cores)),
+        "max_rollback_steps": float(max_rollback),
+    }
+    return ExperimentResult(
+        experiment_id="fig08",
+        title="uBench rollback distributions",
+        body=body,
+        metrics=metrics,
+    )

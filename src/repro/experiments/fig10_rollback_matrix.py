@@ -1,0 +1,87 @@
+"""Fig. 10 — average CPM rollback for every <application, core> pair.
+
+The full profiling matrix behind the paper's two key observations:
+
+* **rows** (applications): each workload imposes a characteristic stress
+  level consistently across cores — x264 and ferret top the matrix, gcc
+  and leela sit at the bottom;
+* **columns** (cores): cores differ in *robustness* (immunity to rollback
+  from their uBench limit); the most robust cores absorb any
+  application's system effects.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import format_matrix
+from ..core.characterize import Characterizer
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from ..workloads.registry import realistic_applications
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019, trials: int = 5) -> ExperimentResult:
+    """Reproduce the Fig. 10 rollback heatmap."""
+    server = power7plus_testbed(seed)
+    characterizer = Characterizer(RngStreams(seed), trials=trials)
+    apps = realistic_applications()
+
+    core_labels = []
+    ubench_limits = {}
+    for chip in server.chips:
+        for core in chip.cores:
+            idle = characterizer.characterize_idle(core)
+            ubench = characterizer.characterize_ubench(core, idle.idle_limit)
+            core_labels.append(core.label)
+            ubench_limits[core.label] = (core, ubench.ubench_limit)
+
+    matrix: dict[str, dict[str, float]] = {}
+    for app in apps:
+        matrix[app.name] = {}
+        for label in core_labels:
+            core, ub_limit = ubench_limits[label]
+            result = characterizer.characterize_app(core, app, ub_limit)
+            matrix[app.name][label] = result.average_rollback
+
+    app_means = {
+        name: sum(row.values()) / len(row) for name, row in matrix.items()
+    }
+    ordered_apps = sorted(app_means, key=lambda n: app_means[n], reverse=True)
+    # Order cores by robustness: total rollback across all apps, ascending
+    # puts the most robust cores on the right as in the paper's layout.
+    core_totals = {
+        label: sum(matrix[name][label] for name in matrix) for label in core_labels
+    }
+    ordered_cores = sorted(core_labels, key=lambda l: core_totals[l], reverse=True)
+
+    cells = [
+        [matrix[name][label] for label in ordered_cores] for name in ordered_apps
+    ]
+    body = format_matrix(
+        ordered_apps,
+        ordered_cores,
+        cells,
+        title=(
+            "Fig. 10: average CPM rollback from uBench limit "
+            "(rows: apps by stress; robust cores on the right)"
+        ),
+    )
+
+    light = {"gcc", "leela"}
+    heavy = {"x264", "ferret"}
+    heavy_rank = max(ordered_apps.index(name) for name in heavy)
+    light_rank = min(ordered_apps.index(name) for name in light)
+    metrics = {
+        "top_app_mean_rollback": app_means[ordered_apps[0]],
+        "bottom_app_mean_rollback": app_means[ordered_apps[-1]],
+        "heavy_apps_rank_worst": float(heavy_rank),
+        "light_apps_rank_best": float(light_rank),
+        "x264_mean_rollback": app_means["x264"],
+        "gcc_mean_rollback": app_means["gcc"],
+    }
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Per-<app, core> CPM rollback matrix",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,95 @@
+"""Fig. 11 — core frequencies after the test-time stress-test procedure.
+
+Runs the deployment flow of Sec. VII-A: validate each core's thread-worst
+configuration against the stress battery, then report the idle-system
+frequency of every core at the validated limit and at optional 1- and
+2-step rollbacks.  The checks mirror the paper's findings: the
+thread-worst configurations survive every stressmark; P0C1 and P0C7 show
+an inter-core speed differential above 200 MHz at the limit; and rolling
+back preserves the variation trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..core.limits import LimitTable
+from ..core.stress_test import StressTestProcedure
+from ..rng import RngStreams
+from ..silicon import power7plus_testbed
+from ..silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_NORMAL_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+    TESTBED_UBENCH_LIMITS,
+)
+from .common import ExperimentResult
+
+
+def _testbed_limit_table(server) -> LimitTable:
+    labels = tuple(core.label for core in server.all_cores)
+    return LimitTable.from_rows(
+        labels,
+        TESTBED_IDLE_LIMITS,
+        TESTBED_UBENCH_LIMITS,
+        TESTBED_THREAD_NORMAL_LIMITS,
+        TESTBED_THREAD_WORST_LIMITS,
+    )
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Reproduce Fig. 11 across both testbed chips."""
+    server = power7plus_testbed(seed)
+    limits = _testbed_limit_table(server)
+    streams = RngStreams(seed)
+
+    freq_by_rollback: dict[int, dict[str, float]] = {0: {}, 1: {}, 2: {}}
+    survived_all = True
+    for chip in server.chips:
+        sim = ChipSim(chip)
+        for rollback in (0, 1, 2):
+            procedure = StressTestProcedure(streams.spawn(rollback))
+            config = procedure.deploy_chip(chip, limits, rollback_steps=rollback)
+            freq_by_rollback[rollback].update(config.idle_frequencies_mhz(sim))
+            survived_all = survived_all and all(
+                d.survived_battery for d in config.cores.values()
+            )
+
+    labels = [core.label for core in server.all_cores]
+    rows = [
+        (
+            label,
+            round(freq_by_rollback[0][label]),
+            round(freq_by_rollback[1][label]),
+            round(freq_by_rollback[2][label]),
+        )
+        for label in labels
+    ]
+    body = ascii_table(
+        ("core", "limit MHz", "rollback-1 MHz", "rollback-2 MHz"),
+        rows,
+        title="Fig. 11: post-stress-test frequencies (idle system)",
+    )
+
+    limit_freqs = freq_by_rollback[0]
+    differential = limit_freqs["P0C1"] - limit_freqs["P0C7"]
+    # Trend preservation: frequency ordering at the limit correlates with
+    # the ordering after rollback.
+    order_limit = np.array([limit_freqs[l] for l in labels])
+    order_rb2 = np.array([freq_by_rollback[2][l] for l in labels])
+    trend_corr = float(np.corrcoef(order_limit, order_rb2)[0, 1])
+    metrics = {
+        "all_cores_survived_battery": 1.0 if survived_all else 0.0,
+        "p0c1_minus_p0c7_mhz": differential,
+        "max_limit_freq_mhz": max(limit_freqs.values()),
+        "min_limit_freq_mhz": min(limit_freqs.values()),
+        "trend_correlation_limit_vs_rollback2": trend_corr,
+    }
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Stress-test deployment frequencies",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,56 @@
+"""Fig. 12a — per-core frequency is linear in total chip power (Eq. 1).
+
+Fits the Eq. 1 predictor for every core of processor 0 at the thread-worst
+deployment and reports slope (≈ −2 MHz per watt on the paper's testbed)
+and fit quality.  The linearity follows from IR drop being proportional to
+current and hence to power at a pinned regulator voltage.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim
+from ..core.freq_predictor import fit_core_frequency_models
+from ..silicon import power7plus_testbed
+from ..silicon.chipspec import TESTBED_THREAD_WORST_LIMITS
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Reproduce Fig. 12a on processor 0."""
+    server = power7plus_testbed(seed)
+    sim = ChipSim(server.chips[0])
+    reductions = tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+    predictors = fit_core_frequency_models(sim, reductions)
+
+    rows = []
+    slopes = []
+    r2s = []
+    for label, predictor in predictors.items():
+        slopes.append(predictor.mhz_per_watt)
+        r2s.append(predictor.fit.r_squared)
+        rows.append(
+            (
+                label,
+                round(-predictor.mhz_per_watt, 2),
+                round(predictor.fit.intercept),
+                round(predictor.fit.r_squared, 4),
+            )
+        )
+    body = ascii_table(
+        ("core", "slope MHz/W", "intercept MHz", "R^2"),
+        rows,
+        title="Fig. 12a: fitted f = -k'*P + b per core (thread-worst config)",
+    )
+    metrics = {
+        "mean_mhz_per_watt": sum(slopes) / len(slopes),
+        "min_r_squared": min(r2s),
+        "max_mhz_per_watt": max(slopes),
+        "min_mhz_per_watt": min(slopes),
+    }
+    return ExperimentResult(
+        experiment_id="fig12a",
+        title="Per-core frequency-vs-power linear model",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,57 @@
+"""Fig. 12b — application performance is linear in core frequency.
+
+Fits the per-application speedup-vs-frequency line for a representative
+set spanning memory behaviours, and checks the paper's comparison: a
+compute-bound workload (x264) converts frequency into speedup at a much
+higher rate than a memory-bound one (mcf), because cache misses cap the
+memory-bound workload's compute throughput.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..core.perf_predictor import fit_population
+from ..workloads.dnn import SQUEEZENET, VGG19
+from ..workloads.parsec import FERRET, STREAMCLUSTER
+from ..workloads.spec import GCC, MCF, X264
+from .common import ExperimentResult
+
+#: Applications spanning the memory-behaviour spectrum.
+SAMPLE_APPS = (X264, MCF, GCC, SQUEEZENET, VGG19, FERRET, STREAMCLUSTER)
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Reproduce Fig. 12b for a representative application set."""
+    predictors = fit_population(SAMPLE_APPS)
+
+    rows = []
+    for app in SAMPLE_APPS:
+        predictor = predictors[app.name]
+        rows.append(
+            (
+                app.name,
+                round(app.mem_boundedness, 2),
+                round(predictor.speedup_per_ghz, 3),
+                round(predictor.fit.r_squared, 5),
+                round(predictor.predict_speedup(5000.0), 3),
+            )
+        )
+    body = ascii_table(
+        ("app", "mem-boundedness", "speedup per GHz", "R^2", "speedup @5GHz"),
+        rows,
+        title="Fig. 12b: per-application speedup vs frequency (base 4.2 GHz)",
+    )
+    metrics = {
+        "x264_speedup_per_ghz": predictors["x264"].speedup_per_ghz,
+        "mcf_speedup_per_ghz": predictors["mcf"].speedup_per_ghz,
+        "compute_over_memory_slope_ratio": (
+            predictors["x264"].speedup_per_ghz / predictors["mcf"].speedup_per_ghz
+        ),
+        "min_r_squared": min(p.fit.r_squared for p in predictors.values()),
+    }
+    return ExperimentResult(
+        experiment_id="fig12b",
+        title="Per-application performance-vs-frequency model",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,69 @@
+"""Table II — critical/background x memory-behaviour classification.
+
+Renders the application taxonomy the management layer schedules with and
+verifies its structural properties: critical applications carry latency
+baselines, the paper's explicit entries are present in the right cells,
+and the co-location predicate rejects pairs of distinct memory-intensive
+applications.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rendering import ascii_table
+from ..workloads.classification import (
+    MemBehavior,
+    Role,
+    TABLE2,
+    may_colocate,
+)
+from ..workloads.registry import ALL_WORKLOADS
+from .common import ExperimentResult
+
+
+def run(seed: int = 2019) -> ExperimentResult:
+    """Render and validate the Table II classification."""
+    cells: dict[tuple[MemBehavior, Role], list[str]] = {
+        (mem, role): []
+        for mem in (MemBehavior.INTENSIVE, MemBehavior.NON_INTENSIVE)
+        for role in (Role.CRITICAL, Role.BACKGROUND)
+    }
+    for name, app_class in sorted(TABLE2.items()):
+        cells[(app_class.mem, app_class.role)].append(name)
+
+    rows = []
+    for mem in (MemBehavior.INTENSIVE, MemBehavior.NON_INTENSIVE):
+        rows.append(
+            (
+                mem.value,
+                ", ".join(cells[(mem, Role.CRITICAL)]),
+                ", ".join(cells[(mem, Role.BACKGROUND)]),
+            )
+        )
+    body = ascii_table(
+        ("mem behavior", "critical", "background"),
+        rows,
+        title="Table II: application classification",
+    )
+
+    critical_count = sum(
+        1 for app_class in TABLE2.values() if app_class.role is Role.CRITICAL
+    )
+    with_latency = sum(
+        1
+        for name, app_class in TABLE2.items()
+        if app_class.role is Role.CRITICAL
+        and ALL_WORKLOADS[name].is_latency_critical
+    )
+    colocation_blocked = 0.0 if may_colocate("lu_cb", "streamcluster") else 1.0
+    metrics = {
+        "critical_count": float(critical_count),
+        "background_count": float(len(TABLE2) - critical_count),
+        "critical_with_latency_baseline": float(with_latency),
+        "blocks_double_intensive_colocation": colocation_blocked,
+    }
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Application classification (Table II)",
+        body=body,
+        metrics=metrics,
+    )

@@ -1,0 +1,147 @@
+"""Coarse-grained DVFS: the p-state ladder and the stock OS governors.
+
+The POWER7+ manages efficiency on two timescales (paper Sec. II): the OS
+adjusts coarse p-states between 2.1 and 4.2 GHz, and ATM fine-tunes
+around whichever p-state is active.  The paper's baselines run "the stock
+DVFS OS governors", so a faithful reproduction needs them:
+
+* ``performance`` — pin the highest p-state;
+* ``powersave`` — pin the lowest;
+* ``ondemand`` — classic utilization hysteresis: jump to maximum when
+  utilization crosses the up-threshold, step down one state after a
+  sustained quiet period.
+
+Because the chip shares one V_dd rail with the ATM domain, p-states here
+are frequency caps (the management layer's throttle mechanism), not
+voltage changes — matching the paper's note that co-runner power is
+adjusted "by changing core frequency".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from ..units import DVFS_MAX_MHZ, DVFS_MIN_MHZ
+
+#: The platform's discrete p-state frequencies, ascending.
+PSTATES_MHZ: tuple[float, ...] = (2100.0, 2500.0, 2900.0, 3300.0, 3700.0, 4200.0)
+
+
+def validate_pstate(freq_mhz: float) -> float:
+    """Check that ``freq_mhz`` is a platform p-state and return it."""
+    if freq_mhz not in PSTATES_MHZ:
+        raise ConfigurationError(
+            f"{freq_mhz} MHz is not a p-state; ladder: {PSTATES_MHZ}"
+        )
+    return freq_mhz
+
+
+def nearest_pstate_at_most(freq_mhz: float) -> float:
+    """Highest p-state not exceeding ``freq_mhz``.
+
+    Used when converting a continuous power-budget answer into a concrete
+    ladder setting; requests below the bottom state clamp to it.
+    """
+    if freq_mhz <= 0.0:
+        raise ConfigurationError(f"frequency must be positive, got {freq_mhz}")
+    eligible = [p for p in PSTATES_MHZ if p <= freq_mhz]
+    return eligible[-1] if eligible else PSTATES_MHZ[0]
+
+
+class GovernorKind(Enum):
+    """The stock OS frequency governors."""
+
+    PERFORMANCE = "performance"
+    POWERSAVE = "powersave"
+    ONDEMAND = "ondemand"
+
+
+@dataclass(frozen=True)
+class OndemandConfig:
+    """Hysteresis tunables of the ondemand governor."""
+
+    up_threshold: float = 0.80
+    down_threshold: float = 0.30
+    down_hold_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.down_threshold < self.up_threshold <= 1.0):
+            raise ConfigurationError(
+                "need 0 < down_threshold < up_threshold <= 1"
+            )
+        if self.down_hold_samples < 1:
+            raise ConfigurationError("down_hold_samples must be >= 1")
+
+
+class DvfsGovernor:
+    """Per-core p-state selection from utilization samples.
+
+    Feed one utilization sample (0..1) per OS tick via :meth:`observe`;
+    read the selected p-state from :attr:`pstate_mhz`.
+    """
+
+    def __init__(
+        self,
+        kind: GovernorKind = GovernorKind.ONDEMAND,
+        config: OndemandConfig | None = None,
+    ):
+        self._kind = kind
+        self._config = config if config is not None else OndemandConfig()
+        if kind is GovernorKind.POWERSAVE:
+            self._index = 0
+        else:
+            self._index = len(PSTATES_MHZ) - 1
+        self._quiet_samples = 0
+
+    @property
+    def kind(self) -> GovernorKind:
+        return self._kind
+
+    @property
+    def pstate_mhz(self) -> float:
+        """The currently selected p-state frequency."""
+        return PSTATES_MHZ[self._index]
+
+    def observe(self, utilization: float) -> float:
+        """Consume one utilization sample; returns the new p-state."""
+        if not (0.0 <= utilization <= 1.0):
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        if self._kind is GovernorKind.PERFORMANCE:
+            self._index = len(PSTATES_MHZ) - 1
+            return self.pstate_mhz
+        if self._kind is GovernorKind.POWERSAVE:
+            self._index = 0
+            return self.pstate_mhz
+
+        # ondemand: race to max, walk down slowly.
+        if utilization >= self._config.up_threshold:
+            self._index = len(PSTATES_MHZ) - 1
+            self._quiet_samples = 0
+        elif utilization <= self._config.down_threshold:
+            self._quiet_samples += 1
+            if self._quiet_samples >= self._config.down_hold_samples:
+                self._index = max(0, self._index - 1)
+                self._quiet_samples = 0
+        else:
+            self._quiet_samples = 0
+        return self.pstate_mhz
+
+    def reset(self) -> None:
+        """Return to the governor's initial state."""
+        if self._kind is GovernorKind.POWERSAVE:
+            self._index = 0
+        else:
+            self._index = len(PSTATES_MHZ) - 1
+        self._quiet_samples = 0
+
+
+def sanity_check_ladder() -> None:
+    """Assert the ladder's structural invariants (used by tests)."""
+    if list(PSTATES_MHZ) != sorted(PSTATES_MHZ):
+        raise ConfigurationError("p-state ladder must be ascending")
+    if PSTATES_MHZ[0] != DVFS_MIN_MHZ or PSTATES_MHZ[-1] != DVFS_MAX_MHZ:
+        raise ConfigurationError("ladder endpoints must match platform limits")

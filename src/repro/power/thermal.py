@@ -1,0 +1,54 @@
+"""Lumped-RC die thermal model.
+
+Temperature matters to the reproduction in two modest ways: leakage power
+rises with it, and path delay degrades slightly (the paper notes speed is
+only weakly temperature-dependent and keeps the die under 70 °C).  A
+single-node RC model is sufficient: steady-state temperature is ambient
+plus thermal resistance times chip power, and transients approach it
+exponentially with the package time constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from ..errors import ConfigurationError
+from ..units import AMBIENT_TEMPERATURE_C, MAX_DIE_TEMPERATURE_C, require_positive
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Single-node package thermal model.
+
+    Defaults place the paper's stressmark (160 W) at ~70 °C with a 40 °C
+    ambient, matching the reported measurement.
+    """
+
+    ambient_c: float = AMBIENT_TEMPERATURE_C
+    resistance_c_per_w: float = 0.19
+    time_constant_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.resistance_c_per_w, "resistance_c_per_w")
+        require_positive(self.time_constant_s, "time_constant_s")
+
+    def steady_temperature_c(self, chip_power_w: float) -> float:
+        """Equilibrium die temperature at the given sustained power."""
+        if chip_power_w < 0.0:
+            raise ConfigurationError(f"power must be >= 0, got {chip_power_w}")
+        return self.ambient_c + self.resistance_c_per_w * chip_power_w
+
+    def step_temperature_c(
+        self, current_c: float, chip_power_w: float, dt_s: float
+    ) -> float:
+        """Advance the die temperature by ``dt_s`` toward equilibrium."""
+        require_positive(dt_s, "dt_s")
+        target = self.steady_temperature_c(chip_power_w)
+        decay = math.exp(-dt_s / self.time_constant_s)
+        return target + (current_c - target) * decay
+
+    def exceeds_limit(self, temperature_c: float) -> bool:
+        """True if the die is above the paper's 70 °C evaluation ceiling."""
+        return temperature_c > MAX_DIE_TEMPERATURE_C

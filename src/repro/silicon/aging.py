@@ -1,0 +1,127 @@
+"""Transistor aging: margin erosion over a deployment's lifetime.
+
+Static timing margins are sized partly for end-of-life silicon: BTI and
+hot-carrier injection shift threshold voltages over years of stress,
+slowing every path.  An ATM system experiences aging differently — the
+CPM's synthetic paths age *with* the real paths they mimic, so the control
+loop automatically re-converges at a lower frequency instead of running
+out of a fixed guardband.  What aging does erode is the *fine-tuning*
+headroom: the inserted-delay protection that was validated at test time
+covers a smaller real-path excess as mismatch grows.
+
+The model uses the standard power-law BTI form: fractional delay
+degradation ``d(t) = A · (t / t0)^n`` with ``n ≈ 0.2``, scaled by a
+duty-cycle (stress) factor.  :func:`age_chip` applies it to a
+:class:`~repro.silicon.chipspec.ChipSpec`, returning the chip as it would
+measure after ``years`` in the field:
+
+* every core's synthetic-path delay grows by the aging factor (the loop
+  sees this and slows down — graceful degradation);
+* every core's protection headroom shrinks by a configurable share of
+  the aged delay (CPM-vs-real-path mismatch growth), which is what forces
+  periodic re-characterization in a fine-tuned fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..units import require_positive
+from .chipspec import ChipSpec, CoreSpec
+
+
+@dataclass(frozen=True)
+class AgingModel:
+    """Power-law BTI aging model.
+
+    Parameters
+    ----------
+    degradation_at_reference:
+        Fractional path-delay increase after ``reference_years`` at 100%
+        duty.  Industry end-of-life budgets are a few percent; the default
+        (3% at 10 years) sits in that range.
+    reference_years:
+        Time at which ``degradation_at_reference`` is specified.
+    exponent:
+        Power-law time exponent (BTI: ~0.15-0.25).
+    mismatch_growth_share:
+        Fraction of the aged delay that appears as *new* CPM-vs-real-path
+        mismatch (eroding fine-tuning headroom) rather than as common-mode
+        slowdown the loop absorbs.
+    """
+
+    degradation_at_reference: float = 0.03
+    reference_years: float = 10.0
+    exponent: float = 0.2
+    mismatch_growth_share: float = 0.35
+
+    def __post_init__(self) -> None:
+        require_positive(self.degradation_at_reference, "degradation_at_reference")
+        require_positive(self.reference_years, "reference_years")
+        if not (0.0 < self.exponent < 1.0):
+            raise ConfigurationError(f"exponent must be in (0,1), got {self.exponent}")
+        if not (0.0 <= self.mismatch_growth_share <= 1.0):
+            raise ConfigurationError(
+                "mismatch_growth_share must be in [0, 1], got "
+                f"{self.mismatch_growth_share}"
+            )
+
+    def delay_factor(self, years: float, duty_cycle: float = 1.0) -> float:
+        """Path-delay multiplier after ``years`` at ``duty_cycle`` stress."""
+        if years < 0.0:
+            raise ConfigurationError(f"years must be >= 0, got {years}")
+        if not (0.0 <= duty_cycle <= 1.0):
+            raise ConfigurationError(
+                f"duty_cycle must be in [0, 1], got {duty_cycle}"
+            )
+        if years == 0.0 or duty_cycle == 0.0:
+            return 1.0
+        degradation = (
+            self.degradation_at_reference
+            * duty_cycle
+            * (years / self.reference_years) ** self.exponent
+        )
+        return 1.0 + degradation
+
+    def age_core(
+        self, core: CoreSpec, years: float, duty_cycle: float = 1.0
+    ) -> CoreSpec:
+        """Return ``core`` as it would measure after aging."""
+        factor = self.delay_factor(years, duty_cycle)
+        if factor == 1.0:
+            return core
+        added_delay_ps = core.synth_path.base_delay_ps * (factor - 1.0)
+        new_headroom = max(
+            0.0,
+            core.protection_headroom_ps
+            - self.mismatch_growth_share * added_delay_ps,
+        )
+        return replace(
+            core,
+            synth_path=core.synth_path.scaled(factor),
+            protection_headroom_ps=new_headroom,
+        )
+
+
+def age_chip(
+    chip: ChipSpec,
+    years: float,
+    *,
+    duty_cycle: float = 1.0,
+    model: AgingModel | None = None,
+) -> ChipSpec:
+    """Return ``chip`` after ``years`` of field aging.
+
+    The chip identity is suffixed so aged and fresh specs cannot be
+    silently confused in experiment code.
+    """
+    aging = model if model is not None else AgingModel()
+    aged_cores = tuple(
+        aging.age_core(core, years, duty_cycle) for core in chip.cores
+    )
+    return replace(
+        chip,
+        chip_id=f"{chip.chip_id}@{years:g}y",
+        cores=aged_cores,
+    )

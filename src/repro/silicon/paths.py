@@ -1,0 +1,134 @@
+"""Critical-path delay physics: voltage and temperature sensitivity.
+
+Path delay follows the alpha-power law [Sakurai & Newton 1990], the standard
+first-order model for CMOS gate delay:
+
+.. math::
+
+    D(V) = D_{nom} \\cdot \\frac{V / (V - V_{th})^{\\alpha}}
+                           {V_{nom} / (V_{nom} - V_{th})^{\\alpha}}
+
+Around the POWER7+ operating point (1.25 V, V_th ≈ 0.35 V, α ≈ 1.3) this
+yields a delay sensitivity of roughly −0.6 %/V · V, i.e. a 10 mV supply drop
+slows paths by about 0.65 % — the physical origin of both the di/dt hazard
+and Eq. 1's linear frequency-vs-power relation.
+
+Temperature adds a small linear term.  The paper (Sec. VII-B) notes speed is
+only modestly affected by temperature, so the model keeps the coefficient
+small but non-zero; the thermal substrate still matters for leakage power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import NOMINAL_VDD, AMBIENT_TEMPERATURE_C, require_positive
+
+
+def alpha_power_delay_factor(
+    vdd: float,
+    *,
+    v_nominal: float = NOMINAL_VDD,
+    v_threshold: float = 0.35,
+    alpha: float = 1.3,
+) -> float:
+    """Return the delay multiplier at supply ``vdd`` relative to ``v_nominal``.
+
+    A value greater than 1.0 means paths are *slower* than at nominal
+    voltage.  Raises :class:`ConfigurationError` if ``vdd`` does not exceed
+    the threshold voltage (transistors would not switch).
+
+    >>> alpha_power_delay_factor(1.25)
+    1.0
+    >>> alpha_power_delay_factor(1.20) > 1.0
+    True
+    """
+    if vdd <= v_threshold:
+        raise ConfigurationError(
+            f"vdd {vdd} V must exceed threshold voltage {v_threshold} V"
+        )
+    if v_nominal <= v_threshold:
+        raise ConfigurationError(
+            f"nominal voltage {v_nominal} V must exceed threshold {v_threshold} V"
+        )
+    nominal = v_nominal / (v_nominal - v_threshold) ** alpha
+    actual = vdd / (vdd - v_threshold) ** alpha
+    return actual / nominal
+
+
+@dataclass(frozen=True)
+class PathTimingModel:
+    """Delay of a timing path as a function of voltage and temperature.
+
+    Parameters
+    ----------
+    base_delay_ps:
+        Path delay at nominal voltage and ambient temperature, in
+        picoseconds.  For a core's synthetic critical path this sits a bit
+        under the static-margin cycle time (238 ps at 4.2 GHz).
+    v_threshold:
+        Transistor threshold voltage for the alpha-power law.
+    alpha:
+        Velocity-saturation exponent of the alpha-power law.
+    temp_coefficient_per_c:
+        Fractional delay increase per degree Celsius above ambient.  The
+        default (2e-4) makes a 30 °C swing worth ~0.6 % delay.
+    """
+
+    base_delay_ps: float
+    v_threshold: float = 0.35
+    alpha: float = 1.3
+    temp_coefficient_per_c: float = 2.0e-4
+
+    def __post_init__(self) -> None:
+        require_positive(self.base_delay_ps, "base_delay_ps")
+        require_positive(self.alpha, "alpha")
+        if not (0.0 < self.v_threshold < NOMINAL_VDD):
+            raise ConfigurationError(
+                f"v_threshold must be in (0, {NOMINAL_VDD}), got {self.v_threshold}"
+            )
+
+    def delay_ps(
+        self,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> float:
+        """Return the path delay in picoseconds at ``(vdd, temperature_c)``."""
+        voltage_factor = alpha_power_delay_factor(
+            vdd, v_threshold=self.v_threshold, alpha=self.alpha
+        )
+        temp_factor = 1.0 + self.temp_coefficient_per_c * (
+            temperature_c - AMBIENT_TEMPERATURE_C
+        )
+        return self.base_delay_ps * voltage_factor * temp_factor
+
+    def delay_sensitivity_ps_per_v(
+        self,
+        vdd: float = NOMINAL_VDD,
+        temperature_c: float = AMBIENT_TEMPERATURE_C,
+    ) -> float:
+        """Return dD/dV in ps per volt at the given operating point.
+
+        Negative: raising the supply voltage speeds paths up.  Computed by
+        central finite difference, which is accurate enough for the smooth
+        alpha-power law and keeps the model free of hand-derived calculus.
+        """
+        step = 1.0e-4
+        hi = self.delay_ps(vdd + step, temperature_c)
+        lo = self.delay_ps(vdd - step, temperature_c)
+        return (hi - lo) / (2.0 * step)
+
+    def scaled(self, factor: float) -> "PathTimingModel":
+        """Return a copy with ``base_delay_ps`` multiplied by ``factor``.
+
+        Used to apply a core's process speed multiplier to a shared
+        nominal-path description.
+        """
+        require_positive(factor, "factor")
+        return PathTimingModel(
+            base_delay_ps=self.base_delay_ps * factor,
+            v_threshold=self.v_threshold,
+            alpha=self.alpha,
+            temp_coefficient_per_c=self.temp_coefficient_per_c,
+        )

@@ -1,0 +1,67 @@
+"""Alternative ATM platform configurations (generality of the technique).
+
+The paper closes with the claim that the fine-tuning approach "can be
+adopted by any system that employs an active timing margin control loop",
+citing AMD's Power Supply Monitor (PSM) as the analogous knob.  This
+module builds chips in that *style* — everything about the methodology
+stays identical, only the platform parameters change:
+
+* **PSM-like** (:func:`psm_like_chip`): a four-core CCX-style cluster with
+  a coarser margin sensor (larger quantization step), fewer configuration
+  codes, a stiffer delivery network, and stronger within-cluster process
+  correlation.  Droop sensing via supply monitors rather than path-delay
+  replicas shows up as a larger baseline sensor-vs-path mismatch.
+* **Dense-manycore-like** (:func:`manycore_chip`): sixteen small cores on
+  a weaker power grid — heavier frequency coupling, wider spread.
+
+These are *parameterizations*, not new physics: running the unchanged
+characterization, deployment, and management stack on them is the
+generality demonstration (experiment ``ext_generality``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .chipspec import ChipSpec, sample_chip
+from .process import ProcessVariationModel
+
+
+def psm_like_chip(seed: int, chip_id: str = "PSM0") -> ChipSpec:
+    """A four-core cluster with a coarse, PSM-style margin sensor."""
+    variation = ProcessVariationModel(
+        die_sigma=0.012,
+        core_sigma=0.015,
+        correlation_length=4.0,      # tight cluster: strongly correlated
+        step_width_median_ps=6.0,    # fewer, coarser configuration codes
+        step_width_sigma=0.5,
+        mismatch_mean_ps=8.0,        # supply monitor mimics paths less well
+        mismatch_sigma_ps=3.0,
+        max_delay_code=16,
+    )
+    base = sample_chip(seed, chip_id=chip_id, n_cores=4, variation=variation)
+    return replace(
+        base,
+        inverter_step_ps=3.0,        # coarser margin quantization
+        pdn_resistance_ohm=4.5e-4,   # stiffer per-cluster delivery
+        uncore_power_w=6.0,
+    )
+
+
+def manycore_chip(seed: int, chip_id: str = "MC0") -> ChipSpec:
+    """Sixteen small cores on a weak grid: heavy frequency coupling."""
+    variation = ProcessVariationModel(
+        die_sigma=0.02,
+        core_sigma=0.03,
+        correlation_length=1.5,
+        step_width_median_ps=3.5,
+        step_width_sigma=0.7,
+        mismatch_mean_ps=5.0,
+        mismatch_sigma_ps=2.5,
+    )
+    base = sample_chip(seed, chip_id=chip_id, n_cores=16, variation=variation)
+    return replace(
+        base,
+        pdn_resistance_ohm=1.1e-3,   # weaker grid: stronger coupling
+        uncore_power_w=14.0,
+    )

@@ -1,0 +1,147 @@
+"""Workload model: the four observables that matter to ATM.
+
+The paper interacts with its benchmarks only through four measurable
+properties, so a workload model here is exactly that quadruple:
+
+``activity``
+    Dynamic switching activity factor — sets core power together with
+    voltage and frequency.  Idle ~0.06, typical single thread 0.7–1.0,
+    SMT4 stressmark ~1.45.
+
+``stress``
+    Margin-stress intensity in [0, ~1]: how much extra CPM protection the
+    workload demands beyond system idle, through the combination of corner
+    timing paths it activates and the voltage noise it creates.  The
+    characterization limits of Table I are anchored at stress 0.25
+    (uBench), 0.6 (the heaviest "medium" application) and 1.0 (the worst
+    application, x264).  Per-core sensitivity to this scalar lives in
+    :attr:`repro.silicon.chipspec.CoreSpec.stress_curve`.
+
+``didt_activity``
+    Rate/magnitude scale of fast di/dt events for the transient simulator
+    (:mod:`repro.power.didt`).  Smooth uBench loops sit near 0.3; periodic
+    pipeline-flush workloads like x264 exceed 1.5.
+
+``mem_boundedness``
+    Fraction of runtime insensitive to core frequency (cache-miss stalls).
+    Determines the slope of the performance-vs-frequency line (Fig. 12b):
+    ``speedup(f) = 1 / ((1-mu) * f0/f + mu)``.
+
+Critical (user-facing) workloads additionally carry a baseline latency at
+the static-margin frequency so experiments can report absolute numbers
+(e.g. SqueezeNet's 80 ms in Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from ..units import STATIC_MARGIN_MHZ, require_positive
+
+
+class Suite(Enum):
+    """Which benchmark family a workload belongs to."""
+
+    IDLE = "idle"
+    UBENCH = "ubench"
+    SPEC = "spec2017"
+    PARSEC = "parsec"
+    DNN = "dnn"
+    STRESSMARK = "stressmark"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One workload's ATM-relevant behaviour.
+
+    See the module docstring for the meaning of each observable.
+    ``threads_per_core`` distinguishes SMT configurations (the stressmark
+    runs four daxpy threads per core); ``baseline_latency_ms`` is set for
+    latency-critical applications only.
+    """
+
+    name: str
+    suite: Suite
+    activity: float
+    stress: float
+    didt_activity: float
+    mem_boundedness: float
+    threads_per_core: int = 1
+    baseline_latency_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("workload name must be non-empty")
+        if self.activity < 0.0:
+            raise ConfigurationError(f"{self.name}: activity must be >= 0")
+        if self.stress < 0.0:
+            raise ConfigurationError(f"{self.name}: stress must be >= 0")
+        if self.didt_activity < 0.0:
+            raise ConfigurationError(f"{self.name}: didt_activity must be >= 0")
+        if not (0.0 <= self.mem_boundedness < 1.0):
+            raise ConfigurationError(
+                f"{self.name}: mem_boundedness must be in [0, 1)"
+            )
+        if self.threads_per_core < 1:
+            raise ConfigurationError(f"{self.name}: threads_per_core must be >= 1")
+        if self.baseline_latency_ms is not None:
+            require_positive(self.baseline_latency_ms, "baseline_latency_ms")
+
+    # -- performance model ---------------------------------------------------
+
+    def _relative_time(self, freq_mhz: float) -> float:
+        """Runtime at ``freq_mhz`` relative to the static-margin runtime.
+
+        ``mem_boundedness`` is calibrated at the static-margin frequency:
+        it is the runtime fraction spent in frequency-insensitive memory
+        stalls at 4.2 GHz.  Compute time scales with the clock; stall
+        time does not.
+        """
+        require_positive(freq_mhz, "freq_mhz")
+        mu = self.mem_boundedness
+        return (1.0 - mu) * (STATIC_MARGIN_MHZ / freq_mhz) + mu
+
+    def speedup_at(self, freq_mhz: float, base_mhz: float = STATIC_MARGIN_MHZ) -> float:
+        """Relative performance at ``freq_mhz`` versus ``base_mhz``.
+
+        Compute-bound work scales with frequency; memory-stall time does
+        not.  The resulting curve is near-linear over the ATM range, which
+        is why the paper's per-application linear predictor works.  Both
+        operands are expressed through the absolute-runtime model, so
+        speedups compose exactly: ``S(a→c) == S(a→b) · S(b→c)``.
+        """
+        require_positive(base_mhz, "base_mhz")
+        return self._relative_time(base_mhz) / self._relative_time(freq_mhz)
+
+    def latency_ms_at(
+        self, freq_mhz: float, base_mhz: float = STATIC_MARGIN_MHZ
+    ) -> float:
+        """Absolute latency at ``freq_mhz`` for latency-critical workloads.
+
+        Raises :class:`ConfigurationError` if the workload has no baseline
+        latency (it is not a latency-critical application).
+        """
+        if self.baseline_latency_ms is None:
+            raise ConfigurationError(
+                f"{self.name} has no baseline latency; it is not latency-critical"
+            )
+        return self.baseline_latency_ms / self.speedup_at(freq_mhz, base_mhz)
+
+    @property
+    def is_latency_critical(self) -> bool:
+        """Whether the workload carries an absolute latency baseline."""
+        return self.baseline_latency_ms is not None
+
+
+#: The system-idle pseudo-workload: background OS tasks only.  Stress zero
+#: by definition — it anchors the idle limits of Table I.
+IDLE = Workload(
+    name="idle",
+    suite=Suite.IDLE,
+    activity=0.06,
+    stress=0.0,
+    didt_activity=0.05,
+    mem_boundedness=0.0,
+)

@@ -1,0 +1,127 @@
+"""Critical/background application classification (paper Table II).
+
+The management scheme treats applications in two roles:
+
+* **critical** — user-facing, latency-sensitive jobs (DNN inference,
+  object detection, content similarity search, real-time image
+  processing).  They get the fastest fine-tuned cores and a QoS target.
+* **background** — throughput jobs tolerant of throttling (ML training,
+  compilation, stock-price estimation, 3D rendering, compression).
+
+Orthogonally, each application is either memory-intensive or not; the
+paper sidesteps memory-subsystem interference (a general multicore
+problem, not an ATM one) by never co-locating two memory-intensive
+workloads, and the scheduler here enforces the same rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from .base import Workload
+
+
+class Role(Enum):
+    """Scheduling role of an application."""
+
+    CRITICAL = "critical"
+    BACKGROUND = "background"
+
+
+class MemBehavior(Enum):
+    """Memory-subsystem interference class."""
+
+    INTENSIVE = "intensive"
+    NON_INTENSIVE = "non-intensive"
+
+
+@dataclass(frozen=True)
+class AppClass:
+    """Role and memory behaviour of one application."""
+
+    role: Role
+    mem: MemBehavior
+
+
+#: Table II of the paper, extended to every workload this library models.
+#: The paper's explicit entries are kept verbatim; remaining workloads are
+#: classified by the same criteria (user-facing latency job vs throttleable
+#: throughput job; memory-intensity from the model's mem_boundedness).
+TABLE2: dict[str, AppClass] = {
+    # -- critical, memory-intensive (paper row 1, col 1)
+    "resnet": AppClass(Role.CRITICAL, MemBehavior.INTENSIVE),
+    "vgg19": AppClass(Role.CRITICAL, MemBehavior.INTENSIVE),
+    "ferret": AppClass(Role.CRITICAL, MemBehavior.INTENSIVE),
+    "fluidanimate": AppClass(Role.CRITICAL, MemBehavior.INTENSIVE),
+    # -- background, memory-intensive (paper row 1, col 2)
+    "mlp": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "gcc": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "facesim": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "lu_cb": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "streamcluster": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    # -- critical, non-intensive (paper row 2, col 1)
+    "squeezenet": AppClass(Role.CRITICAL, MemBehavior.NON_INTENSIVE),
+    "seq2seq": AppClass(Role.CRITICAL, MemBehavior.NON_INTENSIVE),
+    "babi": AppClass(Role.CRITICAL, MemBehavior.NON_INTENSIVE),
+    "bodytrack": AppClass(Role.CRITICAL, MemBehavior.NON_INTENSIVE),
+    "vips": AppClass(Role.CRITICAL, MemBehavior.NON_INTENSIVE),
+    # -- background, non-intensive (paper row 2, col 2)
+    "blackscholes": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "x264": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "swaptions": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "raytrace": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    # -- extensions beyond the paper's explicit table
+    "mcf": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "leela": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "exchange2": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "deepsjeng": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "xz": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "perlbench": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "omnetpp": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "xalancbmk": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "bwaves": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "lbm": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "cactuBSSN": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "imagick": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "nab": AppClass(Role.BACKGROUND, MemBehavior.NON_INTENSIVE),
+    "fotonik3d": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "wrf": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "roms": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "canneal": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+    "dedup": AppClass(Role.BACKGROUND, MemBehavior.INTENSIVE),
+}
+
+
+def classify(workload: Workload | str) -> AppClass:
+    """Return the Table II classification of a workload.
+
+    Accepts a :class:`Workload` or a bare name; raises for workloads the
+    table does not cover (uBench and stressmarks are test-time tools, not
+    schedulable applications).
+    """
+    name = workload if isinstance(workload, str) else workload.name
+    try:
+        return TABLE2[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"{name!r} is not a schedulable application (no Table II entry)"
+        ) from None
+
+
+def is_critical(workload: Workload | str) -> bool:
+    """True when the workload is a user-facing critical application."""
+    return classify(workload).role is Role.CRITICAL
+
+
+def may_colocate(a: Workload | str, b: Workload | str) -> bool:
+    """Whether two applications may share a chip under the paper's rule.
+
+    Two memory-intensive applications are never co-located, keeping the
+    evaluation free of memory-subsystem interference.
+    """
+    return not (
+        classify(a).mem is MemBehavior.INTENSIVE
+        and classify(b).mem is MemBehavior.INTENSIVE
+    )

@@ -1,0 +1,47 @@
+"""Deep-learning workload models (paper Secs. I, VII).
+
+The paper's motivating critical applications are single-thread DNN
+inference jobs: SqueezeNet image classification (the Fig. 2 running
+example, 80 ms per inference at the 4.2 GHz static margin), ResNet and
+VGG19 CNNs, a seq2seq RNN, and the bAbI LSTM question-answering task.
+``mlp`` models a machine-learning *training* job and belongs to the
+background class of Table II.
+
+SqueezeNet's near-zero memory-boundedness is what lets fine-tuned ATM cut
+its latency to ~68 ms on a 4.9 GHz core: inference on these small models is
+compute-bound on a server-class cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from .base import Suite, Workload
+
+
+def _dnn(
+    name: str,
+    activity: float,
+    stress: float,
+    didt: float,
+    mem: float,
+    latency_ms: float | None = None,
+) -> Workload:
+    return Workload(
+        name=name,
+        suite=Suite.DNN,
+        activity=activity,
+        stress=stress,
+        didt_activity=didt,
+        mem_boundedness=mem,
+        baseline_latency_ms=latency_ms,
+    )
+
+
+SQUEEZENET = _dnn("squeezenet", 0.90, 0.45, 0.60, 0.04, latency_ms=80.0)
+RESNET = _dnn("resnet", 0.95, 0.62, 0.80, 0.25, latency_ms=220.0)
+VGG19 = _dnn("vgg19", 1.00, 0.68, 0.85, 0.22, latency_ms=400.0)
+SEQ2SEQ = _dnn("seq2seq", 0.85, 0.50, 0.60, 0.12, latency_ms=35.0)
+BABI = _dnn("babi", 0.80, 0.42, 0.50, 0.10, latency_ms=18.0)
+MLP = _dnn("mlp", 1.00, 0.55, 0.70, 0.30)
+
+#: All modeled deep-learning workloads.
+DNN_SUITE = (SQUEEZENET, RESNET, VGG19, SEQ2SEQ, BABI, MLP)

@@ -1,0 +1,67 @@
+"""Name-based lookup across every modeled workload."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import IDLE, Suite, Workload
+from .dnn import DNN_SUITE
+from .parsec import PARSEC_SUITE
+from .spec import SPEC_SUITE
+from .stressmark import BEYOND_WORST_VIRUS, STRESS_BATTERY
+from .ubench import DAXPY_SMT4, UBENCH_SUITE
+
+#: Every workload the library models, keyed by name.
+ALL_WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        IDLE,
+        *UBENCH_SUITE,
+        DAXPY_SMT4,
+        *SPEC_SUITE,
+        *PARSEC_SUITE,
+        *DNN_SUITE,
+        *STRESS_BATTERY,
+        BEYOND_WORST_VIRUS,
+    )
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look a workload up by name; raises for unknown names."""
+    try:
+        return ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known workloads: {known}"
+        ) from None
+
+
+def by_suite(suite: Suite) -> tuple[Workload, ...]:
+    """All workloads belonging to ``suite``, sorted by name."""
+    return tuple(
+        sorted(
+            (w for w in ALL_WORKLOADS.values() if w.suite is suite),
+            key=lambda w: w.name,
+        )
+    )
+
+
+def realistic_applications() -> tuple[Workload, ...]:
+    """The SPEC + PARSEC + DNN set used for realistic characterization.
+
+    This is the profiling population behind Fig. 10 and the thread-normal /
+    thread-worst rows of Table I.
+    """
+    return by_suite(Suite.SPEC) + by_suite(Suite.PARSEC) + by_suite(Suite.DNN)
+
+
+def medium_and_light_applications(threshold: float = 0.6) -> tuple[Workload, ...]:
+    """Applications at or below the thread-normal stress threshold.
+
+    The thread-normal configuration of Table I is defined as the most
+    aggressive setting that supports this population.
+    """
+    return tuple(
+        w for w in realistic_applications() if w.stress <= threshold
+    )

@@ -1,0 +1,78 @@
+"""SPEC CPU 2017 workload models (paper Sec. VI).
+
+Each entry models one single-threaded SPEC CPU 2017 benchmark through the
+four ATM observables.  The stress intensities encode the paper's central
+empirical finding (Figs. 9-10): the amount of CPM rollback an application
+demands is *not* predictable from obvious instruction-mix statistics —
+``gcc`` touches a rich instruction set yet stresses ATM very little, while
+``x264``'s periodic pipeline flushes make it the single most stressful
+workload profiled.  ``x264`` sits at stress 1.0 and therefore defines the
+thread-worst row of Table I.
+
+Memory-boundedness values follow each benchmark's well-known cache
+behaviour (``mcf`` and ``lbm`` heavily memory-bound, ``exchange2`` almost
+purely core-bound) and set the slopes of Fig. 12b.
+"""
+
+from __future__ import annotations
+
+from .base import Suite, Workload
+
+
+def _spec(
+    name: str,
+    activity: float,
+    stress: float,
+    didt: float,
+    mem: float,
+) -> Workload:
+    return Workload(
+        name=name,
+        suite=Suite.SPEC,
+        activity=activity,
+        stress=stress,
+        didt_activity=didt,
+        mem_boundedness=mem,
+    )
+
+
+GCC = _spec("gcc", 0.75, 0.30, 0.50, 0.25)
+MCF = _spec("mcf", 0.65, 0.45, 0.40, 0.60)
+X264 = _spec("x264", 0.95, 1.00, 1.60, 0.08)
+LEELA = _spec("leela", 0.80, 0.28, 0.35, 0.10)
+EXCHANGE2 = _spec("exchange2", 0.85, 0.35, 0.40, 0.02)
+DEEPSJENG = _spec("deepsjeng", 0.85, 0.50, 0.60, 0.12)
+XZ = _spec("xz", 0.70, 0.55, 0.70, 0.40)
+PERLBENCH = _spec("perlbench", 0.80, 0.58, 0.80, 0.18)
+OMNETPP = _spec("omnetpp", 0.70, 0.48, 0.60, 0.50)
+XALANCBMK = _spec("xalancbmk", 0.75, 0.52, 0.65, 0.35)
+BWAVES = _spec("bwaves", 0.90, 0.65, 0.90, 0.45)
+LBM = _spec("lbm", 0.95, 0.70, 0.80, 0.65)
+CACTUBSSN = _spec("cactuBSSN", 0.92, 0.72, 0.90, 0.40)
+IMAGICK = _spec("imagick", 1.00, 0.60, 0.70, 0.05)
+NAB = _spec("nab", 0.90, 0.55, 0.60, 0.15)
+FOTONIK3D = _spec("fotonik3d", 0.90, 0.68, 0.80, 0.55)
+WRF = _spec("wrf", 0.88, 0.66, 0.85, 0.35)
+ROMS = _spec("roms", 0.87, 0.62, 0.80, 0.45)
+
+#: All modeled SPEC CPU 2017 benchmarks.
+SPEC_SUITE = (
+    GCC,
+    MCF,
+    X264,
+    LEELA,
+    EXCHANGE2,
+    DEEPSJENG,
+    XZ,
+    PERLBENCH,
+    OMNETPP,
+    XALANCBMK,
+    BWAVES,
+    LBM,
+    CACTUBSSN,
+    IMAGICK,
+    NAB,
+    FOTONIK3D,
+    WRF,
+    ROMS,
+)

@@ -1,0 +1,75 @@
+"""Test-time stressmarks (paper Sec. VII-A).
+
+The paper's deployment procedure validates each core's thread-worst CPM
+configuration with a combined stress-test designed to exceed any realistic
+workload:
+
+* a **voltage virus** that throttles every core's instruction issue to one
+  out of 128 cycles and releases them *synchronously*, producing
+  chip-aligned di/dt current steps (worst-case voltage noise);
+* **32 daxpy threads** (four per core) raising chip power to ~160 W and
+  die temperature to ~70 °C, maximizing the DC voltage drop;
+* an **ISA coverage suite** standing in for the vendor's tailored
+  verification tests that touch all architecturally reachable paths.
+
+Their stress intensities sit at (or just below) 1.0 — the thread-worst
+anchor — encoding the paper's measured result that the thread-worst
+configuration sustains all of the stressmarks.  A hypothetical
+super-adversarial virus above 1.0 is also provided for ablation A3, which
+studies how much rollback protects against workloads stronger than
+anything profiled.
+"""
+
+from __future__ import annotations
+
+from .base import Suite, Workload
+
+#: Synchronized issue-throttle virus on top of 32 daxpy threads: maximal
+#: di/dt and maximal DC drop at once.
+VOLTAGE_VIRUS = Workload(
+    name="voltage_virus",
+    suite=Suite.STRESSMARK,
+    activity=1.45,
+    stress=1.00,
+    didt_activity=2.50,
+    mem_boundedness=0.0,
+    threads_per_core=4,
+)
+
+#: Sustained maximum-power component alone (no synchronized throttling).
+POWER_VIRUS = Workload(
+    name="power_virus",
+    suite=Suite.STRESSMARK,
+    activity=1.50,
+    stress=0.90,
+    didt_activity=0.60,
+    mem_boundedness=0.0,
+    threads_per_core=4,
+)
+
+#: Stand-in for the vendor's ISA verification suite: wide path coverage,
+#: moderate power.
+ISA_SUITE = Workload(
+    name="isa_suite",
+    suite=Suite.STRESSMARK,
+    activity=0.95,
+    stress=0.97,
+    didt_activity=1.20,
+    mem_boundedness=0.05,
+)
+
+#: A hypothetical adversary *beyond* the profiled worst case, used only by
+#: the rollback ablation (never by the deployment procedure itself).
+BEYOND_WORST_VIRUS = Workload(
+    name="beyond_worst_virus",
+    suite=Suite.STRESSMARK,
+    activity=1.50,
+    stress=1.12,
+    didt_activity=3.00,
+    mem_boundedness=0.0,
+    threads_per_core=4,
+)
+
+#: The stress-test battery run by the deployment procedure, mirroring the
+#: paper's combination.
+STRESS_BATTERY = (VOLTAGE_VIRUS, POWER_VIRUS, ISA_SUITE)

@@ -1,0 +1,63 @@
+"""Micro-benchmarks: coremark, daxpy, stream (paper Sec. V-A).
+
+The three uBench programs collectively touch all main parts of the
+microarchitecture — control/branch/integer (coremark), floating point
+(daxpy), load-store and cache misses (stream) — while creating very little
+system noise: controlled, smooth loops with no periodic pipeline flushes.
+That is why their stress intensities cluster tightly around the uBench
+anchor (0.25) despite their different functional-unit coverage, matching
+the paper's observation that all three behave alike on the problematic
+cores (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from .base import Suite, Workload
+
+#: Stress-intensity anchor shared by the micro-benchmarks; must equal
+#: :data:`repro.silicon.chipspec.STRESS_UBENCH`.
+UBENCH_STRESS = 0.25
+
+COREMARK = Workload(
+    name="coremark",
+    suite=Suite.UBENCH,
+    activity=0.85,
+    stress=UBENCH_STRESS,
+    didt_activity=0.25,
+    mem_boundedness=0.02,
+)
+
+DAXPY = Workload(
+    name="daxpy",
+    suite=Suite.UBENCH,
+    activity=1.00,
+    stress=UBENCH_STRESS,
+    didt_activity=0.30,
+    mem_boundedness=0.10,
+)
+
+#: daxpy with all four SMT threads busy — the high-power configuration the
+#: paper uses to maximize DC voltage drop (8 cores x 4 threads = the "32
+#: daxpy threads" load) and as the stressmark's power component.
+DAXPY_SMT4 = Workload(
+    name="daxpy_smt4",
+    suite=Suite.UBENCH,
+    activity=1.45,
+    stress=UBENCH_STRESS,
+    didt_activity=0.35,
+    mem_boundedness=0.10,
+    threads_per_core=4,
+)
+
+STREAM = Workload(
+    name="stream",
+    suite=Suite.UBENCH,
+    activity=0.70,
+    stress=0.24,
+    didt_activity=0.35,
+    mem_boundedness=0.70,
+)
+
+#: The programs used by the uBench characterization step, in the order the
+#: paper lists them.
+UBENCH_SUITE = (COREMARK, DAXPY, STREAM)

@@ -1,0 +1,75 @@
+"""Tests for linear fitting utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.fitting import fit_linear
+from repro.errors import CalibrationError
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [1.0, 3.0, 5.0, 7.0]
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_line_recovers_slope(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 100, 200)
+        y = -2.0 * x + 5000.0 + rng.normal(0, 1.0, size=200)
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(-2.0, abs=0.02)
+        assert fit.r_squared > 0.99
+
+    def test_predict(self):
+        fit = fit_linear([0.0, 1.0], [0.0, 2.0])
+        assert fit.predict(3.0) == pytest.approx(6.0)
+
+    def test_invert(self):
+        fit = fit_linear([0.0, 1.0], [10.0, 12.0])
+        assert fit.invert(14.0) == pytest.approx(2.0)
+
+    def test_invert_flat_rejected(self):
+        fit = fit_linear([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        with pytest.raises(CalibrationError):
+            fit.invert(6.0)
+
+    def test_constant_y_perfect_r2(self):
+        fit = fit_linear([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0, 2.0], [1.0])
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0], [1.0])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_n_samples_recorded(self):
+        assert fit_linear([0.0, 1.0, 2.0], [0.0, 1.0, 2.0]).n_samples == 3
+
+    @given(
+        st.floats(min_value=-10.0, max_value=10.0),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_round_trip_arbitrary_lines(self, slope, intercept):
+        x = [0.0, 1.0, 2.0, 5.0]
+        y = [slope * v + intercept for v in x]
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-6)
+
+    @given(st.floats(min_value=0.5, max_value=10.0))
+    def test_predict_invert_inverse(self, slope):
+        fit = fit_linear([0.0, 1.0], [0.0, slope])
+        assert fit.invert(fit.predict(3.7)) == pytest.approx(3.7)

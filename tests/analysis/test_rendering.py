@@ -1,0 +1,70 @@
+"""Tests for ASCII rendering helpers."""
+
+import pytest
+
+from repro.analysis.rendering import ascii_bars, ascii_table, format_matrix
+from repro.errors import ConfigurationError
+
+
+class TestAsciiTable:
+    def test_contains_headers_and_cells(self):
+        out = ascii_table(("a", "b"), [(1, 2.5), (3, 4.0)], title="T")
+        assert "T" in out
+        assert "a" in out and "b" in out
+        assert "2.5" in out and "3" in out
+
+    def test_row_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table(("a", "b"), [(1,)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table((), [])
+
+    def test_alignment_consistent(self):
+        out = ascii_table(("col",), [(1,), (100,)])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines if line}) == 1
+
+
+class TestAsciiBars:
+    def test_peak_has_longest_bar(self):
+        out = ascii_bars(["a", "b"], [1.0, 4.0], width=20)
+        line_a, line_b = out.splitlines()
+        assert line_b.count("#") > line_a.count("#")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars([], [])
+
+    def test_nonpositive_peak_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bars(["a"], [0.0])
+
+    def test_unit_rendered(self):
+        out = ascii_bars(["a"], [3.0], unit="W")
+        assert "3.0W" in out
+
+
+class TestFormatMatrix:
+    def test_shape_and_labels(self):
+        out = format_matrix(["r1", "r2"], ["c1", "c2"], [[1.0, 2.0], [3.0, 4.0]])
+        assert "r1" in out and "c2" in out
+        assert "4.0" in out
+
+    def test_row_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            format_matrix(["r1"], ["c1"], [[1.0], [2.0]])
+
+    def test_column_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            format_matrix(["r1"], ["c1", "c2"], [[1.0]])
+
+    def test_custom_format(self):
+        out = format_matrix(["r"], ["c"], [[1234.5]], fmt="{:.0f}")
+        assert "1234" in out
+        assert "1234.5" not in out

@@ -1,0 +1,65 @@
+"""Tests for the whole-reproduction report generator."""
+
+import pytest
+
+from repro.analysis.report import (
+    HEADLINE_METRICS,
+    generate_report,
+    summary_table,
+    write_report,
+)
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, run_experiment
+
+
+class TestHeadlineCoverage:
+    def test_every_experiment_has_a_headline(self):
+        assert set(HEADLINE_METRICS) == set(REGISTRY)
+
+    def test_headline_metrics_exist(self):
+        """Spot-check cheap experiments: the named metric must be real."""
+        for experiment_id in ("table2", "fig04b", "fig12b"):
+            result = run_experiment(experiment_id)
+            assert HEADLINE_METRICS[experiment_id] in result.metrics
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def small_report(self):
+        return generate_report(experiment_ids=("table2", "fig04b"))
+
+    def test_contains_sections(self, small_report):
+        assert "## Summary" in small_report
+        assert "## table2:" in small_report
+        assert "## fig04b:" in small_report
+
+    def test_contains_bodies_and_metrics(self, small_report):
+        assert "Table II" in small_report
+        assert "`critical_count` = 9" in small_report
+
+    def test_summary_table_shape(self, small_report):
+        summary_lines = [
+            line for line in small_report.splitlines() if line.startswith("|")
+        ]
+        # header + separator + one row per experiment
+        assert len(summary_lines) == 4
+
+    def test_unknown_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_report(experiment_ids=("bogus",))
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_report(experiment_ids=())
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", experiment_ids=("table2",)
+        )
+        assert path.exists()
+        assert "Table II" in path.read_text()
+
+    def test_summary_handles_missing_headline(self):
+        result = run_experiment("table2")
+        table = summary_table({"table2": result})
+        assert "critical_count" in table

@@ -1,0 +1,44 @@
+"""Tests for trial-distribution summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import summarize
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        dist = summarize([3, 3, 4, 3, 4])
+        assert dist.minimum == 3
+        assert dist.maximum == 4
+        assert dist.mode == 3
+        assert dist.spread == 2
+        assert dist.n_trials == 5
+        assert dist.mean == pytest.approx(3.4)
+
+    def test_single_value(self):
+        dist = summarize([7])
+        assert dist.minimum == dist.maximum == dist.mode == 7
+        assert dist.spread == 1
+
+    def test_mode_tie_breaks_small(self):
+        dist = summarize([2, 2, 5, 5])
+        assert dist.mode == 2
+
+    def test_frequency_of(self):
+        dist = summarize([1, 1, 1, 2])
+        assert dist.frequency_of(1) == pytest.approx(0.75)
+        assert dist.frequency_of(9) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=50))
+    def test_invariants(self, values):
+        dist = summarize(values)
+        assert dist.minimum <= dist.mode <= dist.maximum
+        assert dist.minimum <= dist.mean <= dist.maximum
+        assert 1 <= dist.spread <= len(set(values))
+        assert sum(dist.counts.values()) == len(values)

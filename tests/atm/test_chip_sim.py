@@ -1,0 +1,154 @@
+"""Tests for the chip-level steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from repro.atm.core_sim import SafetyProbe
+from repro.errors import ConfigurationError
+from repro.silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+)
+from repro.units import DEFAULT_ATM_IDLE_MHZ, STATIC_MARGIN_MHZ
+from repro.workloads.base import IDLE
+from repro.workloads.spec import X264
+from repro.workloads.ubench import DAXPY_SMT4
+
+
+class TestAssignments:
+    def test_reduction_only_in_atm_mode(self):
+        with pytest.raises(ConfigurationError):
+            CoreAssignment(mode=MarginMode.STATIC, reduction_steps=3)
+
+    def test_negative_reduction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreAssignment(reduction_steps=-1)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreAssignment(freq_cap_mhz=0.0)
+
+    def test_uniform_builder_validates_vectors(self, chip0_sim):
+        with pytest.raises(ConfigurationError):
+            chip0_sim.uniform_assignments(reductions=[1, 2])
+        with pytest.raises(ConfigurationError):
+            chip0_sim.uniform_assignments(reduction_steps=1, reductions=[0] * 8)
+
+
+class TestSteadyState:
+    def test_idle_default_atm_near_4600(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        for freq in state.freqs_mhz:
+            assert freq == pytest.approx(DEFAULT_ATM_IDLE_MHZ, abs=5.0)
+
+    def test_static_mode_fixed_frequency(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=X264, mode=MarginMode.STATIC)
+        )
+        assert all(f == STATIC_MARGIN_MHZ for f in state.freqs_mhz)
+
+    def test_static_mode_honors_pstate_cap(self, chip0_sim):
+        assignments = tuple(
+            CoreAssignment(workload=X264, mode=MarginMode.STATIC, freq_cap_mhz=2100.0)
+            for _ in range(8)
+        )
+        state = chip0_sim.solve_steady_state(assignments)
+        assert all(f == 2100.0 for f in state.freqs_mhz)
+
+    def test_gated_core_zero_frequency_and_power(self, chip0_sim):
+        assignments = list(chip0_sim.uniform_assignments())
+        assignments[2] = CoreAssignment(mode=MarginMode.GATED)
+        state = chip0_sim.solve_steady_state(assignments)
+        assert state.freqs_mhz[2] == 0.0
+        baseline = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        assert state.chip_power_w < baseline.chip_power_w
+
+    def test_load_erodes_frequency(self, chip0_sim):
+        """The core message of Eq. 1: more chip power, less frequency."""
+        idle = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        loaded = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=DAXPY_SMT4)
+        )
+        assert loaded.chip_power_w > idle.chip_power_w + 50.0
+        assert all(l < i for l, i in zip(loaded.freqs_mhz, idle.freqs_mhz))
+
+    def test_default_atm_worst_case_band(self, chip0_sim):
+        """8x daxpy at the default config lands near the paper's ~4.4 GHz."""
+        loaded = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=DAXPY_SMT4)
+        )
+        assert 4300.0 < min(loaded.freqs_mhz) < 4500.0
+
+    def test_one_hungry_neighbor_slows_everyone(self, chip0_sim):
+        """Shared-supply coupling: a single daxpy core lowers core 0."""
+        solo = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        assignments = list(chip0_sim.uniform_assignments())
+        assignments[7] = CoreAssignment(workload=DAXPY_SMT4)
+        with_neighbor = chip0_sim.solve_steady_state(assignments)
+        assert with_neighbor.freqs_mhz[0] < solo.freqs_mhz[0]
+
+    def test_freq_cap_respected(self, chip0_sim):
+        assignments = list(chip0_sim.uniform_assignments())
+        assignments[0] = CoreAssignment(workload=IDLE, freq_cap_mhz=4300.0)
+        state = chip0_sim.solve_steady_state(assignments)
+        assert state.freqs_mhz[0] == pytest.approx(4300.0)
+
+    def test_finetuned_exposes_variation(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(reductions=list(TESTBED_IDLE_LIMITS[:8]))
+        )
+        spread = max(state.freqs_mhz) - min(state.freqs_mhz)
+        assert spread > 300.0  # ~4700 .. ~5200 at the idle limits
+
+    def test_convergence_reported(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        assert 1 <= state.iterations < ChipSim.MAX_ITERATIONS
+
+    def test_wrong_assignment_count_rejected(self, chip0_sim):
+        with pytest.raises(ConfigurationError):
+            chip0_sim.solve_steady_state([CoreAssignment()] * 7)
+
+    def test_excess_reduction_rejected(self, chip0_sim):
+        assignments = list(chip0_sim.uniform_assignments())
+        assignments[0] = CoreAssignment(reduction_steps=99)
+        with pytest.raises(ConfigurationError):
+            chip0_sim.solve_steady_state(assignments)
+
+    def test_slowest_excludes_gated(self, chip0_sim):
+        assignments = list(chip0_sim.uniform_assignments())
+        assignments[0] = CoreAssignment(mode=MarginMode.GATED)
+        state = chip0_sim.solve_steady_state(assignments)
+        assert state.slowest_mhz > 0.0
+
+    def test_core_freq_bounds(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        with pytest.raises(ConfigurationError):
+            state.core_freq(8)
+
+
+class TestSafetyCheck:
+    def test_thread_worst_safe_under_x264(self, chip0_sim, streams):
+        probe = SafetyProbe(streams.stream("safety"), noise_sigma_ps=0.0)
+        assignments = chip0_sim.uniform_assignments(
+            workload=X264, reductions=list(TESTBED_THREAD_WORST_LIMITS[:8])
+        )
+        assert chip0_sim.check_safety(assignments, probe) == []
+
+    def test_idle_limits_unsafe_under_x264(self, chip0_sim, streams):
+        probe = SafetyProbe(streams.stream("safety2"), noise_sigma_ps=0.0)
+        assignments = chip0_sim.uniform_assignments(
+            workload=X264, reductions=list(TESTBED_IDLE_LIMITS[:8])
+        )
+        violations = chip0_sim.check_safety(assignments, probe)
+        assert len(violations) >= 6
+        for violation in violations:
+            assert violation.deficit_ps > 0.0
+            assert violation.workload_name == "x264"
+
+    def test_static_cores_never_flagged(self, chip0_sim, streams):
+        probe = SafetyProbe(streams.stream("safety3"), noise_sigma_ps=0.0)
+        assignments = chip0_sim.uniform_assignments(
+            workload=X264, mode=MarginMode.STATIC
+        )
+        assert chip0_sim.check_safety(assignments, probe) == []

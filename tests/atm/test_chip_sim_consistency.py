@@ -1,0 +1,130 @@
+"""Internal-consistency tests of solved chip states.
+
+The steady-state solver returns four coupled quantities (frequencies,
+power, voltage, temperature); these tests verify the couplings hold *at*
+the returned solution, plus edge behaviour around caps and gating.
+"""
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from repro.atm.core_sim import equilibrium_frequency_mhz
+from repro.power.core_power import chip_power_w
+from repro.workloads.base import IDLE
+from repro.workloads.spec import GCC, X264
+from repro.workloads.ubench import DAXPY_SMT4
+
+
+class TestElectricalConsistency:
+    def test_voltage_matches_power(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=GCC)
+        )
+        assert state.vdd == pytest.approx(
+            chip0_sim.pdn.chip_voltage(state.chip_power_w), abs=1e-6
+        )
+
+    def test_temperature_matches_power(self, chip0_sim):
+        state = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=GCC)
+        )
+        assert state.temperature_c == pytest.approx(
+            chip0_sim.thermal.steady_temperature_c(state.chip_power_w), abs=1e-6
+        )
+
+    def test_power_matches_frequencies(self, chip0_sim, chip0):
+        state = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=GCC)
+        )
+        recomputed = chip_power_w(
+            chip0,
+            list(state.freqs_mhz),
+            [GCC.activity] * 8,
+            state.vdd,
+            state.temperature_c,
+        )
+        assert recomputed == pytest.approx(state.chip_power_w, rel=1e-4)
+
+    def test_frequencies_are_equilibria(self, chip0_sim, chip0):
+        state = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=GCC, reduction_steps=0)
+        )
+        for index, core in enumerate(chip0.cores):
+            expected = equilibrium_frequency_mhz(
+                chip0, core, 0, state.vdd, state.temperature_c
+            )
+            assert state.core_freq(index) == pytest.approx(expected, abs=0.01)
+
+    def test_assignments_echoed_in_state(self, chip0_sim):
+        assignments = chip0_sim.uniform_assignments(workload=X264)
+        state = chip0_sim.solve_steady_state(assignments)
+        assert state.assignments == assignments
+
+
+class TestCapsAndGating:
+    def test_cap_above_equilibrium_is_inert(self, chip0_sim):
+        free = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        assignments = list(chip0_sim.uniform_assignments())
+        assignments[0] = CoreAssignment(workload=IDLE, freq_cap_mhz=5500.0)
+        capped = chip0_sim.solve_steady_state(assignments)
+        assert capped.freqs_mhz[0] == pytest.approx(free.freqs_mhz[0], abs=0.1)
+
+    def test_capping_one_core_saves_power(self, chip0_sim):
+        free = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=DAXPY_SMT4)
+        )
+        assignments = [
+            CoreAssignment(workload=DAXPY_SMT4, freq_cap_mhz=2100.0)
+            if i == 0
+            else CoreAssignment(workload=DAXPY_SMT4)
+            for i in range(8)
+        ]
+        capped = chip0_sim.solve_steady_state(assignments)
+        assert capped.chip_power_w < free.chip_power_w - 3.0
+        # And the shared supply rises, speeding the uncapped cores.
+        assert capped.freqs_mhz[1] > free.freqs_mhz[1]
+
+    def test_gating_everything_but_one(self, chip0_sim):
+        assignments = [
+            CoreAssignment(workload=X264)
+            if i == 0
+            else CoreAssignment(mode=MarginMode.GATED)
+            for i in range(8)
+        ]
+        state = chip0_sim.solve_steady_state(assignments)
+        assert state.freqs_mhz[0] > 4500.0
+        assert all(f == 0.0 for f in state.freqs_mhz[1:])
+        assert state.slowest_mhz == state.freqs_mhz[0]
+
+    def test_mixed_static_and_atm(self, chip0_sim):
+        """Static and ATM cores coexist; static ones ignore the supply."""
+        assignments = [
+            CoreAssignment(workload=DAXPY_SMT4, mode=MarginMode.STATIC)
+            if i < 4
+            else CoreAssignment(workload=DAXPY_SMT4, mode=MarginMode.ATM)
+            for i in range(8)
+        ]
+        state = chip0_sim.solve_steady_state(assignments)
+        assert all(f == 4200.0 for f in state.freqs_mhz[:4])
+        assert all(f > 4200.0 for f in state.freqs_mhz[4:])
+
+
+class TestDeterminism:
+    def test_solver_is_deterministic(self, chip0_sim):
+        a = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=X264)
+        )
+        b = chip0_sim.solve_steady_state(
+            chip0_sim.uniform_assignments(workload=X264)
+        )
+        assert a.freqs_mhz == b.freqs_mhz
+        assert a.chip_power_w == b.chip_power_w
+
+    def test_two_sims_agree(self, chip0):
+        a = ChipSim(chip0).solve_steady_state(
+            ChipSim(chip0).uniform_assignments(workload=GCC)
+        )
+        b = ChipSim(chip0).solve_steady_state(
+            ChipSim(chip0).uniform_assignments(workload=GCC)
+        )
+        assert a.freqs_mhz == b.freqs_mhz

@@ -1,0 +1,71 @@
+"""Tests for server-level simulation (independent sockets)."""
+
+import pytest
+
+from repro.atm.chip_sim import CoreAssignment, MarginMode
+from repro.atm.system import ServerSim
+from repro.errors import ConfigurationError
+from repro.workloads.ubench import DAXPY_SMT4
+
+
+@pytest.fixture(scope="module")
+def server_sim(testbed):
+    return ServerSim(testbed)
+
+
+class TestAddressing:
+    def test_core_index(self, server_sim):
+        assert server_sim.core_index("P0C0") == ("P0", 0)
+        assert server_sim.core_index("P1C7") == ("P1", 7)
+
+    def test_unknown_core_rejected(self, server_sim):
+        with pytest.raises(ConfigurationError):
+            server_sim.core_index("P2C0")
+
+    def test_core_spec_lookup(self, server_sim):
+        assert server_sim.core_spec("P1C3").label == "P1C3"
+
+    def test_chip_sim_lookup(self, server_sim):
+        assert server_sim.chip_sim("P0").chip.chip_id == "P0"
+        with pytest.raises(ConfigurationError):
+            server_sim.chip_sim("P9")
+
+
+class TestServerSolve:
+    def test_idle_solve_covers_all_chips(self, server_sim):
+        state = server_sim.solve_steady_state(server_sim.idle_assignments())
+        assert set(state.per_chip) == {"P0", "P1"}
+
+    def test_sockets_are_independent(self, server_sim):
+        """Load on P1 must not slow P0 — separate VRMs (Sec. VII-D)."""
+        idle = server_sim.solve_steady_state(server_sim.idle_assignments())
+        assignments = server_sim.idle_assignments()
+        assignments["P1"] = server_sim.chip_sim("P1").uniform_assignments(
+            workload=DAXPY_SMT4
+        )
+        loaded = server_sim.solve_steady_state(assignments)
+        assert loaded.per_chip["P0"].freqs_mhz == idle.per_chip["P0"].freqs_mhz
+        assert loaded.per_chip["P1"].chip_power_w > idle.per_chip["P1"].chip_power_w
+
+    def test_frequency_of_lookup(self, server_sim, testbed):
+        state = server_sim.solve_steady_state(server_sim.idle_assignments())
+        freq = state.frequency_of(testbed, "P0C4")
+        assert freq == state.per_chip["P0"].core_freq(4)
+
+    def test_total_power_sums_sockets(self, server_sim):
+        state = server_sim.solve_steady_state(server_sim.idle_assignments())
+        assert state.total_power_w == pytest.approx(
+            state.per_chip["P0"].chip_power_w + state.per_chip["P1"].chip_power_w
+        )
+
+    def test_missing_chip_rejected(self, server_sim):
+        assignments = server_sim.idle_assignments()
+        del assignments["P1"]
+        with pytest.raises(ConfigurationError):
+            server_sim.solve_steady_state(assignments)
+
+    def test_unknown_chip_rejected(self, server_sim):
+        assignments = server_sim.idle_assignments()
+        assignments["P9"] = assignments["P0"]
+        with pytest.raises(ConfigurationError):
+            server_sim.solve_steady_state(assignments)

@@ -1,0 +1,52 @@
+"""Tests for trace recording."""
+
+import pytest
+
+from repro.atm.telemetry import TraceRecorder
+from repro.errors import ConfigurationError
+
+
+class TestTraceRecorder:
+    def test_record_and_read(self):
+        trace = TraceRecorder(("t", "v"))
+        trace.record(t=0.0, v=1.25)
+        trace.record(t=1.0, v=1.20)
+        assert len(trace) == 2
+        assert list(trace.column("v")) == [1.25, 1.20]
+
+    def test_columns_property(self):
+        assert TraceRecorder(("a", "b")).columns == ("a", "b")
+
+    def test_missing_column_rejected(self):
+        trace = TraceRecorder(("t", "v"))
+        with pytest.raises(ConfigurationError):
+            trace.record(t=0.0)
+
+    def test_extra_column_rejected(self):
+        trace = TraceRecorder(("t",))
+        with pytest.raises(ConfigurationError):
+            trace.record(t=0.0, v=1.0)
+
+    def test_unknown_column_read_rejected(self):
+        trace = TraceRecorder(("t",))
+        with pytest.raises(ConfigurationError):
+            trace.column("x")
+
+    def test_summary(self):
+        trace = TraceRecorder(("v",))
+        for value in (1.0, 2.0, 3.0):
+            trace.record(v=value)
+        summary = trace.summary("v")
+        assert summary == {"min": 1.0, "max": 3.0, "mean": 2.0}
+
+    def test_summary_of_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(("v",)).summary("v")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(("a", "a"))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(())

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+The testbed server and its characterized limit table are expensive enough
+to share; they are immutable, so session scope is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.core.limits import LimitTable
+from repro.rng import RngStreams
+from repro.silicon import power7plus_testbed, sample_chip
+from repro.silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_NORMAL_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+    TESTBED_UBENCH_LIMITS,
+)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The paper's two-socket POWER7+ server."""
+    return power7plus_testbed()
+
+
+@pytest.fixture(scope="session")
+def chip0(testbed):
+    """Processor 0 of the testbed."""
+    return testbed.chips[0]
+
+
+@pytest.fixture(scope="session")
+def chip0_sim(chip0):
+    """Steady-state simulator for processor 0."""
+    return ChipSim(chip0)
+
+
+@pytest.fixture(scope="session")
+def testbed_limits(testbed):
+    """Table I as a LimitTable, from the published anchor rows."""
+    labels = tuple(core.label for core in testbed.all_cores)
+    return LimitTable.from_rows(
+        labels,
+        TESTBED_IDLE_LIMITS,
+        TESTBED_UBENCH_LIMITS,
+        TESTBED_THREAD_NORMAL_LIMITS,
+        TESTBED_THREAD_WORST_LIMITS,
+    )
+
+
+@pytest.fixture(scope="session")
+def p0_limits(testbed):
+    """Table I restricted to processor 0."""
+    labels = tuple(core.label for core in testbed.chips[0].cores)
+    return LimitTable.from_rows(
+        labels,
+        TESTBED_IDLE_LIMITS[:8],
+        TESTBED_UBENCH_LIMITS[:8],
+        TESTBED_THREAD_NORMAL_LIMITS[:8],
+        TESTBED_THREAD_WORST_LIMITS[:8],
+    )
+
+
+@pytest.fixture()
+def streams():
+    """Fresh deterministic RNG streams for each test."""
+    return RngStreams(12345)
+
+
+@pytest.fixture(scope="session")
+def random_chip():
+    """A randomly manufactured chip, for generalization tests."""
+    return sample_chip(99, chip_id="P5")

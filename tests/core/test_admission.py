@@ -1,0 +1,100 @@
+"""Tests for incremental QoS admission control."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.manager import AtmManager
+from repro.errors import ConfigurationError
+from repro.workloads.dnn import BABI, SEQ2SEQ, SQUEEZENET
+from repro.workloads.parsec import STREAMCLUSTER, SWAPTIONS
+from repro.workloads.spec import X264
+from repro.workloads.ubench import COREMARK
+
+
+@pytest.fixture()
+def controller(chip0_sim, p0_limits):
+    manager = AtmManager(chip0_sim, p0_limits)
+    return AdmissionController(manager, target_speedup=1.10)
+
+
+class TestBasicAdmission:
+    def test_first_critical_admitted(self, controller):
+        decision = controller.request(SQUEEZENET)
+        assert decision.admitted
+        assert controller.admitted_criticals == (SQUEEZENET,)
+        assert decision.scenario is not None
+
+    def test_background_jobs_fill_in(self, controller):
+        assert controller.request(SQUEEZENET).admitted
+        for _ in range(3):
+            assert controller.request(X264).admitted
+        assert len(controller.admitted_backgrounds) == 3
+
+    def test_scenario_tracks_admitted_mix(self, controller):
+        controller.request(SEQ2SEQ)
+        controller.request(STREAMCLUSTER)
+        scenario = controller.current_scenario
+        assert scenario is not None
+        assert scenario.critical_speedups["seq2seq"] >= 1.095
+
+    def test_non_schedulable_rejected(self, controller):
+        decision = controller.request(COREMARK)
+        assert not decision.admitted
+        assert controller.admitted_criticals == ()
+
+
+class TestRejection:
+    def test_rejection_is_transactional(self, controller):
+        assert controller.request(SQUEEZENET).admitted
+        for _ in range(7):
+            controller.request(X264)
+        admitted_before = (
+            controller.admitted_criticals,
+            controller.admitted_backgrounds,
+        )
+        # The chip is full: core 9 does not exist.
+        decision = controller.request(X264)
+        assert not decision.admitted
+        assert (
+            controller.admitted_criticals,
+            controller.admitted_backgrounds,
+        ) == admitted_before
+
+    def test_too_many_criticals_for_qos(self, controller):
+        """Each added critical tightens the shared power budget; at some
+        point the joint promise becomes infeasible and admission stops."""
+        admitted = 0
+        for workload in (SQUEEZENET, SEQ2SEQ, BABI) * 3:
+            if controller.request(workload).admitted:
+                admitted += 1
+        assert 1 <= admitted <= 8
+        # Whatever was admitted still meets the promise.
+        scenario = controller.current_scenario
+        for speedup in scenario.critical_speedups.values():
+            assert speedup >= 1.095
+
+
+class TestRelease:
+    def test_release_restores_capacity(self, controller):
+        controller.request(SQUEEZENET)
+        for _ in range(7):
+            controller.request(SWAPTIONS)
+        assert not controller.request(SWAPTIONS).admitted
+        assert controller.release("swaptions")
+        assert controller.request(SWAPTIONS).admitted
+
+    def test_release_unknown_returns_false(self, controller):
+        assert not controller.release("nonexistent")
+
+    def test_release_last_critical_clears_scenario(self, controller):
+        controller.request(SQUEEZENET)
+        assert controller.current_scenario is not None
+        assert controller.release("squeezenet")
+        assert controller.current_scenario is None
+
+
+class TestValidation:
+    def test_bad_target_rejected(self, chip0_sim, p0_limits):
+        manager = AtmManager(chip0_sim, p0_limits)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(manager, target_speedup=1.0)

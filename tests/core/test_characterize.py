@@ -1,0 +1,149 @@
+"""Tests for the Fig. 6 characterization methodology."""
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams
+from repro.silicon.chipspec import (
+    STRESS_THREAD_WORST,
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+)
+from repro.workloads.spec import GCC, X264
+
+
+@pytest.fixture(scope="module")
+def characterizer():
+    return Characterizer(RngStreams(7), trials=8)
+
+
+@pytest.fixture(scope="module")
+def chip0_characterization(characterizer, testbed):
+    return characterizer.characterize_chip(testbed.chips[0])
+
+
+class TestIdleStage:
+    def test_idle_limits_match_table1(self, characterizer, testbed):
+        for index, core in enumerate(testbed.chips[0].cores):
+            result = characterizer.characterize_idle(core)
+            assert result.idle_limit == TESTBED_IDLE_LIMITS[index], core.label
+
+    def test_distributions_tight(self, characterizer, testbed):
+        for core in testbed.chips[0].cores:
+            result = characterizer.characterize_idle(core)
+            assert result.distribution.spread <= 2
+
+    def test_limit_is_lower_bound(self, characterizer, testbed):
+        core = testbed.chips[0].cores[0]
+        result = characterizer.characterize_idle(core)
+        assert result.idle_limit == result.distribution.minimum
+
+
+class TestUbenchStage:
+    def test_limits_never_exceed_idle(self, chip0_characterization):
+        for label, ubench in chip0_characterization.ubench.items():
+            idle = chip0_characterization.idle[label]
+            assert ubench.ubench_limit <= idle.idle_limit
+
+    def test_rollback_flag(self, chip0_characterization):
+        flagged = [
+            label
+            for label, result in chip0_characterization.ubench.items()
+            if result.needed_rollback
+        ]
+        # On chip 0, Table I shows P0C3 and P0C4 rolling back one step.
+        assert "P0C3" in flagged
+        assert "P0C4" in flagged
+
+    def test_bad_start_rejected(self, characterizer, testbed):
+        core = testbed.chips[0].cores[0]
+        with pytest.raises(ConfigurationError):
+            characterizer.characterize_ubench(core, core.preset_code + 5)
+
+
+class TestAppStage:
+    def test_x264_needs_more_rollback_than_gcc(self, characterizer, testbed):
+        core = testbed.chips[0].cores[0]
+        idle = characterizer.characterize_idle(core)
+        ubench = characterizer.characterize_ubench(core, idle.idle_limit)
+        x264 = characterizer.characterize_app(core, X264, ubench.ubench_limit)
+        gcc = characterizer.characterize_app(core, GCC, ubench.ubench_limit)
+        assert x264.average_rollback > gcc.average_rollback
+        assert x264.app_limit < gcc.app_limit
+
+    def test_app_limit_consistent_with_ground_truth(self, characterizer, testbed):
+        core = testbed.chips[0].cores[0]
+        idle = characterizer.characterize_idle(core)
+        ubench = characterizer.characterize_ubench(core, idle.idle_limit)
+        result = characterizer.characterize_app(core, X264, ubench.ubench_limit)
+        assert result.app_limit == core.max_safe_reduction(X264.stress)
+
+
+class TestFullMethodology:
+    def test_limit_ordering_invariant(self, chip0_characterization):
+        for limits in chip0_characterization.limits.values():
+            assert (
+                limits.idle
+                >= limits.ubench
+                >= limits.thread_normal
+                >= limits.thread_worst
+            )
+
+    def test_thread_worst_matches_table1(self, chip0_characterization):
+        for index, (label, limits) in enumerate(
+            chip0_characterization.limits.items()
+        ):
+            assert limits.thread_worst == TESTBED_THREAD_WORST_LIMITS[index], label
+
+    def test_thread_worst_is_min_over_apps(self, chip0_characterization):
+        for label, limits in chip0_characterization.limits.items():
+            app_limits = [
+                result.app_limit
+                for (app, core_label), result in chip0_characterization.apps.items()
+                if core_label == label
+            ]
+            assert limits.thread_worst == min(app_limits)
+
+    def test_server_characterization_merges_chips(self, characterizer, testbed):
+        table, per_chip = characterizer.characterize_server(
+            testbed, applications=(GCC, X264)
+        )
+        assert len(table.core_labels) == 16
+        assert set(per_chip) == {"P0", "P1"}
+
+    def test_normal_population_must_be_subset(self, characterizer, testbed):
+        with pytest.raises(ConfigurationError):
+            characterizer.characterize_chip(
+                testbed.chips[0],
+                applications=(GCC,),
+                normal_population=(X264,),
+            )
+
+    def test_empty_population_rejected(self, characterizer, testbed):
+        with pytest.raises(ConfigurationError):
+            characterizer.characterize_chip(testbed.chips[0], applications=())
+
+
+class TestGeneralization:
+    def test_random_chip_characterizes_cleanly(self, random_chip):
+        """The methodology is chip-agnostic: sampled chips work too."""
+        characterizer = Characterizer(RngStreams(11), trials=5)
+        result = characterizer.characterize_chip(
+            random_chip, applications=(GCC, X264)
+        )
+        for limits in result.limits.values():
+            assert 0 <= limits.thread_worst <= limits.idle
+            assert limits.thread_worst <= random_chip.core(
+                limits.core_label
+            ).max_safe_reduction(STRESS_THREAD_WORST) + 1
+
+
+class TestConfig:
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Characterizer(RngStreams(0), trials=0)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Characterizer(RngStreams(0), repeats_per_step=0)

@@ -1,0 +1,86 @@
+"""Tests for the test-time cost model."""
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.cost_model import (
+    RunCosts,
+    full_characterization_cost,
+    prediction_cost,
+    stress_test_cost,
+)
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams
+from repro.workloads.spec import GCC, X264
+
+
+class TestAnalyticModel:
+    def test_characterization_dwarfs_deployment(self):
+        characterization = full_characterization_cost(
+            n_cores=8, n_applications=36, trials=10, repeats_per_step=2
+        )
+        deployment = stress_test_cost(n_cores=8, battery_size=3, repeats=5)
+        assert characterization.ratio_to(deployment) > 100.0
+
+    def test_prediction_is_cheapest(self):
+        deployment = stress_test_cost(n_cores=8, battery_size=3, repeats=5)
+        prediction = prediction_cost(n_cores=8)
+        assert prediction.wall_clock_s < deployment.wall_clock_s
+
+    def test_costs_scale_with_population(self):
+        small = full_characterization_cost(
+            n_cores=8, n_applications=5, trials=10, repeats_per_step=2
+        )
+        large = full_characterization_cost(
+            n_cores=8, n_applications=40, trials=10, repeats_per_step=2
+        )
+        # The application stage dominates, but the idle/uBench stages are
+        # population-independent overhead, so scaling is sub-proportional.
+        assert large.runs > 3 * small.runs
+
+    def test_hours_property(self):
+        cost = stress_test_cost(n_cores=8, battery_size=3, repeats=5)
+        assert cost.wall_clock_hours == pytest.approx(cost.wall_clock_s / 3600.0)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            full_characterization_cost(
+                n_cores=0, n_applications=1, trials=1, repeats_per_step=1
+            )
+        with pytest.raises(ConfigurationError):
+            stress_test_cost(n_cores=8, battery_size=0, repeats=5)
+        with pytest.raises(ConfigurationError):
+            prediction_cost(n_cores=0)
+
+    def test_bad_run_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunCosts(application_run_s=0.0)
+
+    def test_zero_reference_ratio_rejected(self):
+        cost = stress_test_cost(n_cores=8, battery_size=3, repeats=5)
+        fake = type(cost)(name="zero", runs=0, wall_clock_s=0.0)
+        with pytest.raises(ConfigurationError):
+            cost.ratio_to(fake)
+
+
+class TestMeasuredCounts:
+    def test_probe_counter_tracks_runs(self, testbed):
+        """The instrumented counter matches the analytic order of magnitude."""
+        chip = testbed.chips[0]
+        characterizer = Characterizer(RngStreams(3), trials=3)
+        assert characterizer.total_probe_count == 0
+        characterizer.characterize_chip(chip, applications=(GCC, X264))
+        measured = characterizer.total_probe_count
+        analytic = full_characterization_cost(
+            n_cores=8, n_applications=2, trials=3, repeats_per_step=2
+        )
+        assert measured > 0
+        assert 0.3 < measured / analytic.runs < 3.0
+
+    def test_counter_accumulates(self, testbed):
+        core = testbed.chips[0].cores[0]
+        characterizer = Characterizer(RngStreams(4), trials=2)
+        characterizer.characterize_idle(core)
+        first = characterizer.total_probe_count
+        characterizer.characterize_idle(core)
+        assert characterizer.total_probe_count > first

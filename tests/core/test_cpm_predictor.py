@@ -1,0 +1,150 @@
+"""Tests for the guarded per-application CPM predictor."""
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.cpm_predictor import GuardedCpmPredictor, workload_features
+from repro.errors import ConfigurationError
+from repro.core.limits import LimitTable
+from repro.rng import RngStreams
+from repro.workloads.parsec import FERRET, SWAPTIONS
+from repro.workloads.registry import realistic_applications
+from repro.workloads.spec import DEEPSJENG, GCC, LEELA, X264
+
+
+@pytest.fixture(scope="module")
+def training_setup(testbed):
+    """Characterize chip 0 on a training population (leela held out)."""
+    train_apps = tuple(
+        w for w in realistic_applications() if w.name != "leela"
+    )
+    characterizer = Characterizer(RngStreams(17), trials=5)
+    characterization = characterizer.characterize_chip(
+        testbed.chips[0], applications=train_apps
+    )
+    limits = LimitTable(characterization.limits)
+    predictor = GuardedCpmPredictor({"P0": characterization}, limits)
+    predictor.fit({w.name: w for w in train_apps})
+    return predictor, limits, characterization
+
+
+class TestPrediction:
+    def test_fitted_flag(self, training_setup):
+        predictor, _, _ = training_setup
+        assert predictor.is_fitted
+
+    def test_predict_before_fit_rejected(self, testbed, training_setup):
+        _, limits, characterization = training_setup
+        fresh = GuardedCpmPredictor({"P0": characterization}, limits)
+        with pytest.raises(ConfigurationError):
+            fresh.predict("P0C0", GCC)
+
+    def test_unknown_core_rejected(self, training_setup):
+        predictor, _, _ = training_setup
+        with pytest.raises(ConfigurationError):
+            predictor.predict("P1C0", GCC)
+
+    def test_held_out_light_app_predicted_safely(self, training_setup, testbed):
+        """leela (held out) must get a *safe* setting on every core."""
+        predictor, _, _ = training_setup
+        for core in testbed.chips[0].cores:
+            prediction = predictor.predict(core.label, LEELA)
+            true_limit = core.max_safe_reduction(LEELA.stress)
+            assert prediction.guarded_reduction <= true_limit, core.label
+
+    def test_never_below_thread_worst_floor(self, training_setup, testbed):
+        predictor, limits, _ = training_setup
+        for core in testbed.chips[0].cores:
+            for workload in (LEELA, X264, FERRET, SWAPTIONS, DEEPSJENG):
+                prediction = predictor.predict(core.label, workload)
+                assert (
+                    prediction.guarded_reduction
+                    >= limits.of(core.label).thread_worst
+                )
+
+    def test_light_app_beats_floor_somewhere(self, training_setup, testbed):
+        """The predictor's upside: benign apps get more than thread-worst."""
+        predictor, limits, _ = training_setup
+        gains = 0
+        for core in testbed.chips[0].cores:
+            prediction = predictor.predict(core.label, GCC)
+            if prediction.guarded_reduction > limits.of(core.label).thread_worst:
+                gains += 1
+        assert gains >= 4
+
+    def test_neighbors_reported(self, training_setup):
+        predictor, _, _ = training_setup
+        prediction = predictor.predict("P0C0", LEELA)
+        assert len(prediction.neighbor_apps) == 3
+        assert all(isinstance(n, str) for n in prediction.neighbor_apps)
+
+    def test_predict_chip_covers_cores(self, training_setup, testbed):
+        predictor, _, _ = training_setup
+        labels = tuple(c.label for c in testbed.chips[0].cores)
+        predictions = predictor.predict_chip(labels, GCC)
+        assert set(predictions) == set(labels)
+
+
+class TestFeatures:
+    def test_features_exclude_ground_truth(self):
+        """x264 and leela have close features despite distant stress.
+
+        This reproduces the paper's observation that counter-level profiles
+        do not reveal the rollback requirement — and is exactly why the
+        guard is mandatory.
+        """
+        fx = workload_features(X264)
+        fl = workload_features(LEELA)
+        assert abs(fx[0] - fl[0]) < 0.2  # similar activity
+        assert X264.stress - LEELA.stress > 0.5  # very different stress
+
+    def test_x264_like_app_guarded(self, training_setup, testbed):
+        """Predicting a noisy app held out of training stays safe."""
+        train_apps = tuple(
+            w for w in realistic_applications() if w.name != "x264"
+        )
+        characterizer = Characterizer(RngStreams(18), trials=5)
+        characterization = characterizer.characterize_chip(
+            testbed.chips[0], applications=train_apps
+        )
+        limits = LimitTable(characterization.limits)
+        predictor = GuardedCpmPredictor(
+            {"P0": characterization}, limits, safety_margin_steps=1
+        )
+        predictor.fit({w.name: w for w in train_apps})
+        # Note: with x264 unprofiled the floor itself (thread-worst over
+        # the remaining apps) can exceed x264's true limit — the exact
+        # failure mode the paper warns about.  The guard keeps predictions
+        # within one step of the truth.
+        for core in testbed.chips[0].cores:
+            prediction = predictor.predict(core.label, X264)
+            true_limit = core.max_safe_reduction(X264.stress)
+            assert prediction.guarded_reduction <= true_limit + 1, core.label
+
+
+class TestConfig:
+    def test_bad_neighbors_rejected(self, training_setup):
+        _, limits, characterization = training_setup
+        with pytest.raises(ConfigurationError):
+            GuardedCpmPredictor({"P0": characterization}, limits, n_neighbors=0)
+
+    def test_negative_margin_rejected(self, training_setup):
+        _, limits, characterization = training_setup
+        with pytest.raises(ConfigurationError):
+            GuardedCpmPredictor(
+                {"P0": characterization}, limits, safety_margin_steps=-1
+            )
+
+    def test_empty_fit_rejected(self, training_setup):
+        _, limits, characterization = training_setup
+        predictor = GuardedCpmPredictor({"P0": characterization}, limits)
+        with pytest.raises(ConfigurationError):
+            predictor.fit({})
+
+    def test_disjoint_fit_rejected(self, training_setup):
+        from repro.workloads.ubench import COREMARK
+
+        _, limits, characterization = training_setup
+        predictor = GuardedCpmPredictor({"P0": characterization}, limits)
+        with pytest.raises(ConfigurationError):
+            predictor.fit({"coremark": COREMARK})

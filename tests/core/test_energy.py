@@ -1,0 +1,86 @@
+"""Tests for energy and efficiency accounting."""
+
+import pytest
+
+from repro.core.energy import energy_report
+from repro.core.manager import AtmManager
+from repro.errors import ConfigurationError
+from repro.workloads.dnn import SQUEEZENET
+from repro.workloads.spec import X264
+
+
+@pytest.fixture(scope="module")
+def manager(chip0_sim, p0_limits):
+    return AtmManager(chip0_sim, p0_limits)
+
+
+@pytest.fixture(scope="module")
+def scenario_reports(manager):
+    criticals, backgrounds = [SQUEEZENET], [X264] * 7
+    return {
+        "static": energy_report(manager.run_static_margin(criticals, backgrounds)),
+        "default": energy_report(manager.run_default_atm(criticals, backgrounds)),
+        "managed_max": energy_report(manager.run_managed_max(criticals, backgrounds)),
+        "managed_qos": energy_report(
+            manager.run_managed_qos(criticals, backgrounds, target_speedup=1.10)
+        ),
+    }
+
+
+class TestEnergyReport:
+    def test_critical_energy_positive(self, scenario_reports):
+        for report in scenario_reports.values():
+            assert report.critical_energy_j["squeezenet"] > 0.0
+
+    def test_work_rate_counts_all_jobs(self, scenario_reports):
+        # 8 jobs, each contributing ~1x or more at static margin.
+        static = scenario_reports["static"]
+        assert static.aggregate_work_rate == pytest.approx(8.0, abs=0.01)
+
+    def test_default_atm_improves_work_rate(self, scenario_reports):
+        assert (
+            scenario_reports["default"].aggregate_work_rate
+            > scenario_reports["static"].aggregate_work_rate
+        )
+
+    def test_managed_max_sacrifices_background_work(self, scenario_reports):
+        """Throttling background to p-min costs aggregate work rate."""
+        assert (
+            scenario_reports["managed_max"].aggregate_work_rate
+            < scenario_reports["managed_qos"].aggregate_work_rate
+        )
+
+    def test_managed_max_lowers_critical_energy(self, scenario_reports):
+        """Faster critical core + much lower chip power = fewer joules/task."""
+        assert (
+            scenario_reports["managed_max"].critical_energy_j["squeezenet"]
+            < scenario_reports["static"].critical_energy_j["squeezenet"]
+        )
+
+    def test_efficiency_ratio_definition(self, scenario_reports):
+        managed = scenario_reports["managed_max"]
+        static = scenario_reports["static"]
+        ratio = managed.efficiency_vs(static)
+        assert ratio == pytest.approx(
+            static.power_per_work / managed.power_per_work
+        )
+
+    def test_atm_beats_static_efficiency(self, scenario_reports):
+        """Reclaimed margin is free performance: work/W must improve."""
+        assert scenario_reports["default"].efficiency_vs(
+            scenario_reports["static"]
+        ) > 1.0
+
+
+class TestValidation:
+    def test_placementless_result_rejected(self, manager):
+        result = manager.run_static_margin([SQUEEZENET], [X264] * 7)
+        stripped = type(result)(
+            scenario=result.scenario,
+            state=result.state,
+            placement=None,
+            critical_speedups=result.critical_speedups,
+            background_setting=result.background_setting,
+        )
+        with pytest.raises(ConfigurationError):
+            energy_report(stripped)

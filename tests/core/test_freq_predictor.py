@@ -1,0 +1,82 @@
+"""Tests for the Eq. 1 per-core frequency predictor."""
+
+import pytest
+
+from repro.core.freq_predictor import (
+    fit_core_frequency_models,
+    frequency_power_sweep,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.silicon.chipspec import TESTBED_THREAD_WORST_LIMITS
+
+
+@pytest.fixture(scope="module")
+def predictors(chip0_sim):
+    return fit_core_frequency_models(
+        chip0_sim, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+    )
+
+
+class TestSweep:
+    def test_sweep_covers_co_runner_counts(self, chip0_sim):
+        samples = frequency_power_sweep(
+            chip0_sim, 0, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+        )
+        assert len(samples) == 8  # 0..7 co-runners
+        powers = [s[0] for s in samples]
+        assert powers == sorted(powers)
+
+    def test_frequency_decreases_along_sweep(self, chip0_sim):
+        samples = frequency_power_sweep(
+            chip0_sim, 0, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+        )
+        freqs = [s[1] for s in samples]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_bad_index_rejected(self, chip0_sim):
+        with pytest.raises(ConfigurationError):
+            frequency_power_sweep(chip0_sim, 9, tuple([0] * 8))
+
+    def test_bad_reductions_rejected(self, chip0_sim):
+        with pytest.raises(ConfigurationError):
+            frequency_power_sweep(chip0_sim, 0, (0, 0))
+
+
+class TestFittedModels:
+    def test_one_predictor_per_core(self, predictors, chip0):
+        assert set(predictors) == {core.label for core in chip0.cores}
+
+    def test_slope_near_two_mhz_per_watt(self, predictors):
+        """Fig. 12a: each watt costs ~2 MHz on the testbed."""
+        for predictor in predictors.values():
+            assert 1.5 < predictor.mhz_per_watt < 2.6
+
+    def test_fit_quality(self, predictors):
+        for predictor in predictors.values():
+            assert predictor.fit.r_squared > 0.999
+
+    def test_prediction_matches_solver(self, predictors, chip0_sim):
+        """Interpolated predictions track fresh solver runs closely."""
+        samples = frequency_power_sweep(
+            chip0_sim, 3, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+        )
+        predictor = predictors["P0C3"]
+        for power, freq in samples:
+            assert predictor.predict_mhz(power) == pytest.approx(freq, abs=3.0)
+
+    def test_power_budget_inversion(self, predictors):
+        predictor = predictors["P0C0"]
+        target = predictor.predict_mhz(80.0)
+        assert predictor.power_budget_for_mhz(target) == pytest.approx(80.0, abs=0.5)
+
+    def test_unreachable_target_rejected(self, predictors):
+        with pytest.raises(CalibrationError):
+            predictors["P0C0"].power_budget_for_mhz(9000.0)
+
+    def test_negative_power_rejected(self, predictors):
+        with pytest.raises(ConfigurationError):
+            predictors["P0C0"].predict_mhz(-1.0)
+
+    def test_bad_target_rejected(self, predictors):
+        with pytest.raises(ConfigurationError):
+            predictors["P0C0"].power_budget_for_mhz(0.0)

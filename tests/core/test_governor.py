@@ -1,0 +1,110 @@
+"""Tests for the CPM configuration governors."""
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.governor import Governor, GovernorPolicy
+from repro.core.limits import LimitTable
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams
+from repro.workloads.spec import GCC, X264
+
+
+class TestDefaultPolicy:
+    def test_uses_thread_worst(self, chip0, p0_limits):
+        governor = Governor(p0_limits)
+        decision = governor.decide(chip0, GovernorPolicy.DEFAULT)
+        assert decision.reductions == p0_limits.row("thread worst")
+
+    def test_all_cores_eligible(self, chip0, p0_limits):
+        decision = Governor(p0_limits).decide(chip0, GovernorPolicy.DEFAULT)
+        assert len(decision.eligible_critical_cores) == 8
+
+
+class TestConservativePolicy:
+    def test_restricts_eligible_cores(self, chip0, p0_limits):
+        governor = Governor(p0_limits, robust_core_count=3)
+        decision = governor.decide(chip0, GovernorPolicy.CONSERVATIVE)
+        assert len(decision.eligible_critical_cores) == 3
+        # Same thread-worst reductions as DEFAULT.
+        assert decision.reductions == p0_limits.row("thread worst")
+
+    def test_eligible_cores_are_the_robust_ones(self, chip0, p0_limits):
+        governor = Governor(p0_limits, robust_core_count=2)
+        decision = governor.decide(chip0, GovernorPolicy.CONSERVATIVE)
+        chip_table = LimitTable({l: p0_limits.of(l) for l in
+                                 (c.label for c in chip0.cores)})
+        assert decision.eligible_critical_cores == chip_table.most_robust_cores(2)
+
+    def test_bad_count_rejected(self, p0_limits):
+        with pytest.raises(ConfigurationError):
+            Governor(p0_limits, robust_core_count=0)
+
+
+class TestAggressivePolicy:
+    @pytest.fixture(scope="class")
+    def characterization(self, testbed):
+        characterizer = Characterizer(RngStreams(31), trials=5)
+        return {
+            "P0": characterizer.characterize_chip(
+                testbed.chips[0], applications=(GCC, X264)
+            )
+        }
+
+    def test_needs_characterization(self, chip0, p0_limits):
+        governor = Governor(p0_limits)
+        with pytest.raises(ConfigurationError):
+            governor.decide(
+                chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(GCC,) * 8
+            )
+
+    def test_needs_app_vector(self, chip0, p0_limits, characterization):
+        governor = Governor(p0_limits, characterization)
+        with pytest.raises(ConfigurationError):
+            governor.decide(chip0, GovernorPolicy.AGGRESSIVE)
+
+    def test_tailors_reductions_per_app(
+        self, chip0, p0_limits, characterization
+    ):
+        governor = Governor(p0_limits, characterization)
+        gcc_decision = governor.decide(
+            chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(GCC,) * 8
+        )
+        x264_decision = governor.decide(
+            chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(X264,) * 8
+        )
+        # gcc tolerates more aggressive settings than x264 on every core.
+        assert all(
+            g >= x
+            for g, x in zip(gcc_decision.reductions, x264_decision.reductions)
+        )
+        assert gcc_decision.reductions != x264_decision.reductions
+
+    def test_aggressive_beats_default_for_benign_apps(
+        self, chip0, p0_limits, characterization
+    ):
+        governor = Governor(p0_limits, characterization)
+        default = governor.decide(chip0, GovernorPolicy.DEFAULT)
+        aggressive = governor.decide(
+            chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(GCC,) * 8
+        )
+        assert sum(aggressive.reductions) > sum(default.reductions)
+
+    def test_idle_cores_fall_back_to_thread_worst(
+        self, chip0, p0_limits, characterization
+    ):
+        governor = Governor(p0_limits, characterization)
+        apps = (GCC,) + (None,) * 7
+        decision = governor.decide(
+            chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=apps
+        )
+        assert decision.reductions[1:] == p0_limits.row("thread worst")[1:]
+
+    def test_unprofiled_app_rejected(self, chip0, p0_limits, characterization):
+        from repro.workloads.spec import MCF
+
+        governor = Governor(p0_limits, characterization)
+        with pytest.raises(ConfigurationError):
+            governor.decide(
+                chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(MCF,) * 8
+            )

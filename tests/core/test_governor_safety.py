@@ -1,0 +1,81 @@
+"""Safety proofs for governor decisions against ground truth."""
+
+import pytest
+
+from repro.core.characterize import Characterizer
+from repro.core.governor import Governor, GovernorPolicy
+from repro.core.limits import LimitTable
+from repro.rng import RngStreams
+from repro.workloads.registry import realistic_applications
+from repro.workloads.spec import GCC, LEELA, X264
+
+
+@pytest.fixture(scope="module")
+def full_characterization(testbed):
+    characterizer = Characterizer(RngStreams(51), trials=5)
+    return characterizer.characterize_chip(testbed.chips[0])
+
+
+@pytest.fixture(scope="module")
+def governor(full_characterization):
+    limits = LimitTable(full_characterization.limits)
+    return Governor(limits, {"P0": full_characterization})
+
+
+class TestDefaultPolicySafety:
+    def test_thread_worst_safe_for_every_profiled_app(
+        self, governor, chip0, full_characterization
+    ):
+        decision = governor.decide(chip0, GovernorPolicy.DEFAULT)
+        for core, reduction in zip(chip0.cores, decision.reductions):
+            for app in realistic_applications():
+                assert core.margin_slack_ps(reduction, app.stress) >= 0.0, (
+                    core.label,
+                    app.name,
+                )
+
+
+class TestAggressivePolicySafety:
+    @pytest.mark.parametrize("app", [GCC, LEELA, X264], ids=lambda w: w.name)
+    def test_aggressive_reductions_safe_for_their_app(
+        self, governor, chip0, app
+    ):
+        decision = governor.decide(
+            chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(app,) * 8
+        )
+        for core, reduction in zip(chip0.cores, decision.reductions):
+            assert core.margin_slack_ps(reduction, app.stress) >= -0.3, (
+                core.label,
+                app.name,
+            )
+
+    def test_aggressive_not_safe_for_a_different_app(self, governor, chip0):
+        """gcc's aggressive settings must NOT be assumed safe for x264 —
+        the mis-prediction hazard the paper warns about."""
+        decision = governor.decide(
+            chip0, GovernorPolicy.AGGRESSIVE, per_core_apps=(GCC,) * 8
+        )
+        violations = sum(
+            1
+            for core, reduction in zip(chip0.cores, decision.reductions)
+            if core.margin_slack_ps(reduction, X264.stress) < 0.0
+        )
+        assert violations >= 4
+
+
+class TestConservativePolicyRobustness:
+    def test_conservative_cores_are_the_most_robust(
+        self, governor, chip0, full_characterization
+    ):
+        decision = governor.decide(chip0, GovernorPolicy.CONSERVATIVE)
+        limits = LimitTable(full_characterization.limits)
+        eligible_rollbacks = [
+            limits.of(label).robustness_rollback
+            for label in decision.eligible_critical_cores
+        ]
+        excluded_rollbacks = [
+            limits.of(core.label).robustness_rollback
+            for core in chip0.cores
+            if core.label not in decision.eligible_critical_cores
+        ]
+        assert max(eligible_rollbacks) <= min(excluded_rollbacks)

@@ -1,0 +1,78 @@
+"""Tests for the hardware-interface boundary."""
+
+import numpy as np
+import pytest
+
+from repro.core.hw_interface import (
+    AtmHardware,
+    SimulatedHardware,
+    measure_limit,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.base import IDLE
+from repro.workloads.spec import X264
+
+
+@pytest.fixture()
+def hardware(chip0_sim):
+    return SimulatedHardware(chip0_sim, np.random.default_rng(7))
+
+
+class TestProtocolConformance:
+    def test_simulated_backend_satisfies_protocol(self, hardware):
+        assert isinstance(hardware, AtmHardware)
+
+    def test_core_labels(self, hardware):
+        assert hardware.core_labels() == tuple(f"P0C{i}" for i in range(8))
+
+    def test_preset_codes(self, hardware, chip0):
+        for core in chip0.cores:
+            assert hardware.preset_code(core.label) == core.preset_code
+
+    def test_reduction_bounds_enforced(self, hardware):
+        with pytest.raises(ConfigurationError):
+            hardware.set_reduction("P0C0", 99)
+
+
+class TestThroughProtocolMeasurements:
+    def test_frequency_rises_with_reduction(self, hardware):
+        base = hardware.read_frequency_mhz("P0C0")
+        hardware.set_reduction("P0C0", 5)
+        assert hardware.read_frequency_mhz("P0C0") > base
+
+    def test_power_reads_positive(self, hardware):
+        assert hardware.read_chip_power_w() > 10.0
+
+    def test_run_and_check_tracks_safety(self, hardware, chip0):
+        core = chip0.cores[0]
+        hardware.set_reduction(core.label, core.preset_code)
+        assert not hardware.run_and_check(core.label, X264)
+        hardware.set_reduction(core.label, 0)
+        assert hardware.run_and_check(core.label, IDLE)
+
+
+class TestMeasureLimit:
+    def test_idle_limit_matches_ground_truth(self, hardware, chip0):
+        """The protocol-only walk reproduces the known idle limits."""
+        for core in chip0.cores[:4]:
+            measured = measure_limit(hardware, core.label, IDLE)
+            assert measured == core.max_safe_reduction(0.0), core.label
+
+    def test_leaves_core_at_the_limit(self, hardware, chip0):
+        core = chip0.cores[0]
+        limit = measure_limit(hardware, core.label, IDLE)
+        # Frequency now reflects the limit configuration.
+        freq = hardware.read_frequency_mhz(core.label)
+        hardware.set_reduction(core.label, 0)
+        assert freq > hardware.read_frequency_mhz(core.label)
+        assert limit > 0
+
+    def test_x264_limit_below_idle_limit(self, hardware, chip0):
+        core = chip0.cores[0]
+        idle_limit = measure_limit(hardware, core.label, IDLE)
+        x264_limit = measure_limit(hardware, core.label, X264)
+        assert x264_limit < idle_limit
+
+    def test_repeats_validated(self, hardware):
+        with pytest.raises(ConfigurationError):
+            measure_limit(hardware, "P0C0", IDLE, repeats=0)

@@ -1,0 +1,120 @@
+"""Tests for the limit-table container (Table I)."""
+
+import pytest
+
+from repro.core.limits import CoreLimits, LimitTable
+from repro.errors import ConfigurationError
+
+
+def _limits(label="C0", idle=9, ubench=8, normal=7, worst=5):
+    return CoreLimits(
+        core_label=label,
+        idle=idle,
+        ubench=ubench,
+        thread_normal=normal,
+        thread_worst=worst,
+    )
+
+
+class TestCoreLimits:
+    def test_valid_ordering(self):
+        limits = _limits()
+        assert limits.robustness_rollback == 3
+
+    def test_equal_limits_allowed(self):
+        _limits(idle=5, ubench=5, normal=5, worst=5)
+
+    def test_ordering_violation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _limits(idle=5, ubench=6, normal=4, worst=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _limits(worst=-1)
+
+
+class TestLimitTable:
+    def _table(self):
+        return LimitTable(
+            {
+                "C0": _limits("C0", 9, 8, 7, 5),
+                "C1": _limits("C1", 6, 6, 5, 5),
+                "C2": _limits("C2", 10, 7, 5, 2),
+            }
+        )
+
+    def test_lookup(self):
+        table = self._table()
+        assert table.of("C1").idle == 6
+        assert "C1" in table
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._table().of("C9")
+
+    def test_rows(self):
+        table = self._table()
+        assert table.row("idle limit") == (9, 6, 10)
+        assert table.row("thread worst") == (5, 5, 2)
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._table().row("bogus")
+
+    def test_most_robust_prefers_small_rollback(self):
+        table = self._table()
+        # Rollbacks: C0=3, C1=1, C2=5 -> C1 first.
+        assert table.most_robust_cores(2) == ("C1", "C0")
+
+    def test_robust_tiebreak_prefers_performance(self):
+        table = LimitTable(
+            {
+                "A": _limits("A", 8, 7, 6, 5),  # rollback 2, worst 5
+                "B": _limits("B", 9, 8, 8, 6),  # rollback 2, worst 6
+            }
+        )
+        assert table.most_robust_cores(1) == ("B",)
+
+    def test_mismatched_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LimitTable({"X": _limits("Y")})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LimitTable({})
+
+    def test_render_contains_rows_and_cores(self):
+        rendered = self._table().render()
+        assert "thread worst" in rendered
+        assert "C2" in rendered
+
+    def test_round_trip_rows(self):
+        table = self._table()
+        rebuilt = LimitTable.from_rows(
+            table.core_labels,
+            table.row("idle limit"),
+            table.row("uBench limit"),
+            table.row("thread normal"),
+            table.row("thread worst"),
+        )
+        assert rebuilt.to_dict() == table.to_dict()
+
+    def test_from_rows_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LimitTable.from_rows(("A", "B"), (1,), (1,), (1,), (1,))
+
+    def test_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            self._table().most_robust_cores(0)
+
+
+class TestTestbedTable(object):
+    def test_paper_robust_cores_have_zero_rollback(self, testbed_limits):
+        """Some cores need no rollback at all between uBench and worst."""
+        robust = testbed_limits.most_robust_cores(3)
+        for label in robust:
+            assert testbed_limits.of(label).robustness_rollback <= 2
+
+    def test_p0c7_is_maximally_robust(self, testbed_limits):
+        """P0C7's limits are flat at 2 — total immunity to rollback."""
+        assert testbed_limits.of("P0C7").robustness_rollback == 0

@@ -1,0 +1,97 @@
+"""Per-pair behavioural tests of the manager (beyond squeezenet:x264)."""
+
+import pytest
+
+from repro.core.manager import AtmManager
+from repro.errors import SchedulingError
+from repro.workloads.dnn import SEQ2SEQ, VGG19
+from repro.workloads.parsec import FERRET, LU_CB, STREAMCLUSTER, SWAPTIONS
+from repro.workloads.spec import X264
+
+
+@pytest.fixture(scope="module")
+def manager(chip0_sim, p0_limits):
+    return AtmManager(chip0_sim, p0_limits)
+
+
+class TestStreamclusterHeadroom:
+    """Sec. VII-D: low-power co-runners leave QoS headroom for free."""
+
+    def test_streamcluster_vs_lucb_power(self, manager):
+        light = manager.run_unmanaged_finetuned([SEQ2SEQ], [STREAMCLUSTER] * 7)
+        heavy = manager.run_unmanaged_finetuned([SEQ2SEQ], [X264] * 7)
+        assert light.state.chip_power_w < heavy.state.chip_power_w - 15.0
+
+    def test_light_corunners_boost_critical(self, manager):
+        light = manager.run_managed_max([SEQ2SEQ], [STREAMCLUSTER] * 7)
+        heavy = manager.run_managed_max([SEQ2SEQ], [X264] * 7)
+        # Backgrounds are capped at p-min in both cases, so the residual
+        # difference comes from the co-runners' capped power draw.
+        assert (
+            light.critical_speedups["seq2seq"]
+            >= heavy.critical_speedups["seq2seq"] - 1e-9
+        )
+
+
+class TestMemIntensivePairings:
+    def test_ferret_with_light_background_schedules(self, manager):
+        result = manager.run_managed_max([FERRET], [SWAPTIONS] * 7)
+        assert result.critical_speedups["ferret"] > 1.05
+
+    def test_ferret_with_intensive_background_rejected(self, manager):
+        with pytest.raises(SchedulingError):
+            manager.run_managed_max([FERRET], [LU_CB] * 7)
+
+    def test_vgg19_latency_improves(self, manager):
+        static = manager.run_static_margin([VGG19], [SWAPTIONS] * 7)
+        managed = manager.run_managed_max([VGG19], [SWAPTIONS] * 7)
+        static_latency = VGG19.baseline_latency_ms / static.critical_speedups["vgg19"]
+        managed_latency = (
+            VGG19.baseline_latency_ms / managed.critical_speedups["vgg19"]
+        )
+        assert managed_latency < static_latency
+        assert static_latency == pytest.approx(VGG19.baseline_latency_ms, rel=1e-6)
+
+
+class TestQosSweep:
+    def test_tighter_target_never_lowers_critical_speed(self, manager):
+        """Raising the QoS target can only throttle the background more."""
+        speedups = []
+        for target in (1.04, 1.08, 1.12):
+            result = manager.run_managed_qos(
+                [SEQ2SEQ], [X264] * 7, target_speedup=target
+            )
+            speedups.append(result.critical_speedups["seq2seq"])
+            assert result.critical_speedups["seq2seq"] >= target - 5e-3
+        assert speedups == sorted(speedups)
+
+    def test_impossible_target_raises(self, manager):
+        with pytest.raises(Exception):
+            manager.run_managed_qos([SEQ2SEQ], [X264] * 7, target_speedup=1.45)
+
+
+class TestPartialOccupancy:
+    def test_fewer_corunners_more_critical_speed(self, manager):
+        crowded = manager.run_unmanaged_finetuned([SEQ2SEQ], [X264] * 7)
+        sparse = manager.run_unmanaged_finetuned([SEQ2SEQ], [X264] * 2)
+        assert (
+            sparse.critical_speedups["seq2seq"]
+            > crowded.critical_speedups["seq2seq"]
+        )
+
+    def test_solo_critical_is_fastest(self, manager):
+        solo = manager.run_managed_max([SEQ2SEQ], [])
+        crowded = manager.run_managed_max([SEQ2SEQ], [X264] * 7)
+        assert (
+            solo.critical_speedups["seq2seq"]
+            >= crowded.critical_speedups["seq2seq"]
+        )
+
+    def test_static_baseline_insensitive_to_corunners(self, manager):
+        """Fixed frequency means co-runners cannot hurt (the paper's
+        predictability argument for customers who disable ATM)."""
+        alone = manager.run_static_margin([SEQ2SEQ], [])
+        crowded = manager.run_static_margin([SEQ2SEQ], [X264] * 7)
+        assert alone.critical_speedups["seq2seq"] == pytest.approx(
+            crowded.critical_speedups["seq2seq"]
+        )

@@ -1,0 +1,80 @@
+"""Tests for the per-application performance predictor (Fig. 12b)."""
+
+import pytest
+
+from repro.core.perf_predictor import (
+    fit_performance_predictor,
+    fit_population,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.units import STATIC_MARGIN_MHZ
+from repro.workloads.dnn import SQUEEZENET
+from repro.workloads.spec import MCF, X264
+
+
+class TestFitting:
+    def test_linear_fit_quality(self):
+        predictor = fit_performance_predictor(X264)
+        assert predictor.fit.r_squared > 0.995
+
+    def test_unity_at_base_frequency(self):
+        predictor = fit_performance_predictor(SQUEEZENET)
+        assert predictor.predict_speedup(STATIC_MARGIN_MHZ) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_compute_bound_steeper_than_memory_bound(self):
+        """The Fig. 12b comparison: x264's slope far exceeds mcf's."""
+        x264 = fit_performance_predictor(X264)
+        mcf = fit_performance_predictor(MCF)
+        assert x264.speedup_per_ghz > 2.0 * mcf.speedup_per_ghz
+
+    def test_speedup_monotone(self):
+        predictor = fit_performance_predictor(X264)
+        assert predictor.predict_speedup(5000.0) > predictor.predict_speedup(4500.0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_performance_predictor(X264, freq_range_mhz=(5000.0, 4000.0))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_performance_predictor(X264, n_points=1)
+
+
+class TestInversion:
+    def test_frequency_for_speedup_round_trip(self):
+        predictor = fit_performance_predictor(SQUEEZENET)
+        freq = predictor.frequency_for_speedup(1.10)
+        assert predictor.predict_speedup(freq) == pytest.approx(1.10, abs=1e-9)
+
+    def test_ten_percent_target_within_atm_range(self):
+        """A compute-bound app's 10% QoS maps inside the fine-tuned band."""
+        predictor = fit_performance_predictor(SQUEEZENET)
+        freq = predictor.frequency_for_speedup(1.10)
+        assert 4500.0 < freq < 4800.0
+
+    def test_memory_bound_needs_more_frequency(self):
+        compute = fit_performance_predictor(X264).frequency_for_speedup(1.08)
+        memory = fit_performance_predictor(MCF).frequency_for_speedup(1.08)
+        assert memory > compute
+
+    def test_bad_target_rejected(self):
+        predictor = fit_performance_predictor(X264)
+        with pytest.raises(ConfigurationError):
+            predictor.frequency_for_speedup(0.0)
+
+    def test_bad_frequency_rejected(self):
+        predictor = fit_performance_predictor(X264)
+        with pytest.raises(ConfigurationError):
+            predictor.predict_speedup(-1.0)
+
+
+class TestPopulation:
+    def test_population_keys(self):
+        predictors = fit_population((X264, MCF, SQUEEZENET))
+        assert set(predictors) == {"x264", "mcf", "squeezenet"}
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_population(())

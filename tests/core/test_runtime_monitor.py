@@ -1,0 +1,108 @@
+"""Tests for the field drift monitor."""
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.core.freq_predictor import fit_core_frequency_models
+from repro.core.runtime_monitor import DriftMonitor
+from repro.errors import ConfigurationError
+from repro.silicon.aging import age_chip
+from repro.silicon.chipspec import TESTBED_THREAD_WORST_LIMITS
+
+
+@pytest.fixture(scope="module")
+def predictors(chip0_sim):
+    return fit_core_frequency_models(
+        chip0_sim, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+    )
+
+
+class TestHealthySystem:
+    def test_on_model_telemetry_not_flagged(self, predictors):
+        monitor = DriftMonitor(predictors, min_samples=3)
+        predictor = predictors["P0C0"]
+        for power in (40.0, 60.0, 80.0, 100.0, 70.0):
+            status = monitor.observe("P0C0", power, predictor.predict_mhz(power))
+            assert not status.drifting
+        assert monitor.drifting_cores() == ()
+        assert not monitor.recommend_recharacterization()
+
+    def test_small_noise_tolerated(self, predictors):
+        monitor = DriftMonitor(predictors, threshold_mhz=25.0, min_samples=3)
+        predictor = predictors["P0C1"]
+        for i in range(20):
+            noise = 10.0 if i % 2 == 0 else -10.0
+            monitor.observe("P0C1", 70.0, predictor.predict_mhz(70.0) + noise)
+        assert not monitor.status("P0C1").drifting
+
+    def test_positive_residual_never_flags(self, predictors):
+        """A core running *faster* than predicted is not drift."""
+        monitor = DriftMonitor(predictors, min_samples=3)
+        predictor = predictors["P0C2"]
+        for _ in range(20):
+            monitor.observe("P0C2", 70.0, predictor.predict_mhz(70.0) + 100.0)
+        assert not monitor.status("P0C2").drifting
+
+
+class TestDriftDetection:
+    def test_persistent_slowdown_flagged(self, predictors):
+        monitor = DriftMonitor(predictors, threshold_mhz=25.0, min_samples=5)
+        predictor = predictors["P0C3"]
+        for _ in range(30):
+            monitor.observe("P0C3", 70.0, predictor.predict_mhz(70.0) - 60.0)
+        status = monitor.status("P0C3")
+        assert status.drifting
+        assert status.mean_residual_mhz < -25.0
+        assert monitor.drifting_cores() == ("P0C3",)
+
+    def test_min_samples_suppresses_cold_start(self, predictors):
+        monitor = DriftMonitor(predictors, threshold_mhz=25.0, min_samples=10)
+        predictor = predictors["P0C4"]
+        for _ in range(5):
+            status = monitor.observe(
+                "P0C4", 70.0, predictor.predict_mhz(70.0) - 100.0
+            )
+        assert not status.drifting  # not enough samples yet
+
+    def test_aged_chip_detected_end_to_end(self, chip0, predictors):
+        """Telemetry from a 7-year-old chip must trip the monitor."""
+        aged_sim = ChipSim(age_chip(chip0, 7.0))
+        state = aged_sim.solve_steady_state(
+            aged_sim.uniform_assignments(
+                reductions=list(TESTBED_THREAD_WORST_LIMITS[:8])
+            )
+        )
+        monitor = DriftMonitor(predictors, threshold_mhz=25.0, min_samples=5)
+        for _ in range(10):
+            for index, core in enumerate(chip0.cores):
+                monitor.observe(
+                    core.label, state.chip_power_w, state.core_freq(index)
+                )
+        assert monitor.recommend_recharacterization()
+        assert len(monitor.drifting_cores()) == 8
+
+
+class TestValidation:
+    def test_unknown_core_rejected(self, predictors):
+        monitor = DriftMonitor(predictors)
+        with pytest.raises(ConfigurationError):
+            monitor.observe("P9C9", 70.0, 4600.0)
+        with pytest.raises(ConfigurationError):
+            monitor.status("P9C9")
+
+    def test_bad_sample_rejected(self, predictors):
+        monitor = DriftMonitor(predictors)
+        with pytest.raises(ConfigurationError):
+            monitor.observe("P0C0", 70.0, 0.0)
+
+    def test_empty_predictors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftMonitor({})
+
+    def test_bad_smoothing_rejected(self, predictors):
+        with pytest.raises(ConfigurationError):
+            DriftMonitor(predictors, smoothing=0.0)
+
+    def test_bad_threshold_rejected(self, predictors):
+        with pytest.raises(ConfigurationError):
+            DriftMonitor(predictors, threshold_mhz=0.0)

@@ -1,0 +1,146 @@
+"""Tests for variation-aware placement."""
+
+import pytest
+
+from repro.core.freq_predictor import fit_core_frequency_models
+from repro.core.scheduler import (
+    CriticalPlacement,
+    Placement,
+    VariationAwareScheduler,
+    rank_cores_by_speed,
+)
+from repro.errors import ConfigurationError, SchedulingError
+from repro.silicon.chipspec import TESTBED_THREAD_WORST_LIMITS
+from repro.workloads.dnn import SQUEEZENET, VGG19
+from repro.workloads.parsec import FERRET, LU_CB, STREAMCLUSTER, SWAPTIONS
+from repro.workloads.spec import GCC, X264
+
+
+@pytest.fixture(scope="module")
+def predictors(chip0_sim):
+    return fit_core_frequency_models(
+        chip0_sim, tuple(TESTBED_THREAD_WORST_LIMITS[:8])
+    )
+
+
+@pytest.fixture(scope="module")
+def scheduler(chip0, predictors):
+    return VariationAwareScheduler(chip0, predictors)
+
+
+class TestRanking:
+    def test_rank_is_descending_in_predicted_speed(self, predictors):
+        labels = tuple(predictors)
+        ranked = rank_cores_by_speed(predictors, 90.0, labels)
+        speeds = [predictors[l].predict_mhz(90.0) for l in ranked]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_missing_predictor_rejected(self, predictors):
+        with pytest.raises(ConfigurationError):
+            rank_cores_by_speed(predictors, 90.0, ("P0C0", "NOPE"))
+
+    def test_negative_power_rejected(self, predictors):
+        with pytest.raises(ConfigurationError):
+            rank_cores_by_speed(predictors, -1.0, tuple(predictors))
+
+
+class TestPlacementShape:
+    def test_critical_on_fastest_core(self, scheduler, predictors):
+        placement = scheduler.place([SQUEEZENET], [X264] * 7)
+        fastest = rank_cores_by_speed(predictors, 90.0, tuple(predictors))[0]
+        assert fastest in placement.critical
+        assert placement.critical[fastest] is SQUEEZENET
+
+    def test_slowest_placement_mode(self, scheduler, predictors):
+        placement = scheduler.place(
+            [SQUEEZENET],
+            [X264] * 7,
+            critical_placement=CriticalPlacement.SLOWEST,
+        )
+        slowest = rank_cores_by_speed(predictors, 90.0, tuple(predictors))[-1]
+        assert slowest in placement.critical
+
+    def test_careless_placement_avoids_extremes(self, scheduler, predictors):
+        placement = scheduler.place(
+            [SQUEEZENET],
+            [X264] * 7,
+            critical_placement=CriticalPlacement.CARELESS,
+        )
+        ranked = rank_cores_by_speed(predictors, 90.0, tuple(predictors))
+        critical_core = next(iter(placement.critical))
+        assert critical_core == ranked[len(ranked) // 2]
+
+    def test_all_jobs_placed(self, scheduler):
+        placement = scheduler.place([SQUEEZENET], [X264] * 7)
+        assert len(placement.occupied_cores) == 8
+        assert len(placement.background) == 7
+
+    def test_partial_load_leaves_cores_free(self, scheduler):
+        placement = scheduler.place([SQUEEZENET], [X264] * 3)
+        assert len(placement.occupied_cores) == 4
+        free = [l for l in (c.label for c in scheduler.chip.cores)
+                if placement.workload_on(l) is None]
+        assert len(free) == 4
+
+    def test_eligible_restriction_respected(self, scheduler):
+        placement = scheduler.place(
+            [SQUEEZENET], [], eligible_critical_cores=("P0C7",)
+        )
+        assert placement.critical == {"P0C7": SQUEEZENET}
+
+
+class TestPlacementRules:
+    def test_background_as_critical_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.place([X264], [GCC])
+
+    def test_double_intensive_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.place([FERRET], [LU_CB] * 7)
+
+    def test_same_intensive_app_many_instances_ok(self, scheduler):
+        """Several copies of one intensive background app are fine."""
+        placement = scheduler.place([SQUEEZENET], [STREAMCLUSTER] * 7)
+        assert len(placement.background) == 7
+
+    def test_intensive_critical_with_light_background_ok(self, scheduler):
+        placement = scheduler.place([VGG19], [SWAPTIONS] * 7)
+        assert len(placement.critical) == 1
+
+    def test_too_many_jobs_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.place([SQUEEZENET], [X264] * 8)
+
+    def test_more_criticals_than_eligible_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.place(
+                [SQUEEZENET, VGG19],
+                [],
+                eligible_critical_cores=("P0C0",),
+            )
+
+    def test_unknown_eligible_core_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.place([SQUEEZENET], [], eligible_critical_cores=("P9C9",))
+
+
+class TestPlacementObject:
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(
+                chip_id="P0",
+                critical={"P0C0": SQUEEZENET},
+                background={"P0C0": X264},
+            )
+
+    def test_workload_lookup(self, scheduler):
+        placement = scheduler.place([SQUEEZENET], [X264] * 2)
+        critical_core = next(iter(placement.critical))
+        assert placement.workload_on(critical_core) is SQUEEZENET
+        assert placement.workload_on("P0C9") is None
+
+    def test_missing_predictor_rejected(self, chip0, predictors):
+        incomplete = dict(predictors)
+        incomplete.pop("P0C0")
+        with pytest.raises(ConfigurationError):
+            VariationAwareScheduler(chip0, incomplete)

@@ -1,0 +1,126 @@
+"""Tests for server-wide (multi-socket) management."""
+
+import pytest
+
+from repro.atm.system import ServerSim
+from repro.core.server_manager import (
+    ServerAtmManager,
+    SocketStrategy,
+)
+from repro.errors import ConfigurationError, SchedulingError
+from repro.workloads.dnn import SQUEEZENET
+from repro.workloads.spec import X264
+
+
+@pytest.fixture(scope="module")
+def server_manager(testbed, testbed_limits):
+    return ServerAtmManager(ServerSim(testbed), testbed_limits)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return [SQUEEZENET], [X264] * 7
+
+
+class TestPackStrategy:
+    def test_criticals_land_on_one_socket(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(criticals, backgrounds)
+        hosting = [
+            chip_id
+            for chip_id, scenario in result.per_chip.items()
+            if scenario.placement and scenario.placement.critical
+        ]
+        assert len(hosting) == 1
+
+    def test_other_socket_idles(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(criticals, backgrounds)
+        idle_chips = [
+            scenario
+            for scenario in result.per_chip.values()
+            if scenario.placement is not None and not scenario.placement.critical
+        ]
+        assert idle_chips
+        for scenario in idle_chips:
+            assert scenario.state.chip_power_w < 40.0
+
+    def test_qos_passthrough(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(
+            criticals, backgrounds, qos_target=1.10
+        )
+        assert result.critical_speedups["squeezenet"] >= 1.095
+
+    def test_total_power_sums_sockets(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(criticals, backgrounds)
+        assert result.total_power_w == pytest.approx(
+            sum(s.state.chip_power_w for s in result.per_chip.values())
+        )
+
+
+class TestIsolateStrategy:
+    def test_sockets_split_roles(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(
+            criticals, backgrounds, strategy=SocketStrategy.ISOLATE
+        )
+        critical_chips = [
+            chip_id
+            for chip_id, scenario in result.per_chip.items()
+            if scenario.placement and scenario.placement.critical
+        ]
+        background_chips = [
+            chip_id
+            for chip_id, scenario in result.per_chip.items()
+            if scenario.placement and scenario.placement.background
+        ]
+        assert len(critical_chips) == 1
+        assert len(background_chips) == 1
+        assert critical_chips[0] != background_chips[0]
+
+    def test_isolation_beats_packed_critical_speed(self, server_manager, jobs):
+        """With its own supply, the critical job never shares power."""
+        criticals, backgrounds = jobs
+        packed = server_manager.run(criticals, backgrounds)
+        isolated = server_manager.run(
+            criticals, backgrounds, strategy=SocketStrategy.ISOLATE
+        )
+        assert (
+            isolated.critical_speedups["squeezenet"]
+            >= packed.critical_speedups["squeezenet"] - 1e-9
+        )
+
+    def test_background_runs_unthrottled_when_isolated(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(
+            criticals, backgrounds, strategy=SocketStrategy.ISOLATE
+        )
+        background_scenario = next(
+            s
+            for s in result.per_chip.values()
+            if s.placement and s.placement.background
+        )
+        assert "uncapped" in background_scenario.background_setting
+
+    def test_mean_speedup(self, server_manager, jobs):
+        criticals, backgrounds = jobs
+        result = server_manager.run(
+            criticals, backgrounds, strategy=SocketStrategy.ISOLATE
+        )
+        assert result.mean_critical_speedup > 1.10
+
+
+class TestValidation:
+    def test_no_criticals_rejected(self, server_manager):
+        with pytest.raises(SchedulingError):
+            server_manager.run([], [X264])
+
+    def test_manager_lookup(self, server_manager):
+        assert server_manager.manager("P0").chip.chip_id == "P0"
+        with pytest.raises(ConfigurationError):
+            server_manager.manager("P9")
+
+    def test_chip_ids(self, server_manager):
+        assert set(server_manager.chip_ids) == {"P0", "P1"}

@@ -1,0 +1,96 @@
+"""Tests for the test-time stress-test deployment procedure."""
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.core.limits import CoreLimits, LimitTable
+from repro.core.stress_test import StressTestProcedure
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams
+from repro.workloads.stressmark import BEYOND_WORST_VIRUS
+
+
+@pytest.fixture(scope="module")
+def procedure():
+    return StressTestProcedure(RngStreams(21))
+
+
+class TestValidation:
+    def test_thread_worst_survives_battery(self, procedure, chip0, p0_limits):
+        config = procedure.deploy_chip(chip0, p0_limits)
+        assert all(d.survived_battery for d in config.cores.values())
+        assert all(
+            d.deployed_reduction == d.thread_worst_limit
+            for d in config.cores.values()
+        )
+
+    def test_too_aggressive_candidate_backs_off(self, procedure, chip0):
+        core = chip0.cores[0]
+        validated, survived = procedure.validate_core(
+            chip0, core.label, core.preset_code
+        )
+        assert not survived
+        assert validated < core.preset_code
+
+    def test_empty_battery_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StressTestProcedure(RngStreams(0), battery=())
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StressTestProcedure(RngStreams(0), repeats=0)
+
+
+class TestRollback:
+    def test_rollback_subtracts_steps(self, procedure, chip0, p0_limits):
+        config = procedure.deploy_chip(chip0, p0_limits, rollback_steps=2)
+        for label, deployment in config.cores.items():
+            expected = max(0, deployment.validated_limit - 2)
+            assert deployment.deployed_reduction == expected
+
+    def test_rollback_clamped_at_zero(self, procedure, chip0, p0_limits):
+        config = procedure.deploy_chip(chip0, p0_limits, rollback_steps=10)
+        assert all(
+            d.deployed_reduction >= 0 for d in config.cores.values()
+        )
+
+    def test_negative_rollback_rejected(self, procedure, chip0, p0_limits):
+        with pytest.raises(ConfigurationError):
+            procedure.deploy_chip(chip0, p0_limits, rollback_steps=-1)
+
+    def test_rollback_preserves_variation_trend(self, procedure, chip0, p0_limits):
+        sim = ChipSim(chip0)
+        limit_config = procedure.deploy_chip(chip0, p0_limits)
+        rolled_config = procedure.deploy_chip(chip0, p0_limits, rollback_steps=1)
+        limit_freqs = limit_config.idle_frequencies_mhz(sim)
+        rolled_freqs = rolled_config.idle_frequencies_mhz(sim)
+        # The fastest core at the limit stays among the faster half rolled back.
+        fastest = max(limit_freqs, key=limit_freqs.get)
+        ranked = sorted(rolled_freqs, key=rolled_freqs.get, reverse=True)
+        assert ranked.index(fastest) < 4
+
+
+class TestDeploymentConfig:
+    def test_reduction_vector_order(self, procedure, chip0, p0_limits):
+        config = procedure.deploy_chip(chip0, p0_limits)
+        reductions = config.reductions(chip0)
+        for core, reduction in zip(chip0.cores, reductions):
+            assert reduction == config.cores[core.label].deployed_reduction
+
+    def test_speed_differential_exceeds_200mhz(self, procedure, chip0, p0_limits):
+        """The paper's headline: >200 MHz spread at the limit config."""
+        config = procedure.deploy_chip(chip0, p0_limits)
+        sim = ChipSim(chip0)
+        assert config.speed_differential_mhz(sim) > 200.0
+
+    def test_beyond_worst_battery_forces_rollback(self, chip0, p0_limits):
+        """An adversary above the profiled worst case must back cores off."""
+        procedure = StressTestProcedure(
+            RngStreams(22), battery=(BEYOND_WORST_VIRUS,)
+        )
+        config = procedure.deploy_chip(chip0, p0_limits)
+        rolled_back = [
+            d for d in config.cores.values()
+            if d.validated_limit < d.thread_worst_limit
+        ]
+        assert rolled_back  # at least some cores cannot hold thread-worst

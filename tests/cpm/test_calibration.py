@@ -1,0 +1,66 @@
+"""Tests for the factory CPM preset calibration procedure."""
+
+import pytest
+
+from repro.cpm.calibration import (
+    FactoryCalibration,
+    preset_for_uniform_frequency,
+)
+from repro.errors import CalibrationError
+from repro.silicon import sample_chip
+from repro.silicon.paths import PathTimingModel
+from repro.units import DEFAULT_ATM_IDLE_MHZ
+
+
+class TestPresetSearch:
+    def test_fast_core_gets_larger_preset(self):
+        widths = (2.0,) * 30
+        slow = PathTimingModel(base_delay_ps=200.0)
+        fast = PathTimingModel(base_delay_ps=190.0)
+        preset_slow = preset_for_uniform_frequency(slow, widths, 4600.0, 3.4)
+        preset_fast = preset_for_uniform_frequency(fast, widths, 4600.0, 3.4)
+        assert preset_fast > preset_slow
+
+    def test_equilibrium_at_or_below_target(self):
+        widths = (2.0,) * 30
+        path = PathTimingModel(base_delay_ps=195.0)
+        preset = preset_for_uniform_frequency(path, widths, 4600.0, 3.4)
+        occupied = path.delay_ps() + sum(widths[:preset]) + 3.4
+        assert 1.0e6 / occupied <= 4600.0
+        # One code less would leave the core above target.
+        occupied_less = path.delay_ps() + sum(widths[: preset - 1]) + 3.4
+        assert 1.0e6 / occupied_less > 4600.0
+
+    def test_uncalibratable_core_raises(self):
+        widths = (0.1,) * 3  # far too little delay available
+        path = PathTimingModel(base_delay_ps=150.0)
+        with pytest.raises(CalibrationError):
+            preset_for_uniform_frequency(path, widths, 4600.0, 3.4)
+
+    def test_target_validation(self):
+        with pytest.raises(CalibrationError):
+            FactoryCalibration(0.0)
+
+
+class TestChipCalibration:
+    def test_report_shape(self, random_chip):
+        report = FactoryCalibration(DEFAULT_ATM_IDLE_MHZ).calibrate_chip(random_chip)
+        assert len(report.preset_codes) == random_chip.n_cores
+        assert report.core_labels == tuple(c.label for c in random_chip.cores)
+
+    def test_sampled_chip_presets_close_to_stored(self, random_chip):
+        """Calibrating a sampled chip reproduces its stored presets.
+
+        sample_chip re-anchors each core's path delay after choosing the
+        preset, so re-running the search must land on the stored code (or
+        within one code of it, at quantization boundaries).
+        """
+        report = FactoryCalibration(DEFAULT_ATM_IDLE_MHZ).calibrate_chip(random_chip)
+        for core, code in zip(random_chip.cores, report.preset_codes):
+            assert abs(code - core.preset_code) <= 1, core.label
+
+    def test_spread_statistic(self, random_chip):
+        report = FactoryCalibration(DEFAULT_ATM_IDLE_MHZ).calibrate_chip(random_chip)
+        low, high = report.spread()
+        assert low <= high
+        assert low >= 1

@@ -1,0 +1,82 @@
+"""Tests for the programmable inserted-delay stage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpm.inserted_delay import InsertedDelayStage
+from repro.errors import ConfigurationError
+
+
+class TestCodeProgramming:
+    def test_initial_code(self):
+        stage = InsertedDelayStage((1.0, 2.0, 3.0), code=2)
+        assert stage.code == 2
+
+    def test_set_code(self):
+        stage = InsertedDelayStage((1.0, 2.0, 3.0))
+        stage.set_code(3)
+        assert stage.code == 3
+
+    def test_reduce(self):
+        stage = InsertedDelayStage((1.0, 2.0, 3.0), code=3)
+        stage.reduce(2)
+        assert stage.code == 1
+
+    def test_reduce_below_zero_rejected(self):
+        stage = InsertedDelayStage((1.0, 2.0, 3.0), code=1)
+        with pytest.raises(ConfigurationError):
+            stage.reduce(2)
+
+    def test_negative_reduce_rejected(self):
+        stage = InsertedDelayStage((1.0, 2.0), code=2)
+        with pytest.raises(ConfigurationError):
+            stage.reduce(-1)
+
+    def test_code_out_of_range_rejected(self):
+        stage = InsertedDelayStage((1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            stage.set_code(3)
+
+    def test_max_code(self):
+        assert InsertedDelayStage((1.0,) * 7).max_code == 7
+
+
+class TestDelayValues:
+    def test_code_zero_no_delay(self):
+        stage = InsertedDelayStage((1.0, 2.0), code=0)
+        assert stage.delay_ps() == 0.0
+
+    def test_nominal_delay_cumulative(self):
+        stage = InsertedDelayStage((1.5, 2.5, 3.5), code=2)
+        assert stage.nominal_delay_ps() == pytest.approx(4.0)
+
+    def test_nominal_delay_explicit_code(self):
+        stage = InsertedDelayStage((1.5, 2.5, 3.5), code=0)
+        assert stage.nominal_delay_ps(3) == pytest.approx(7.5)
+
+    def test_reducing_code_shortens_delay(self):
+        stage = InsertedDelayStage((2.0, 2.0, 2.0), code=3)
+        before = stage.delay_ps()
+        stage.reduce(1)
+        assert stage.delay_ps() < before
+
+    def test_voltage_scales_delay(self):
+        stage = InsertedDelayStage((2.0, 2.0), code=2)
+        assert stage.delay_ps(vdd=1.20) > stage.delay_ps(vdd=1.25)
+
+    def test_temperature_scales_delay(self):
+        stage = InsertedDelayStage((2.0, 2.0), code=2)
+        assert stage.delay_ps(temperature_c=70.0) > stage.delay_ps(temperature_c=40.0)
+
+    @given(st.integers(min_value=0, max_value=10))
+    def test_delay_monotone_in_code(self, code):
+        stage = InsertedDelayStage((1.0,) * 11)
+        assert stage.nominal_delay_ps(code) <= stage.nominal_delay_ps(code + 1) if code < 10 else True
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InsertedDelayStage(())
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InsertedDelayStage((1.0, -1.0))

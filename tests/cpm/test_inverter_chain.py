@@ -1,0 +1,68 @@
+"""Tests for the CPM output inverter chain (margin quantizer)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpm.inverter_chain import InverterChain
+from repro.errors import ConfigurationError
+
+
+class TestQuantization:
+    def test_zero_margin(self):
+        assert InverterChain().quantize(0.0) == 0
+
+    def test_negative_margin_clamps_to_zero(self):
+        assert InverterChain().quantize(-5.0) == 0
+
+    def test_one_step(self):
+        chain = InverterChain(step_ps=2.0)
+        assert chain.quantize(2.5) == 1
+
+    def test_floor_semantics(self):
+        chain = InverterChain(step_ps=2.0)
+        assert chain.quantize(3.9) == 1
+        assert chain.quantize(4.0) == 2
+
+    def test_saturation(self):
+        chain = InverterChain(step_ps=1.0, length=5)
+        assert chain.quantize(100.0) == 5
+
+    @given(st.floats(min_value=0.0, max_value=50.0))
+    def test_output_bounded(self, margin):
+        chain = InverterChain(step_ps=1.7, length=12)
+        count = chain.quantize(margin)
+        assert 0 <= count <= 12
+
+    @given(
+        st.floats(min_value=0.0, max_value=20.0),
+        st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_monotone_in_margin(self, margin, step):
+        chain = InverterChain(step_ps=step)
+        assert chain.quantize(margin) <= chain.quantize(margin + 1.0)
+
+
+class TestVoltageDependence:
+    def test_step_slows_at_low_voltage(self):
+        chain = InverterChain(step_ps=1.7)
+        assert chain.effective_step_ps(vdd=1.20) > chain.effective_step_ps(vdd=1.25)
+
+    def test_same_margin_fewer_counts_at_low_voltage(self):
+        # Slower inverters count fewer steps for the same absolute margin.
+        chain = InverterChain(step_ps=1.7, length=20)
+        assert chain.quantize(10.0, vdd=1.05) <= chain.quantize(10.0, vdd=1.25)
+
+
+class TestValidation:
+    def test_bad_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InverterChain(step_ps=0.0)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InverterChain(length=0)
+
+    def test_properties(self):
+        chain = InverterChain(step_ps=2.5, length=8)
+        assert chain.step_ps == 2.5
+        assert chain.length == 8

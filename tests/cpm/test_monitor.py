@@ -1,0 +1,117 @@
+"""Tests for complete CPMs and per-core CPM arrays."""
+
+import numpy as np
+import pytest
+
+from repro.cpm.inserted_delay import InsertedDelayStage
+from repro.cpm.inverter_chain import InverterChain
+from repro.cpm.monitor import CoreCpmArray, CriticalPathMonitor, build_cpm_array
+from repro.cpm.synthetic_path import SyntheticPath
+from repro.errors import ConfigurationError
+from repro.silicon.paths import PathTimingModel
+from repro.units import mhz_to_cycle_ps
+
+
+def _monitor(base_delay=180.0, widths=(2.0,) * 10, code=5, step=1.7, length=40):
+    return CriticalPathMonitor(
+        inserted_delay=InsertedDelayStage(widths, code=code),
+        synthetic_path=SyntheticPath(PathTimingModel(base_delay_ps=base_delay)),
+        inverter_chain=InverterChain(step_ps=step, length=length),
+    )
+
+
+class TestCriticalPathMonitor:
+    def test_occupied_is_insert_plus_path(self):
+        monitor = _monitor()
+        assert monitor.occupied_ps() == pytest.approx(180.0 + 10.0)
+
+    def test_measure_counts_leftover(self):
+        monitor = _monitor()
+        cycle = 190.0 + 6.8  # occupied + 4 inverter steps
+        assert monitor.measure(cycle) == 4
+
+    def test_measure_zero_when_path_overruns(self):
+        monitor = _monitor()
+        assert monitor.measure(150.0) == 0
+
+    def test_reducing_delay_reports_more_margin(self):
+        monitor = _monitor()
+        cycle = mhz_to_cycle_ps(4600.0)
+        before = monitor.measure(cycle)
+        monitor.inserted_delay.reduce(3)
+        assert monitor.measure(cycle) > before
+
+    def test_droop_reduces_reading(self):
+        monitor = _monitor(base_delay=200.0)
+        cycle = 220.0
+        assert monitor.measure(cycle, vdd=1.10) <= monitor.measure(cycle, vdd=1.25)
+
+    def test_bad_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _monitor().measure(0.0)
+
+
+class TestCoreCpmArray:
+    def test_worst_reading_is_minimum(self):
+        fast = _monitor(base_delay=170.0)
+        slow = _monitor(base_delay=185.0)
+        array = CoreCpmArray("X", (fast, slow))
+        cycle = 210.0
+        assert array.worst_reading(cycle) == min(
+            fast.measure(cycle), slow.measure(cycle)
+        )
+
+    def test_set_code_applies_to_all(self):
+        array = CoreCpmArray("X", (_monitor(), _monitor()))
+        array.set_code(2)
+        assert all(m.inserted_delay.code == 2 for m in array.monitors)
+
+    def test_reduce_all(self):
+        array = CoreCpmArray("X", (_monitor(code=5), _monitor(code=5)))
+        array.reduce_all(2)
+        assert all(m.inserted_delay.code == 3 for m in array.monitors)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreCpmArray("X", ())
+
+
+class TestBuildCpmArray:
+    def test_count_and_positions(self, testbed):
+        chip = testbed.chips[0]
+        array = build_cpm_array(chip, chip.cores[0], np.random.default_rng(0))
+        assert len(array.monitors) == 4
+        positions = {m.synthetic_path.position for m in array.monitors}
+        assert "llc" not in positions
+
+    def test_binding_monitor_matches_core_spec(self, testbed):
+        """The worst-of-array reading must come from the aggregate model."""
+        chip = testbed.chips[0]
+        core = chip.cores[0]
+        array = build_cpm_array(chip, core, np.random.default_rng(1))
+        binding = array.monitors[0]
+        assert binding.synthetic_path.timing.base_delay_ps == pytest.approx(
+            core.synth_path.base_delay_ps
+        )
+        cycle = mhz_to_cycle_ps(4600.0)
+        assert array.worst_reading(cycle) == binding.measure(cycle)
+
+    def test_array_equilibrium_matches_steady_solver(self, testbed, chip0_sim):
+        """Component view and steady-state solver agree on the idle point.
+
+        At the solver's converged idle operating point, the worst CPM
+        reading at the default code must equal the DPLL threshold (the
+        loop's equilibrium condition).
+        """
+        chip = testbed.chips[0]
+        state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        for index, core in enumerate(chip.cores):
+            array = build_cpm_array(chip, core, np.random.default_rng(index))
+            cycle = 1.0e6 / state.core_freq(index)
+            reading = array.worst_reading(cycle, state.vdd, state.temperature_c)
+            assert reading == chip.threshold_units
+
+    def test_bad_monitor_count_rejected(self, testbed):
+        chip = testbed.chips[0]
+        with pytest.raises(ConfigurationError):
+            build_cpm_array(chip, chip.cores[0], n_monitors=0)

@@ -1,0 +1,34 @@
+"""Tests for the CPM synthetic path wrapper."""
+
+import pytest
+
+from repro.cpm.synthetic_path import SyntheticPath
+from repro.errors import ConfigurationError
+from repro.silicon.paths import PathTimingModel
+
+
+class TestSyntheticPath:
+    def test_delay_delegates_to_model(self):
+        model = PathTimingModel(base_delay_ps=150.0)
+        path = SyntheticPath(model)
+        assert path.delay_ps() == model.delay_ps()
+
+    def test_position_stored(self):
+        path = SyntheticPath(PathTimingModel(base_delay_ps=150.0), position="fpu")
+        assert path.position == "fpu"
+
+    def test_all_positions_accepted(self):
+        for position in SyntheticPath.POSITIONS:
+            SyntheticPath(PathTimingModel(base_delay_ps=150.0), position=position)
+
+    def test_unknown_position_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticPath(PathTimingModel(base_delay_ps=150.0), position="alu")
+
+    def test_voltage_sensitivity_passes_through(self):
+        path = SyntheticPath(PathTimingModel(base_delay_ps=150.0))
+        assert path.delay_ps(vdd=1.15) > path.delay_ps(vdd=1.25)
+
+    def test_timing_property(self):
+        model = PathTimingModel(base_delay_ps=150.0)
+        assert SyntheticPath(model).timing is model

@@ -1,0 +1,143 @@
+"""Tests for the DPLL adaptive frequency control loop."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dpll.control_loop import DpllControlLoop, LoopConfig
+from repro.errors import ConfigurationError
+
+
+class TestLoopConfig:
+    def test_defaults_valid(self):
+        config = LoopConfig()
+        assert config.down_slew_mhz_per_us > config.up_slew_mhz_per_us
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoopConfig(threshold_units=-1)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoopConfig(f_min_mhz=5000.0, f_max_mhz=4000.0)
+
+    def test_bad_slew_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoopConfig(up_slew_mhz_per_us=0.0)
+
+
+class TestLoopDynamics:
+    def test_holds_at_threshold(self):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        before = loop.frequency_mhz
+        result = loop.step(loop.config.threshold_units)
+        assert result.frequency_mhz == before
+        assert not result.violation
+
+    def test_climbs_on_excess_margin(self):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        result = loop.step(loop.config.threshold_units + 3)
+        assert result.frequency_mhz > 4600.0
+        assert not result.gated_cycle
+
+    def test_sheds_on_violation(self):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        result = loop.step(0)
+        assert result.frequency_mhz < 4600.0
+        assert result.violation and result.gated_cycle
+
+    def test_down_faster_than_up(self):
+        up_loop = DpllControlLoop(initial_mhz=4600.0)
+        down_loop = DpllControlLoop(initial_mhz=4600.0)
+        up_gain = up_loop.step(up_loop.config.threshold_units + 1).frequency_mhz - 4600.0
+        down_loss = 4600.0 - down_loop.step(0).frequency_mhz
+        assert down_loss > up_gain
+
+    def test_climb_scales_with_excess(self):
+        small = DpllControlLoop(initial_mhz=4600.0)
+        large = DpllControlLoop(initial_mhz=4600.0)
+        threshold = small.config.threshold_units
+        gain_small = small.step(threshold + 1).frequency_mhz - 4600.0
+        gain_large = large.step(threshold + 4).frequency_mhz - 4600.0
+        assert gain_large > gain_small
+
+    def test_converges_toward_equilibrium(self):
+        """Driven by a margin model, the loop settles at the margin source."""
+        loop = DpllControlLoop(initial_mhz=4200.0)
+        equilibrium_cycle = 1.0e6 / 4800.0
+
+        def margin_for(freq_mhz: float) -> int:
+            cycle = 1.0e6 / freq_mhz
+            excess_ps = cycle - equilibrium_cycle
+            return max(0, loop.config.threshold_units + int(excess_ps / 1.7))
+
+        for _ in range(100_000):
+            loop.step(margin_for(loop.frequency_mhz))
+        assert loop.frequency_mhz == pytest.approx(4800.0, abs=60.0)
+
+    def test_floor_clamp(self):
+        loop = DpllControlLoop(initial_mhz=2200.0)
+        for _ in range(200):
+            loop.step(0)
+        assert loop.frequency_mhz == loop.config.f_min_mhz
+
+    def test_ceiling_clamp(self):
+        loop = DpllControlLoop(initial_mhz=5400.0)
+        for _ in range(5000):
+            loop.step(12)
+        assert loop.frequency_mhz == loop.config.f_max_mhz
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=200))
+    def test_frequency_always_in_range(self, readings):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        for reading in readings:
+            loop.step(reading)
+            assert loop.config.f_min_mhz <= loop.frequency_mhz <= loop.config.f_max_mhz
+
+
+class TestCapAndCounters:
+    def test_cap_limits_frequency(self):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        loop.set_cap_mhz(4300.0)
+        assert loop.frequency_mhz == 4300.0
+        for _ in range(100):
+            loop.step(10)
+        assert loop.frequency_mhz == 4300.0
+
+    def test_cap_above_max_clamped(self):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        loop.set_cap_mhz(9000.0)
+        for _ in range(200_000):
+            loop.step(12)
+        assert loop.frequency_mhz == loop.config.f_max_mhz
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DpllControlLoop().set_cap_mhz(0.0)
+
+    def test_violation_counters(self):
+        loop = DpllControlLoop(initial_mhz=4600.0)
+        loop.step(0)
+        loop.step(5)
+        loop.step(1)
+        assert loop.violation_count == 2
+        assert loop.gated_cycle_count == 2
+        assert loop.step_count == 3
+
+    def test_negative_reading_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DpllControlLoop().step(-1)
+
+    def test_bad_initial_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DpllControlLoop(initial_mhz=100.0)
+
+
+class TestResponseLatency:
+    def test_latency_positive(self):
+        assert DpllControlLoop().response_latency_ns() > 0.0
+
+    def test_faster_slew_lower_latency(self):
+        slow = DpllControlLoop(LoopConfig(down_slew_mhz_per_us=500.0))
+        fast = DpllControlLoop(LoopConfig(down_slew_mhz_per_us=4000.0))
+        assert fast.response_latency_ns() < slow.response_latency_ns()

@@ -1,0 +1,91 @@
+"""Tests for the off-chip sliding-window voltage controller."""
+
+import pytest
+
+from repro.dpll.voltage_controller import (
+    ControllerConfig,
+    OffChipVoltageController,
+    VoltagePolicy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOverclockPolicy:
+    def test_setpoint_never_moves(self):
+        controller = OffChipVoltageController(policy=VoltagePolicy.OVERCLOCK)
+        initial = controller.vdd_setpoint
+        for _ in range(200):
+            assert controller.observe(5000.0) == initial
+
+    def test_policy_property(self):
+        controller = OffChipVoltageController()
+        assert controller.policy is VoltagePolicy.OVERCLOCK
+
+
+class TestUndervoltPolicy:
+    def _controller(self, **kwargs):
+        config = ControllerConfig(target_mhz=4200.0, **kwargs)
+        return OffChipVoltageController(policy=VoltagePolicy.UNDERVOLT, config=config)
+
+    def test_no_undervolt_until_window_full(self):
+        controller = self._controller(window_ms=32.0, sample_period_ms=1.0)
+        initial = controller.vdd_setpoint
+        for _ in range(31):
+            controller.observe(5000.0)
+        assert controller.vdd_setpoint == initial  # window not yet full
+        controller.observe(5000.0)
+        assert controller.vdd_setpoint < initial
+
+    def test_undervolts_while_above_target(self):
+        controller = self._controller()
+        for _ in range(100):
+            controller.observe(5000.0)
+        assert controller.vdd_setpoint < 1.25
+
+    def test_raises_when_below_target(self):
+        controller = self._controller()
+        for _ in range(100):
+            controller.observe(5000.0)
+        lowered = controller.vdd_setpoint
+        controller.observe(100.0)  # average dives under target eventually
+        for _ in range(60):
+            controller.observe(3000.0)
+        assert controller.vdd_setpoint > lowered
+
+    def test_floor_respected(self):
+        controller = self._controller()
+        for _ in range(10_000):
+            controller.observe(9000.0)
+        assert controller.vdd_setpoint == ControllerConfig().vdd_min_v
+
+    def test_sliding_average(self):
+        controller = self._controller(window_ms=4.0, sample_period_ms=1.0)
+        for value in (4000.0, 4200.0, 4400.0, 4600.0):
+            controller.observe(value)
+        assert controller.sliding_average_mhz() == pytest.approx(4300.0)
+
+    def test_window_eviction(self):
+        controller = self._controller(window_ms=2.0, sample_period_ms=1.0)
+        controller.observe(1000.0)
+        controller.observe(5000.0)
+        controller.observe(5000.0)  # evicts the 1000 sample
+        assert controller.sliding_average_mhz() == pytest.approx(5000.0)
+        assert controller.window_fill == 2
+
+
+class TestValidation:
+    def test_average_before_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffChipVoltageController().sliding_average_mhz()
+
+    def test_nonpositive_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OffChipVoltageController().observe(0.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(window_ms=0.0)
+
+    def test_bad_voltage_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(vdd_min_v=1.3, vdd_max_v=1.25)

@@ -1,0 +1,228 @@
+"""Sanity tests for every registered experiment's metrics.
+
+Each experiment is run once per module (they are deterministic for a fixed
+seed) and its headline metrics are checked against the paper's qualitative
+claims — who wins, by roughly what factor, and where the crossovers fall.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import REGISTRY, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    quick = {
+        "fig07": dict(trials=5),
+        "table1": dict(trials=5),
+        "fig08": dict(trials=5),
+        "fig09": dict(trials=5),
+        "fig10": dict(trials=3),
+    }
+    return {
+        experiment_id: runner(**quick.get(experiment_id, {}))
+        for experiment_id, runner in REGISTRY.items()
+    }
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig01", "fig02", "fig04b", "fig05", "fig07", "table1", "fig08",
+            "fig09", "fig10", "fig11", "fig12a", "fig12b", "fig13", "table2",
+            "fig14",
+            "ablation_a1", "ablation_a2", "ablation_a3", "ablation_a4",
+            "ablation_a5",
+            "ext_aging", "ext_cost", "ext_energy", "ext_predictor",
+            "ext_isolation", "ext_sensitivity", "ext_generality",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+    def test_render_is_nonempty(self, results):
+        for result in results.values():
+            rendered = result.render()
+            assert result.experiment_id in rendered
+            assert len(rendered) > 100
+
+    def test_metric_lookup(self, results):
+        with pytest.raises(ConfigurationError):
+            results["fig01"].metric("nonexistent")
+
+
+class TestFig01:
+    def test_frequency_ordering(self, results):
+        m = results["fig01"].metrics
+        assert (
+            m["chip_wide_static_mhz"]
+            < m["per_core_static_max_mhz"]
+            < m["default_atm_idle_mhz"]
+            < m["finetuned_idle_max_mhz"]
+        )
+
+    def test_finetuning_doubles_atm_gain(self, results):
+        assert results["fig01"].metric("gain_ratio_finetuned_over_default") > 1.8
+
+    def test_finetuned_beats_percore_static_by_around_10pct(self, results):
+        ratio = results["fig01"].metric("finetuned_peak_over_static_percore")
+        assert 1.05 < ratio < 1.25
+
+    def test_default_atm_erodes_under_load(self, results):
+        m = results["fig01"].metrics
+        assert m["default_atm_worst_mhz"] < m["default_atm_idle_mhz"] - 100
+
+
+class TestFig02:
+    def test_static_latency_is_80ms(self, results):
+        assert results["fig02"].metric("static_latency_ms") == pytest.approx(80.0)
+
+    def test_best_schedule_near_68ms(self, results):
+        assert 66.0 < results["fig02"].metric("best_latency_ms") < 72.0
+
+    def test_improvement_band(self, results):
+        m = results["fig02"].metrics
+        assert 4.0 < m["worst_improvement_pct"] < m["best_improvement_pct"] < 18.0
+
+    def test_best_roughly_doubles_worst(self, results):
+        assert 1.5 < results["fig02"].metric("gain_ratio_best_over_worst") < 3.5
+
+
+class TestFig04b:
+    def test_testbed_range(self, results):
+        m = results["fig04b"].metrics
+        assert m["testbed_preset_min"] == 7
+        assert m["testbed_preset_max"] == 20
+
+    def test_sampled_chip_spreads_too(self, results):
+        m = results["fig04b"].metrics
+        assert m["sampled_preset_max"] > m["sampled_preset_min"]
+
+
+class TestFig05:
+    def test_p1c6_nonlinearity(self, results):
+        m = results["fig05"].metrics
+        assert m["p1c6_step1_gain_mhz"] > 200.0
+        assert m["p1c6_step2_gain_mhz"] < 30.0
+
+    def test_p1c3_nonlinearity(self, results):
+        m = results["fig05"].metrics
+        assert m["p1c3_step6_gain_mhz"] < 30.0
+        assert m["p1c3_step7_gain_mhz"] > 100.0
+
+    def test_20pct_gain_over_static(self, results):
+        assert results["fig05"].metric("best_gain_over_static_pct") > 20.0
+
+
+class TestFig07:
+    def test_distributions_tight(self, results):
+        assert results["fig07"].metric("max_distribution_spread") <= 2
+
+    def test_more_than_half_cores_above_5ghz(self, results):
+        assert results["fig07"].metric("cores_above_5ghz") >= 8
+
+
+class TestTable1:
+    def test_match_rate_near_perfect(self, results):
+        assert results["table1"].metric("match_rate") >= 0.95
+
+
+class TestFig08:
+    def test_six_problematic_cores(self, results):
+        assert results["fig08"].metric("cores_needing_rollback") == pytest.approx(
+            6, abs=1
+        )
+
+
+class TestFig09:
+    def test_x264_dominates_gcc(self, results):
+        m = results["fig09"].metrics
+        assert m["cores_where_x264_needs_more"] == 16
+        assert m["rollback_gap_steps"] > 1.0
+
+
+class TestFig10:
+    def test_heavy_light_ordering(self, results):
+        m = results["fig10"].metrics
+        assert m["heavy_apps_rank_worst"] <= 3
+        assert m["light_apps_rank_best"] >= 30
+        assert m["x264_mean_rollback"] > m["gcc_mean_rollback"] + 1.0
+
+
+class TestFig11:
+    def test_battery_survived(self, results):
+        assert results["fig11"].metric("all_cores_survived_battery") == 1.0
+
+    def test_speed_differential_over_200mhz(self, results):
+        assert results["fig11"].metric("p0c1_minus_p0c7_mhz") > 200.0
+
+    def test_rollback_preserves_trend(self, results):
+        assert results["fig11"].metric("trend_correlation_limit_vs_rollback2") > 0.6
+
+
+class TestFig12:
+    def test_slope_near_2mhz_per_watt(self, results):
+        assert 1.7 < results["fig12a"].metric("mean_mhz_per_watt") < 2.4
+
+    def test_linear_fits(self, results):
+        assert results["fig12a"].metric("min_r_squared") > 0.999
+        assert results["fig12b"].metric("min_r_squared") > 0.99
+
+    def test_compute_vs_memory_slopes(self, results):
+        assert results["fig12b"].metric("compute_over_memory_slope_ratio") > 2.0
+
+
+class TestTable2:
+    def test_counts(self, results):
+        m = results["table2"].metrics
+        assert m["critical_count"] == 9
+        assert m["critical_with_latency_baseline"] == 9
+        assert m["blocks_double_intensive_colocation"] == 1.0
+
+
+class TestFig14:
+    def test_scenario_ordering(self, results):
+        m = results["fig14"].metrics
+        assert (
+            0.0
+            < m["avg_default_atm_pct"]
+            < m["avg_unmanaged_finetuned_pct"]
+            < m["avg_managed_max_pct"]
+        )
+
+    def test_magnitudes_near_paper(self, results):
+        m = results["fig14"].metrics
+        assert 4.0 < m["avg_default_atm_pct"] < 8.0       # paper: 6.1%
+        assert 8.0 < m["avg_unmanaged_finetuned_pct"] < 12.5  # paper: 10.2%
+        assert 11.0 < m["avg_managed_max_pct"] < 17.0     # paper: 15.2%
+
+    def test_qos_met_everywhere(self, results):
+        assert results["fig14"].metric("qos_target_met_everywhere") == 1.0
+
+
+class TestAblations:
+    def test_a1_slow_loop_hurts(self, results):
+        m = results["ablation_a1"].metrics
+        assert m["slowdown_hurts"] == 1.0
+        assert m["violations_fast_loop"] == 0.0
+        assert m["violations_slow_loop"] > 0.0
+
+    def test_a2_per_core_wins(self, results):
+        m = results["ablation_a2"].metrics
+        assert m["gain_ratio_per_core_over_chip_wide"] > 1.1
+        assert m["max_freq_left_on_table_mhz"] > 100.0
+
+    def test_a3_rollback_buys_safety(self, results):
+        m = results["ablation_a3"].metrics
+        assert m["rollback_monotone"] == 1.0
+        assert m["failure_rate_rollback0"] > m["failure_rate_rollback2"]
+        assert m["failure_rate_rollback2"] < 0.01
+
+    def test_a4_policy_tradeoff(self, results):
+        m = results["ablation_a4"].metrics
+        assert m["overclock_fastest_gain_pct"] > 10.0
+        assert m["undervolt_power_saved_pct"] > 3.0
+        assert m["undervolt_vdd"] < 1.25

@@ -1,0 +1,73 @@
+"""Sanity tests for the extension and A5 experiments."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        eid: run_experiment(eid)
+        for eid in (
+            "ablation_a5",
+            "ext_aging",
+            "ext_energy",
+            "ext_predictor",
+            "ext_isolation",
+        )
+    }
+
+
+class TestAblationA5:
+    def test_sync_deepens_droop(self, results):
+        assert results["ablation_a5"].metric("droop_ratio_sync_over_independent") > 1.5
+
+    def test_sync_is_the_binding_case(self, results):
+        assert results["ablation_a5"].metric("sync_is_worse") == 1.0
+
+
+class TestAging:
+    def test_graceful_frequency_loss(self, results):
+        m = results["ext_aging"].metrics
+        assert 30.0 < m["frequency_loss_mhz"] < 250.0
+
+    def test_limits_shrink(self, results):
+        m = results["ext_aging"].metrics
+        assert m["aged7y_idle_limit_sum"] < m["fresh_idle_limit_sum"]
+
+    def test_drift_monitor_catches_it(self, results):
+        m = results["ext_aging"].metrics
+        assert m["recharacterization_recommended"] == 1.0
+        assert m["drifting_cores_detected"] >= 6
+
+
+class TestEnergy:
+    def test_atm_is_free_efficiency(self, results):
+        assert results["ext_energy"].metric("default_atm_efficiency_gain") > 1.0
+
+    def test_managed_max_halves_critical_energy(self, results):
+        m = results["ext_energy"].metrics
+        assert m["managed_max_critical_mj"] < 0.7 * m["static_critical_mj"]
+
+    def test_qos_recovers_background_work(self, results):
+        assert results["ext_energy"].metric("qos_work_rate_over_managed_max") > 1.3
+
+
+class TestPredictor:
+    def test_no_unsafe_predictions(self, results):
+        assert results["ext_predictor"].metric("unsafe_predictions") == 0.0
+
+    def test_meaningful_upside(self, results):
+        assert results["ext_predictor"].metric("mean_extra_steps") > 0.2
+
+    def test_full_population_covered(self, results):
+        assert results["ext_predictor"].metric("cells_evaluated") >= 250
+
+
+class TestIsolation:
+    def test_isolation_dominates(self, results):
+        assert results["ext_isolation"].metric("isolation_dominates_performance") == 1.0
+
+    def test_power_overhead_modest(self, results):
+        assert results["ext_isolation"].metric("isolated_power_overhead_w") < 40.0

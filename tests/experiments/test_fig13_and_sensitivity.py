@@ -1,0 +1,55 @@
+"""Sanity tests for the Fig. 13 trace and the sensitivity analysis."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return run_experiment("fig13")
+
+
+@pytest.fixture(scope="module")
+def sensitivity():
+    return run_experiment("ext_sensitivity")
+
+
+class TestFig13Trace:
+    def test_pipeline_consistency(self, fig13):
+        assert fig13.metric("frequency_requirement_met") == 1.0
+        assert fig13.metric("power_budget_respected") == 1.0
+
+    def test_delivered_exceeds_requirement(self, fig13):
+        assert fig13.metric("delivered_mhz") >= fig13.metric("needed_mhz")
+
+    def test_trace_names_all_stages(self, fig13):
+        for stage in ("governor", "perf predictor", "scheduler",
+                      "freq predictor", "throttler", "evaluation"):
+            assert stage in fig13.body
+
+    def test_qos_delivered(self, fig13):
+        assert fig13.metric("delivered_speedup") >= 1.10 - 1e-3
+
+
+class TestSensitivity:
+    def test_slope_is_physics_not_fitting(self, sensitivity):
+        """Slope must track resistance proportionally."""
+        assert sensitivity.metric("slope_tracks_resistance_low") == pytest.approx(
+            0.7, abs=0.08
+        )
+        assert sensitivity.metric("slope_tracks_resistance_high") == pytest.approx(
+            1.3, abs=0.08
+        )
+
+    def test_ordering_survives_resistance_sweep(self, sensitivity):
+        assert sensitivity.metric("ordering_holds_all_resistances") == 1.0
+
+    def test_noise_degrades_gracefully(self, sensitivity):
+        m = sensitivity.metrics
+        assert m["match_rate_noise_x1"] >= 0.9
+        assert m["match_rate_noise_x4"] >= 0.7
+        assert m["match_rate_noise_x4"] <= m["match_rate_noise_x1"]
+
+    def test_invariant_never_breaks(self, sensitivity):
+        assert sensitivity.metric("limit_ordering_violations") == 0.0

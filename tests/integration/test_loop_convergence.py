@@ -1,0 +1,84 @@
+"""Cross-stack consistency: discrete loop ⇄ closed-form steady state.
+
+The steady-state solver computes each core's ATM frequency in closed form;
+the DPLL control loop plus the component-level CPM array must *dynamically
+converge* to (nearly) the same operating point when simulated step by
+step.  This closes the loop between three independently implemented
+views of the same hardware: CoreSpec aggregate math, CPM component
+objects, and the discrete controller.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpm.monitor import build_cpm_array
+from repro.dpll.control_loop import DpllControlLoop, LoopConfig
+
+
+class TestLoopConvergesToSolver:
+    @pytest.mark.parametrize("core_index", [0, 3, 7])
+    def test_default_config_converges_to_4600(
+        self, testbed, chip0_sim, core_index
+    ):
+        chip = testbed.chips[0]
+        core = chip.cores[core_index]
+        state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
+        target = state.core_freq(core_index)
+
+        array = build_cpm_array(chip, core, np.random.default_rng(core_index))
+        loop = DpllControlLoop(
+            LoopConfig(threshold_units=chip.threshold_units),
+            initial_mhz=4200.0,
+        )
+        for _ in range(60_000):
+            cycle_ps = 1.0e6 / loop.frequency_mhz
+            reading = array.worst_reading(cycle_ps, state.vdd, state.temperature_c)
+            loop.step(reading)
+        # The loop dithers around the quantized margin boundary; it must
+        # settle within one inverter-step of the closed-form equilibrium.
+        one_step_mhz = 40.0
+        assert loop.frequency_mhz == pytest.approx(target, abs=one_step_mhz)
+
+    def test_reduced_config_converges_higher(self, testbed, chip0_sim):
+        chip = testbed.chips[0]
+        core = chip.cores[0]
+        reduction = 5
+        assignments = list(chip0_sim.uniform_assignments())
+        from repro.atm.chip_sim import CoreAssignment
+
+        assignments[0] = CoreAssignment(reduction_steps=reduction)
+        state = chip0_sim.solve_steady_state(assignments)
+        target = state.core_freq(0)
+
+        array = build_cpm_array(chip, core, np.random.default_rng(0))
+        array.set_code(core.preset_code - reduction)
+        loop = DpllControlLoop(
+            LoopConfig(threshold_units=chip.threshold_units),
+            initial_mhz=4200.0,
+        )
+        for _ in range(60_000):
+            cycle_ps = 1.0e6 / loop.frequency_mhz
+            reading = array.worst_reading(cycle_ps, state.vdd, state.temperature_c)
+            loop.step(reading)
+        assert loop.frequency_mhz == pytest.approx(target, abs=40.0)
+        assert loop.frequency_mhz > 4650.0
+
+    def test_loop_tracks_a_voltage_step(self, testbed, chip0_sim):
+        """After a sustained supply drop, the loop settles at the new
+        (lower) closed-form equilibrium — the adaptation that static
+        margins cannot perform."""
+        from repro.atm.core_sim import equilibrium_frequency_mhz
+
+        chip = testbed.chips[0]
+        core = chip.cores[0]
+        array = build_cpm_array(chip, core, np.random.default_rng(1))
+        loop = DpllControlLoop(
+            LoopConfig(threshold_units=chip.threshold_units),
+            initial_mhz=4200.0,
+        )
+        for vdd in (1.25, 1.18):
+            for _ in range(60_000):
+                cycle_ps = 1.0e6 / loop.frequency_mhz
+                loop.step(array.worst_reading(cycle_ps, vdd, 45.0))
+            expected = equilibrium_frequency_mhz(chip, core, 0, vdd, 45.0)
+            assert loop.frequency_mhz == pytest.approx(expected, abs=40.0)

@@ -1,0 +1,124 @@
+"""End-to-end reproduction checks against the paper's headline claims.
+
+These tests run the full pipeline — characterization, stress-test
+deployment, predictors, management — on the simulated testbed and assert
+the paper's central quantitative claims in one place.
+"""
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.core.characterize import Characterizer
+from repro.core.limits import LimitTable
+from repro.core.manager import AtmManager
+from repro.core.stress_test import StressTestProcedure
+from repro.rng import RngStreams
+from repro.silicon import power7plus_testbed
+from repro.silicon.chipspec import (
+    TESTBED_IDLE_LIMITS,
+    TESTBED_THREAD_NORMAL_LIMITS,
+    TESTBED_THREAD_WORST_LIMITS,
+    TESTBED_UBENCH_LIMITS,
+)
+from repro.units import DEFAULT_ATM_IDLE_MHZ, STATIC_MARGIN_MHZ
+from repro.workloads.dnn import SQUEEZENET
+from repro.workloads.spec import X264
+
+
+@pytest.fixture(scope="module")
+def characterized(testbed):
+    characterizer = Characterizer(RngStreams(2019), trials=10)
+    table, per_chip = characterizer.characterize_server(testbed)
+    return table, per_chip
+
+
+class TestTableIReproduction:
+    def test_at_least_60_of_64_cells(self, characterized):
+        table, _ = characterized
+        paper_rows = {
+            "idle limit": TESTBED_IDLE_LIMITS,
+            "uBench limit": TESTBED_UBENCH_LIMITS,
+            "thread normal": TESTBED_THREAD_NORMAL_LIMITS,
+            "thread worst": TESTBED_THREAD_WORST_LIMITS,
+        }
+        matches = sum(
+            sum(1 for a, b in zip(table.row(name), row) if a == b)
+            for name, row in paper_rows.items()
+        )
+        assert matches >= 60
+
+    def test_idle_and_worst_rows_exact(self, characterized):
+        table, _ = characterized
+        assert table.row("idle limit") == TESTBED_IDLE_LIMITS
+        assert table.row("thread worst") == TESTBED_THREAD_WORST_LIMITS
+
+    def test_ordering_invariant_everywhere(self, characterized):
+        table, _ = characterized
+        for label in table.core_labels:
+            limits = table.of(label)
+            assert (
+                limits.idle
+                >= limits.ubench
+                >= limits.thread_normal
+                >= limits.thread_worst
+            )
+
+
+class TestHeadlineFrequencies:
+    def test_default_atm_uniform_4600(self, testbed):
+        sim = ChipSim(testbed.chips[0])
+        state = sim.solve_steady_state(sim.uniform_assignments())
+        assert max(state.freqs_mhz) - min(state.freqs_mhz) < 5.0
+        assert state.freqs_mhz[0] == pytest.approx(DEFAULT_ATM_IDLE_MHZ, abs=5.0)
+
+    def test_finetuned_idle_range(self, testbed):
+        """Fine-tuned idle frequencies span ~4.7 to ~5.2 GHz (Fig. 7)."""
+        sim = ChipSim(testbed.chips[0])
+        state = sim.solve_steady_state(
+            sim.uniform_assignments(reductions=list(TESTBED_IDLE_LIMITS[:8]))
+        )
+        assert max(state.freqs_mhz) > 5150.0
+        assert min(state.freqs_mhz) > 4650.0
+
+    def test_20pct_gain_over_static(self, testbed):
+        sim = ChipSim(testbed.chips[0])
+        state = sim.solve_steady_state(
+            sim.uniform_assignments(reductions=list(TESTBED_IDLE_LIMITS[:8]))
+        )
+        assert max(state.freqs_mhz) / STATIC_MARGIN_MHZ > 1.20
+
+
+class TestDeploymentPipeline:
+    def test_characterize_then_stress_then_manage(self, testbed, characterized):
+        """The full field flow: Table I -> stress-test -> managed QoS."""
+        table, _ = characterized
+        chip = testbed.chips[0]
+        sim = ChipSim(chip)
+
+        procedure = StressTestProcedure(RngStreams(77))
+        config = procedure.deploy_chip(chip, table, rollback_steps=0)
+        assert all(d.survived_battery for d in config.cores.values())
+        assert config.speed_differential_mhz(sim) > 200.0
+
+        p0_table = LimitTable({c.label: table.of(c.label) for c in chip.cores})
+        manager = AtmManager(sim, p0_table)
+        result = manager.run_managed_qos(
+            [SQUEEZENET], [X264] * 7, target_speedup=1.10
+        )
+        assert result.critical_speedups["squeezenet"] >= 1.095
+
+    def test_managed_improvement_beats_default_atm(self, testbed, characterized):
+        """The paper's bottom line: 5-10% steady gain over default ATM."""
+        table, _ = characterized
+        chip = testbed.chips[0]
+        sim = ChipSim(chip)
+        p0_table = LimitTable({c.label: table.of(c.label) for c in chip.cores})
+        manager = AtmManager(sim, p0_table)
+
+        default = manager.run_default_atm([SQUEEZENET], [X264] * 7)
+        managed = manager.run_managed_max([SQUEEZENET], [X264] * 7)
+        gain_over_default = (
+            managed.critical_speedups["squeezenet"]
+            - default.critical_speedups["squeezenet"]
+        )
+        assert 0.05 < gain_over_default < 0.15

@@ -1,0 +1,124 @@
+"""Generalization: the full pipeline must work on any sampled chip.
+
+The paper's method is not specific to the two published chips; these tests
+run characterization, deployment, and management end-to-end on randomly
+manufactured silicon and assert the *structural* properties that must hold
+for any chip, plus hypothesis sweeps over manufacturing seeds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm.chip_sim import ChipSim
+from repro.core.characterize import Characterizer
+from repro.core.limits import LimitTable
+from repro.core.manager import AtmManager
+from repro.core.stress_test import StressTestProcedure
+from repro.rng import RngStreams
+from repro.silicon import sample_chip
+from repro.units import DEFAULT_ATM_IDLE_MHZ, STATIC_MARGIN_MHZ
+from repro.workloads.dnn import SQUEEZENET
+from repro.workloads.registry import realistic_applications
+from repro.workloads.spec import GCC, X264
+
+#: Small profiling population to keep the random-chip sweeps fast while
+#: preserving the anchors (x264 = worst, gcc = light).
+QUICK_APPS = tuple(
+    w for w in realistic_applications() if w.name in ("x264", "gcc", "facesim")
+)
+
+
+def _pipeline(seed: int):
+    chip = sample_chip(seed, chip_id="P0")
+    sim = ChipSim(chip)
+    characterizer = Characterizer(RngStreams(seed + 1), trials=4)
+    characterization = characterizer.characterize_chip(
+        chip, applications=QUICK_APPS
+    )
+    table = LimitTable(characterization.limits)
+    return chip, sim, table
+
+
+class TestRandomChipPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        return _pipeline(1234)
+
+    def test_default_atm_uniform(self, pipeline):
+        _, sim, _ = pipeline
+        state = sim.solve_steady_state(sim.uniform_assignments())
+        assert max(state.freqs_mhz) - min(state.freqs_mhz) < 10.0
+        assert state.freqs_mhz[0] == pytest.approx(DEFAULT_ATM_IDLE_MHZ, abs=10.0)
+
+    def test_finetuning_gains_frequency(self, pipeline):
+        _, sim, table = pipeline
+        reductions = list(table.row("thread worst"))
+        state = sim.solve_steady_state(
+            sim.uniform_assignments(reductions=reductions)
+        )
+        assert max(state.freqs_mhz) > DEFAULT_ATM_IDLE_MHZ
+
+    def test_stress_test_deploys(self, pipeline):
+        chip, sim, table = pipeline
+        config = StressTestProcedure(RngStreams(9)).deploy_chip(chip, table)
+        reductions = config.reductions(chip)
+        assert all(
+            0 <= r <= chip.cores[i].preset_code for i, r in enumerate(reductions)
+        )
+
+    def test_manager_scenarios_ordered(self, pipeline):
+        _, sim, table = pipeline
+        manager = AtmManager(sim, table)
+        criticals, backgrounds = [SQUEEZENET], [X264] * 7
+        static = manager.run_static_margin(criticals, backgrounds)
+        default = manager.run_default_atm(criticals, backgrounds)
+        managed = manager.run_managed_max(criticals, backgrounds)
+        assert static.critical_speedups["squeezenet"] == pytest.approx(1.0)
+        assert managed.critical_speedups["squeezenet"] >= (
+            default.critical_speedups["squeezenet"] - 1e-9
+        )
+
+
+class TestManufacturingSweep:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_limit_ordering_for_any_chip(self, seed):
+        chip = sample_chip(seed)
+        characterizer = Characterizer(RngStreams(seed), trials=3)
+        characterization = characterizer.characterize_chip(
+            chip, applications=QUICK_APPS
+        )
+        for limits in characterization.limits.values():
+            assert (
+                limits.idle
+                >= limits.ubench
+                >= limits.thread_normal
+                >= limits.thread_worst
+                >= 0
+            )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_gcc_never_needs_more_rollback_than_x264(self, seed):
+        chip = sample_chip(seed)
+        characterizer = Characterizer(RngStreams(seed), trials=3)
+        core = chip.cores[seed % chip.n_cores]
+        idle = characterizer.characterize_idle(core)
+        ubench = characterizer.characterize_ubench(core, idle.idle_limit)
+        x264 = characterizer.characterize_app(core, X264, ubench.ubench_limit)
+        gcc = characterizer.characterize_app(core, GCC, ubench.ubench_limit)
+        assert gcc.app_limit >= x264.app_limit
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_load_always_erodes_frequency(self, seed):
+        from repro.workloads.ubench import DAXPY_SMT4
+
+        chip = sample_chip(seed)
+        sim = ChipSim(chip)
+        idle = sim.solve_steady_state(sim.uniform_assignments())
+        loaded = sim.solve_steady_state(
+            sim.uniform_assignments(workload=DAXPY_SMT4)
+        )
+        assert all(l < i for l, i in zip(loaded.freqs_mhz, idle.freqs_mhz))
+        assert all(f > STATIC_MARGIN_MHZ * 0.9 for f in loaded.freqs_mhz)

@@ -1,0 +1,106 @@
+"""Tests for di/dt event generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.didt import DidtEvent, DidtEventGenerator
+
+
+class TestDidtEvent:
+    def test_valid_event(self):
+        event = DidtEvent(start_ns=10.0, current_step_a=5.0)
+        assert event.start_ns == 10.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DidtEvent(start_ns=-1.0, current_step_a=5.0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DidtEvent(start_ns=0.0, current_step_a=-5.0)
+
+
+class TestEventGeneration:
+    def test_zero_activity_no_events(self):
+        generator = DidtEventGenerator()
+        events = generator.events(np.random.default_rng(0), 10_000.0, 0.0)
+        assert events == []
+
+    def test_rate_scales_with_activity(self):
+        generator = DidtEventGenerator(base_rate_per_us=1.0)
+        rng = np.random.default_rng(1)
+        low = sum(
+            len(generator.events(rng, 10_000.0, 0.3)) for _ in range(50)
+        )
+        high = sum(
+            len(generator.events(rng, 10_000.0, 1.6)) for _ in range(50)
+        )
+        assert high > 2 * low
+
+    def test_events_within_window(self):
+        generator = DidtEventGenerator(base_rate_per_us=5.0)
+        events = generator.events(np.random.default_rng(2), 1000.0, 1.0)
+        assert all(0.0 <= e.start_ns <= 1000.0 for e in events)
+
+    def test_events_sorted_by_time(self):
+        generator = DidtEventGenerator(base_rate_per_us=5.0)
+        events = generator.events(np.random.default_rng(3), 5000.0, 1.0)
+        starts = [e.start_ns for e in events]
+        assert starts == sorted(starts)
+
+    def test_synchronization_amplifies_steps(self):
+        generator = DidtEventGenerator(base_rate_per_us=5.0)
+        solo = generator.events(np.random.default_rng(4), 50_000.0, 1.0)
+        synced = generator.events(
+            np.random.default_rng(4), 50_000.0, 1.0, synchronized_cores=8
+        )
+        mean_solo = np.mean([e.current_step_a for e in solo])
+        mean_synced = np.mean([e.current_step_a for e in synced])
+        assert mean_synced > 4 * mean_solo
+
+    def test_negative_activity_rejected(self):
+        generator = DidtEventGenerator()
+        with pytest.raises(ConfigurationError):
+            generator.events(np.random.default_rng(0), 100.0, -0.5)
+
+    def test_bad_sync_rejected(self):
+        generator = DidtEventGenerator()
+        with pytest.raises(ConfigurationError):
+            generator.events(np.random.default_rng(0), 100.0, 1.0, synchronized_cores=0)
+
+
+class TestWorstExpectedStep:
+    def test_grows_with_activity(self):
+        generator = DidtEventGenerator()
+        assert generator.worst_expected_step_a(1.6) > generator.worst_expected_step_a(0.3)
+
+    def test_grows_with_sync(self):
+        generator = DidtEventGenerator()
+        assert generator.worst_expected_step_a(
+            1.0, synchronized_cores=8
+        ) == pytest.approx(8.0 * generator.worst_expected_step_a(1.0))
+
+    def test_quantile_monotone(self):
+        generator = DidtEventGenerator()
+        assert generator.worst_expected_step_a(
+            1.0, quantile=0.999
+        ) > generator.worst_expected_step_a(1.0, quantile=0.9)
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DidtEventGenerator().worst_expected_step_a(1.0, quantile=1.0)
+
+    def test_empirical_quantile_agrees(self):
+        """The analytic 99th percentile matches the sampled distribution."""
+        generator = DidtEventGenerator(base_rate_per_us=10.0)
+        rng = np.random.default_rng(5)
+        steps = []
+        for _ in range(20):
+            steps.extend(
+                e.current_step_a
+                for e in generator.events(rng, 100_000.0, 1.0)
+            )
+        analytic = generator.worst_expected_step_a(1.0, quantile=0.99)
+        empirical = float(np.quantile(steps, 0.99))
+        assert empirical == pytest.approx(analytic, rel=0.15)

@@ -1,0 +1,93 @@
+"""Tests for phase-modulated di/dt event generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.didt import DidtEventGenerator
+from repro.workloads.phases import x264_like
+
+
+class TestPhasedEvents:
+    def test_events_cluster_in_bursty_phases(self):
+        """Events must concentrate where the activity profile is high."""
+        generator = DidtEventGenerator(base_rate_per_us=50.0)
+        rng = np.random.default_rng(0)
+        # 1000 ns quiet, 1000 ns bursty, repeated.
+        profile = [(1000.0, 0.1), (1000.0, 2.0)]
+        events = generator.events_phased(rng, 20_000.0, profile)
+        quiet, bursty = 0, 0
+        for event in events:
+            position = event.start_ns % 2000.0
+            if position < 1000.0:
+                quiet += 1
+            else:
+                bursty += 1
+        assert bursty > 5 * quiet
+
+    def test_zero_activity_phase_is_silent(self):
+        generator = DidtEventGenerator(base_rate_per_us=50.0)
+        rng = np.random.default_rng(1)
+        profile = [(500.0, 0.0), (500.0, 1.0)]
+        events = generator.events_phased(rng, 10_000.0, profile)
+        assert all((e.start_ns % 1000.0) >= 500.0 for e in events)
+
+    def test_events_within_duration(self):
+        generator = DidtEventGenerator(base_rate_per_us=10.0)
+        rng = np.random.default_rng(2)
+        events = generator.events_phased(rng, 3000.0, [(700.0, 1.0)])
+        assert all(0.0 <= e.start_ns <= 3000.0 for e in events)
+
+    def test_profile_tiles_past_duration_boundary(self):
+        """A partial final window must still produce events inside it."""
+        generator = DidtEventGenerator(base_rate_per_us=100.0)
+        rng = np.random.default_rng(3)
+        events = generator.events_phased(rng, 1500.0, [(1000.0, 1.0)])
+        assert any(e.start_ns > 1000.0 for e in events)
+
+    def test_matches_uniform_when_single_phase(self):
+        """One constant phase ~ the stationary generator, statistically."""
+        generator = DidtEventGenerator(base_rate_per_us=20.0)
+        phased_counts = [
+            len(
+                generator.events_phased(
+                    np.random.default_rng(seed), 10_000.0, [(10_000.0, 1.0)]
+                )
+            )
+            for seed in range(30)
+        ]
+        uniform_counts = [
+            len(generator.events(np.random.default_rng(seed + 500), 10_000.0, 1.0))
+            for seed in range(30)
+        ]
+        assert np.mean(phased_counts) == pytest.approx(
+            np.mean(uniform_counts), rel=0.2
+        )
+
+    def test_workload_phases_integration(self):
+        """The x264 phase model's profile drives the generator directly."""
+        phased = x264_like()
+        profile = [
+            (phase.duration_ms * 1e6, phase.workload.didt_activity)
+            for phase in phased.phases
+        ]
+        generator = DidtEventGenerator(base_rate_per_us=0.5)
+        rng = np.random.default_rng(4)
+        events = generator.events_phased(rng, 5.0e6, profile)  # 5 ms
+        assert events  # the burst phase produces activity
+
+    def test_empty_profile_rejected(self):
+        generator = DidtEventGenerator()
+        with pytest.raises(ConfigurationError):
+            generator.events_phased(np.random.default_rng(0), 100.0, [])
+
+    def test_bad_segment_rejected(self):
+        generator = DidtEventGenerator()
+        with pytest.raises(ConfigurationError):
+            generator.events_phased(
+                np.random.default_rng(0), 100.0, [(0.0, 1.0)]
+            )
+        with pytest.raises(ConfigurationError):
+            generator.events_phased(
+                np.random.default_rng(0), 100.0, [(10.0, -1.0)]
+            )

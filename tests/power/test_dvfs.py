@@ -1,0 +1,126 @@
+"""Tests for the DVFS p-state ladder and OS governors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.dvfs import (
+    DvfsGovernor,
+    GovernorKind,
+    OndemandConfig,
+    PSTATES_MHZ,
+    nearest_pstate_at_most,
+    sanity_check_ladder,
+    validate_pstate,
+)
+
+
+class TestLadder:
+    def test_ladder_invariants(self):
+        sanity_check_ladder()  # must not raise
+
+    def test_validate_accepts_states(self):
+        for state in PSTATES_MHZ:
+            assert validate_pstate(state) == state
+
+    def test_validate_rejects_off_ladder(self):
+        with pytest.raises(ConfigurationError):
+            validate_pstate(4000.0)
+
+    def test_nearest_at_most_exact(self):
+        assert nearest_pstate_at_most(3300.0) == 3300.0
+
+    def test_nearest_at_most_rounds_down(self):
+        assert nearest_pstate_at_most(3500.0) == 3300.0
+
+    def test_nearest_clamps_to_bottom(self):
+        assert nearest_pstate_at_most(1000.0) == 2100.0
+
+    def test_nearest_tops_out(self):
+        assert nearest_pstate_at_most(9999.0) == 4200.0
+
+    def test_nearest_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            nearest_pstate_at_most(0.0)
+
+    @given(st.floats(min_value=100.0, max_value=9000.0))
+    def test_nearest_never_exceeds_request_above_floor(self, freq):
+        state = nearest_pstate_at_most(freq)
+        assert state in PSTATES_MHZ
+        if freq >= PSTATES_MHZ[0]:
+            assert state <= freq
+
+
+class TestFixedGovernors:
+    def test_performance_pins_max(self):
+        governor = DvfsGovernor(GovernorKind.PERFORMANCE)
+        for utilization in (0.0, 0.5, 1.0):
+            assert governor.observe(utilization) == PSTATES_MHZ[-1]
+
+    def test_powersave_pins_min(self):
+        governor = DvfsGovernor(GovernorKind.POWERSAVE)
+        for utilization in (0.0, 0.5, 1.0):
+            assert governor.observe(utilization) == PSTATES_MHZ[0]
+
+
+class TestOndemand:
+    def test_starts_at_max(self):
+        assert DvfsGovernor().pstate_mhz == PSTATES_MHZ[-1]
+
+    def test_races_to_max_on_load(self):
+        governor = DvfsGovernor()
+        for _ in range(10):
+            governor.observe(0.0)
+        assert governor.pstate_mhz < PSTATES_MHZ[-1]
+        assert governor.observe(0.95) == PSTATES_MHZ[-1]
+
+    def test_steps_down_after_sustained_quiet(self):
+        governor = DvfsGovernor(config=OndemandConfig(down_hold_samples=3))
+        for _ in range(2):
+            governor.observe(0.1)
+        assert governor.pstate_mhz == PSTATES_MHZ[-1]  # not yet
+        governor.observe(0.1)
+        assert governor.pstate_mhz == PSTATES_MHZ[-2]  # one step down
+
+    def test_medium_load_holds(self):
+        governor = DvfsGovernor()
+        start = governor.pstate_mhz
+        for _ in range(20):
+            governor.observe(0.5)
+        assert governor.pstate_mhz == start
+
+    def test_medium_load_resets_quiet_counter(self):
+        governor = DvfsGovernor(config=OndemandConfig(down_hold_samples=3))
+        governor.observe(0.1)
+        governor.observe(0.1)
+        governor.observe(0.5)  # interrupts the quiet streak
+        governor.observe(0.1)
+        governor.observe(0.1)
+        assert governor.pstate_mhz == PSTATES_MHZ[-1]
+
+    def test_walks_all_the_way_down(self):
+        governor = DvfsGovernor(config=OndemandConfig(down_hold_samples=1))
+        for _ in range(20):
+            governor.observe(0.0)
+        assert governor.pstate_mhz == PSTATES_MHZ[0]
+
+    def test_reset(self):
+        governor = DvfsGovernor(config=OndemandConfig(down_hold_samples=1))
+        for _ in range(10):
+            governor.observe(0.0)
+        governor.reset()
+        assert governor.pstate_mhz == PSTATES_MHZ[-1]
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsGovernor().observe(1.5)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OndemandConfig(up_threshold=0.2, down_threshold=0.5)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=100))
+    def test_state_always_on_ladder(self, samples):
+        governor = DvfsGovernor()
+        for sample in samples:
+            assert governor.observe(sample) in PSTATES_MHZ

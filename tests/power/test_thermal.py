@@ -1,0 +1,65 @@
+"""Tests for the lumped-RC thermal model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.thermal import ThermalModel
+from repro.units import STRESSMARK_CHIP_POWER_W
+
+
+class TestSteadyState:
+    def test_no_power_is_ambient(self):
+        model = ThermalModel()
+        assert model.steady_temperature_c(0.0) == model.ambient_c
+
+    def test_stressmark_near_70c(self):
+        """160 W must land near the paper's reported 70 degrees C."""
+        model = ThermalModel()
+        temperature = model.steady_temperature_c(STRESSMARK_CHIP_POWER_W)
+        assert 65.0 <= temperature <= 75.0
+
+    def test_linear_in_power(self):
+        model = ThermalModel()
+        t50 = model.steady_temperature_c(50.0)
+        t100 = model.steady_temperature_c(100.0)
+        assert (t100 - model.ambient_c) == pytest.approx(2.0 * (t50 - model.ambient_c))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().steady_temperature_c(-1.0)
+
+
+class TestTransient:
+    def test_approaches_equilibrium(self):
+        model = ThermalModel(time_constant_s=2.0)
+        temperature = model.ambient_c
+        for _ in range(100):
+            temperature = model.step_temperature_c(temperature, 100.0, dt_s=1.0)
+        assert temperature == pytest.approx(model.steady_temperature_c(100.0), abs=0.1)
+
+    def test_moves_toward_target(self):
+        model = ThermalModel()
+        cold = model.ambient_c
+        warmer = model.step_temperature_c(cold, 150.0, dt_s=1.0)
+        assert warmer > cold
+
+    def test_cooling(self):
+        model = ThermalModel()
+        hot = 70.0
+        cooler = model.step_temperature_c(hot, 0.0, dt_s=1.0)
+        assert cooler < hot
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().step_temperature_c(40.0, 100.0, dt_s=0.0)
+
+
+class TestLimit:
+    def test_limit_predicate(self):
+        model = ThermalModel()
+        assert model.exceeds_limit(71.0)
+        assert not model.exceeds_limit(69.0)
+
+    def test_bad_resistance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(resistance_c_per_w=0.0)

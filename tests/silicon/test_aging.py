@@ -1,0 +1,114 @@
+"""Tests for the BTI aging model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm.chip_sim import ChipSim
+from repro.errors import ConfigurationError
+from repro.silicon.aging import AgingModel, age_chip
+
+
+class TestDelayFactor:
+    def test_fresh_is_unity(self):
+        assert AgingModel().delay_factor(0.0) == 1.0
+
+    def test_zero_duty_is_unity(self):
+        assert AgingModel().delay_factor(10.0, duty_cycle=0.0) == 1.0
+
+    def test_reference_point(self):
+        model = AgingModel(degradation_at_reference=0.03, reference_years=10.0)
+        assert model.delay_factor(10.0) == pytest.approx(1.03)
+
+    def test_monotone_in_time(self):
+        model = AgingModel()
+        factors = [model.delay_factor(t) for t in (0.5, 1.0, 3.0, 7.0, 15.0)]
+        assert factors == sorted(factors)
+
+    def test_sublinear_power_law(self):
+        """Doubling age should far less than double the degradation."""
+        model = AgingModel(exponent=0.2)
+        d5 = model.delay_factor(5.0) - 1.0
+        d10 = model.delay_factor(10.0) - 1.0
+        assert d10 < 1.5 * d5
+
+    def test_duty_cycle_scales(self):
+        model = AgingModel()
+        full = model.delay_factor(10.0, duty_cycle=1.0) - 1.0
+        half = model.delay_factor(10.0, duty_cycle=0.5) - 1.0
+        assert half == pytest.approx(0.5 * full)
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgingModel().delay_factor(-1.0)
+
+    def test_bad_duty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgingModel().delay_factor(1.0, duty_cycle=1.5)
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgingModel(exponent=1.0)
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgingModel(mismatch_growth_share=1.5)
+
+
+class TestAgeCore:
+    def test_paths_slow_down(self, chip0):
+        core = chip0.cores[0]
+        aged = AgingModel().age_core(core, 7.0)
+        assert aged.synth_path.base_delay_ps > core.synth_path.base_delay_ps
+
+    def test_headroom_shrinks(self, chip0):
+        core = chip0.cores[0]
+        aged = AgingModel().age_core(core, 7.0)
+        assert aged.protection_headroom_ps < core.protection_headroom_ps
+
+    def test_headroom_clamped_at_zero(self, chip0):
+        core = chip0.cores[0]
+        model = AgingModel(
+            degradation_at_reference=0.5, mismatch_growth_share=1.0
+        )
+        aged = model.age_core(core, 50.0)
+        assert aged.protection_headroom_ps >= 0.0
+
+    def test_fresh_core_unchanged(self, chip0):
+        core = chip0.cores[0]
+        assert AgingModel().age_core(core, 0.0) is core
+
+    def test_step_widths_preserved(self, chip0):
+        """The inserted-delay configuration geometry does not age here."""
+        core = chip0.cores[0]
+        aged = AgingModel().age_core(core, 7.0)
+        assert aged.step_widths_ps == core.step_widths_ps
+
+
+class TestAgeChip:
+    def test_chip_id_suffixed(self, chip0):
+        assert age_chip(chip0, 7.0).chip_id == "P0@7y"
+
+    def test_atm_degrades_gracefully(self, chip0):
+        """The loop re-converges lower instead of failing."""
+        fresh_sim = ChipSim(chip0)
+        aged_sim = ChipSim(age_chip(chip0, 7.0))
+        fresh = fresh_sim.solve_steady_state(fresh_sim.uniform_assignments())
+        aged = aged_sim.solve_steady_state(aged_sim.uniform_assignments())
+        for f, a in zip(fresh.freqs_mhz, aged.freqs_mhz):
+            assert 0.0 < f - a < 200.0
+
+    def test_limits_never_grow(self, chip0):
+        aged = age_chip(chip0, 7.0)
+        for fresh_core, aged_core in zip(chip0.cores, aged.cores):
+            assert (
+                aged_core.max_safe_reduction(0.0)
+                <= fresh_core.max_safe_reduction(0.0)
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(years=st.floats(min_value=0.0, max_value=15.0))
+    def test_aged_chip_always_valid(self, chip0, years):
+        aged = age_chip(chip0, years)
+        assert aged.n_cores == chip0.n_cores
+        for core in aged.cores:
+            assert core.protection_headroom_ps >= 0.0

@@ -1,0 +1,101 @@
+"""Tests for path-delay physics (alpha-power law, temperature)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.silicon.paths import PathTimingModel, alpha_power_delay_factor
+from repro.units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+
+
+class TestAlphaPowerFactor:
+    def test_unity_at_nominal(self):
+        assert alpha_power_delay_factor(NOMINAL_VDD) == pytest.approx(1.0)
+
+    def test_lower_voltage_slower(self):
+        assert alpha_power_delay_factor(1.20) > 1.0
+
+    def test_higher_voltage_faster(self):
+        assert alpha_power_delay_factor(1.30) < 1.0
+
+    @given(st.floats(min_value=0.8, max_value=1.4))
+    def test_monotone_decreasing_in_voltage(self, vdd):
+        step = 0.01
+        assert alpha_power_delay_factor(vdd) > alpha_power_delay_factor(vdd + step)
+
+    def test_sensitivity_magnitude_near_operating_point(self):
+        # A 10 mV drop should slow paths by roughly 0.5-0.8% at 1.25 V.
+        slowdown = alpha_power_delay_factor(NOMINAL_VDD - 0.010) - 1.0
+        assert 0.003 < slowdown < 0.010
+
+    def test_subthreshold_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alpha_power_delay_factor(0.30)
+
+    def test_threshold_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alpha_power_delay_factor(0.35)
+
+    def test_bad_nominal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alpha_power_delay_factor(1.0, v_nominal=0.2)
+
+
+class TestPathTimingModel:
+    def test_nominal_delay_is_base(self):
+        model = PathTimingModel(base_delay_ps=200.0)
+        assert model.delay_ps() == pytest.approx(200.0)
+
+    def test_voltage_droop_slows_path(self):
+        model = PathTimingModel(base_delay_ps=200.0)
+        assert model.delay_ps(vdd=1.20) > 200.0
+
+    def test_heat_slows_path(self):
+        model = PathTimingModel(base_delay_ps=200.0)
+        hot = model.delay_ps(temperature_c=AMBIENT_TEMPERATURE_C + 30.0)
+        assert hot == pytest.approx(200.0 * 1.006, rel=1e-6)
+
+    def test_temperature_effect_is_modest(self):
+        # The paper notes speed is only modestly temperature-dependent.
+        model = PathTimingModel(base_delay_ps=200.0)
+        swing = model.delay_ps(temperature_c=70.0) / model.delay_ps(temperature_c=40.0)
+        assert swing < 1.01
+
+    def test_sensitivity_is_negative(self):
+        model = PathTimingModel(base_delay_ps=200.0)
+        assert model.delay_sensitivity_ps_per_v() < 0.0
+
+    def test_sensitivity_magnitude(self):
+        # ~190 ps of path at 1.25 V: expect on the order of -100 ps/V.
+        model = PathTimingModel(base_delay_ps=190.0)
+        sensitivity = model.delay_sensitivity_ps_per_v()
+        assert -200.0 < sensitivity < -60.0
+
+    def test_scaled_multiplies_base(self):
+        model = PathTimingModel(base_delay_ps=200.0)
+        assert model.scaled(1.05).base_delay_ps == pytest.approx(210.0)
+
+    def test_scaled_preserves_other_params(self):
+        model = PathTimingModel(base_delay_ps=200.0, alpha=1.4)
+        assert model.scaled(2.0).alpha == 1.4
+
+    def test_scaled_rejects_nonpositive(self):
+        model = PathTimingModel(base_delay_ps=200.0)
+        with pytest.raises(ConfigurationError):
+            model.scaled(0.0)
+
+    def test_nonpositive_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathTimingModel(base_delay_ps=0.0)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathTimingModel(base_delay_ps=100.0, v_threshold=1.5)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1.4),
+        st.floats(min_value=20.0, max_value=90.0),
+    )
+    def test_delay_always_positive(self, vdd, temp):
+        model = PathTimingModel(base_delay_ps=150.0)
+        assert model.delay_ps(vdd, temp) > 0.0

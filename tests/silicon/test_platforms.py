@@ -1,0 +1,75 @@
+"""Tests for the alternative platform configurations."""
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.silicon.platforms import manycore_chip, psm_like_chip
+from repro.units import DEFAULT_ATM_IDLE_MHZ
+
+
+class TestPsmLike:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return psm_like_chip(3)
+
+    def test_four_cores(self, chip):
+        assert chip.n_cores == 4
+
+    def test_coarse_margin_sensor(self, chip, chip0):
+        assert chip.inverter_step_ps > chip0.inverter_step_ps
+
+    def test_stiffer_grid(self, chip, chip0):
+        assert chip.pdn_resistance_ohm < chip0.pdn_resistance_ohm
+
+    def test_default_atm_uniform(self, chip):
+        sim = ChipSim(chip)
+        state = sim.solve_steady_state(sim.uniform_assignments())
+        assert max(state.freqs_mhz) - min(state.freqs_mhz) < 10.0
+        # The coarser PSM margin quantizer reserves a larger threshold
+        # slack than the calibration assumed, shifting the default point
+        # a few tens of MHz below the POWER7+ target.
+        assert state.freqs_mhz[0] == pytest.approx(DEFAULT_ATM_IDLE_MHZ, abs=60.0)
+
+    def test_limits_ordering(self, chip):
+        from repro.silicon.chipspec import (
+            STRESS_THREAD_NORMAL,
+            STRESS_THREAD_WORST,
+            STRESS_UBENCH,
+        )
+
+        for core in chip.cores:
+            limits = [
+                core.max_safe_reduction(s)
+                for s in (0.0, STRESS_UBENCH, STRESS_THREAD_NORMAL,
+                          STRESS_THREAD_WORST)
+            ]
+            assert limits == sorted(limits, reverse=True)
+
+
+class TestManycore:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        return manycore_chip(3)
+
+    def test_sixteen_cores(self, chip):
+        assert chip.n_cores == 16
+
+    def test_weak_grid_couples_harder(self, chip, chip0):
+        assert chip.pdn_resistance_ohm > chip0.pdn_resistance_ohm
+
+    def test_solver_converges_at_scale(self, chip):
+        from repro.workloads.ubench import DAXPY_SMT4
+
+        sim = ChipSim(chip)
+        state = sim.solve_steady_state(
+            sim.uniform_assignments(workload=DAXPY_SMT4)
+        )
+        assert state.iterations < 100
+        assert all(f > 3500.0 for f in state.freqs_mhz)
+
+    def test_deterministic(self):
+        a = manycore_chip(9)
+        b = manycore_chip(9)
+        assert [c.preset_code for c in a.cores] == [
+            c.preset_code for c in b.cores
+        ]

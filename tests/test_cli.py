@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_experiment_all_accepted(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.id == "all"
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "x264" in out
+        assert "squeezenet" in out
+        assert "critical" in out
+
+    def test_experiment_renders(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "key metrics" in out
+
+    def test_characterize_random_with_save(self, tmp_path, capsys):
+        out_file = tmp_path / "limits.json"
+        code = main(
+            [
+                "--seed", "5",
+                "characterize",
+                "--random",
+                "--trials", "3",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "thread worst" in out
+
+    def test_deploy_from_saved_limits(self, tmp_path, capsys, testbed_limits):
+        from repro.core.persistence import save_limit_table
+
+        limits_file = tmp_path / "limits.json"
+        save_limit_table(testbed_limits, limits_file)
+        code = main(
+            ["deploy", "--limits", str(limits_file), "--rollback", "1",
+             "--out", str(tmp_path / "deploy")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speed differential" in out
+        assert (tmp_path / "deploy.P0.json").exists()
+
+    def test_deploy_missing_limits_fails_cleanly(self, tmp_path, capsys):
+        code = main(["deploy", "--limits", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_schedule_pair(self, capsys):
+        code = main(
+            ["schedule", "--critical", "squeezenet", "--background", "x264",
+             "--trials", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "managed" in out
+        assert "QoS" in out
+
+    def test_schedule_rejects_background_as_critical(self, capsys):
+        code = main(
+            ["schedule", "--critical", "x264", "--background", "gcc",
+             "--trials", "3"]
+        )
+        assert code == 2
+        assert "not a critical application" in capsys.readouterr().err
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        code = main(
+            ["schedule", "--critical", "quake3", "--background", "x264"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_report_with_experiment_filter(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        code = main(
+            ["report", "--out", str(out_file), "--experiments", "table2,fig04b"]
+        )
+        assert code == 0
+        content = out_file.read_text()
+        assert "## table2:" in content
+        assert "## fig04b:" in content
+        assert "## fig14:" not in content
+
+    def test_report_unknown_experiment_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["report", "--out", str(tmp_path / "r.md"), "--experiments", "bogus"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,18 @@
+"""Run the doctests embedded in library docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.rng
+import repro.units
+from repro.silicon import paths
+
+
+@pytest.mark.parametrize(
+    "module", [repro.units, paths], ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

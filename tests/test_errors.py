@@ -1,0 +1,57 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ApplicationError,
+    CalibrationError,
+    ConfigurationError,
+    HardwareFailure,
+    ReproError,
+    SchedulingError,
+    SilentDataCorruption,
+    SimulationError,
+    SystemCrash,
+    TimingViolation,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ConfigurationError,
+            CalibrationError,
+            SimulationError,
+            HardwareFailure,
+            SchedulingError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc_type", [SystemCrash, ApplicationError, SilentDataCorruption]
+    )
+    def test_failure_modes_are_timing_violations(self, exc_type):
+        assert issubclass(exc_type, TimingViolation)
+        assert issubclass(exc_type, HardwareFailure)
+
+    def test_configuration_error_is_not_hardware_failure(self):
+        assert not issubclass(ConfigurationError, HardwareFailure)
+
+
+class TestHardwareFailurePayload:
+    def test_carries_core_and_deficit(self):
+        exc = SystemCrash("boom", core_id="P0C3", deficit_ps=1.5)
+        assert exc.core_id == "P0C3"
+        assert exc.deficit_ps == 1.5
+
+    def test_defaults(self):
+        exc = HardwareFailure("failed")
+        assert exc.core_id == ""
+        assert exc.deficit_ps == 0.0
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise SilentDataCorruption("sdc", core_id="P1C0", deficit_ps=0.3)

@@ -1,0 +1,77 @@
+"""Golden-value regression tests for the calibrated headline numbers.
+
+EXPERIMENTS.md publishes specific measured values; these tests pin them
+(with tolerances wide enough for benign refactoring but tight enough to
+catch calibration drift).  If a deliberate model change moves a number,
+update both the tolerance here and the EXPERIMENTS.md row in the same
+commit.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig01():
+    return run_experiment("fig01")
+
+
+@pytest.fixture(scope="module")
+def fig12a():
+    return run_experiment("fig12a")
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    return run_experiment("fig14")
+
+
+class TestGoldenFig01:
+    def test_default_atm_idle(self, fig01):
+        assert fig01.metric("default_atm_idle_mhz") == pytest.approx(4600, abs=10)
+
+    def test_finetuned_peak(self, fig01):
+        assert fig01.metric("finetuned_idle_max_mhz") == pytest.approx(5200, abs=15)
+
+    def test_gain_ratio(self, fig01):
+        assert fig01.metric("gain_ratio_finetuned_over_default") == pytest.approx(
+            2.5, abs=0.3
+        )
+
+
+class TestGoldenFig12a:
+    def test_slope(self, fig12a):
+        assert fig12a.metric("mean_mhz_per_watt") == pytest.approx(2.0, abs=0.15)
+
+    def test_slope_spread_is_small(self, fig12a):
+        spread = fig12a.metric("max_mhz_per_watt") - fig12a.metric(
+            "min_mhz_per_watt"
+        )
+        assert spread < 0.3
+
+
+class TestGoldenFig14:
+    def test_default_atm_average(self, fig14):
+        assert fig14.metric("avg_default_atm_pct") == pytest.approx(5.4, abs=1.2)
+
+    def test_unmanaged_average(self, fig14):
+        assert fig14.metric("avg_unmanaged_finetuned_pct") == pytest.approx(
+            9.9, abs=1.5
+        )
+
+    def test_managed_average(self, fig14):
+        assert fig14.metric("avg_managed_max_pct") == pytest.approx(13.0, abs=1.5)
+
+    def test_bottom_line_over_default_atm(self, fig14):
+        """The paper's conclusion: 5-10% steady gain over the default ATM."""
+        gain = fig14.metric("avg_managed_max_pct") - fig14.metric(
+            "avg_default_atm_pct"
+        )
+        assert 5.0 < gain < 10.0
+
+
+class TestGoldenTable1:
+    def test_match_rate(self):
+        result = run_experiment("table1", trials=8)
+        assert result.metric("match_rate") >= 60.0 / 64.0

@@ -1,0 +1,146 @@
+"""Cross-cutting property tests: invariants that must hold on ANY chip.
+
+These hypothesis sweeps exercise the whole stack against randomly
+manufactured silicon and arbitrary operating points — the properties a
+physicist would demand of the model regardless of calibration:
+
+* monotonicity (frequency vs reduction, delay vs voltage, power vs load);
+* conservation-style consistency (solver output reproduces its inputs);
+* ordering invariants the paper's methodology depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from repro.atm.core_sim import equilibrium_frequency_mhz
+from repro.power.core_power import chip_power_w
+from repro.silicon import sample_chip
+from repro.units import STATIC_MARGIN_MHZ
+from repro.workloads.base import IDLE
+from repro.workloads.registry import ALL_WORKLOADS
+
+_SEEDS = st.integers(min_value=0, max_value=50_000)
+_WORKLOAD_NAMES = st.sampled_from(sorted(ALL_WORKLOADS))
+
+
+class TestFrequencyMonotonicity:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=_SEEDS)
+    def test_reduction_never_lowers_frequency(self, seed):
+        chip = sample_chip(seed)
+        core = chip.cores[seed % chip.n_cores]
+        freqs = [
+            equilibrium_frequency_mhz(chip, core, steps)
+            for steps in range(core.preset_code + 1)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(freqs, freqs[1:]))
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=_SEEDS, droop_mv=st.floats(min_value=1.0, max_value=120.0))
+    def test_voltage_droop_always_slows(self, seed, droop_mv):
+        chip = sample_chip(seed)
+        core = chip.cores[0]
+        nominal = equilibrium_frequency_mhz(chip, core, 0, vdd=1.25)
+        drooped = equilibrium_frequency_mhz(
+            chip, core, 0, vdd=1.25 - droop_mv / 1000.0
+        )
+        assert drooped < nominal
+
+
+class TestSolverConsistency:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=_SEEDS, name=_WORKLOAD_NAMES)
+    def test_steady_state_is_a_fixed_point(self, seed, name):
+        """Re-evaluating power/frequency at the solution reproduces it."""
+        chip = sample_chip(seed)
+        sim = ChipSim(chip)
+        workload = ALL_WORKLOADS[name]
+        state = sim.solve_steady_state(sim.uniform_assignments(workload=workload))
+        # Frequencies at the solved (vdd, T) match the reported ones.
+        for index, core in enumerate(chip.cores):
+            expected = equilibrium_frequency_mhz(
+                chip, core, 0, state.vdd, state.temperature_c
+            )
+            assert state.core_freq(index) == pytest.approx(expected, abs=0.1)
+        # Power at the reported frequencies matches the reported power.
+        recomputed = chip_power_w(
+            chip,
+            list(state.freqs_mhz),
+            [workload.activity] * chip.n_cores,
+            state.vdd,
+            state.temperature_c,
+        )
+        assert recomputed == pytest.approx(state.chip_power_w, rel=1e-3)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=_SEEDS)
+    def test_adding_load_never_speeds_anyone_up(self, seed):
+        chip = sample_chip(seed)
+        sim = ChipSim(chip)
+        baseline = sim.solve_steady_state(sim.uniform_assignments())
+        heavy = ALL_WORKLOADS["daxpy_smt4"]
+        assignments = list(sim.uniform_assignments())
+        assignments[-1] = CoreAssignment(workload=heavy, mode=MarginMode.ATM)
+        loaded = sim.solve_steady_state(assignments)
+        for index in range(chip.n_cores - 1):
+            assert loaded.freqs_mhz[index] <= baseline.freqs_mhz[index] + 1e-6
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=_SEEDS)
+    def test_gating_a_core_helps_the_rest(self, seed):
+        chip = sample_chip(seed)
+        sim = ChipSim(chip)
+        busy = ALL_WORKLOADS["x264"]
+        base = list(sim.uniform_assignments(workload=busy))
+        state_all = sim.solve_steady_state(base)
+        base[0] = CoreAssignment(mode=MarginMode.GATED)
+        state_gated = sim.solve_steady_state(base)
+        for index in range(1, chip.n_cores):
+            assert state_gated.freqs_mhz[index] >= state_all.freqs_mhz[index]
+
+
+class TestSafetyOrdering:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=_SEEDS,
+        low=st.floats(min_value=0.0, max_value=0.5),
+        delta=st.floats(min_value=0.01, max_value=0.6),
+    )
+    def test_more_stress_never_raises_the_limit(self, seed, low, delta):
+        chip = sample_chip(seed)
+        core = chip.cores[seed % chip.n_cores]
+        assert core.max_safe_reduction(low + delta) <= core.max_safe_reduction(low)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=_SEEDS, name=_WORKLOAD_NAMES)
+    def test_safe_configurations_form_a_prefix(self, seed, name):
+        """If reduction k is unsafe, every deeper reduction is unsafe too."""
+        chip = sample_chip(seed)
+        core = chip.cores[0]
+        workload = ALL_WORKLOADS[name]
+        slacks = [
+            core.margin_slack_ps(steps, workload.stress)
+            for steps in range(core.preset_code + 1)
+        ]
+        # Slack is non-increasing in reduction steps.
+        assert all(b <= a + 1e-9 for a, b in zip(slacks, slacks[1:]))
+
+
+class TestWorkloadModelProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        name=_WORKLOAD_NAMES,
+        freq=st.floats(min_value=4200.0, max_value=5200.0),
+    )
+    def test_speedup_bounded_by_frequency_ratio(self, name, freq):
+        """No workload can speed up more than the clock did."""
+        workload = ALL_WORKLOADS[name]
+        speedup = workload.speedup_at(freq)
+        assert 1.0 - 1e-9 <= speedup <= freq / STATIC_MARGIN_MHZ + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(name=_WORKLOAD_NAMES)
+    def test_idle_is_the_least_stressful(self, name):
+        assert ALL_WORKLOADS[name].stress >= IDLE.stress

@@ -1,0 +1,80 @@
+"""Tests for deterministic RNG stream management."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import RngStreams
+
+
+class TestReproducibility:
+    def test_same_seed_same_draws(self):
+        a = RngStreams(7).stream("x").random(5)
+        b = RngStreams(7).stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(7).stream("x").random(5)
+        b = RngStreams(8).stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        a = streams.stream("a").random(5)
+        b = streams.stream("b").random(5)
+        assert not (a == b).all()
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RngStreams(7)
+        first = s1.stream("alpha").random(3)
+
+        s2 = RngStreams(7)
+        s2.stream("unrelated")  # extra consumer created first
+        second = s2.stream("alpha").random(3)
+        assert (first == second).all()
+
+
+class TestStreamIdentity:
+    def test_same_name_same_object(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fresh_restarts_sequence(self):
+        streams = RngStreams(0)
+        first = streams.stream("x").random(4)
+        streams.stream("x").random(10)  # advance
+        restarted = streams.fresh("x").random(4)
+        assert (first == restarted).all()
+
+
+class TestSpawn:
+    def test_spawn_reproducible(self):
+        a = RngStreams(3).spawn(1).stream("x").random(3)
+        b = RngStreams(3).spawn(1).stream("x").random(3)
+        assert (a == b).all()
+
+    def test_spawn_salts_differ(self):
+        parent = RngStreams(3)
+        a = parent.spawn(1).stream("x").random(3)
+        b = parent.spawn(2).stream("x").random(3)
+        assert not (a == b).all()
+
+    def test_negative_salt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngStreams(3).spawn(-1)
+
+
+class TestValidation:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngStreams(-1)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngStreams(1.5)  # type: ignore[arg-type]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngStreams(0).stream("")
+
+    def test_seed_property(self):
+        assert RngStreams(42).seed == 42

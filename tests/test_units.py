@@ -1,0 +1,107 @@
+"""Tests for unit conversions and platform constants."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    CORES_PER_CHIP,
+    CHIPS_PER_SERVER,
+    DEFAULT_ATM_IDLE_MHZ,
+    STATIC_MARGIN_MHZ,
+    clamp,
+    cycle_ps_to_mhz,
+    mhz_to_cycle_ps,
+    millivolts,
+    require_in_range,
+    require_positive,
+)
+
+
+class TestConversions:
+    def test_static_margin_cycle_time(self):
+        assert mhz_to_cycle_ps(4200.0) == pytest.approx(238.095, abs=0.001)
+
+    def test_default_atm_cycle_time(self):
+        assert mhz_to_cycle_ps(DEFAULT_ATM_IDLE_MHZ) == pytest.approx(217.391, abs=0.001)
+
+    def test_roundtrip_at_static_margin(self):
+        assert cycle_ps_to_mhz(mhz_to_cycle_ps(STATIC_MARGIN_MHZ)) == pytest.approx(
+            STATIC_MARGIN_MHZ
+        )
+
+    @given(st.floats(min_value=100.0, max_value=10000.0))
+    def test_roundtrip_property(self, freq):
+        assert cycle_ps_to_mhz(mhz_to_cycle_ps(freq)) == pytest.approx(freq, rel=1e-12)
+
+    @given(st.floats(min_value=100.0, max_value=10000.0))
+    def test_cycle_time_monotone_decreasing(self, freq):
+        assert mhz_to_cycle_ps(freq + 1.0) < mhz_to_cycle_ps(freq)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mhz_to_cycle_ps(0.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mhz_to_cycle_ps(-4200.0)
+
+    def test_zero_cycle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycle_ps_to_mhz(0.0)
+
+    def test_millivolts(self):
+        assert millivolts(1250.0) == pytest.approx(1.25)
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 10.0) == 0.0
+
+    def test_above(self):
+        assert clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ConfigurationError):
+            clamp(5.0, 10.0, 0.0)
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.floats(min_value=-100.0, max_value=0.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_result_always_in_bounds(self, value, low, high):
+        result = clamp(value, low, high)
+        assert low <= result <= high
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert require_positive(1.5, "x") == 1.5
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive(0.0, "x")
+
+    def test_require_in_range_accepts_bounds(self):
+        assert require_in_range(0.0, 0.0, 1.0, "y") == 0.0
+        assert require_in_range(1.0, 0.0, 1.0, "y") == 1.0
+
+    def test_require_in_range_rejects(self):
+        with pytest.raises(ConfigurationError, match="y"):
+            require_in_range(1.1, 0.0, 1.0, "y")
+
+
+class TestPlatformConstants:
+    def test_server_size(self):
+        assert CORES_PER_CHIP == 8
+        assert CHIPS_PER_SERVER == 2
+
+    def test_atm_gain_over_static(self):
+        gain = DEFAULT_ATM_IDLE_MHZ / STATIC_MARGIN_MHZ
+        assert math.isclose(gain, 4600 / 4200)

@@ -1,0 +1,108 @@
+"""Tests for the workload model and its performance semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import IDLE, Suite, Workload
+
+
+def _workload(**overrides):
+    params = dict(
+        name="w",
+        suite=Suite.SPEC,
+        activity=0.8,
+        stress=0.5,
+        didt_activity=0.6,
+        mem_boundedness=0.2,
+    )
+    params.update(overrides)
+    return Workload(**params)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _workload(name="")
+
+    def test_negative_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _workload(activity=-0.1)
+
+    def test_negative_stress_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _workload(stress=-0.1)
+
+    def test_mem_boundedness_range(self):
+        with pytest.raises(ConfigurationError):
+            _workload(mem_boundedness=1.0)
+        with pytest.raises(ConfigurationError):
+            _workload(mem_boundedness=-0.01)
+
+    def test_threads_validated(self):
+        with pytest.raises(ConfigurationError):
+            _workload(threads_per_core=0)
+
+    def test_latency_validated(self):
+        with pytest.raises(ConfigurationError):
+            _workload(baseline_latency_ms=0.0)
+
+
+class TestSpeedupModel:
+    def test_unity_at_base(self):
+        assert _workload().speedup_at(4200.0) == pytest.approx(1.0)
+
+    def test_compute_bound_scales_fully(self):
+        compute = _workload(mem_boundedness=0.0)
+        assert compute.speedup_at(4620.0) == pytest.approx(1.1)
+
+    def test_memory_bound_scales_less(self):
+        compute = _workload(mem_boundedness=0.05)
+        memory = _workload(mem_boundedness=0.6)
+        assert compute.speedup_at(5000.0) > memory.speedup_at(5000.0)
+
+    def test_fully_stalled_limit(self):
+        nearly_stalled = _workload(mem_boundedness=0.99)
+        assert nearly_stalled.speedup_at(8400.0) < 1.01
+
+    @given(st.floats(min_value=4200.0, max_value=5200.0))
+    def test_speedup_at_least_one_above_base(self, freq):
+        assert _workload().speedup_at(freq) >= 1.0 - 1e-12
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=4300.0, max_value=5200.0),
+    )
+    def test_speedup_monotone_in_frequency(self, mu, freq):
+        workload = _workload(mem_boundedness=mu)
+        assert workload.speedup_at(freq + 50.0) > workload.speedup_at(freq)
+
+    def test_bad_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _workload().speedup_at(0.0)
+
+
+class TestLatency:
+    def test_latency_at_base_is_baseline(self):
+        workload = _workload(baseline_latency_ms=80.0, mem_boundedness=0.0)
+        assert workload.latency_ms_at(4200.0) == pytest.approx(80.0)
+
+    def test_latency_improves_with_frequency(self):
+        workload = _workload(baseline_latency_ms=80.0)
+        assert workload.latency_ms_at(4900.0) < 80.0
+
+    def test_latency_requires_baseline(self):
+        with pytest.raises(ConfigurationError):
+            _workload().latency_ms_at(4200.0)
+
+    def test_is_latency_critical_flag(self):
+        assert _workload(baseline_latency_ms=10.0).is_latency_critical
+        assert not _workload().is_latency_critical
+
+
+class TestIdle:
+    def test_idle_has_zero_stress(self):
+        assert IDLE.stress == 0.0
+
+    def test_idle_low_activity(self):
+        assert IDLE.activity < 0.1

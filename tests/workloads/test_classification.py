@@ -1,0 +1,95 @@
+"""Tests for the Table II classification and co-location rule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import IDLE
+from repro.workloads.classification import (
+    MemBehavior,
+    Role,
+    TABLE2,
+    classify,
+    is_critical,
+    may_colocate,
+)
+from repro.workloads.dnn import MLP, SQUEEZENET
+from repro.workloads.parsec import FERRET, LU_CB, STREAMCLUSTER
+from repro.workloads.registry import ALL_WORKLOADS, realistic_applications
+from repro.workloads.spec import GCC, X264
+
+
+class TestPaperEntries:
+    """The explicit entries of the paper's Table II, verbatim."""
+
+    @pytest.mark.parametrize(
+        "name", ["resnet", "vgg19", "ferret", "fluidanimate"]
+    )
+    def test_critical_intensive(self, name):
+        app_class = classify(name)
+        assert app_class.role is Role.CRITICAL
+        assert app_class.mem is MemBehavior.INTENSIVE
+
+    @pytest.mark.parametrize(
+        "name", ["mlp", "gcc", "facesim", "lu_cb", "streamcluster"]
+    )
+    def test_background_intensive(self, name):
+        app_class = classify(name)
+        assert app_class.role is Role.BACKGROUND
+        assert app_class.mem is MemBehavior.INTENSIVE
+
+    @pytest.mark.parametrize(
+        "name", ["squeezenet", "seq2seq", "babi", "bodytrack", "vips"]
+    )
+    def test_critical_non_intensive(self, name):
+        app_class = classify(name)
+        assert app_class.role is Role.CRITICAL
+        assert app_class.mem is MemBehavior.NON_INTENSIVE
+
+    @pytest.mark.parametrize(
+        "name", ["blackscholes", "x264", "swaptions", "raytrace"]
+    )
+    def test_background_non_intensive(self, name):
+        app_class = classify(name)
+        assert app_class.role is Role.BACKGROUND
+        assert app_class.mem is MemBehavior.NON_INTENSIVE
+
+
+class TestCoverageAndLookup:
+    def test_every_realistic_app_classified(self):
+        for workload in realistic_applications():
+            classify(workload)  # must not raise
+
+    def test_classify_accepts_workload_objects(self):
+        assert classify(SQUEEZENET).role is Role.CRITICAL
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify("not_a_benchmark")
+
+    def test_idle_not_schedulable(self):
+        with pytest.raises(ConfigurationError):
+            classify(IDLE)
+
+    def test_is_critical(self):
+        assert is_critical(FERRET)
+        assert not is_critical(X264)
+
+    def test_all_table2_names_are_modeled_workloads(self):
+        for name in TABLE2:
+            assert name in ALL_WORKLOADS, name
+
+
+class TestColocationRule:
+    def test_two_intensive_blocked(self):
+        assert not may_colocate(LU_CB, STREAMCLUSTER)
+        assert not may_colocate(FERRET, MLP)
+
+    def test_intensive_plus_non_intensive_ok(self):
+        assert may_colocate(SQUEEZENET, GCC)
+        assert may_colocate(FERRET, X264)
+
+    def test_two_non_intensive_ok(self):
+        assert may_colocate(SQUEEZENET, X264)
+
+    def test_symmetry(self):
+        assert may_colocate(SQUEEZENET, GCC) == may_colocate(GCC, SQUEEZENET)

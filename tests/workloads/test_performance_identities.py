@@ -1,0 +1,56 @@
+"""Algebraic identities of the workload performance model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import STATIC_MARGIN_MHZ
+from repro.workloads.registry import ALL_WORKLOADS, realistic_applications
+
+_CRITICALS = [w for w in realistic_applications() if w.is_latency_critical]
+
+
+class TestLatencySpeedupIdentity:
+    @pytest.mark.parametrize("workload", _CRITICALS, ids=lambda w: w.name)
+    def test_latency_times_speedup_is_baseline(self, workload):
+        for freq in (4200.0, 4500.0, 4800.0, 5100.0):
+            product = workload.latency_ms_at(freq) * workload.speedup_at(freq)
+            assert product == pytest.approx(workload.baseline_latency_ms)
+
+    @given(
+        freq=st.floats(min_value=4200.0, max_value=5200.0),
+        index=st.integers(min_value=0, max_value=len(_CRITICALS) - 1),
+    )
+    def test_identity_holds_everywhere(self, freq, index):
+        workload = _CRITICALS[index]
+        product = workload.latency_ms_at(freq) * workload.speedup_at(freq)
+        assert product == pytest.approx(workload.baseline_latency_ms, rel=1e-9)
+
+
+class TestSpeedupComposition:
+    def test_speedup_relative_to_intermediate(self):
+        """speedup(a->c) == speedup(a->b) * speedup(b->c)."""
+        workload = ALL_WORKLOADS["x264"]
+        a, b, c = 4200.0, 4600.0, 5000.0
+        direct = workload.speedup_at(c, base_mhz=a)
+        composed = workload.speedup_at(b, base_mhz=a) * workload.speedup_at(
+            c, base_mhz=b
+        )
+        assert direct == pytest.approx(composed, rel=1e-12)
+
+    def test_speedup_inverse_symmetry(self):
+        workload = ALL_WORKLOADS["mcf"]
+        up = workload.speedup_at(5000.0, base_mhz=4200.0)
+        down = workload.speedup_at(4200.0, base_mhz=5000.0)
+        assert up * down == pytest.approx(1.0, rel=1e-12)
+
+
+class TestCrossWorkloadOrdering:
+    def test_speedup_ordering_follows_mem_boundedness(self):
+        """At any ATM frequency, less memory-bound means more speedup."""
+        apps = sorted(realistic_applications(), key=lambda w: w.mem_boundedness)
+        speedups = [w.speedup_at(5000.0) for w in apps]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_all_speedups_above_unity_at_5ghz(self):
+        for workload in realistic_applications():
+            assert workload.speedup_at(5000.0) > 1.0

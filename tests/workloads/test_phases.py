@@ -1,0 +1,122 @@
+"""Tests for time-phased workloads."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Suite, Workload
+from repro.workloads.phases import Phase, PhasedWorkload, x264_like
+
+
+def _wl(name, stress, didt=0.5, activity=0.8, mem=0.1):
+    return Workload(
+        name=name,
+        suite=Suite.SPEC,
+        activity=activity,
+        stress=stress,
+        didt_activity=didt,
+        mem_boundedness=mem,
+    )
+
+
+@pytest.fixture()
+def two_phase():
+    return PhasedWorkload(
+        "demo",
+        (
+            Phase(_wl("a", stress=0.3, didt=0.4), duration_ms=10.0),
+            Phase(_wl("b", stress=0.9, didt=1.6), duration_ms=30.0),
+        ),
+    )
+
+
+class TestPhaseLookup:
+    def test_period(self, two_phase):
+        assert two_phase.period_ms == 40.0
+
+    def test_phase_at_start(self, two_phase):
+        assert two_phase.phase_at(0.0).workload.name == "a"
+
+    def test_phase_after_boundary(self, two_phase):
+        assert two_phase.phase_at(10.0).workload.name == "b"
+        assert two_phase.phase_at(39.9).workload.name == "b"
+
+    def test_wraps_at_period(self, two_phase):
+        assert two_phase.phase_at(40.0).workload.name == "a"
+        assert two_phase.phase_at(95.0).workload.name == "b"
+
+    def test_instantaneous_observables(self, two_phase):
+        assert two_phase.didt_activity_at(5.0) == 0.4
+        assert two_phase.didt_activity_at(20.0) == 1.6
+        assert two_phase.activity_at(5.0) == 0.8
+
+    def test_negative_time_rejected(self, two_phase):
+        with pytest.raises(ConfigurationError):
+            two_phase.phase_at(-1.0)
+
+    @given(time_ms=st.floats(min_value=0.0, max_value=1000.0))
+    def test_lookup_total(self, time_ms):
+        phased = PhasedWorkload(
+            "demo",
+            (
+                Phase(_wl("a", stress=0.3), duration_ms=10.0),
+                Phase(_wl("b", stress=0.9), duration_ms=30.0),
+            ),
+        )
+        assert phased.phase_at(time_ms).workload.name in ("a", "b")
+
+
+class TestAggregates:
+    def test_mean_is_duty_weighted(self, two_phase):
+        mean = two_phase.mean_workload()
+        assert mean.didt_activity == pytest.approx(
+            (0.4 * 10.0 + 1.6 * 30.0) / 40.0
+        )
+
+    def test_stress_uses_envelope_not_mean(self, two_phase):
+        """A brief violent phase must dominate the characterized stress."""
+        mean = two_phase.mean_workload()
+        assert mean.stress == 0.9
+        duty_weighted_stress = (0.3 * 10.0 + 0.9 * 30.0) / 40.0
+        assert mean.stress > duty_weighted_stress
+
+    def test_envelope(self, two_phase):
+        assert two_phase.stress_envelope() == 0.9
+
+    def test_mean_name_marked(self, two_phase):
+        assert two_phase.mean_workload().name == "demo(mean)"
+
+
+class TestValidation:
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload("x", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhasedWorkload("", (Phase(_wl("a", 0.1), 1.0),))
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Phase(_wl("a", 0.1), duration_ms=0.0)
+
+
+class TestX264Like:
+    def test_envelope_matches_stationary_x264(self):
+        from repro.workloads.spec import X264
+
+        phased = x264_like()
+        assert phased.stress_envelope() == X264.stress
+
+    def test_burst_phase_is_noisier(self):
+        phased = x264_like()
+        burst = phased.phases[0].workload
+        calm = phased.phases[1].workload
+        assert burst.didt_activity > 2.0 * calm.didt_activity
+
+    def test_mean_near_stationary_model(self):
+        from repro.workloads.spec import X264
+
+        mean = x264_like().mean_workload()
+        assert mean.didt_activity == pytest.approx(X264.didt_activity, rel=0.3)
+        assert mean.activity == pytest.approx(X264.activity, rel=0.2)

@@ -1,0 +1,58 @@
+"""Tests for workload registry lookups."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import Suite
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    by_suite,
+    get_workload,
+    medium_and_light_applications,
+    realistic_applications,
+)
+
+
+class TestLookup:
+    def test_get_known(self):
+        assert get_workload("x264").name == "x264"
+
+    def test_get_unknown_lists_names(self):
+        with pytest.raises(ConfigurationError, match="x264"):
+            get_workload("quake3")
+
+    def test_no_duplicate_registrations(self):
+        assert len(ALL_WORKLOADS) == len(set(ALL_WORKLOADS))
+
+    def test_idle_registered(self):
+        assert get_workload("idle").suite is Suite.IDLE
+
+
+class TestPopulations:
+    def test_by_suite_sorted(self):
+        names = [w.name for w in by_suite(Suite.SPEC)]
+        assert names == sorted(names)
+
+    def test_realistic_excludes_test_tools(self):
+        names = {w.name for w in realistic_applications()}
+        assert "coremark" not in names
+        assert "voltage_virus" not in names
+        assert "idle" not in names
+        assert "x264" in names
+
+    def test_medium_and_light_subset(self):
+        all_apps = {w.name for w in realistic_applications()}
+        medium = medium_and_light_applications()
+        assert {w.name for w in medium} <= all_apps
+        assert all(w.stress <= 0.6 for w in medium)
+
+    def test_medium_excludes_heavy(self):
+        names = {w.name for w in medium_and_light_applications()}
+        assert "x264" not in names
+        assert "ferret" not in names
+        assert "gcc" in names
+
+    def test_threshold_parameter(self):
+        strict = medium_and_light_applications(threshold=0.3)
+        default = medium_and_light_applications()
+        assert len(strict) < len(default)

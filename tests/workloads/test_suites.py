@@ -1,0 +1,95 @@
+"""Tests for the modeled benchmark suites and their calibration anchors."""
+
+import pytest
+
+from repro.silicon.chipspec import (
+    STRESS_THREAD_NORMAL,
+    STRESS_THREAD_WORST,
+    STRESS_UBENCH,
+)
+from repro.workloads.base import Suite
+from repro.workloads.dnn import DNN_SUITE, SQUEEZENET
+from repro.workloads.parsec import FACESIM, FERRET, PARSEC_SUITE, STREAMCLUSTER
+from repro.workloads.spec import GCC, LEELA, SPEC_SUITE, X264
+from repro.workloads.stressmark import (
+    BEYOND_WORST_VIRUS,
+    STRESS_BATTERY,
+    VOLTAGE_VIRUS,
+)
+from repro.workloads.ubench import DAXPY_SMT4, UBENCH_STRESS, UBENCH_SUITE
+
+
+class TestAnchors:
+    def test_ubench_stress_matches_silicon_anchor(self):
+        assert UBENCH_STRESS == STRESS_UBENCH
+
+    def test_ubench_suite_stress_at_or_below_anchor(self):
+        assert all(w.stress <= STRESS_UBENCH for w in UBENCH_SUITE)
+        assert max(w.stress for w in UBENCH_SUITE) == STRESS_UBENCH
+
+    def test_x264_is_thread_worst_anchor(self):
+        """x264 defines the thread-worst row: nothing profiled exceeds it."""
+        assert X264.stress == STRESS_THREAD_WORST
+        profiled = (*SPEC_SUITE, *PARSEC_SUITE, *DNN_SUITE)
+        assert max(w.stress for w in profiled) == X264.stress
+
+    def test_facesim_is_thread_normal_anchor(self):
+        assert FACESIM.stress == STRESS_THREAD_NORMAL
+
+    def test_stress_battery_within_thread_worst(self):
+        """The paper's thread-worst configs sustain all stressmarks."""
+        assert all(w.stress <= STRESS_THREAD_WORST for w in STRESS_BATTERY)
+
+    def test_beyond_worst_virus_exceeds_thread_worst(self):
+        assert BEYOND_WORST_VIRUS.stress > STRESS_THREAD_WORST
+
+
+class TestCharacteristics:
+    def test_gcc_and_leela_are_light(self):
+        """The Fig. 9/10 finding: gcc and leela barely stress ATM."""
+        assert GCC.stress < 0.4
+        assert LEELA.stress < 0.4
+
+    def test_ferret_is_heavy(self):
+        assert FERRET.stress > 0.9
+
+    def test_x264_didt_dominates(self):
+        """x264's danger is voltage noise, not raw power."""
+        assert X264.didt_activity > 1.0
+        assert X264.didt_activity > GCC.didt_activity * 2
+
+    def test_streamcluster_low_power(self):
+        """Sec. VII-D exploits streamcluster's low activity explicitly."""
+        others = [w.activity for w in PARSEC_SUITE if w.name != "streamcluster"]
+        assert STREAMCLUSTER.activity < min(others)
+
+    def test_squeezenet_matches_fig2(self):
+        assert SQUEEZENET.baseline_latency_ms == 80.0
+        assert SQUEEZENET.mem_boundedness < 0.1
+
+    def test_daxpy_smt4_is_high_power(self):
+        assert DAXPY_SMT4.threads_per_core == 4
+        assert DAXPY_SMT4.activity > 1.2
+
+    def test_voltage_virus_shape(self):
+        """Synchronized di/dt plus maximal power (Sec. VII-A)."""
+        assert VOLTAGE_VIRUS.didt_activity > 2.0
+        assert VOLTAGE_VIRUS.activity > 1.2
+        assert VOLTAGE_VIRUS.threads_per_core == 4
+
+
+class TestSuiteMembership:
+    def test_suite_sizes(self):
+        assert len(SPEC_SUITE) >= 15
+        assert len(PARSEC_SUITE) >= 10
+        assert len(DNN_SUITE) == 6
+        assert len(UBENCH_SUITE) == 3
+
+    def test_suites_tagged(self):
+        assert all(w.suite is Suite.SPEC for w in SPEC_SUITE)
+        assert all(w.suite is Suite.PARSEC for w in PARSEC_SUITE)
+        assert all(w.suite is Suite.DNN for w in DNN_SUITE)
+
+    def test_no_duplicate_names(self):
+        names = [w.name for w in (*SPEC_SUITE, *PARSEC_SUITE, *DNN_SUITE)]
+        assert len(names) == len(set(names))
