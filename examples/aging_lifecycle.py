@@ -62,7 +62,7 @@ def main() -> None:
     for _ in range(10):
         for index, core in enumerate(fresh_chip.cores):
             monitor.observe(
-                core.label, aged_state.chip_power_w, aged_state.core_freq(index)
+                core.label, aged_state.chip_power_w, aged_state.core_freq_mhz(index)
             )
     flagged = monitor.drifting_cores()
     print(f"   drift monitor flags {len(flagged)}/8 cores -> re-characterize")

@@ -36,7 +36,7 @@ def main(seed: int = 7) -> None:
     state = sim.solve_steady_state(sim.uniform_assignments(reductions=reductions))
     print("Idle frequencies at the thread-worst deployment:")
     for index, core in enumerate(chip.cores):
-        print(f"  {core.label}: {state.core_freq(index):.0f} MHz")
+        print(f"  {core.label}: {state.core_freq_mhz(index):.0f} MHz")
     print()
 
     robust = table.most_robust_cores(3)

@@ -39,7 +39,7 @@ def main() -> None:
             for i in range(chip.n_cores)
         ]
         state = sim.solve_steady_state(assignments)
-        freq = state.core_freq(core_index)
+        freq = state.core_freq_mhz(core_index)
         gain = 100.0 * (freq / STATIC_MARGIN_MHZ - 1.0)
         print(f"{steps:>10}  {freq:>14.0f}  {gain:>16.1f}%")
 

@@ -51,7 +51,7 @@ class DistributionSummary:
     def mean(self) -> float:
         return sum(self.values) / len(self.values)
 
-    def frequency_of(self, value: int) -> float:
+    def fraction_of(self, value: int) -> float:
         """Fraction of trials that produced ``value``."""
         return self.counts.get(value, 0) / self.n_trials
 

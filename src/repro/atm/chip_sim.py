@@ -102,7 +102,7 @@ class ChipSteadyState:
     iterations: int
     assignments: tuple[CoreAssignment, ...] = field(repr=False, default=())
 
-    def core_freq(self, index: int) -> float:
+    def core_freq_mhz(self, index: int) -> float:
         """Frequency of core ``index`` at this operating point."""
         if not (0 <= index < len(self.freqs_mhz)):
             raise ConfigurationError(
@@ -230,7 +230,7 @@ class ChipSim:
             power = chip_power_w(
                 self._chip, power_freqs, activities, vdd, temperature, gated
             )
-            vdd = self._pdn.chip_voltage(power)
+            vdd = self._pdn.chip_voltage_v(power)
             temperature = self._thermal.steady_temperature_c(power)
             new_freqs = np.array(
                 [

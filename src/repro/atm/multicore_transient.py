@@ -114,7 +114,7 @@ class MulticoreTransientSimulator:
         event_trains = self._draw_events(
             rng, workload, duration_ns, synchronized, generator
         )
-        dc_voltage = self._pdn.chip_voltage(dc_chip_power_w)
+        dc_voltage = self._pdn.chip_voltage_v(dc_chip_power_w)
 
         # Flatten all trains once: every event perturbs the shared rail.
         all_events = [event for train in event_trains for event in train]

@@ -24,13 +24,13 @@ class ServerSteadyState:
 
     per_chip: dict[str, ChipSteadyState]
 
-    def frequency_of(self, server: ServerSpec, core_label: str) -> float:
+    def frequency_mhz_of(self, server: ServerSpec, core_label: str) -> float:
         """Frequency of the named core in this state."""
         chip = server.chip_of(core_label)
         state = self.per_chip[chip.chip_id]
         for index, core in enumerate(chip.cores):
             if core.label == core_label:
-                return state.core_freq(index)
+                return state.core_freq_mhz(index)
         raise ConfigurationError(f"no core labeled {core_label!r}")
 
     @property

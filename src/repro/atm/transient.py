@@ -217,7 +217,7 @@ class TransientSimulator:
             workload.didt_activity,
             synchronized_cores=synchronized_cores,
         )
-        dc_voltage = self._pdn.chip_voltage(dc_chip_power_w)
+        dc_voltage = self._pdn.chip_voltage_v(dc_chip_power_w)
         start_freq = equilibrium_frequency_mhz(
             self._chip, self._core, reduction_steps, dc_voltage, temperature_c
         )

@@ -13,6 +13,8 @@ Mirrors the stages a vendor/operator would actually run:
     Evaluate the Fig. 14 scenarios for one application pair.
 ``python -m repro list-workloads``
     Show every modeled workload and its observables.
+``python -m repro lint [paths]``
+    Run the domain linter (also available as ``python -m repro.lint``).
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from .core.persistence import (
 from .core.stress_test import StressTestProcedure
 from .errors import ReproError
 from .experiments import REGISTRY, run_experiment
+from .lint.cli import add_lint_arguments, run_lint
 from .rng import RngStreams
 from .silicon import power7plus_testbed, sample_chip
 from .workloads.classification import is_critical
@@ -190,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list-workloads", help="show all modeled workloads")
     p_list.set_defaults(func=_cmd_list_workloads)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the domain linter (RL001-RL006) over the tree"
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=run_lint)
 
     p_report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"

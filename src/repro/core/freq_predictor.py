@@ -45,7 +45,7 @@ class CoreFrequencyPredictor:
             raise ConfigurationError(f"power must be >= 0, got {chip_power_w}")
         return self.fit.predict(chip_power_w)
 
-    def power_budget_for_mhz(self, target_mhz: float) -> float:
+    def power_budget_w_for_mhz(self, target_mhz: float) -> float:
         """Largest total chip power at which the core still reaches target.
 
         The inverse query the management layer relies on: a critical
@@ -105,7 +105,7 @@ def frequency_power_sweep(
                 )
             )
         state = sim.solve_steady_state(assignments)
-        samples.append((state.chip_power_w, state.core_freq(core_index)))
+        samples.append((state.chip_power_w, state.core_freq_mhz(core_index)))
     return samples
 
 

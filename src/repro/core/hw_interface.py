@@ -97,7 +97,7 @@ class SimulatedHardware:
     def read_frequency_mhz(self, core_label: str) -> float:
         state = self._solve()
         index = self.core_labels().index(core_label)
-        return state.core_freq(index)
+        return state.core_freq_mhz(index)
 
     def read_chip_power_w(self) -> float:
         return self._solve().chip_power_w

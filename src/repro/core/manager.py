@@ -34,7 +34,7 @@ from ..atm.chip_sim import ChipSim, CoreAssignment, ChipSteadyState, MarginMode
 from ..errors import ConfigurationError, SchedulingError
 from ..rng import RngStreams
 from ..silicon.chipspec import ChipSpec
-from ..units import STATIC_MARGIN_MHZ
+from ..units import DVFS_MIN_MHZ, STATIC_MARGIN_MHZ
 from ..workloads.base import IDLE, Workload
 from .freq_predictor import CoreFrequencyPredictor, fit_core_frequency_models
 from .governor import Governor, GovernorPolicy
@@ -136,7 +136,7 @@ class AtmManager:
         }
         speedups = {}
         for core_label, workload in placement.critical.items():
-            freq = state.core_freq(label_to_index[core_label])
+            freq = state.core_freq_mhz(label_to_index[core_label])
             speedups[workload.name] = workload.speedup_at(freq)
         return speedups
 
@@ -221,7 +221,7 @@ class AtmManager:
             "fine-tuned ATM (managed, max critical)",
             placement,
             self._reductions,
-            ThrottleSetting(cap_mhz=min(2100.0, STATIC_MARGIN_MHZ)),
+            ThrottleSetting(cap_mhz=min(DVFS_MIN_MHZ, STATIC_MARGIN_MHZ)),
         )
 
     def run_managed_max_idle(self) -> ScenarioResult:
@@ -284,7 +284,7 @@ class AtmManager:
             perf_model = self.performance_predictor(workload)
             needed_mhz = perf_model.frequency_for_speedup(target_speedup)
             budget = min(
-                budget, predictors[core_label].power_budget_for_mhz(needed_mhz)
+                budget, predictors[core_label].power_budget_w_for_mhz(needed_mhz)
             )
         if budget == float("inf"):
             raise SchedulingError("QoS scenario needs at least one critical job")

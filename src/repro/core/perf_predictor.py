@@ -66,7 +66,7 @@ class AppPerformancePredictor:
 def fit_performance_predictor(
     workload: Workload,
     *,
-    freq_range_mhz: tuple[float, float] = (4200.0, 5200.0),
+    freq_range_mhz: tuple[float, float] = (STATIC_MARGIN_MHZ, 5200.0),
     n_points: int = 9,
     base_mhz: float = STATIC_MARGIN_MHZ,
 ) -> AppPerformancePredictor:

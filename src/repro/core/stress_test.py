@@ -67,7 +67,7 @@ class DeploymentConfig:
             sim.uniform_assignments(reductions=list(self.reductions(sim.chip)))
         )
         return {
-            core.label: state.core_freq(index)
+            core.label: state.core_freq_mhz(index)
             for index, core in enumerate(sim.chip.cores)
         }
 

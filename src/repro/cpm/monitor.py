@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..rng import RngStreams
 from ..silicon.chipspec import ChipSpec, CoreSpec
 from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
 from .inserted_delay import InsertedDelayStage
@@ -132,7 +133,7 @@ def build_cpm_array(
     """
     if n_monitors < 1:
         raise ConfigurationError(f"n_monitors must be >= 1, got {n_monitors}")
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = rng if rng is not None else RngStreams(0).stream("cpm.monitor")
     positions = [p for p in SyntheticPath.POSITIONS if p != "llc"]
     monitors = []
     for index in range(n_monitors):

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
-from ..units import require_positive
+from ..units import DVFS_MIN_MHZ, STATIC_MARGIN_MHZ, require_positive
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,7 @@ class LoopConfig:
     up_slew_mhz_per_us: float = 50.0
     down_slew_mhz_per_us: float = 2000.0
     evaluation_interval_ns: float = 1.0
-    f_min_mhz: float = 2100.0
+    f_min_mhz: float = DVFS_MIN_MHZ
     f_max_mhz: float = 5500.0
 
     def __post_init__(self) -> None:
@@ -80,7 +80,7 @@ class DpllControlLoop:
     externally (DVFS p-state limits from the management layer).
     """
 
-    def __init__(self, config: LoopConfig | None = None, initial_mhz: float = 4200.0):
+    def __init__(self, config: LoopConfig | None = None, initial_mhz: float = STATIC_MARGIN_MHZ):
         self._config = config if config is not None else LoopConfig()
         if not (self._config.f_min_mhz <= initial_mhz <= self._config.f_max_mhz):
             raise ConfigurationError(

@@ -19,7 +19,12 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..errors import ConfigurationError
-from ..units import VOLTAGE_CONTROLLER_WINDOW_MS, require_positive
+from ..units import (
+    NOMINAL_VDD,
+    STATIC_MARGIN_MHZ,
+    VOLTAGE_CONTROLLER_WINDOW_MS,
+    require_positive,
+)
 
 
 class VoltagePolicy(Enum):
@@ -40,10 +45,10 @@ class ControllerConfig:
 
     window_ms: float = VOLTAGE_CONTROLLER_WINDOW_MS
     sample_period_ms: float = 1.0
-    target_mhz: float = 4200.0
+    target_mhz: float = STATIC_MARGIN_MHZ
     vdd_step_v: float = 0.005
     vdd_min_v: float = 0.95
-    vdd_max_v: float = 1.25
+    vdd_max_v: float = NOMINAL_VDD
 
     def __post_init__(self) -> None:
         require_positive(self.window_ms, "window_ms")
@@ -80,7 +85,7 @@ class OffChipVoltageController:
         return self._policy
 
     @property
-    def vdd_setpoint(self) -> float:
+    def vdd_setpoint_v(self) -> float:
         """Current VRM output voltage command."""
         return self._vdd_setpoint
 

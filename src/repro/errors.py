@@ -76,6 +76,15 @@ class SilentDataCorruption(TimingViolation):
     """Run completed but the result-checking tool flagged wrong output."""
 
 
+class LintError(ReproError):
+    """The static-analysis pass could not run as requested.
+
+    Raised for unreadable lint targets, malformed baseline files, and
+    similar tooling mistakes — not for the rule findings themselves, which
+    are reported as data and drive the process exit code instead.
+    """
+
+
 class SchedulingError(ReproError):
     """The management layer could not satisfy a scheduling request.
 

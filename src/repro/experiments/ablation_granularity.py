@@ -42,8 +42,8 @@ def run(seed: int = 2019) -> ExperimentResult:
     rows = []
     left_on_table = []
     for index, core in enumerate(sim.chip.cores):
-        per_core_freq = per_core_state.core_freq(index)
-        uniform_freq = chip_wide_state.core_freq(index)
+        per_core_freq = per_core_state.core_freq_mhz(index)
+        uniform_freq = chip_wide_state.core_freq_mhz(index)
         left_on_table.append(per_core_freq - uniform_freq)
         rows.append(
             (

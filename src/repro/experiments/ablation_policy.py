@@ -57,7 +57,7 @@ def _undervolt_steady_state(sim: ChipSim, reductions: list[int]) -> tuple[float,
         ]
         vdd_setpoint = controller.observe(min(freqs))
         power = chip_power_w(chip, freqs, activities, vdd, temperature)
-        vdd = sim.pdn.chip_voltage(power, vrm_voltage=vdd_setpoint)
+        vdd = sim.pdn.chip_voltage_v(power, vrm_voltage_v=vdd_setpoint)
     return vdd, power
 
 

@@ -19,11 +19,10 @@ bound.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.rendering import ascii_table
 from ..atm.multicore_transient import MulticoreTransientSimulator
 from ..power.didt import DidtEventGenerator
+from ..rng import RngStreams
 from ..silicon import power7plus_testbed
 from ..silicon.chipspec import TESTBED_UBENCH_LIMITS
 from ..workloads.stressmark import VOLTAGE_VIRUS
@@ -36,6 +35,7 @@ def run(seed: int = 2019) -> ExperimentResult:
     chip = server.chips[0]
     simulator = MulticoreTransientSimulator(chip)
     generator = DidtEventGenerator(base_rate_per_us=0.4, mean_step_a=4.0)
+    streams = RngStreams(seed)
     reductions = list(TESTBED_UBENCH_LIMITS[:8])
 
     rows = []
@@ -44,7 +44,9 @@ def run(seed: int = 2019) -> ExperimentResult:
         result = simulator.run(
             VOLTAGE_VIRUS,
             reductions,
-            np.random.default_rng(seed),
+            # One fresh stream per arm so both arms see identical event
+            # draws and only the alignment differs.
+            streams.fresh("experiments.ablation_sync"),
             duration_ns=3000.0,
             synchronized=synchronized,
             didt_generator=generator,

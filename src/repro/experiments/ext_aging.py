@@ -72,7 +72,7 @@ def run(seed: int = 2019, trials: int = 5) -> ExperimentResult:
     for _ in range(20):
         for index, core in enumerate(fresh_chip.cores):
             monitor.observe(
-                core.label, aged_state.chip_power_w, aged_state.core_freq(index)
+                core.label, aged_state.chip_power_w, aged_state.core_freq_mhz(index)
             )
     flagged = monitor.drifting_cores()
 

@@ -51,7 +51,7 @@ def _per_core_static_mhz(sim: ChipSim, idle_freqs: list[float]) -> list[float]:
     "must guard against worst case" cost that ATM avoids.
     """
     chip = sim.chip
-    vdd_dc_worst = sim.pdn.chip_voltage(STRESSMARK_CHIP_POWER_W)
+    vdd_dc_worst = sim.pdn.chip_voltage_v(STRESSMARK_CHIP_POWER_W)
     vdd_worst = vdd_dc_worst - _DIDT_GUARD_FRACTION * chip.vrm_voltage
     slowdown = alpha_power_delay_factor(vdd_worst)
     # The chip-wide 4.2 GHz rating is, by definition, what the *slowest*

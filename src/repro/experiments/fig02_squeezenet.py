@@ -45,7 +45,7 @@ def _schedule_latency(
             )
         )
     state = sim.solve_steady_state(assignments)
-    freq = state.core_freq(target_index)
+    freq = state.core_freq_mhz(target_index)
     return SQUEEZENET.latency_ms_at(freq), freq
 
 

@@ -39,7 +39,7 @@ def frequency_staircase(
             for i in range(sim.chip.n_cores)
         ]
         state = sim.solve_steady_state(assignments)
-        freqs.append(state.core_freq(core_index))
+        freqs.append(state.core_freq_mhz(core_index))
     return freqs
 
 

@@ -35,7 +35,7 @@ def run(seed: int = 2019, trials: int = 10) -> ExperimentResult:
         for index, core in enumerate(chip.cores):
             result = idle_results[core.label]
             dist = result.distribution
-            freq = state.core_freq(index)
+            freq = state.core_freq_mhz(index)
             limit_freqs[core.label] = freq
             spreads.append(dist.spread)
             rows.append(

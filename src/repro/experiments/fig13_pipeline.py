@@ -68,9 +68,9 @@ def run(seed: int = 2019) -> ExperimentResult:
     )
     critical_core = next(iter(result.placement.critical))
     predictors = manager.frequency_predictors()
-    budget_w = predictors[critical_core].power_budget_for_mhz(needed_mhz)
+    budget_w = predictors[critical_core].power_budget_w_for_mhz(needed_mhz)
     core_index = labels.index(critical_core)
-    delivered_mhz = result.state.core_freq(core_index)
+    delivered_mhz = result.state.core_freq_mhz(core_index)
     delivered_speedup = result.critical_speedups["squeezenet"]
 
     rows = [

@@ -1,0 +1,42 @@
+"""``repro.lint`` — AST-based domain linter for the reproduction library.
+
+The interpreter never checks the conventions this library's correctness
+rests on: quantities carry unit suffixes (:mod:`repro.units`), randomness
+flows through named :class:`repro.rng.RngStreams`, and raises derive from
+:class:`repro.errors.ReproError`.  This package enforces them statically.
+
+Run it as ``python -m repro.lint [paths]`` or ``python -m repro lint``.
+
+Rules
+-----
+======  ==========================  ============================================
+ID      Name                        Invariant
+======  ==========================  ============================================
+RL001   unseeded-rng                all randomness via named ``RngStreams``
+RL002   wall-clock-in-sim           simulated time only; no host clock reads
+RL003   bare-exception              raises are ``ReproError``; no bare except
+RL004   unit-suffix                 float quantities carry ``_mhz``/``_ps``/...
+RL005   float-equality              no ``==`` on computed float expressions
+RL006   magic-platform-constant     platform numbers come from ``repro.units``
+======  ==========================  ============================================
+
+Suppress a finding inline with ``# repro-lint: disable=RL001`` (comma-
+separated ids, or ``all``) on the flagged line, or grandfather it in a
+``--baseline`` JSON file.
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, LintContext, Rule, lint_file, lint_paths, lint_source
+from .rules import ALL_RULES, get_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "get_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,78 @@
+"""Baseline files: grandfather known findings without silencing new ones.
+
+A baseline is a JSON document::
+
+    {
+      "version": 1,
+      "entries": [
+        {"path": "src/repro/foo.py", "rule": "RL004",
+         "reason": "public API rename deferred to the v2 break"}
+      ]
+    }
+
+An entry matches every finding of ``rule`` in ``path`` (matched on
+trailing posix components, so the file can be written from the repo root
+and used from anywhere).  Matching on path+rule rather than line numbers
+keeps baselines stable across unrelated edits to the same file; the
+``reason`` field is mandatory so every grandfathered finding carries its
+justification in-tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path, PurePosixPath
+
+from ..errors import LintError
+from .engine import Finding
+
+
+class Baseline:
+    """Parsed baseline entries with suffix-path matching."""
+
+    def __init__(self, entries: list[dict]):
+        self.entries = entries
+        self._index: set[tuple[tuple[str, ...], str]] = {
+            (PurePosixPath(entry["path"]).parts, entry["rule"])
+            for entry in entries
+        }
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read and validate a baseline JSON file."""
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict) or not isinstance(
+            document.get("entries"), list
+        ):
+            raise LintError(f"baseline {path} must be an object with 'entries'")
+        entries = document["entries"]
+        for index, entry in enumerate(entries):
+            for field in ("path", "rule", "reason"):
+                if not isinstance(entry.get(field), str) or not entry[field]:
+                    raise LintError(
+                        f"baseline {path} entry {index} needs a non-empty "
+                        f"'{field}' string"
+                    )
+        return cls(entries)
+
+    def covers(self, finding: Finding) -> bool:
+        """True when some entry grandfathers ``finding``."""
+        finding_parts = PurePosixPath(finding.path).parts
+        for entry_parts, rule in self._index:
+            if rule != finding.rule_id:
+                continue
+            if len(entry_parts) <= len(finding_parts) and (
+                finding_parts[len(finding_parts) - len(entry_parts):]
+                == entry_parts
+            ):
+                return True
+        return False
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """Drop grandfathered findings, keeping order."""
+        return [finding for finding in findings if not self.covers(finding)]

@@ -1,0 +1,99 @@
+"""Argument handling for ``python -m repro.lint`` and ``repro lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage / tooling error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from ..errors import LintError
+from .baseline import Baseline
+from .engine import discover_files, lint_paths
+from .report import format_json, format_rule_table, format_text
+from .rules import ALL_RULES, get_rules
+
+#: Default lint targets when none are given, filtered to those that exist.
+DEFAULT_PATHS = ("src", "tests")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="JSON file of grandfathered findings (see repro.lint.baseline)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (1 forces in-process linting)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        print(format_rule_table(ALL_RULES))
+        return 0
+    paths = args.paths or [path for path in DEFAULT_PATHS if _exists(path)]
+    if not paths:
+        print("error: no lint targets (give paths explicitly)", file=sys.stderr)
+        return 2
+    rules = None
+    if args.select:
+        rules = get_rules([part.strip() for part in args.select.split(",")])
+    files_checked = len(discover_files(paths))
+    findings = lint_paths(paths, rules=rules, jobs=args.jobs)
+    if args.baseline:
+        findings = Baseline.load(args.baseline).filter(findings)
+    report = (
+        format_json(findings, files_checked=files_checked)
+        if args.format == "json"
+        else format_text(findings, files_checked=files_checked)
+    )
+    print(report)
+    return 1 if findings else 0
+
+
+def _exists(path: str) -> bool:
+    from pathlib import Path
+
+    return Path(path).exists()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based domain linter for the ATM reproduction",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint(args)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

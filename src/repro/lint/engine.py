@@ -1,0 +1,286 @@
+"""Core linting engine: context, rule protocol, single-walk dispatch.
+
+Every rule declares the AST node types it is interested in; the engine
+walks each file's tree exactly once, dispatching nodes to interested
+rules.  Files are linted in parallel with :mod:`concurrent.futures` when
+enough of them are queued to amortize process start-up.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+
+from ..errors import LintError
+
+#: Directory names skipped when a directory argument is expanded.  Explicit
+#: file arguments are never filtered, so fixture corpora stay lintable.
+EXCLUDED_DIR_NAMES = frozenset(
+    {"fixtures", "__pycache__", ".git", ".venv", "build", "dist"}
+)
+
+#: Number of queued files below which linting stays in-process; process
+#: pool start-up costs more than the walk for small batches.
+PARALLEL_THRESHOLD = 12
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner, ``path:line:col: ID [severity] msg``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form used by ``--format=json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+class LintContext:
+    """Per-file state shared by every rule during one walk.
+
+    Parameters
+    ----------
+    path:
+        Display path for findings; also drives the default file
+        classification below.
+    source:
+        File contents.
+    is_test / in_repro_src:
+        Override the path-derived classification.  Fixture tests use this
+        to lint a snippet *as if* it lived under ``src/repro/``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        *,
+        is_test: bool | None = None,
+        in_repro_src: bool | None = None,
+    ):
+        self.path = str(PurePosixPath(Path(path).as_posix()))
+        self.source = source
+        parts = PurePosixPath(self.path).parts
+        self.filename = parts[-1] if parts else self.path
+        if is_test is None:
+            is_test = "tests" in parts or self.filename.startswith("test_")
+        if in_repro_src is None:
+            in_repro_src = any(
+                parts[i] == "src" and parts[i + 1] == "repro"
+                for i in range(len(parts) - 1)
+            )
+        #: True for files under ``tests/`` (rules about library internals
+        #: do not apply there).
+        self.is_test = is_test
+        #: True for files that belong to the ``repro`` package proper.
+        self.in_repro_src = in_repro_src
+        self.suppressions = _parse_suppressions(source)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``line`` carries a disable comment covering ``rule_id``."""
+        disabled = self.suppressions.get(line)
+        if not disabled:
+            return False
+        return "all" in disabled or rule_id in disabled
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            suppressions[lineno] = frozenset(ids)
+    return suppressions
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`visit`, which
+    is called once per node whose type appears in :attr:`interests`.
+    ``parents`` is the ancestor stack, outermost first, so rules needing
+    binding context (keyword names, assignment targets) can look up.
+    """
+
+    rule_id: str = "RL000"
+    severity: str = "error"
+    summary: str = ""
+    #: One-line rationale shown by ``--list-rules``.
+    rationale: str = ""
+    interests: tuple[type[ast.AST], ...] = ()
+
+    def applies(self, ctx: LintContext) -> bool:
+        """Whether this rule runs at all for the file described by ``ctx``."""
+        return True
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        """Yield findings for ``node``; called only for interesting types."""
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Sequence[Rule] | None = None,
+    is_test: bool | None = None,
+    in_repro_src: bool | None = None,
+) -> list[Finding]:
+    """Lint ``source`` and return sorted, non-suppressed findings."""
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    ctx = LintContext(path, source, is_test=is_test, in_repro_src=in_repro_src)
+    try:
+        tree = ast.parse(source, filename=ctx.path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=ctx.path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id="PARSE",
+                severity="error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    active = [rule for rule in rules if rule.applies(ctx)]
+    by_type: dict[type, list[Rule]] = {}
+    for rule in active:
+        for node_type in rule.interests:
+            by_type.setdefault(node_type, []).append(rule)
+    if not by_type:
+        return []
+
+    findings: list[Finding] = []
+    stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, parents = stack.pop()
+        for rule in by_type.get(type(node), ()):
+            for finding in rule.visit(node, parents, ctx):
+                if not ctx.is_suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+        child_parents = parents + (node,)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_parents))
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one file from disk."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {file_path}: {exc}") from exc
+    return lint_source(source, str(file_path), rules=rules)
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand path arguments into a sorted, de-duplicated ``.py`` file list.
+
+    Directories are walked recursively, skipping :data:`EXCLUDED_DIR_NAMES`;
+    explicitly named files are always included.
+    """
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                rel = candidate.relative_to(path)
+                if any(part in EXCLUDED_DIR_NAMES for part in rel.parts[:-1]):
+                    continue
+                if candidate not in seen:
+                    seen.add(candidate)
+                    files.append(candidate)
+        elif path.is_file():
+            if path not in seen:
+                seen.add(path)
+                files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return files
+
+
+def _lint_one(path_str: str) -> list[Finding]:
+    """Picklable worker: lint ``path_str`` with the full default rule set."""
+    return lint_file(path_str)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    jobs: int | None = None,
+) -> list[Finding]:
+    """Lint every python file reachable from ``paths``.
+
+    ``jobs=1`` forces in-process linting; otherwise a process pool is used
+    once the batch is large enough to pay for it.  Results are sorted so
+    output is deterministic regardless of scheduling.
+    """
+    files = discover_files(paths)
+    findings: list[Finding] = []
+    use_pool = (
+        rules is None  # custom rule objects may not be picklable
+        and jobs != 1
+        and len(files) >= PARALLEL_THRESHOLD
+    )
+    if use_pool:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for batch in pool.map(_lint_one, [str(f) for f in files]):
+                    findings.extend(batch)
+            return sorted(findings)
+        except (OSError, ImportError, PermissionError):
+            findings.clear()  # fall back to serial linting below
+    for file_path in files:
+        findings.extend(lint_file(file_path, rules=rules))
+    return sorted(findings)

@@ -1,0 +1,47 @@
+"""Finding renderers for the lint CLI (``--format=text|json``)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import Finding, Rule
+
+
+def format_text(findings: list[Finding], *, files_checked: int) -> str:
+    """GCC-style one-line-per-finding report plus a summary tail."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule = Counter(finding.rule_id for finding in findings)
+        breakdown = ", ".join(
+            f"{rule_id}: {count}" for rule_id, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in {files_checked} file(s) "
+            f"({breakdown})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def format_json(findings: list[Finding], *, files_checked: int) -> str:
+    """Machine-readable report: stable keys, findings in sorted order."""
+    return json.dumps(
+        {
+            "files_checked": files_checked,
+            "count": len(findings),
+            "findings": [finding.to_dict() for finding in findings],
+        },
+        indent=2,
+    )
+
+
+def format_rule_table(rules: tuple[Rule, ...]) -> str:
+    """The ``--list-rules`` listing."""
+    lines = []
+    for rule in rules:
+        lines.append(f"{rule.rule_id}  {rule.summary:<24} [{rule.severity}]")
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)

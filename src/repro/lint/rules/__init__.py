@@ -1,0 +1,42 @@
+"""Rule registry for ``repro.lint``.
+
+Rules are stateless singletons; the engine dispatches AST nodes to them
+by declared interest.  Register new rules here so the CLI, the process-
+pool workers, and ``--list-rules`` all see the same set.
+"""
+
+from __future__ import annotations
+
+from ...errors import LintError
+from ..engine import Rule
+from .constants import MagicPlatformConstantRule
+from .determinism import UnseededRngRule, WallClockRule
+from .exceptions import BareExceptionRule
+from .float_eq import FloatEqualityRule
+from .units_suffix import UnitSuffixRule
+
+#: Every shipped rule, in id order.
+ALL_RULES: tuple[Rule, ...] = (
+    UnseededRngRule(),
+    WallClockRule(),
+    BareExceptionRule(),
+    UnitSuffixRule(),
+    FloatEqualityRule(),
+    MagicPlatformConstantRule(),
+)
+
+_BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def get_rules(rule_ids: list[str] | None = None) -> tuple[Rule, ...]:
+    """Resolve ``rule_ids`` to rule objects; ``None`` selects every rule."""
+    if rule_ids is None:
+        return ALL_RULES
+    missing = [rule_id for rule_id in rule_ids if rule_id not in _BY_ID]
+    if missing:
+        known = ", ".join(sorted(_BY_ID))
+        raise LintError(f"unknown rule id(s) {missing}; known rules: {known}")
+    return tuple(_BY_ID[rule_id] for rule_id in rule_ids)
+
+
+__all__ = ["ALL_RULES", "get_rules"]

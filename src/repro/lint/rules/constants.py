@@ -1,0 +1,153 @@
+"""RL006 — magic-platform-constant rule.
+
+``repro.units`` is the single source of truth for the POWER7+ platform
+numbers (Sec. II of the paper).  A literal ``4200.0`` sprinkled elsewhere
+silently forks that truth: retargeting the model (e.g. the POWER9 ATM
+variant in the ROADMAP) would update ``units.py`` and miss the copy.
+
+Float platform values are flagged wherever they appear; the collision-
+prone small integers (8 cores, 2 chips) are only flagged when bound to a
+core/chip-flavored name (keyword argument, assignment target, or
+parameter default), which keeps ``range(2)`` and friends out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+
+from ... import units
+from ..engine import Finding, LintContext, Rule
+
+#: Distinctive float platform values -> canonical constant name.  Ambient
+#: values like 40.0 or 32.0 collide with unrelated quantities and are
+#: deliberately excluded from the heuristic.
+FLOAT_CONSTANTS: dict[float, str] = {
+    units.STATIC_MARGIN_MHZ: "STATIC_MARGIN_MHZ (== DVFS_MAX_MHZ)",
+    units.DEFAULT_ATM_IDLE_MHZ: "DEFAULT_ATM_IDLE_MHZ",
+    units.DVFS_MIN_MHZ: "DVFS_MIN_MHZ",
+    units.NOMINAL_VDD: "NOMINAL_VDD",
+    units.STRESSMARK_CHIP_POWER_W: "STRESSMARK_CHIP_POWER_W",
+}
+
+#: Small-integer platform values, only matched in core/chip-named contexts.
+INT_CONSTANTS: dict[int, str] = {
+    units.CORES_PER_CHIP: "CORES_PER_CHIP",
+    units.CHIPS_PER_SERVER: "CHIPS_PER_SERVER",
+}
+
+#: Binding names that mark an integer as a core/chip topology count.
+_TOPOLOGY_NAME_RE = re.compile(r"(^|_)(n_)?(cores?|chips?)(_|$)")
+
+
+def _int_match(name: str | None, value_node: ast.expr | None) -> str | None:
+    """Constant name when ``value_node`` is a flagged int bound to ``name``."""
+    if name is None or value_node is None:
+        return None
+    if not _TOPOLOGY_NAME_RE.search(name.lower()):
+        return None
+    if (
+        isinstance(value_node, ast.Constant)
+        and type(value_node.value) is int
+        and value_node.value in INT_CONSTANTS
+    ):
+        return INT_CONSTANTS[value_node.value]
+    return None
+
+
+class MagicPlatformConstantRule(Rule):
+    """RL006: platform numbers must reference ``repro.units`` constants."""
+
+    rule_id = "RL006"
+    severity = "warning"
+    summary = "magic-platform-constant"
+    rationale = (
+        "repro.units is the single source of truth for POWER7+ numbers; "
+        "literal copies silently fork it"
+    )
+    interests = (
+        ast.Constant,
+        ast.Call,
+        ast.Assign,
+        ast.AnnAssign,
+        ast.FunctionDef,
+        ast.AsyncFunctionDef,
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (
+            ctx.in_repro_src and not ctx.is_test and ctx.filename != "units.py"
+        )
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, float) and node.value in FLOAT_CONSTANTS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"magic platform constant {node.value!r}; use "
+                    f"repro.units.{FLOAT_CONSTANTS[node.value]}",
+                )
+            return
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                const = _int_match(keyword.arg, keyword.value)
+                if const:
+                    yield self.finding(
+                        ctx,
+                        keyword.value,
+                        f"magic platform count {keyword.arg}="
+                        f"{ast.literal_eval(keyword.value)}; use "
+                        f"repro.units.{const}",
+                    )
+            return
+        if isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                const = _int_match(node.targets[0].id, node.value)
+                if const:
+                    yield self.finding(
+                        ctx,
+                        node.value,
+                        f"magic platform count {node.targets[0].id}="
+                        f"{ast.literal_eval(node.value)}; use "
+                        f"repro.units.{const}",
+                    )
+            return
+        if isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                const = _int_match(node.target.id, node.value)
+                if const:
+                    yield self.finding(
+                        ctx,
+                        node.value,
+                        f"magic platform count {node.target.id}="
+                        f"{ast.literal_eval(node.value)}; use "
+                        f"repro.units.{const}",
+                    )
+            return
+        # Function defaults: pair the trailing args with their defaults.
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        positional = (*args.posonlyargs, *args.args)
+        for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                                args.defaults):
+            const = _int_match(arg.arg, default)
+            if const:
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"magic platform count {arg.arg}="
+                    f"{ast.literal_eval(default)}; use repro.units.{const}",
+                )
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            const = _int_match(arg.arg, default)
+            if const:
+                yield self.finding(
+                    ctx,
+                    default,
+                    f"magic platform count {arg.arg}="
+                    f"{ast.literal_eval(default)}; use repro.units.{const}",
+                )

@@ -1,0 +1,150 @@
+"""RL001/RL002 — determinism rules.
+
+Reproducing the paper's per-core limit distributions (Table I, Fig. 7-14)
+requires every stochastic draw to be replayable and every timestamp to
+come from simulated time.  A single unseeded generator or host-clock read
+silently decorrelates runs without failing any test.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from ..engine import Finding, LintContext, Rule
+
+
+def attr_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """Resolve a dotted ``Name.attr.attr`` chain, or ``None`` if dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class UnseededRngRule(Rule):
+    """RL001: all randomness must flow through named ``RngStreams``."""
+
+    rule_id = "RL001"
+    severity = "error"
+    summary = "unseeded-rng"
+    rationale = (
+        "direct np.random / random draws bypass the named-stream seeding "
+        "that keeps Fig. 7-14 reproducible and stable under refactoring"
+    )
+    interests = (ast.Attribute, ast.Import, ast.ImportFrom)
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro_src and not ctx.is_test and ctx.filename != "rng.py"
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if (
+                chain is not None
+                and len(chain) == 3
+                and chain[0] in ("np", "numpy")
+                and chain[1] == "random"
+                # Class references (Generator, SeedSequence, ...) are type
+                # annotations, not draws; only lowercase accesses construct
+                # or consume entropy.
+                and chain[2][:1].islower()
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct use of {'.'.join(chain)}; draw from a named "
+                    "RngStreams stream instead (repro.rng)",
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib `random` is process-seeded; use RngStreams "
+                        "(repro.rng) for reproducible draws",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "stdlib `random` is process-seeded; use RngStreams "
+                    "(repro.rng) for reproducible draws",
+                )
+
+
+#: Host-clock reading functions in the ``time`` module.
+_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Host-clock constructors on ``datetime`` / ``datetime.datetime``.
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    """RL002: simulation modules must not read the host clock."""
+
+    rule_id = "RL002"
+    severity = "error"
+    summary = "wall-clock-in-sim"
+    rationale = (
+        "simulated time (ns/ms event clocks) is the only time source; host "
+        "clock reads make traces machine- and load-dependent"
+    )
+    interests = (ast.Attribute, ast.ImportFrom)
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro_src and not ctx.is_test
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain is None:
+                return
+            if chain[0] == "time" and len(chain) == 2 and chain[1] in _TIME_FNS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"host clock read {'.'.join(chain)}; simulation code "
+                    "must advance simulated time only",
+                )
+            elif chain[0] == "datetime" and chain[-1] in _DATETIME_FNS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"host clock read {'.'.join(chain)}; simulation code "
+                    "must advance simulated time only",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "time":
+                clocky = sorted(
+                    alias.name for alias in node.names if alias.name in _TIME_FNS
+                )
+                if clocky:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing host clock function(s) {', '.join(clocky)} "
+                        "from `time`; simulation code must advance simulated "
+                        "time only",
+                    )

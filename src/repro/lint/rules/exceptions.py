@@ -1,0 +1,87 @@
+"""RL003 — error-handling rule.
+
+Every exception the library raises derives from ``ReproError`` so callers
+can fence off the whole package with one ``except`` clause and still
+distinguish configuration mistakes from modeled hardware failures
+(``repro.errors``).  Raising builtins — or swallowing everything with a
+bare ``except:`` — breaks that contract silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from ..engine import Finding, LintContext, Rule
+
+#: Builtin exception types the library must never raise directly.
+#: ``NotImplementedError`` is exempt: it is the stdlib idiom for abstract
+#: methods and is not an error-path signal callers should catch.
+FORBIDDEN_BUILTINS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "NameError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopIteration",
+        "SystemError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+class BareExceptionRule(Rule):
+    """RL003: raise ``ReproError`` subclasses; never use bare ``except:``."""
+
+    rule_id = "RL003"
+    severity = "error"
+    summary = "bare-exception"
+    rationale = (
+        "raises must derive from ReproError so callers can separate library "
+        "errors from modeled hardware failures; bare except hides both"
+    )
+    interests = (ast.Raise, ast.ExceptHandler)
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro_src and not ctx.is_test
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare `except:` swallows SystemExit and KeyboardInterrupt; "
+                    "catch ReproError (or a concrete subclass) instead",
+                )
+            return
+        exc = node.exc
+        if exc is None:
+            return  # bare `raise` re-raises the active exception: fine
+        name: str | None = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in FORBIDDEN_BUILTINS:
+            yield self.finding(
+                ctx,
+                node,
+                f"raising builtin {name}; library errors must derive from "
+                "ReproError (repro.errors)",
+            )

@@ -1,0 +1,77 @@
+"""RL005 — float-equality rule.
+
+Exact ``==``/``!=`` on *computed* float expressions is how calibration
+drift hides: ``a / b == 0.3`` is false for values that agree to 15
+significant digits.  The rule flags equality comparisons where either side
+is float arithmetic (any division, or ``+ - * ** %`` involving a float
+literal) and suggests ``math.isclose`` / ``pytest.approx``.
+
+Plain sentinel comparisons (``x == 0.0``, ``freq == 2100.0``) compare a
+value that flowed through unchanged and are left alone — flagging them
+would bury the real signal in noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from ..engine import Finding, LintContext, Rule
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.Mod)
+
+
+def _contains_float_literal(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Constant) and isinstance(child.value, float)
+        for child in ast.walk(node)
+    )
+
+
+def is_float_arithmetic(node: ast.AST) -> bool:
+    """True for expressions whose value carries fresh rounding error."""
+    if isinstance(node, ast.UnaryOp):
+        return is_float_arithmetic(node.operand)
+    if not isinstance(node, ast.BinOp):
+        return False
+    if isinstance(node.op, ast.Div):
+        return True  # true division always produces a float
+    if isinstance(node.op, _ARITH_OPS):
+        return _contains_float_literal(node) or any(
+            is_float_arithmetic(side) for side in (node.left, node.right)
+        )
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """RL005: no exact equality on computed float expressions."""
+
+    rule_id = "RL005"
+    severity = "warning"
+    summary = "float-equality"
+    rationale = (
+        "== on computed floats is rounding-error roulette; use math.isclose "
+        "in library code and pytest.approx in tests"
+    )
+    interests = (ast.Compare,)
+
+    # Applies to src *and* tests: golden assertions are where exact float
+    # comparisons do the most damage.
+    def applies(self, ctx: LintContext) -> bool:
+        return True
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Compare)
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        if any(
+            is_float_arithmetic(side) for side in (node.left, *node.comparators)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "exact ==/!= on a computed float expression; use "
+                "math.isclose (src) or pytest.approx (tests)",
+            )

@@ -26,7 +26,14 @@ from ..errors import ConfigurationError
 from ..units import DVFS_MAX_MHZ, DVFS_MIN_MHZ
 
 #: The platform's discrete p-state frequencies, ascending.
-PSTATES_MHZ: tuple[float, ...] = (2100.0, 2500.0, 2900.0, 3300.0, 3700.0, 4200.0)
+PSTATES_MHZ: tuple[float, ...] = (
+    DVFS_MIN_MHZ,
+    2500.0,
+    2900.0,
+    3300.0,
+    3700.0,
+    DVFS_MAX_MHZ,
+)
 
 
 def validate_pstate(freq_mhz: float) -> float:

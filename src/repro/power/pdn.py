@@ -57,13 +57,15 @@ class PowerDeliveryNetwork:
         """DC voltage lost across the delivery path at the given load."""
         return self.resistance_ohm * self.current_a(chip_power_w)
 
-    def chip_voltage(self, chip_power_w: float, vrm_voltage: float | None = None) -> float:
+    def chip_voltage_v(
+        self, chip_power_w: float, vrm_voltage_v: float | None = None
+    ) -> float:
         """Voltage at the transistors for the given load.
 
-        An explicit ``vrm_voltage`` supports the undervolting policy, where
-        the off-chip controller moves the regulator set-point.
+        An explicit ``vrm_voltage_v`` supports the undervolting policy,
+        where the off-chip controller moves the regulator set-point.
         """
-        vrm = self.vrm_voltage if vrm_voltage is None else vrm_voltage
+        vrm = self.vrm_voltage if vrm_voltage_v is None else vrm_voltage_v
         if vrm <= 0.0:
             raise ConfigurationError(f"vrm voltage must be positive, got {vrm}")
         drop = self.resistance_ohm * chip_power_w / vrm

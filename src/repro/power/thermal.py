@@ -41,13 +41,13 @@ class ThermalModel:
         return self.ambient_c + self.resistance_c_per_w * chip_power_w
 
     def step_temperature_c(
-        self, current_c: float, chip_power_w: float, dt_s: float
+        self, temp_c: float, chip_power_w: float, dt_s: float
     ) -> float:
-        """Advance the die temperature by ``dt_s`` toward equilibrium."""
+        """Advance the die temperature from ``temp_c`` by ``dt_s`` toward equilibrium."""
         require_positive(dt_s, "dt_s")
         target = self.steady_temperature_c(chip_power_w)
         decay = math.exp(-dt_s / self.time_constant_s)
-        return target + (current_c - target) * decay
+        return target + (temp_c - target) * decay
 
     def exceeds_limit(self, temperature_c: float) -> bool:
         """True if the die is above the paper's 70 °C evaluation ceiling."""

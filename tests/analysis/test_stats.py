@@ -26,10 +26,10 @@ class TestSummarize:
         dist = summarize([2, 2, 5, 5])
         assert dist.mode == 2
 
-    def test_frequency_of(self):
+    def test_fraction_of(self):
         dist = summarize([1, 1, 1, 2])
-        assert dist.frequency_of(1) == pytest.approx(0.75)
-        assert dist.frequency_of(9) == 0.0
+        assert dist.fraction_of(1) == pytest.approx(0.75)
+        assert dist.fraction_of(9) == 0.0
 
     def test_empty_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -124,7 +124,7 @@ class TestSteadyState:
     def test_core_freq_bounds(self, chip0_sim):
         state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
         with pytest.raises(ConfigurationError):
-            state.core_freq(8)
+            state.core_freq_mhz(8)
 
 
 class TestSafetyCheck:

@@ -21,7 +21,7 @@ class TestElectricalConsistency:
             chip0_sim.uniform_assignments(workload=GCC)
         )
         assert state.vdd == pytest.approx(
-            chip0_sim.pdn.chip_voltage(state.chip_power_w), abs=1e-6
+            chip0_sim.pdn.chip_voltage_v(state.chip_power_w), abs=1e-6
         )
 
     def test_temperature_matches_power(self, chip0_sim):
@@ -53,7 +53,7 @@ class TestElectricalConsistency:
             expected = equilibrium_frequency_mhz(
                 chip0, core, 0, state.vdd, state.temperature_c
             )
-            assert state.core_freq(index) == pytest.approx(expected, abs=0.01)
+            assert state.core_freq_mhz(index) == pytest.approx(expected, abs=0.01)
 
     def test_assignments_echoed_in_state(self, chip0_sim):
         assignments = chip0_sim.uniform_assignments(workload=X264)

@@ -47,10 +47,10 @@ class TestServerSolve:
         assert loaded.per_chip["P0"].freqs_mhz == idle.per_chip["P0"].freqs_mhz
         assert loaded.per_chip["P1"].chip_power_w > idle.per_chip["P1"].chip_power_w
 
-    def test_frequency_of_lookup(self, server_sim, testbed):
+    def test_frequency_mhz_of_lookup(self, server_sim, testbed):
         state = server_sim.solve_steady_state(server_sim.idle_assignments())
-        freq = state.frequency_of(testbed, "P0C4")
-        assert freq == state.per_chip["P0"].core_freq(4)
+        freq = state.frequency_mhz_of(testbed, "P0C4")
+        assert freq == state.per_chip["P0"].core_freq_mhz(4)
 
     def test_total_power_sums_sockets(self, server_sim):
         state = server_sim.solve_steady_state(server_sim.idle_assignments())

@@ -67,11 +67,11 @@ class TestFittedModels:
     def test_power_budget_inversion(self, predictors):
         predictor = predictors["P0C0"]
         target = predictor.predict_mhz(80.0)
-        assert predictor.power_budget_for_mhz(target) == pytest.approx(80.0, abs=0.5)
+        assert predictor.power_budget_w_for_mhz(target) == pytest.approx(80.0, abs=0.5)
 
     def test_unreachable_target_rejected(self, predictors):
         with pytest.raises(CalibrationError):
-            predictors["P0C0"].power_budget_for_mhz(9000.0)
+            predictors["P0C0"].power_budget_w_for_mhz(9000.0)
 
     def test_negative_power_rejected(self, predictors):
         with pytest.raises(ConfigurationError):
@@ -79,4 +79,4 @@ class TestFittedModels:
 
     def test_bad_target_rejected(self, predictors):
         with pytest.raises(ConfigurationError):
-            predictors["P0C0"].power_budget_for_mhz(0.0)
+            predictors["P0C0"].power_budget_w_for_mhz(0.0)

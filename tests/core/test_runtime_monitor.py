@@ -76,7 +76,7 @@ class TestDriftDetection:
         for _ in range(10):
             for index, core in enumerate(chip0.cores):
                 monitor.observe(
-                    core.label, state.chip_power_w, state.core_freq(index)
+                    core.label, state.chip_power_w, state.core_freq_mhz(index)
                 )
         assert monitor.recommend_recharacterization()
         assert len(monitor.drifting_cores()) == 8

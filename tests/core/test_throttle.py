@@ -113,8 +113,8 @@ class TestThrottleSearch:
             placement, reductions, ThrottleSetting(cap_mhz=2100.0)
         )
         assert (
-            slow.state.core_freq(critical_index)
-            > fast.state.core_freq(critical_index)
+            slow.state.core_freq_mhz(critical_index)
+            > fast.state.core_freq_mhz(critical_index)
         )
 
     def test_minimal_throttle_loose_budget(self, chip0_sim, placement, reductions):

@@ -107,7 +107,7 @@ class TestBuildCpmArray:
         state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
         for index, core in enumerate(chip.cores):
             array = build_cpm_array(chip, core, np.random.default_rng(index))
-            cycle = 1.0e6 / state.core_freq(index)
+            cycle = 1.0e6 / state.core_freq_mhz(index)
             reading = array.worst_reading(cycle, state.vdd, state.temperature_c)
             assert reading == chip.threshold_units
 

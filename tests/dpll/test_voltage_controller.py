@@ -13,7 +13,7 @@ from repro.errors import ConfigurationError
 class TestOverclockPolicy:
     def test_setpoint_never_moves(self):
         controller = OffChipVoltageController(policy=VoltagePolicy.OVERCLOCK)
-        initial = controller.vdd_setpoint
+        initial = controller.vdd_setpoint_v
         for _ in range(200):
             assert controller.observe(5000.0) == initial
 
@@ -29,34 +29,34 @@ class TestUndervoltPolicy:
 
     def test_no_undervolt_until_window_full(self):
         controller = self._controller(window_ms=32.0, sample_period_ms=1.0)
-        initial = controller.vdd_setpoint
+        initial = controller.vdd_setpoint_v
         for _ in range(31):
             controller.observe(5000.0)
-        assert controller.vdd_setpoint == initial  # window not yet full
+        assert controller.vdd_setpoint_v == initial  # window not yet full
         controller.observe(5000.0)
-        assert controller.vdd_setpoint < initial
+        assert controller.vdd_setpoint_v < initial
 
     def test_undervolts_while_above_target(self):
         controller = self._controller()
         for _ in range(100):
             controller.observe(5000.0)
-        assert controller.vdd_setpoint < 1.25
+        assert controller.vdd_setpoint_v < 1.25
 
     def test_raises_when_below_target(self):
         controller = self._controller()
         for _ in range(100):
             controller.observe(5000.0)
-        lowered = controller.vdd_setpoint
+        lowered = controller.vdd_setpoint_v
         controller.observe(100.0)  # average dives under target eventually
         for _ in range(60):
             controller.observe(3000.0)
-        assert controller.vdd_setpoint > lowered
+        assert controller.vdd_setpoint_v > lowered
 
     def test_floor_respected(self):
         controller = self._controller()
         for _ in range(10_000):
             controller.observe(9000.0)
-        assert controller.vdd_setpoint == ControllerConfig().vdd_min_v
+        assert controller.vdd_setpoint_v == ControllerConfig().vdd_min_v
 
     def test_sliding_average(self):
         controller = self._controller(window_ms=4.0, sample_period_ms=1.0)

@@ -23,7 +23,7 @@ class TestLoopConvergesToSolver:
         chip = testbed.chips[0]
         core = chip.cores[core_index]
         state = chip0_sim.solve_steady_state(chip0_sim.uniform_assignments())
-        target = state.core_freq(core_index)
+        target = state.core_freq_mhz(core_index)
 
         array = build_cpm_array(chip, core, np.random.default_rng(core_index))
         loop = DpllControlLoop(
@@ -48,7 +48,7 @@ class TestLoopConvergesToSolver:
 
         assignments[0] = CoreAssignment(reduction_steps=reduction)
         state = chip0_sim.solve_steady_state(assignments)
-        target = state.core_freq(0)
+        target = state.core_freq_mhz(0)
 
         array = build_cpm_array(chip, core, np.random.default_rng(0))
         array.set_code(core.preset_code - reduction)

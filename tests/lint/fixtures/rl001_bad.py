@@ -1,0 +1,14 @@
+"""Bad exemplar for RL001: direct randomness outside RngStreams."""
+
+import random  # noqa: F401  (the import itself is the violation)
+
+import numpy as np
+
+
+def sample_limits(seed: int) -> list[float]:
+    rng = np.random.default_rng(seed)
+    return [float(rng.normal(4800.0, 50.0)) for _ in range(8)]
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,10 @@
+"""Good exemplar for RL001: draws flow through named RngStreams."""
+
+import numpy as np
+
+from repro.rng import RngStreams
+
+
+def sample_limits(streams: RngStreams) -> list[float]:
+    rng: np.random.Generator = streams.stream("lint.fixture")
+    return [float(rng.normal(4800.0, 50.0)) for _ in range(8)]

@@ -1,0 +1,10 @@
+"""Bad exemplar for RL002: host clock reads in simulation code."""
+
+import time
+from datetime import datetime
+
+
+def timestamp_trace(events: list) -> list:
+    started = time.time()
+    stamp = datetime.now()
+    return [(started, stamp, event) for event in events]

@@ -1,0 +1,5 @@
+"""Good exemplar for RL002: time comes from the simulated clock."""
+
+
+def timestamp_trace(events: list, sim_time_ns: float) -> list:
+    return [(sim_time_ns, event) for event in events]

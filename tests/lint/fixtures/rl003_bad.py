@@ -1,0 +1,15 @@
+"""Bad exemplar for RL003: builtin raises and a bare except."""
+
+
+def check_voltage(vdd_v: float) -> float:
+    if vdd_v <= 0.0:
+        raise ValueError(f"bad voltage {vdd_v}")
+    return vdd_v
+
+
+def swallow_everything(step) -> bool:
+    try:
+        step()
+    except:  # noqa: E722
+        return False
+    return True

@@ -1,0 +1,17 @@
+"""Good exemplar for RL003: ReproError subclasses only; typed excepts."""
+
+from repro.errors import ConfigurationError, ReproError
+
+
+def check_voltage(vdd_v: float) -> float:
+    if vdd_v <= 0.0:
+        raise ConfigurationError(f"bad voltage {vdd_v}")
+    return vdd_v
+
+
+def swallow_library_errors(step) -> bool:
+    try:
+        step()
+    except ReproError:
+        return False
+    return True

@@ -1,0 +1,9 @@
+"""Bad exemplar for RL004: quantity-valued floats without unit suffixes."""
+
+
+def settle_frequency(freq: float, delay: float) -> float:
+    return freq - 0.01 * delay
+
+
+def peak_power(activity: float) -> float:
+    return 20.0 * activity

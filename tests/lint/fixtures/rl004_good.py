@@ -1,0 +1,17 @@
+"""Good exemplar for RL004: unit suffixes, dimensionless tails, allowlist."""
+
+
+def settle_frequency_mhz(freq_mhz: float, delay_ps: float) -> float:
+    return freq_mhz - 0.01 * delay_ps
+
+
+def peak_power_w(activity: float) -> float:
+    return 20.0 * activity
+
+
+def speedup_ratio(freq_mhz: float, base_mhz: float) -> float:
+    return freq_mhz / base_mhz
+
+
+def latency_ms_at(offset_ms: float) -> float:
+    return offset_ms * 2.0

@@ -1,0 +1,9 @@
+"""Bad exemplar for RL005: exact equality on computed floats."""
+
+
+def drifted(value: float) -> bool:
+    return value / 3.0 == 0.1
+
+
+def misrounded() -> bool:
+    return 0.1 + 0.2 == 0.3

@@ -1,0 +1,11 @@
+"""Good exemplar for RL005: isclose for computed floats, sentinels exact."""
+
+import math
+
+
+def drifted(value: float) -> bool:
+    return math.isclose(value / 3.0, 0.1)
+
+
+def is_idle(activity: float) -> bool:
+    return activity == 0.0  # sentinel passthrough: exact compare is fine

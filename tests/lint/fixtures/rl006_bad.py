@@ -1,0 +1,13 @@
+"""Bad exemplar for RL006: platform numbers copied as literals."""
+
+
+def static_margin_cycle_ps() -> float:
+    return 1.0e6 / 4200.0
+
+
+def undervolt_floor_v() -> float:
+    return 1.25 - 0.3
+
+
+def build_topology() -> dict:
+    return dict(n_cores=8, n_chips=2)

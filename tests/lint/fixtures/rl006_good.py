@@ -1,0 +1,20 @@
+"""Good exemplar for RL006: platform numbers come from repro.units."""
+
+from repro.units import (
+    CHIPS_PER_SERVER,
+    CORES_PER_CHIP,
+    NOMINAL_VDD,
+    STATIC_MARGIN_MHZ,
+)
+
+
+def static_margin_cycle_ps() -> float:
+    return 1.0e6 / STATIC_MARGIN_MHZ
+
+
+def undervolt_floor_v() -> float:
+    return NOMINAL_VDD - 0.3
+
+
+def build_topology() -> dict:
+    return dict(n_cores=CORES_PER_CHIP, n_chips=CHIPS_PER_SERVER)

@@ -1,0 +1,155 @@
+"""CLI behavior: exit codes, --format=json, suppression, --baseline."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+BAD_SNIPPET = '''\
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    return float(np.random.default_rng(seed).normal())
+'''
+
+CLEAN_SNIPPET = '''\
+def cycle_budget_ps(freq_mhz: float) -> float:
+    return 1.0e6 / freq_mhz
+'''
+
+
+@pytest.fixture()
+def mini_tree(tmp_path):
+    """A throwaway src/repro tree with one violation."""
+    package = tmp_path / "src" / "repro"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text(CLEAN_SNIPPET, encoding="utf-8")
+    (package / "dirty.py").write_text(BAD_SNIPPET, encoding="utf-8")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_findings_exit_nonzero(self, mini_tree, capsys):
+        assert main([str(mini_tree / "src")]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_clean_tree_exits_zero(self, mini_tree, capsys):
+        (mini_tree / "src" / "repro" / "dirty.py").unlink()
+        assert main([str(mini_tree / "src")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["/nonexistent/lint/target"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, mini_tree, capsys):
+        assert main([str(mini_tree / "src"), "--select", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
+class TestJsonFormat:
+    def test_json_report_structure(self, mini_tree, capsys):
+        assert main([str(mini_tree / "src"), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 1
+        assert document["files_checked"] == 2
+        (finding,) = document["findings"]
+        assert finding["rule"] == "RL001"
+        assert finding["severity"] == "error"
+        assert finding["path"].endswith("dirty.py")
+        assert finding["line"] == 5
+
+    def test_json_clean(self, mini_tree, capsys):
+        (mini_tree / "src" / "repro" / "dirty.py").unlink()
+        assert main([str(mini_tree / "src"), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["count"] == 0
+        assert document["findings"] == []
+
+
+class TestSuppression:
+    def test_inline_disable_silences_the_line(self, mini_tree):
+        dirty = mini_tree / "src" / "repro" / "dirty.py"
+        suppressed = BAD_SNIPPET.replace(
+            ".normal())",
+            ".normal())  # repro-lint: disable=RL001",
+        )
+        dirty.write_text(suppressed, encoding="utf-8")
+        assert main([str(mini_tree / "src")]) == 0
+
+    def test_disable_other_rule_does_not_silence(self, mini_tree):
+        dirty = mini_tree / "src" / "repro" / "dirty.py"
+        suppressed = BAD_SNIPPET.replace(
+            ".normal())",
+            ".normal())  # repro-lint: disable=RL005",
+        )
+        dirty.write_text(suppressed, encoding="utf-8")
+        assert main([str(mini_tree / "src")]) == 1
+
+    def test_disable_all_silences_every_rule(self, mini_tree):
+        dirty = mini_tree / "src" / "repro" / "dirty.py"
+        suppressed = BAD_SNIPPET.replace(
+            ".normal())",
+            ".normal())  # repro-lint: disable=all",
+        )
+        dirty.write_text(suppressed, encoding="utf-8")
+        assert main([str(mini_tree / "src")]) == 0
+
+
+class TestBaseline:
+    def baseline_file(self, tmp_path, entries):
+        path = tmp_path / "lint_baseline.json"
+        path.write_text(
+            json.dumps({"version": 1, "entries": entries}), encoding="utf-8"
+        )
+        return path
+
+    def test_baseline_grandfathers_findings(self, mini_tree):
+        baseline = self.baseline_file(
+            mini_tree,
+            [
+                {
+                    "path": "src/repro/dirty.py",
+                    "rule": "RL001",
+                    "reason": "legacy draw; migration tracked in ROADMAP",
+                }
+            ],
+        )
+        assert main([str(mini_tree / "src"), "--baseline", str(baseline)]) == 0
+
+    def test_baseline_does_not_cover_other_rules(self, mini_tree):
+        baseline = self.baseline_file(
+            mini_tree,
+            [
+                {
+                    "path": "src/repro/dirty.py",
+                    "rule": "RL006",
+                    "reason": "unrelated rule must not mask RL001",
+                }
+            ],
+        )
+        assert main([str(mini_tree / "src"), "--baseline", str(baseline)]) == 1
+
+    def test_malformed_baseline_exits_two(self, mini_tree, capsys):
+        baseline = mini_tree / "broken.json"
+        baseline.write_text('{"entries": [{"path": "x"}]}', encoding="utf-8")
+        assert main([str(mini_tree / "src"), "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestListRules:
+    def test_list_rules_prints_all_ids(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+            assert rule_id in out
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_is_wired(self, mini_tree, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", str(mini_tree / "src")]) == 1
+        assert "RL001" in capsys.readouterr().out

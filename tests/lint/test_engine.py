@@ -1,0 +1,62 @@
+"""Engine mechanics: context classification, discovery, parallel runs."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.engine import (
+    LintContext,
+    discover_files,
+    lint_paths,
+    lint_source,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestContextClassification:
+    def test_src_repro_paths_are_library(self):
+        ctx = LintContext("src/repro/power/pdn.py", "")
+        assert ctx.in_repro_src and not ctx.is_test
+
+    def test_tests_paths_are_tests(self):
+        ctx = LintContext("tests/power/test_pdn.py", "")
+        assert ctx.is_test and not ctx.in_repro_src
+
+    def test_suppression_parsing(self):
+        source = "x = 1  # repro-lint: disable=RL001, RL006\ny = 2\n"
+        ctx = LintContext("src/repro/m.py", source)
+        assert ctx.is_suppressed("RL001", 1)
+        assert ctx.is_suppressed("RL006", 1)
+        assert not ctx.is_suppressed("RL002", 1)
+        assert not ctx.is_suppressed("RL001", 2)
+
+    def test_syntax_error_becomes_parse_finding(self):
+        (finding,) = lint_source("def broken(:\n", "src/repro/m.py")
+        assert finding.rule_id == "PARSE"
+        assert finding.severity == "error"
+
+
+class TestDiscovery:
+    def test_fixture_dirs_excluded_from_directory_walks(self):
+        lint_tests_dir = Path(__file__).parent
+        discovered = discover_files([lint_tests_dir])
+        names = {path.name for path in discovered}
+        assert "rl001_bad.py" not in names
+        assert Path(__file__).name in names
+
+    def test_explicit_file_bypasses_exclusion(self):
+        bad = Path(__file__).parent / "fixtures" / "rl001_bad.py"
+        assert discover_files([bad]) == [bad]
+
+    def test_missing_target_raises_lint_error(self):
+        with pytest.raises(LintError):
+            discover_files(["/no/such/lint/target"])
+
+
+class TestParallelConsistency:
+    def test_parallel_and_serial_agree_on_src(self):
+        serial = lint_paths([REPO_SRC], jobs=1)
+        parallel = lint_paths([REPO_SRC], jobs=2)
+        assert serial == parallel

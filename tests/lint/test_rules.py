@@ -1,0 +1,89 @@
+"""Per-rule fixture corpus tests.
+
+Each rule has one bad and one good exemplar under ``fixtures/``.  Fixtures
+are linted *as if* they lived under ``src/repro/`` (the context override)
+so rules scoped to library internals apply.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.rules import get_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+
+
+def lint_fixture(name: str, rule_id: str):
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        f"src/repro/{name}",
+        rules=get_rules([rule_id]),
+        is_test=False,
+        in_repro_src=True,
+    )
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+class TestFixtureCorpus:
+    def test_bad_exemplar_is_caught(self, rule_id):
+        findings = lint_fixture(f"{rule_id.lower()}_bad.py", rule_id)
+        assert findings, f"{rule_id} missed its bad exemplar"
+        assert all(finding.rule_id == rule_id for finding in findings)
+
+    def test_good_exemplar_is_clean(self, rule_id):
+        findings = lint_fixture(f"{rule_id.lower()}_good.py", rule_id)
+        assert findings == [], f"{rule_id} false positive on its good exemplar"
+
+
+class TestRuleDetails:
+    def test_rl001_names_the_stream_api(self):
+        findings = lint_fixture("rl001_bad.py", "RL001")
+        assert any("RngStreams" in finding.message for finding in findings)
+
+    def test_rl001_flags_both_numpy_and_stdlib(self):
+        findings = lint_fixture("rl001_bad.py", "RL001")
+        assert len(findings) >= 2
+
+    def test_rl003_catches_bare_except_and_builtin_raise(self):
+        messages = " ".join(
+            finding.message for finding in lint_fixture("rl003_bad.py", "RL003")
+        )
+        assert "bare `except:`" in messages
+        assert "ValueError" in messages
+
+    def test_rl004_flags_param_and_return(self):
+        findings = lint_fixture("rl004_bad.py", "RL004")
+        assert any("parameter" in finding.message for finding in findings)
+        assert any("returns" in finding.message for finding in findings)
+
+    def test_rl006_names_the_constant(self):
+        messages = " ".join(
+            finding.message for finding in lint_fixture("rl006_bad.py", "RL006")
+        )
+        assert "STATIC_MARGIN_MHZ" in messages
+        assert "NOMINAL_VDD" in messages
+        assert "CORES_PER_CHIP" in messages
+        assert "CHIPS_PER_SERVER" in messages
+
+    def test_rules_do_not_apply_to_test_files(self):
+        source = (FIXTURES / "rl001_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(
+            source,
+            "tests/test_fixture.py",
+            rules=get_rules(["RL001"]),
+        )
+        assert findings == []
+
+    def test_rl005_applies_to_test_files_too(self):
+        source = (FIXTURES / "rl005_bad.py").read_text(encoding="utf-8")
+        findings = lint_source(
+            source,
+            "tests/test_fixture.py",
+            rules=get_rules(["RL005"]),
+        )
+        assert findings

@@ -11,7 +11,7 @@ class TestIrDrop:
     def test_no_load_no_drop(self):
         pdn = PowerDeliveryNetwork(resistance_ohm=7.0e-4)
         assert pdn.ir_drop_v(0.0) == 0.0
-        assert pdn.chip_voltage(0.0) == pytest.approx(1.25)
+        assert pdn.chip_voltage_v(0.0) == pytest.approx(1.25)
 
     def test_drop_proportional_to_power(self):
         pdn = PowerDeliveryNetwork(resistance_ohm=7.0e-4)
@@ -30,7 +30,7 @@ class TestIrDrop:
 
     def test_explicit_vrm_voltage(self):
         pdn = PowerDeliveryNetwork(resistance_ohm=7.0e-4)
-        undervolted = pdn.chip_voltage(50.0, vrm_voltage=1.10)
+        undervolted = pdn.chip_voltage_v(50.0, vrm_voltage_v=1.10)
         assert undervolted < 1.10
 
     def test_sensitivity_negative(self):
@@ -44,12 +44,12 @@ class TestIrDrop:
     def test_collapse_detected(self):
         pdn = PowerDeliveryNetwork(resistance_ohm=1.0)
         with pytest.raises(ConfigurationError):
-            pdn.chip_voltage(10_000.0)
+            pdn.chip_voltage_v(10_000.0)
 
     @given(st.floats(min_value=0.0, max_value=300.0))
     def test_voltage_below_vrm_and_positive(self, power):
         pdn = PowerDeliveryNetwork(resistance_ohm=7.0e-4)
-        voltage = pdn.chip_voltage(power)
+        voltage = pdn.chip_voltage_v(power)
         assert 0.0 < voltage <= 1.25
 
 

@@ -63,7 +63,7 @@ class TestSolverConsistency:
             expected = equilibrium_frequency_mhz(
                 chip, core, 0, state.vdd, state.temperature_c
             )
-            assert state.core_freq(index) == pytest.approx(expected, abs=0.1)
+            assert state.core_freq_mhz(index) == pytest.approx(expected, abs=0.1)
         # Power at the reported frequencies matches the reported power.
         recomputed = chip_power_w(
             chip,

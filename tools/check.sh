@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local gate: style lint (optional), domain lint, tier-1 tests.
+# Usage: tools/check.sh    (from the repo root)
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests || failures=$((failures + 1))
+else
+    echo "== ruff check == (skipped: ruff not installed)"
+fi
+
+echo "== repro.lint (RL001-RL006) =="
+python -m repro.lint src tests || failures=$((failures + 1))
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q || failures=$((failures + 1))
+
+if [ "$failures" -ne 0 ]; then
+    echo "FAILED: $failures check(s) failed"
+    exit 1
+fi
+echo "all checks passed"
