@@ -29,6 +29,8 @@ from enum import Enum
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
+from ..obs.events import GuardbandViolationEvent
+from ..obs.runtime import get_obs
 from ..power.core_power import chip_power_w
 from ..power.pdn import PowerDeliveryNetwork
 from ..power.thermal import ThermalModel
@@ -239,6 +241,13 @@ class ChipSim:
                 ]
             )
             if np.max(np.abs(new_freqs - freqs)) < self.TOLERANCE_MHZ:
+                obs = get_obs()
+                if obs.enabled:
+                    obs.metrics.counter("chip.solves").inc()
+                    obs.metrics.histogram("chip.solve_iterations").observe(
+                        float(iteration)
+                    )
+                    obs.metrics.gauge("chip.power_w").set(float(power))
                 return ChipSteadyState(
                     freqs_mhz=tuple(float(f) for f in new_freqs),
                     chip_power_w=float(power),
@@ -280,6 +289,17 @@ class ChipSim:
                         mode=result.failure_mode,
                     )
                 )
+                obs = get_obs()
+                if obs.enabled:
+                    obs.emit(
+                        GuardbandViolationEvent(
+                            seq=0,
+                            core_label=core.label,
+                            source="steady_state",
+                            workload=assignment.workload.name,
+                            deficit_ps=-result.slack_ps,
+                        )
+                    )
         return violations
 
     # -- convenience builders -------------------------------------------------

@@ -33,6 +33,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.events import CpmStepEvent
+from ..obs.runtime import get_obs
 from ..silicon.chipspec import ChipSpec, CoreSpec
 from ..silicon.paths import alpha_power_delay_factor
 from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
@@ -143,10 +145,26 @@ class SafetyProbe:
         if self._noise_sigma_ps > 0.0:
             slack += float(self._rng.normal(0.0, self._noise_sigma_ps))
         if slack >= 0.0:
-            return ProbeResult(safe=True, slack_ps=slack)
-        deficit = -slack
-        mode = self._failure_model.sample_mode(self._rng, deficit)
-        return ProbeResult(safe=False, slack_ps=slack, failure_mode=mode)
+            result = ProbeResult(safe=True, slack_ps=slack)
+        else:
+            mode = self._failure_model.sample_mode(self._rng, -slack)
+            result = ProbeResult(safe=False, slack_ps=slack, failure_mode=mode)
+        obs = get_obs()
+        if obs.enabled:
+            obs.emit(
+                CpmStepEvent(
+                    seq=0,
+                    core_label=core.label,
+                    workload=workload.name,
+                    reduction_steps=reduction_steps,
+                    safe=result.safe,
+                    slack_ps=result.slack_ps,
+                )
+            )
+            obs.metrics.counter("probe.total").inc()
+            if not result.safe:
+                obs.metrics.counter("probe.failures").inc()
+        return result
 
     def max_safe_reduction(
         self,

@@ -1,62 +1,14 @@
 """Trace recording for transient simulations and long-running experiments.
 
-A :class:`TraceRecorder` is a light column store: declare the column names
-once, append one row per sample, and read back numpy arrays for analysis.
+The implementation now lives in :mod:`repro.obs.columnar`, where it doubles
+as the columnar backend for :class:`repro.obs.metrics.Gauge`; this module
+keeps the historical import path for the simulators and their callers.
 Keeping telemetry out of the simulators' hot paths (they take a recorder
 optionally) keeps the steady-state solver allocation-free.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from ..obs.columnar import TraceRecorder
 
-import numpy as np
-
-from ..errors import ConfigurationError
-
-
-class TraceRecorder:
-    """Append-only columnar trace."""
-
-    def __init__(self, columns: Sequence[str]):
-        if not columns:
-            raise ConfigurationError("a trace needs at least one column")
-        if len(set(columns)) != len(columns):
-            raise ConfigurationError("trace column names must be unique")
-        self._columns = tuple(columns)
-        self._rows: list[tuple[float, ...]] = []
-
-    @property
-    def columns(self) -> tuple[str, ...]:
-        return self._columns
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-    def record(self, **values: float) -> None:
-        """Append one sample; every declared column must be provided."""
-        if set(values) != set(self._columns):
-            raise ConfigurationError(
-                f"expected exactly columns {self._columns}, got {tuple(values)}"
-            )
-        self._rows.append(tuple(float(values[c]) for c in self._columns))
-
-    def column(self, name: str) -> np.ndarray:
-        """All samples of one column as a numpy array."""
-        if name not in self._columns:
-            raise ConfigurationError(
-                f"unknown column {name!r}; trace has {self._columns}"
-            )
-        index = self._columns.index(name)
-        return np.array([row[index] for row in self._rows])
-
-    def summary(self, name: str) -> dict[str, float]:
-        """Min / max / mean of one column (empty traces raise)."""
-        data = self.column(name)
-        if data.size == 0:
-            raise ConfigurationError("trace is empty")
-        return {
-            "min": float(data.min()),
-            "max": float(data.max()),
-            "mean": float(data.mean()),
-        }
+__all__ = ["TraceRecorder"]

@@ -11,6 +11,13 @@ Mirrors the stages a vendor/operator would actually run:
     Run the stress-test deployment against saved limits.
 ``python -m repro schedule --critical APP --background APP [--qos X]``
     Evaluate the Fig. 14 scenarios for one application pair.
+``python -m repro trace <id>``
+    Run one experiment under full observability and show its event trace,
+    writing the JSONL stream plus run manifest.
+``python -m repro metrics <id>``
+    Same observed run, reported as the instrument summary table.
+``python -m repro obs selfcheck``
+    End-to-end smoke test of the observability pipeline.
 ``python -m repro list-workloads``
     Show every modeled workload and its observables.
 ``python -m repro lint [paths]``
@@ -35,7 +42,11 @@ from .core.persistence import (
 from .core.stress_test import StressTestProcedure
 from .errors import ReproError
 from .experiments import REGISTRY, run_experiment
+from .experiments.common import run_observed
 from .lint.cli import add_lint_arguments, run_lint
+from .obs.metrics import render_summary_table
+from .obs.selfcheck import run_selfcheck
+from .obs.sinks import event_to_json_line, read_jsonl
 from .rng import RngStreams
 from .silicon import power7plus_testbed, sample_chip
 from .workloads.classification import is_critical
@@ -44,12 +55,73 @@ from .workloads.registry import ALL_WORKLOADS, get_workload
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.id == "all":
+        # Local imports: the profiling tracer (the RL002-exempt wall-clock
+        # path) only loads when the harness digest actually needs it.
+        from .analysis.report import HEADLINE_METRICS
+        from .obs.profiling import wall_clock_tick_source
+        from .obs.trace import Tracer
+
+        tracer = Tracer(wall_source=wall_clock_tick_source)
+        results = {}
         for experiment_id in REGISTRY:
-            print(run_experiment(experiment_id, seed=args.seed).render())
+            with tracer.span("experiment", id=experiment_id):
+                result = run_experiment(experiment_id, seed=args.seed)
+            results[experiment_id] = result
+            print(result.render())
             print()
+        print("digest (wall-clock per experiment):")
+        for span, (experiment_id, result) in zip(
+            tracer.finished, results.items()
+        ):
+            metric_name = HEADLINE_METRICS.get(experiment_id)
+            if metric_name is not None and metric_name in result.metrics:
+                headline = f"{metric_name}={result.metrics[metric_name]:.4g}"
+            else:
+                headline = "(no headline metric)"
+            print(f"  {experiment_id:<16} {span.wall_s:7.2f}s  {headline}")
         return 0
     print(run_experiment(args.id, seed=args.seed).render())
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    run = run_observed(args.id, seed=args.seed, out_dir=args.out)
+    print(run.manifest.render())
+    events = list(read_jsonl(run.events_path))
+    counts: dict[str, int] = {}
+    for event in events:
+        name = type(event).__name__
+        counts[name] = counts.get(name, 0) + 1
+    print(f"event stream: {run.events_path} ({run.event_count} events)")
+    for name in sorted(counts):
+        print(f"  {name}: {counts[name]}")
+    if args.tail > 0 and events:
+        tail = events[-args.tail:]
+        print(f"last {len(tail)} event(s):")
+        for event in tail:
+            print(f"  {event_to_json_line(event)}")
+    print(f"manifest: {run.manifest_path}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    run = run_observed(args.id, seed=args.seed, out_dir=args.out)
+    print(run.manifest.render())
+    print()
+    print(
+        render_summary_table(
+            run.manifest.metrics_summary, title=f"metrics: {args.id}"
+        )
+    )
+    print(f"\nevent stream: {run.events_path}")
+    print(f"manifest: {run.manifest_path}")
+    return 0
+
+
+def _cmd_obs_selfcheck(_args: argparse.Namespace) -> int:
+    ok, report = run_selfcheck()
+    print(report)
+    return 0 if ok else 1
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -191,11 +263,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--trials", type=int, default=8)
     p_sched.set_defaults(func=_cmd_schedule)
 
+    p_trace = sub.add_parser(
+        "trace", help="observed experiment run: event stream + manifest"
+    )
+    p_trace.add_argument("id", choices=list(REGISTRY))
+    p_trace.add_argument("--out", default="runs", help="artifact directory")
+    p_trace.add_argument(
+        "--tail", type=int, default=5,
+        help="trailing events to print (0 disables)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="observed experiment run: instrument summary table"
+    )
+    p_metrics.add_argument("id", choices=list(REGISTRY))
+    p_metrics.add_argument("--out", default="runs", help="artifact directory")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_selfcheck = obs_sub.add_parser(
+        "selfcheck", help="end-to-end smoke test of the obs pipeline"
+    )
+    p_selfcheck.set_defaults(func=_cmd_obs_selfcheck)
+
     p_list = sub.add_parser("list-workloads", help="show all modeled workloads")
     p_list.set_defaults(func=_cmd_list_workloads)
 
     p_lint = sub.add_parser(
-        "lint", help="run the domain linter (RL001-RL006) over the tree"
+        "lint", help="run the domain linter (RL001-RL007) over the tree"
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=run_lint)

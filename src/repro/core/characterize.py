@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from ..analysis.stats import DistributionSummary, summarize
 from ..atm.core_sim import SafetyProbe
 from ..errors import ConfigurationError
+from ..obs.events import RollbackEvent
+from ..obs.runtime import get_obs
 from ..rng import RngStreams
 from ..silicon.chipspec import ChipSpec, CoreSpec, ServerSpec
 from ..workloads.base import IDLE, Workload
@@ -185,6 +187,7 @@ class Characterizer:
             raise ConfigurationError(
                 f"{core.label}: idle_limit must be in [0, {core.preset_code}]"
             )
+        obs = get_obs()
         rollbacks = []
         for trial in range(self._trials):
             probe = self._probe("ubench", core.label, trial)
@@ -193,6 +196,17 @@ class Characterizer:
                 safe = probe.rollback_to_safe(
                     core, program, start=worst_safe, repeats_per_step=self._repeats
                 )
+                if safe < worst_safe and obs.enabled:
+                    obs.emit(
+                        RollbackEvent(
+                            seq=0,
+                            core_label=core.label,
+                            stage="ubench",
+                            workload=program.name,
+                            from_steps=worst_safe,
+                            to_steps=safe,
+                        )
+                    )
                 worst_safe = min(worst_safe, safe)
             rollbacks.append(idle_limit - worst_safe)
         return UbenchCharacterization(
@@ -211,12 +225,24 @@ class Characterizer:
             raise ConfigurationError(
                 f"{core.label}: ubench_limit must be in [0, {core.preset_code}]"
             )
+        obs = get_obs()
         rollbacks = []
         for trial in range(self._trials):
             probe = self._probe(f"app.{app.name}", core.label, trial)
             safe = probe.rollback_to_safe(
                 core, app, start=ubench_limit, repeats_per_step=self._repeats
             )
+            if safe < ubench_limit and obs.enabled:
+                obs.emit(
+                    RollbackEvent(
+                        seq=0,
+                        core_label=core.label,
+                        stage="app",
+                        workload=app.name,
+                        from_steps=ubench_limit,
+                        to_steps=safe,
+                    )
+                )
             rollbacks.append(ubench_limit - safe)
         return AppCharacterization(
             core_label=core.label,
@@ -266,19 +292,23 @@ class Characterizer:
         app_results: dict[tuple[str, str], AppCharacterization] = {}
         limits: dict[str, CoreLimits] = {}
 
+        obs = get_obs()
         for core in chip.cores:
-            idle_result = self.characterize_idle(core)
-            idle_results[core.label] = idle_result
+            with obs.tracer.span("characterize.core", core=core.label):
+                idle_result = self.characterize_idle(core)
+                idle_results[core.label] = idle_result
 
-            ubench_result = self.characterize_ubench(core, idle_result.idle_limit)
-            ubench_results[core.label] = ubench_result
-            ubench_limit = ubench_result.ubench_limit
+                ubench_result = self.characterize_ubench(
+                    core, idle_result.idle_limit
+                )
+                ubench_results[core.label] = ubench_result
+                ubench_limit = ubench_result.ubench_limit
 
-            app_limits = {}
-            for app in apps:
-                result = self.characterize_app(core, app, ubench_limit)
-                app_results[(app.name, core.label)] = result
-                app_limits[app.name] = result.app_limit
+                app_limits = {}
+                for app in apps:
+                    result = self.characterize_app(core, app, ubench_limit)
+                    app_results[(app.name, core.label)] = result
+                    app_limits[app.name] = result.app_limit
 
             thread_worst = min(app_limits.values())
             thread_normal = min(app_limits[w.name] for w in normal_apps)
@@ -289,6 +319,8 @@ class Characterizer:
                 thread_normal=thread_normal,
                 thread_worst=thread_worst,
             )
+            if obs.enabled:
+                obs.metrics.counter("characterize.cores").inc()
 
         return ChipCharacterization(
             chip_id=chip.chip_id,

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from ..atm.chip_sim import ChipSim, CoreAssignment, ChipSteadyState, MarginMode
 from ..errors import ConfigurationError, SchedulingError
+from ..obs.runtime import get_obs
 from ..rng import RngStreams
 from ..silicon.chipspec import ChipSpec
 from ..units import DVFS_MIN_MHZ, STATIC_MARGIN_MHZ
@@ -147,8 +148,14 @@ class AtmManager:
         reductions: tuple[int, ...],
         setting: ThrottleSetting,
     ) -> ScenarioResult:
-        assignments = build_assignments(self._sim, placement, reductions, setting)
-        state = self._sim.solve_steady_state(assignments)
+        obs = get_obs()
+        with obs.tracer.span("manager.scenario", scenario=scenario):
+            assignments = build_assignments(
+                self._sim, placement, reductions, setting
+            )
+            state = self._sim.solve_steady_state(assignments)
+        if obs.enabled:
+            obs.metrics.counter("manager.scenarios").inc()
         return ScenarioResult(
             scenario=scenario,
             state=state,

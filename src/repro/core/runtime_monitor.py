@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..obs.events import DriftAlertEvent
+from ..obs.runtime import get_obs
 from ..units import require_positive
 from .freq_predictor import CoreFrequencyPredictor
 
@@ -70,6 +72,7 @@ class DriftMonitor:
         self._min_samples = min_samples
         self._residual: dict[str, float] = {}
         self._count: dict[str, int] = {label: 0 for label in predictors}
+        self._alerted: set[str] = set()
 
     def observe(
         self, core_label: str, chip_power_w: float, core_freq_mhz: float
@@ -91,7 +94,26 @@ class DriftMonitor:
                 + self._smoothing * residual
             )
         self._count[core_label] += 1
-        return self.status(core_label)
+        status = self.status(core_label)
+        if status.drifting:
+            if core_label not in self._alerted:
+                self._alerted.add(core_label)
+                obs = get_obs()
+                if obs.enabled:
+                    obs.emit(
+                        DriftAlertEvent(
+                            seq=0,
+                            core_label=core_label,
+                            samples=status.samples,
+                            mean_residual_mhz=status.mean_residual_mhz,
+                            threshold_mhz=self._threshold_mhz,
+                        )
+                    )
+                    obs.metrics.counter("drift.alerts").inc()
+        else:
+            # Recovery re-arms the alert so a later relapse is reported.
+            self._alerted.discard(core_label)
+        return status
 
     def status(self, core_label: str) -> DriftStatus:
         """Current assessment of ``core_label``."""

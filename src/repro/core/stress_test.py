@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from ..atm.chip_sim import ChipSim
 from ..atm.core_sim import SafetyProbe
 from ..errors import ConfigurationError, HardwareFailure
+from ..obs.events import RollbackEvent
+from ..obs.runtime import get_obs
 from ..rng import RngStreams
 from ..silicon.chipspec import ChipSpec
 from ..workloads.base import Workload
@@ -129,6 +131,7 @@ class StressTestProcedure:
             self._streams.stream(f"stress.{core_label}"),
             noise_sigma_ps=self._noise_sigma_ps,
         )
+        obs = get_obs()
         reduction = candidate_reduction
         survived_first = True
         while reduction >= 0:
@@ -140,6 +143,17 @@ class StressTestProcedure:
             if passed:
                 return reduction, survived_first
             survived_first = False
+            if obs.enabled:
+                obs.emit(
+                    RollbackEvent(
+                        seq=0,
+                        core_label=core_label,
+                        stage="stress",
+                        workload="stress-battery",
+                        from_steps=reduction,
+                        to_steps=reduction - 1,
+                    )
+                )
             reduction -= 1
         raise HardwareFailure(
             f"{core_label}: even the factory preset fails the stress battery",
@@ -164,11 +178,23 @@ class StressTestProcedure:
             raise ConfigurationError(
                 f"rollback_steps must be >= 0, got {rollback_steps}"
             )
+        obs = get_obs()
         deployments = {}
         for core in chip.cores:
             thread_worst = limits.of(core.label).thread_worst
             validated, survived = self.validate_core(chip, core.label, thread_worst)
             deployed = max(0, validated - rollback_steps)
+            if deployed != validated and obs.enabled:
+                obs.emit(
+                    RollbackEvent(
+                        seq=0,
+                        core_label=core.label,
+                        stage="deploy",
+                        workload="",
+                        from_steps=validated,
+                        to_steps=deployed,
+                    )
+                )
             deployments[core.label] = CoreDeployment(
                 core_label=core.label,
                 thread_worst_limit=thread_worst,

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..obs.events import GuardbandViolationEvent
+from ..obs.runtime import get_obs
 from ..units import DVFS_MIN_MHZ, STATIC_MARGIN_MHZ, require_positive
 
 
@@ -80,7 +82,12 @@ class DpllControlLoop:
     externally (DVFS p-state limits from the management layer).
     """
 
-    def __init__(self, config: LoopConfig | None = None, initial_mhz: float = STATIC_MARGIN_MHZ):
+    def __init__(
+        self,
+        config: LoopConfig | None = None,
+        initial_mhz: float = STATIC_MARGIN_MHZ,
+        core_label: str = "",
+    ):
         self._config = config if config is not None else LoopConfig()
         if not (self._config.f_min_mhz <= initial_mhz <= self._config.f_max_mhz):
             raise ConfigurationError(
@@ -91,6 +98,9 @@ class DpllControlLoop:
         self._violations = 0
         self._gated_cycles = 0
         self._steps = 0
+        #: Label stamped on emitted guardband-violation events; empty when
+        #: the loop is driven outside any identified core.
+        self._core_label = core_label
 
     @property
     def config(self) -> LoopConfig:
@@ -145,6 +155,20 @@ class DpllControlLoop:
             cfg.f_min_mhz, min(self._frequency_mhz, self._cap_mhz)
         )
         self._steps += 1
+        if violation:
+            obs = get_obs()
+            if obs.enabled:
+                obs.emit(
+                    GuardbandViolationEvent(
+                        seq=0,
+                        core_label=self._core_label,
+                        source="dpll",
+                        margin_units=margin_units,
+                        threshold_units=cfg.threshold_units,
+                        frequency_mhz=self._frequency_mhz,
+                    )
+                )
+                obs.metrics.counter("dpll.violations").inc()
         return LoopStepResult(
             frequency_mhz=self._frequency_mhz, violation=violation, gated_cycle=gated
         )

@@ -11,8 +11,12 @@ harness prints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..errors import ConfigurationError
+from ..obs.manifest import RunManifest, build_manifest, save_manifest
+from ..obs.runtime import Observability, observed
+from ..obs.sinks import JsonlFileSink
 
 
 @dataclass(frozen=True)
@@ -49,3 +53,70 @@ class ExperimentResult:
             raise ConfigurationError(
                 f"unknown metric {name!r}; available: {known}"
             ) from None
+
+
+@dataclass(frozen=True)
+class ObservedRun:
+    """One experiment run executed under full observability.
+
+    Bundles the experiment's own result with the artifacts the run left
+    behind: the JSONL event stream, the run manifest, and the live
+    :class:`~repro.obs.runtime.Observability` context's metric summary
+    (already folded into the manifest).
+    """
+
+    result: ExperimentResult
+    manifest: RunManifest
+    events_path: Path
+    manifest_path: Path
+    event_count: int
+
+
+def run_observed(
+    experiment_id: str,
+    *,
+    seed: int = 2019,
+    out_dir: str | Path = "runs",
+) -> ObservedRun:
+    """Run one experiment with event capture and write its manifest.
+
+    Installs an :class:`Observability` context backed by a JSONL file sink
+    for the duration of the run, then assembles and saves the
+    :class:`RunManifest`.  Everything written is canonical — two runs with
+    the same seed produce byte-identical event streams and manifests.
+    """
+    # Local import: common is imported by every experiment module, so the
+    # registry (which imports them all) must not be a module-level
+    # dependency here.
+    from . import run_experiment
+
+    target_dir = Path(out_dir)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    events_path = target_dir / f"{experiment_id}.events.jsonl"
+    manifest_path = target_dir / f"{experiment_id}.manifest.json"
+
+    sink = JsonlFileSink(events_path)
+    obs = Observability(sink)
+    try:
+        with observed(obs):
+            result = run_experiment(experiment_id, seed=seed)
+        metrics_summary = obs.metrics.to_summary()
+    finally:
+        obs.close()
+
+    manifest = build_manifest(
+        experiment_id,
+        seed,
+        result_metrics=result.metrics,
+        metrics_summary=metrics_summary,
+        events_path=events_path,
+        event_count=sink.count,
+    )
+    save_manifest(manifest, manifest_path)
+    return ObservedRun(
+        result=result,
+        manifest=manifest,
+        events_path=events_path,
+        manifest_path=manifest_path,
+        event_count=sink.count,
+    )

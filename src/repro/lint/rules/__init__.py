@@ -13,6 +13,7 @@ from .constants import MagicPlatformConstantRule
 from .determinism import UnseededRngRule, WallClockRule
 from .exceptions import BareExceptionRule
 from .float_eq import FloatEqualityRule
+from .printing import DirectPrintRule
 from .units_suffix import UnitSuffixRule
 
 #: Every shipped rule, in id order.
@@ -23,6 +24,7 @@ ALL_RULES: tuple[Rule, ...] = (
     UnitSuffixRule(),
     FloatEqualityRule(),
     MagicPlatformConstantRule(),
+    DirectPrintRule(),
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

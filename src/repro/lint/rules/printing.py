@@ -1,0 +1,64 @@
+"""RL007 — library code must not print.
+
+The library's output contract is structured: experiments return
+:class:`~repro.experiments.common.ExperimentResult`, the simulators emit
+typed events through the installed sink, and metrics accumulate in the
+registry.  A stray ``print()`` in a library module bypasses all of that —
+it cannot be captured by the observability pipeline, corrupts piped CLI
+output, and hides state the manifests are supposed to record.  Operator
+output belongs in the CLI layer (``cli.py`` / ``__main__.py``), which is
+exactly where rendering decisions are made.
+
+Grandfathered call sites (none today) are listed in
+:data:`GRANDFATHERED_PATH_SUFFIXES`; new entries need a justification
+comment and should be burned down, not added to.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from ..engine import Finding, LintContext, Rule
+
+#: Module filenames where printing is the job: the CLI entry points.
+ALLOWED_FILENAMES = frozenset({"cli.py", "__main__.py"})
+
+#: Baseline of pre-rule ``print()`` sites, as posix path suffixes.  Empty:
+#: the tree was clean when RL007 landed.  Additions grandfather an existing
+#: site only — new code must route output through the CLI or a sink.
+GRANDFATHERED_PATH_SUFFIXES: frozenset[str] = frozenset()
+
+
+class DirectPrintRule(Rule):
+    """RL007: no direct ``print()`` outside the CLI layer."""
+
+    rule_id = "RL007"
+    severity = "error"
+    summary = "print-in-library"
+    rationale = (
+        "library modules report through results, events, and metrics; "
+        "print() bypasses the sinks and corrupts piped CLI output"
+    )
+    interests = (ast.Call,)
+
+    def applies(self, ctx: LintContext) -> bool:
+        if not ctx.in_repro_src or ctx.is_test:
+            return False
+        if ctx.filename in ALLOWED_FILENAMES:
+            return False
+        return not any(
+            ctx.path.endswith(suffix) for suffix in GRANDFATHERED_PATH_SUFFIXES
+        )
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        assert isinstance(node, ast.Call)
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield self.finding(
+                ctx,
+                node,
+                "direct print() in library code; return structured results "
+                "or emit through an obs sink (printing belongs in cli.py)",
+            )

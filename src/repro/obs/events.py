@@ -1,0 +1,159 @@
+"""Typed structured events emitted by the simulators and the harness.
+
+Every event is a frozen dataclass with flat, JSON-native fields, so the
+JSONL sink round-trips events losslessly: ``event_from_dict(event_to_dict(e))
+== e`` for every type registered in :data:`EVENT_TYPES`.
+
+The ``seq`` field is assigned by the :class:`repro.obs.runtime.Observability`
+context at emission time and is the subsystem's monotonic simulated tick:
+it orders events deterministically without ever reading the host clock.
+
+Event taxonomy (see OBSERVABILITY.md for the full schema):
+
+``CpmStepEvent``
+    One safety probe of a (core, CPM reduction, workload) triple — the
+    characterization methodology's unit of work.
+``GuardbandViolationEvent``
+    A timing-margin violation: either the DPLL loop read a below-threshold
+    CPM margin (transient path) or a steady-state safety check found a
+    core unsafe (``deficit_ps`` > 0).
+``RollbackEvent``
+    A CPM reduction was walked back — during uBench/application
+    characterization, during stress-test validation, or as the vendor's
+    deployment safety margin.
+``DriftAlertEvent``
+    The field monitor flagged a core as persistently slower than its
+    deployed Eq. 1 predictor.
+``SpanEvent``
+    A completed tracer span (emitted by :class:`repro.obs.trace.Tracer`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base class: every event carries its emission sequence number."""
+
+    seq: int
+
+    @property
+    def event_type(self) -> str:
+        """Wire name of this event's concrete type."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class CpmStepEvent(ObsEvent):
+    """One safety probe at a CPM delay-reduction configuration."""
+
+    core_label: str
+    workload: str
+    reduction_steps: int
+    safe: bool
+    slack_ps: float
+
+
+@dataclass(frozen=True)
+class GuardbandViolationEvent(ObsEvent):
+    """A timing-guardband violation observed by the loop or a safety check."""
+
+    core_label: str
+    source: str  # "dpll" | "steady_state"
+    workload: str = ""
+    margin_units: int = 0
+    threshold_units: int = 0
+    frequency_mhz: float = 0.0
+    deficit_ps: float = 0.0
+
+
+@dataclass(frozen=True)
+class RollbackEvent(ObsEvent):
+    """A CPM reduction rolled back from one configuration to a safer one."""
+
+    core_label: str
+    stage: str  # "ubench" | "app" | "stress" | "deploy"
+    workload: str
+    from_steps: int
+    to_steps: int
+
+    @property
+    def rollback_steps(self) -> int:
+        """How many configuration steps the rollback gave up."""
+        return self.from_steps - self.to_steps
+
+
+@dataclass(frozen=True)
+class DriftAlertEvent(ObsEvent):
+    """A core newly flagged as drifting below its deployed predictor."""
+
+    core_label: str
+    samples: int
+    mean_residual_mhz: float
+    threshold_mhz: float
+
+
+@dataclass(frozen=True)
+class SpanEvent(ObsEvent):
+    """A completed tracer span (start/end in observability ticks)."""
+
+    name: str
+    depth: int
+    start_tick: float
+    end_tick: float
+    attrs: str = ""  # "k=v k=v" rendering of the span attributes
+    wall_s: float = -1.0  # wall-clock duration; -1 outside profiling mode
+
+
+#: Wire name → event class, the round-trip registry for the JSONL sink.
+EVENT_TYPES: dict[str, type[ObsEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        CpmStepEvent,
+        GuardbandViolationEvent,
+        RollbackEvent,
+        DriftAlertEvent,
+        SpanEvent,
+    )
+}
+
+
+def event_to_dict(event: ObsEvent) -> dict:
+    """Flat JSON-native form of ``event``, with a ``type`` discriminator.
+
+    Events are flat dataclasses of scalars, so the instance ``__dict__``
+    *is* the field mapping; copying it avoids the recursive walk of
+    ``dataclasses.asdict``, which dominated the JSONL sink's cost on
+    characterization workloads (tens of thousands of probe events).
+    """
+    document = {"type": type(event).__name__}
+    document.update(event.__dict__)
+    return document
+
+
+def event_from_dict(document: dict) -> ObsEvent:
+    """Rebuild an event from :func:`event_to_dict` output; validates type."""
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"event document must be a dict, got {document!r}")
+    type_name = document.get("type")
+    cls = EVENT_TYPES.get(type_name)  # type: ignore[arg-type]
+    if cls is None:
+        known = ", ".join(sorted(EVENT_TYPES))
+        raise ConfigurationError(
+            f"unknown event type {type_name!r}; known: {known}"
+        )
+    fields = {f.name for f in dataclasses.fields(cls)}
+    payload = {k: v for k, v in document.items() if k != "type"}
+    missing = fields - set(payload)
+    extra = set(payload) - fields
+    if missing or extra:
+        raise ConfigurationError(
+            f"{type_name}: malformed event document "
+            f"(missing {sorted(missing)}, extra {sorted(extra)})"
+        )
+    return cls(**payload)

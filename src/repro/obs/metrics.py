@@ -1,0 +1,241 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.  All
+three instrument types are cheap enough to leave permanently enabled: a
+counter increment is one integer add, a histogram observation is one
+binary search plus two adds, and a gauge observation is one columnar
+append (gauges store their full sample history in a
+:class:`~repro.obs.columnar.TraceRecorder`, the columnar backend shared
+with the transient simulator's traces).
+
+Nothing here reads the host clock; gauge samples are keyed on whatever
+simulated tick the caller supplies (defaulting to the sample index), so a
+registry's summary is byte-for-byte reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+from ..analysis.rendering import ascii_table
+from ..errors import ConfigurationError
+from .columnar import TraceRecorder
+
+#: Default histogram buckets (upper bounds); chosen to resolve both
+#: iteration counts and millisecond-scale quantities without tuning.
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(f"{self.name}: cannot count down by {amount}")
+        self._value += amount
+
+
+class Gauge:
+    """A sampled value with full columnar history."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._trace = TraceRecorder(("tick", "value"))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._trace)
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The columnar sample history (tick, value)."""
+        return self._trace
+
+    def set(self, value: float, tick: float | None = None) -> None:
+        """Record one sample at simulated ``tick`` (default: sample index)."""
+        self._trace.record(
+            tick=float(len(self._trace)) if tick is None else float(tick),
+            value=float(value),
+        )
+
+    @property
+    def last(self) -> float:
+        """Most recent sample; raises on an empty gauge."""
+        if len(self._trace) == 0:
+            raise ConfigurationError(f"{self.name}: gauge has no samples")
+        return float(self._trace.column("value")[-1])
+
+    def summary(self) -> dict[str, float]:
+        """min/max/mean/p50/p95 of every sample."""
+        return self._trace.summary("value")
+
+
+class Histogram:
+    """Fixed-bucket histogram of float observations."""
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets:
+            raise ConfigurationError(f"{name}: histogram needs buckets")
+        upper_bounds = tuple(float(b) for b in buckets)
+        if list(upper_bounds) != sorted(set(upper_bounds)):
+            raise ConfigurationError(
+                f"{name}: bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self._bounds = upper_bounds
+        # One overflow bucket past the last bound.
+        self._counts = [0] * (len(upper_bounds) + 1)
+        self._total = 0
+        self._sum = 0.0
+
+    @property
+    def bounds(self) -> tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if self._total == 0:
+            raise ConfigurationError(f"{self.name}: histogram is empty")
+        return self._sum / self._total
+
+    def observe(self, value: float) -> None:
+        """Count ``value`` into its bucket (observations <= bound)."""
+        self._counts[bisect.bisect_left(self._bounds, float(value))] += 1
+        self._total += 1
+        self._sum += float(value)
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket counts; the last entry is the overflow bucket."""
+        return tuple(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self._total == 0:
+            raise ConfigurationError(f"{self.name}: histogram is empty")
+        target = q * self._total
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= target:
+                if index < len(self._bounds):
+                    return self._bounds[index]
+                return float("inf")
+        return float("inf")
+
+
+class MetricsRegistry:
+    """Flat namespace of counters, gauges, and histograms.
+
+    Instruments are get-or-create by name; asking for an existing name
+    with a different instrument type is an error (one name, one meaning).
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        if not name:
+            raise ConfigurationError("instrument name must be non-empty")
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"{name} is a {type(instrument).__name__}, not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, lambda: Histogram(name, buckets), Histogram)
+
+    def names(self) -> tuple[str, ...]:
+        """Every registered instrument name, sorted."""
+        return tuple(sorted(self._instruments))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_summary(self) -> dict[str, dict]:
+        """Deterministic nested-dict summary of every instrument."""
+        summary: dict[str, dict] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                summary[name] = {"kind": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                entry: dict = {"kind": "gauge", "samples": instrument.sample_count}
+                if instrument.sample_count:
+                    entry.update(instrument.summary())
+                summary[name] = entry
+            else:
+                entry = {"kind": "histogram", "count": instrument.count}
+                if instrument.count:
+                    entry["mean"] = instrument.mean
+                    entry["p50"] = instrument.quantile(0.5)
+                    entry["p95"] = instrument.quantile(0.95)
+                summary[name] = entry
+        return summary
+
+    def render_table(self, title: str = "metrics") -> str:
+        """Fixed-width table of every instrument, one row each."""
+        return render_summary_table(self.to_summary(), title=title)
+
+
+def render_summary_table(summary: dict[str, dict], title: str = "metrics") -> str:
+    """Render a :meth:`MetricsRegistry.to_summary` dict (or one read back
+    from a run manifest) as a fixed-width table."""
+    rows = []
+    for name in sorted(summary):
+        entry = summary[name]
+        kind = entry["kind"]
+        if kind == "counter":
+            detail = f"value={entry['value']}"
+        elif kind == "gauge":
+            if entry["samples"]:
+                detail = (
+                    f"n={entry['samples']} mean={entry['mean']:.4g} "
+                    f"p50={entry['p50']:.4g} p95={entry['p95']:.4g}"
+                )
+            else:
+                detail = "n=0"
+        else:
+            if entry["count"]:
+                detail = (
+                    f"n={entry['count']} mean={entry['mean']:.4g} "
+                    f"p50<={entry['p50']:.4g} p95<={entry['p95']:.4g}"
+                )
+            else:
+                detail = "n=0"
+        rows.append((name, kind, detail))
+    if not rows:
+        return f"{title}\n(no instruments registered)"
+    return ascii_table(("metric", "kind", "summary"), rows, title=title)

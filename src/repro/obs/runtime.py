@@ -1,0 +1,143 @@
+"""The observability context: registry + tracer + sink, globally installable.
+
+Simulators and the management layer are instrumented against one small
+surface: ``get_obs()`` returns the currently-installed
+:class:`Observability`; call sites guard event construction with its
+``enabled`` flag so the disabled default costs one global lookup and one
+attribute check per instrumentation point — cheap enough to leave the
+hooks permanently compiled in.
+
+The context assigns every emitted event its ``seq`` — the subsystem's
+monotonic simulated tick — and wires the tracer's default tick source to
+that same counter, so span extents measure "events emitted inside this
+span".  Nothing here reads the host clock (profiling-mode tracers are
+built explicitly via :mod:`repro.obs.profiling`).
+
+Usage::
+
+    obs = Observability(sink=RingBufferSink())
+    with observed(obs):
+        run_experiment("fig11", seed=2019)
+    rollbacks = obs.sink.events(RollbackEvent)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import ConfigurationError
+from .events import ObsEvent, SpanEvent
+from .metrics import MetricsRegistry
+from .sinks import EventSink
+from .trace import Span, Tracer
+
+
+class Observability:
+    """One run's observability state.
+
+    Parameters
+    ----------
+    sink:
+        Where events go; ``None`` leaves event emission disabled.
+    tracer:
+        Override the default (event-tick-keyed) tracer — e.g. a
+        profiling-mode tracer for harness timing work.
+    metrics:
+        Override the (fresh, empty) metrics registry.
+    """
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self._seq = 0
+        self.sink = sink
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(lambda: float(self._seq), emit=self._emit_span)
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True when a sink is attached (events will be recorded)."""
+        return self.sink is not None
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next emitted event will receive."""
+        return self._seq
+
+    def emit(self, event: ObsEvent) -> None:
+        """Forward ``event`` to the sink, stamping its sequence number.
+
+        Events are constructed by call sites with ``seq=0`` placeholders;
+        emission rewrites the real sequence.  No-op when disabled, but call
+        sites should still guard with :attr:`enabled` to avoid building
+        event objects that would be dropped.
+        """
+        if self.sink is None:
+            return
+        if event.seq != self._seq:
+            # Call sites build each event fresh with a seq=0 placeholder;
+            # stamping through object.__setattr__ (the frozen-dataclass
+            # escape hatch) avoids reconstructing the instance on the
+            # characterization hot path.
+            object.__setattr__(event, "seq", self._seq)
+        self.sink.emit(event)
+        self._seq += 1
+
+    def _emit_span(self, span: Span) -> None:
+        if self.sink is None:
+            return
+        self.emit(
+            SpanEvent(
+                seq=0,
+                name=span.name,
+                depth=span.depth,
+                start_tick=span.start_tick,
+                end_tick=span.end_tick,
+                attrs=span.render_attrs(),
+                wall_s=span.wall_s,
+            )
+        )
+
+    def close(self) -> None:
+        """Close the sink, if any."""
+        if self.sink is not None:
+            self.sink.close()
+
+
+#: The disabled default installed at import time.
+_DISABLED = Observability(sink=None)
+
+_current: Observability = _DISABLED
+
+
+def get_obs() -> Observability:
+    """The currently-installed observability context (never ``None``)."""
+    return _current
+
+
+def install(obs: Observability) -> Observability:
+    """Install ``obs`` globally; returns the previously-installed context."""
+    global _current
+    if obs is None:  # type: ignore[unreachable]
+        raise ConfigurationError("install a disabled Observability, not None")
+    previous = _current
+    _current = obs
+    return previous
+
+
+@contextmanager
+def observed(obs: Observability):
+    """Install ``obs`` for the duration of the block, then restore."""
+    previous = install(obs)
+    try:
+        yield obs
+    finally:
+        install(previous)

@@ -1,0 +1,136 @@
+"""End-to-end smoke of the observability subsystem (``repro obs selfcheck``).
+
+Runs in a few milliseconds with no simulator involvement: exercises every
+instrument type, pushes one event of each type through both sinks,
+verifies the JSONL round trip is lossless, and checks that manifest
+serialization is deterministic.  Returns its findings as data so the CLI
+and the pytest smoke share one implementation (and so this module stays
+free of ``print`` per RL007).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from ..errors import ReproError
+from .events import (
+    CpmStepEvent,
+    DriftAlertEvent,
+    GuardbandViolationEvent,
+    ObsEvent,
+    RollbackEvent,
+    SpanEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from .manifest import build_manifest, load_manifest, save_manifest
+from .runtime import Observability, observed
+from .sinks import JsonlFileSink, RingBufferSink, read_jsonl
+
+#: One exemplar per event type (seq placeholders; emission rewrites them).
+_EXEMPLARS: tuple[ObsEvent, ...] = (
+    CpmStepEvent(
+        seq=0, core_label="P0C0", workload="idle", reduction_steps=3,
+        safe=True, slack_ps=1.5,
+    ),
+    GuardbandViolationEvent(
+        seq=0, core_label="P0C1", source="dpll", margin_units=1,
+        threshold_units=2, frequency_mhz=4700.0,
+    ),
+    RollbackEvent(
+        seq=0, core_label="P0C2", stage="ubench", workload="daxpy",
+        from_steps=5, to_steps=4,
+    ),
+    DriftAlertEvent(
+        seq=0, core_label="P0C3", samples=25, mean_residual_mhz=-31.0,
+        threshold_mhz=25.0,
+    ),
+)
+
+
+def _check_instruments(obs: Observability, failures: list[str]) -> None:
+    counter = obs.metrics.counter("selfcheck.count")
+    counter.inc(3)
+    if counter.value != 3:
+        failures.append(f"counter holds {counter.value}, expected 3")
+    gauge = obs.metrics.gauge("selfcheck.gauge")
+    for sample in (1.0, 2.0, 4.0):
+        gauge.set(sample)
+    summary = gauge.summary()
+    if not (summary["min"] <= summary["p50"] <= summary["p95"] <= summary["max"]):
+        failures.append(f"gauge summary is not ordered: {summary}")
+    histogram = obs.metrics.histogram("selfcheck.hist", buckets=(1.0, 10.0))
+    for sample in (0.5, 5.0, 50.0):
+        histogram.observe(sample)
+    if histogram.bucket_counts() != (1, 1, 1):
+        failures.append(
+            f"histogram buckets {histogram.bucket_counts()}, expected (1, 1, 1)"
+        )
+    if len(obs.metrics.render_table().splitlines()) < 4:
+        failures.append("metrics table rendered fewer rows than instruments")
+
+
+def _check_round_trip(failures: list[str]) -> None:
+    for exemplar in _EXEMPLARS:
+        rebuilt = event_from_dict(event_to_dict(exemplar))
+        if rebuilt != exemplar:
+            failures.append(f"{exemplar.event_type} does not round-trip")
+
+
+def _check_sinks_and_spans(failures: list[str], jsonl_path: Path) -> None:
+    ring = RingBufferSink(capacity=16)
+    obs = Observability(sink=ring)
+    with observed(obs):
+        with obs.tracer.span("selfcheck.emit", kinds=len(_EXEMPLARS)):
+            for exemplar in _EXEMPLARS:
+                obs.emit(exemplar)
+    emitted = ring.events()
+    if [e.seq for e in emitted] != list(range(len(emitted))):
+        failures.append("ring sink sequence numbers are not contiguous")
+    spans = ring.events(SpanEvent)
+    if len(spans) != 1 or spans[0].end_tick - spans[0].start_tick != len(_EXEMPLARS):
+        failures.append("span did not cover the events emitted inside it")
+
+    file_obs = Observability(sink=JsonlFileSink(jsonl_path))
+    for exemplar in _EXEMPLARS:
+        file_obs.emit(exemplar)
+    file_obs.close()
+    replayed = list(read_jsonl(jsonl_path))
+    expected = [e for e in emitted if not isinstance(e, SpanEvent)]
+    if replayed != expected:
+        failures.append("JSONL file sink round trip is not lossless")
+
+
+def _check_manifest(failures: list[str], directory: Path) -> None:
+    first = build_manifest("selfcheck", 7, result_metrics={"ok": 1.0})
+    second = build_manifest("selfcheck", 7, result_metrics={"ok": 1.0})
+    path_a = save_manifest(first, directory / "a.json")
+    path_b = save_manifest(second, directory / "b.json")
+    if path_a.read_bytes() != path_b.read_bytes():
+        failures.append("same-input manifests serialize differently")
+    if load_manifest(path_a) != first:
+        failures.append("manifest does not round-trip through disk")
+
+
+def run_selfcheck() -> tuple[bool, str]:
+    """Run every check; returns ``(ok, human-readable report)``."""
+    failures: list[str] = []
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-obs-") as tmp:
+            directory = Path(tmp)
+            _check_instruments(Observability(), failures)
+            _check_round_trip(failures)
+            _check_sinks_and_spans(failures, directory / "events.jsonl")
+            _check_manifest(failures, directory)
+    except ReproError as exc:
+        failures.append(f"unexpected error: {exc}")
+    if failures:
+        report = "\n".join(
+            ["obs selfcheck FAILED:"] + [f"  - {failure}" for failure in failures]
+        )
+        return False, report
+    return True, (
+        "obs selfcheck passed: instruments, event round-trip, "
+        "ring/JSONL sinks, span ticks, manifest determinism"
+    )

@@ -1,0 +1,141 @@
+"""Event sinks: where emitted events go.
+
+A sink consumes :class:`~repro.obs.events.ObsEvent` objects.  Two concrete
+sinks ship:
+
+* :class:`RingBufferSink` — bounded in-memory buffer, for tests and for
+  interactive inspection without touching disk;
+* :class:`JsonlFileSink` — one canonical JSON object per line.  The
+  serialization is deterministic (sorted keys, no timestamps), so two runs
+  with the same seed produce byte-identical files.
+
+``read_jsonl`` is the inverse of the file sink and powers ``repro trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from collections.abc import Iterator
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .events import ObsEvent, event_from_dict, event_to_dict
+
+
+class EventSink:
+    """Consumer interface for emitted events."""
+
+    def emit(self, event: ObsEvent) -> None:
+        """Consume one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; emitting afterwards is an error."""
+
+
+class RingBufferSink(EventSink):
+    """Keeps the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._buffer: deque[ObsEvent] = deque(maxlen=capacity)
+        self._total = 0
+
+    @property
+    def total_emitted(self) -> int:
+        """Events ever emitted, including those the ring has dropped."""
+        return self._total
+
+    def emit(self, event: ObsEvent) -> None:
+        self._buffer.append(event)
+        self._total += 1
+
+    def events(self, event_type: type[ObsEvent] | None = None) -> list[ObsEvent]:
+        """Buffered events in emission order, optionally filtered by type."""
+        if event_type is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if isinstance(e, event_type)]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+def event_to_json_line(event: ObsEvent) -> str:
+    """Canonical single-line JSON form of ``event`` (sorted keys)."""
+    return json.dumps(
+        event_to_dict(event), sort_keys=True, separators=(",", ":")
+    )
+
+
+class JsonlFileSink(EventSink):
+    """Writes one canonical JSON line per event to ``path``."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        try:
+            self._handle = self._path.open("w", encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot open event sink {self._path}: {exc}"
+            ) from exc
+        self._count = 0
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def count(self) -> int:
+        """Events written so far."""
+        return self._count
+
+    def emit(self, event: ObsEvent) -> None:
+        if self._closed:
+            raise ConfigurationError(f"sink {self._path} is closed")
+        self._handle.write(event_to_json_line(event))
+        self._handle.write("\n")
+        self._count += 1
+
+    def close(self) -> None:
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+
+class TeeSink(EventSink):
+    """Fans every event out to several sinks (e.g. ring buffer + file)."""
+
+    def __init__(self, *sinks: EventSink):
+        if not sinks:
+            raise ConfigurationError("TeeSink needs at least one sink")
+        self._sinks = sinks
+
+    def emit(self, event: ObsEvent) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+def read_jsonl(path: str | Path) -> Iterator[ObsEvent]:
+    """Parse a JSONL event file back into typed events, in file order."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no event file at {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{source}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            yield event_from_dict(document)

@@ -1,0 +1,128 @@
+"""Span-based tracing keyed on simulated ticks.
+
+A :class:`Tracer` produces nested :class:`Span` objects via the
+``span(...)`` context manager::
+
+    with tracer.span("characterize.core", core="P0C3"):
+        with tracer.span("characterize.idle"):
+            ...
+
+Spans are keyed on a caller-supplied *tick source* — by default the
+observability context wires in its event sequence counter, so a span's
+``start_tick``/``end_tick`` measure simulated progress (how many events
+the work inside emitted), never host time.  The only exception is the
+opt-in profiling mode used by the experiment harness for wall-clock
+performance work: constructing the tracer with
+:func:`repro.obs.profiling.wall_clock_tick_source` additionally stamps
+each finished span with its wall-clock duration (``wall_s``).  That mode
+exists for measuring the *harness*, not the simulation, and is documented
+with the RL002 exemption in OBSERVABILITY.md.
+
+Finished spans are kept in completion order and, when the tracer is given
+an emit function, also forwarded as
+:class:`~repro.obs.events.SpanEvent` records so ``repro trace`` can show
+them next to the simulators' events.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished span."""
+
+    name: str
+    depth: int
+    start_tick: float
+    end_tick: float
+    attrs: tuple[tuple[str, str], ...] = ()
+    wall_s: float = -1.0  # wall-clock seconds; -1.0 outside profiling mode
+
+    @property
+    def tick_extent(self) -> float:
+        """Simulated progress covered by this span, in ticks."""
+        return self.end_tick - self.start_tick
+
+    def render_attrs(self) -> str:
+        """``k=v`` pairs joined with spaces (stable order of declaration)."""
+        return " ".join(f"{key}={value}" for key, value in self.attrs)
+
+
+class Tracer:
+    """Builds nested spans from a deterministic tick source.
+
+    Parameters
+    ----------
+    tick_source:
+        Zero-argument callable returning the current tick.  Defaults to a
+        constant 0.0 source (spans then only carry structure, no extent).
+    wall_source:
+        Optional zero-argument callable returning wall-clock seconds;
+        supplying one turns on profiling mode.  Only
+        :mod:`repro.obs.profiling` provides such a source.
+    emit:
+        Optional callback receiving each finished :class:`Span`; the
+        observability context uses it to forward spans to the event sink.
+    """
+
+    def __init__(
+        self,
+        tick_source: Callable[[], float] | None = None,
+        *,
+        wall_source: Callable[[], float] | None = None,
+        emit: Callable[[Span], None] | None = None,
+    ):
+        self._tick_source = tick_source if tick_source is not None else lambda: 0.0
+        self._wall_source = wall_source
+        self._emit = emit
+        self._stack: list[str] = []
+        self._finished: list[Span] = []
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    @property
+    def finished(self) -> tuple[Span, ...]:
+        """Every completed span, in completion order (children first)."""
+        return tuple(self._finished)
+
+    def spans_named(self, name: str) -> tuple[Span, ...]:
+        """Finished spans with exactly this name."""
+        return tuple(span for span in self._finished if span.name == name)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        """Open a nested span; closes (and records it) on exit."""
+        if not name:
+            raise ConfigurationError("span name must be non-empty")
+        start_tick = float(self._tick_source())
+        wall_start = self._wall_source() if self._wall_source is not None else None
+        depth = len(self._stack)
+        self._stack.append(name)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+            span = Span(
+                name=name,
+                depth=depth,
+                start_tick=start_tick,
+                end_tick=float(self._tick_source()),
+                attrs=tuple((key, str(value)) for key, value in attrs.items()),
+                wall_s=(
+                    self._wall_source() - wall_start
+                    if wall_start is not None and self._wall_source is not None
+                    else -1.0
+                ),
+            )
+            self._finished.append(span)
+            if self._emit is not None:
+                self._emit(span)

@@ -37,7 +37,23 @@ class TestTraceRecorder:
         for value in (1.0, 2.0, 3.0):
             trace.record(v=value)
         summary = trace.summary("v")
-        assert summary == {"min": 1.0, "max": 3.0, "mean": 2.0}
+        assert summary == {
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+            "p50": 2.0,
+            "p95": pytest.approx(2.9),
+        }
+
+    def test_growth_beyond_initial_capacity(self):
+        trace = TraceRecorder(("v",))
+        n = 1000
+        for value in range(n):
+            trace.record(v=float(value))
+        assert len(trace) == n
+        column = trace.column("v")
+        assert column[0] == 0.0
+        assert column[-1] == float(n - 1)
 
     def test_summary_of_empty_rejected(self):
         with pytest.raises(ConfigurationError):

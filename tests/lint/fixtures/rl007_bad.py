@@ -1,0 +1,11 @@
+"""Bad exemplar for RL007: direct print() in library code."""
+
+
+def report_convergence(iterations: int) -> None:
+    print(f"converged after {iterations} iterations")
+
+
+def debug_dump(rows: list) -> list:
+    for row in rows:
+        print(row)
+    return rows

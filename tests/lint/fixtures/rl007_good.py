@@ -1,0 +1,9 @@
+"""Good exemplar for RL007: library code returns; the CLI prints."""
+
+
+def report_convergence(iterations: int) -> str:
+    return f"converged after {iterations} iterations"
+
+
+def render_rows(rows: list) -> str:
+    return "\n".join(str(row) for row in rows)

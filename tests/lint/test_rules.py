@@ -14,7 +14,7 @@ from repro.lint.rules import get_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
 
 
 def lint_fixture(name: str, rule_id: str):
@@ -69,6 +69,18 @@ class TestRuleDetails:
         assert "NOMINAL_VDD" in messages
         assert "CORES_PER_CHIP" in messages
         assert "CHIPS_PER_SERVER" in messages
+
+    def test_rl007_exempts_cli_modules(self):
+        source = (FIXTURES / "rl007_bad.py").read_text(encoding="utf-8")
+        for allowed in ("src/repro/cli.py", "src/repro/lint/__main__.py"):
+            findings = lint_source(
+                source,
+                allowed,
+                rules=get_rules(["RL007"]),
+                is_test=False,
+                in_repro_src=True,
+            )
+            assert findings == [], f"RL007 should not apply to {allowed}"
 
     def test_rules_do_not_apply_to_test_files(self):
         source = (FIXTURES / "rl001_bad.py").read_text(encoding="utf-8")

@@ -1,6 +1,6 @@
 """Meta-test: the linter gates its own repository.
 
-``src/repro/`` must stay free of RL001-RL006 findings with *no* baseline
+``src/repro/`` must stay free of RL001-RL007 findings with *no* baseline
 — this is the tier-1 enforcement point for the determinism, physics, and
 error-handling invariants.  The canary test pins the regression that
 motivated the pass: ``ablation_sync`` once built ``np.random.default_rng``

@@ -1,0 +1,102 @@
+"""Tests for run manifests: determinism, round-trip, validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+# Aliased import: the bare name starts with "test" and would otherwise be
+# collected by pytest as a test function.
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_manifest,
+    fingerprint,
+    load_manifest,
+    save_manifest,
+)
+from repro.obs.manifest import testbed_limits_fingerprint as limits_fp
+
+
+class TestFingerprint:
+    def test_key_order_does_not_matter(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_changes_do_matter(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_testbed_fingerprint_is_stable(self):
+        assert limits_fp() == limits_fp()
+
+
+class TestRunManifest:
+    def test_build_and_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            "fig11", 2019, result_metrics={"m": 1.0},
+            metrics_summary={"c": {"kind": "counter", "value": 2}},
+        )
+        path = save_manifest(manifest, tmp_path / "m.json")
+        assert load_manifest(path) == manifest
+
+    def test_same_inputs_are_byte_identical(self, tmp_path):
+        first = save_manifest(
+            build_manifest("fig11", 2019), tmp_path / "a.json"
+        )
+        second = save_manifest(
+            build_manifest("fig11", 2019), tmp_path / "b.json"
+        )
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_event_stream_is_hashed(self, tmp_path):
+        events = tmp_path / "e.jsonl"
+        events.write_text('{"type":"x"}\n')
+        manifest = build_manifest(
+            "fig11", 2019, events_path=events, event_count=1
+        )
+        assert len(manifest.events_sha256) == 64
+        assert manifest.event_count == 1
+
+    def test_missing_event_stream_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            build_manifest("fig11", 2019, events_path=tmp_path / "nope.jsonl")
+
+    def test_platform_tag_has_no_hostname(self):
+        import socket
+
+        manifest = build_manifest("fig11", 2019)
+        assert socket.gethostname() not in manifest.platform
+        assert manifest.platform.startswith("repro-")
+
+    def test_empty_experiment_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunManifest(experiment_id="", seed=0, limits_fingerprint="x")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunManifest(experiment_id="fig11", seed=-1, limits_fingerprint="x")
+
+
+class TestLoadValidation:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{")
+        with pytest.raises(ConfigurationError):
+            load_manifest(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "kind.json"
+        path.write_text(json.dumps({"kind": "limit_table"}))
+        with pytest.raises(ConfigurationError):
+            load_manifest(path)
+
+    def test_future_schema_rejected(self, tmp_path):
+        document = build_manifest("fig11", 2019).to_dict()
+        document["schema"] = MANIFEST_SCHEMA + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ConfigurationError):
+            load_manifest(path)

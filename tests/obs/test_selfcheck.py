@@ -1,0 +1,15 @@
+"""The obs selfcheck passes and stays print-free (pytest-importable smoke)."""
+
+from repro.obs.selfcheck import run_selfcheck
+
+
+class TestSelfcheck:
+    def test_passes(self):
+        ok, report = run_selfcheck()
+        assert ok, report
+        assert "passed" in report
+
+    def test_report_mentions_each_stage(self):
+        _, report = run_selfcheck()
+        for stage in ("instruments", "round-trip", "sinks", "manifest"):
+            assert stage in report

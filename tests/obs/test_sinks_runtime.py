@@ -1,0 +1,127 @@
+"""Tests for sinks and the installable Observability context."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import CpmStepEvent, RollbackEvent, SpanEvent
+from repro.obs.runtime import Observability, get_obs, install, observed
+from repro.obs.sinks import JsonlFileSink, RingBufferSink, TeeSink, read_jsonl
+
+
+def _step(seq: int = 0) -> CpmStepEvent:
+    return CpmStepEvent(
+        seq=seq, core_label="P0C0", workload="idle",
+        reduction_steps=1, safe=True, slack_ps=2.0,
+    )
+
+
+class TestRingBufferSink:
+    def test_keeps_last_capacity_events(self):
+        sink = RingBufferSink(capacity=2)
+        for seq in range(5):
+            sink.emit(_step(seq))
+        assert sink.total_emitted == 5
+        assert len(sink) == 2
+        assert [e.seq for e in sink.events()] == [3, 4]
+
+    def test_type_filter(self):
+        sink = RingBufferSink()
+        sink.emit(_step())
+        sink.emit(
+            RollbackEvent(
+                seq=1, core_label="P0C0", stage="deploy", workload="",
+                from_steps=2, to_steps=1,
+            )
+        )
+        assert len(sink.events(RollbackEvent)) == 1
+        assert len(sink.events(CpmStepEvent)) == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlFileSink:
+    def test_emitting_after_close_rejected(self, tmp_path):
+        sink = JsonlFileSink(tmp_path / "e.jsonl")
+        sink.emit(_step())
+        sink.close()
+        with pytest.raises(ConfigurationError):
+            sink.emit(_step())
+
+    def test_unwritable_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            JsonlFileSink(tmp_path / "no" / "such" / "dir" / "e.jsonl")
+
+    def test_missing_file_read_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            list(read_jsonl(tmp_path / "absent.jsonl"))
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError):
+            list(read_jsonl(path))
+
+
+class TestTeeSink:
+    def test_fans_out_to_all_sinks(self, tmp_path):
+        ring = RingBufferSink()
+        file_sink = JsonlFileSink(tmp_path / "e.jsonl")
+        tee = TeeSink(ring, file_sink)
+        tee.emit(_step())
+        tee.close()
+        assert ring.total_emitted == 1
+        assert file_sink.count == 1
+
+    def test_needs_at_least_one_sink(self):
+        with pytest.raises(ConfigurationError):
+            TeeSink()
+
+
+class TestObservability:
+    def test_disabled_by_default(self):
+        assert get_obs().enabled is False
+
+    def test_emit_stamps_monotonic_seq(self):
+        sink = RingBufferSink()
+        obs = Observability(sink)
+        obs.emit(_step())
+        obs.emit(_step())
+        assert [e.seq for e in sink.events()] == [0, 1]
+        assert obs.next_seq == 2
+
+    def test_emit_when_disabled_is_noop(self):
+        Observability(sink=None).emit(_step())  # must not raise
+
+    def test_observed_restores_previous_context(self):
+        before = get_obs()
+        obs = Observability(RingBufferSink())
+        with observed(obs):
+            assert get_obs() is obs
+        assert get_obs() is before
+
+    def test_install_returns_previous(self):
+        obs = Observability(RingBufferSink())
+        previous = install(obs)
+        try:
+            assert get_obs() is obs
+        finally:
+            install(previous)
+
+    def test_tracer_spans_become_events(self):
+        sink = RingBufferSink()
+        obs = Observability(sink)
+        with obs.tracer.span("outer"):
+            obs.emit(_step())
+        spans = sink.events(SpanEvent)
+        assert len(spans) == 1
+        assert spans[0].name == "outer"
+        # The span covered one emitted event: ticks 0 -> 1.
+        assert spans[0].start_tick == 0.0
+        assert spans[0].end_tick == 1.0
+
+    def test_counters_accumulate_via_context(self):
+        obs = Observability(RingBufferSink())
+        obs.metrics.counter("x").inc()
+        assert obs.metrics.counter("x").value == 1

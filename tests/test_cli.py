@@ -110,3 +110,33 @@ class TestCommands:
         )
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_events_and_manifest(self, tmp_path, capsys):
+        code = main(
+            ["--seed", "2019", "trace", "fig11",
+             "--out", str(tmp_path), "--tail", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run manifest: fig11" in out
+        assert "RollbackEvent" in out
+        assert (tmp_path / "fig11.events.jsonl").exists()
+        assert (tmp_path / "fig11.manifest.json").exists()
+
+    def test_trace_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "fig99"])
+
+    def test_metrics_renders_instrument_table(self, tmp_path, capsys):
+        code = main(["--seed", "2019", "metrics", "fig11", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "probe.total" in out
+        assert "counter" in out
+        assert (tmp_path / "fig11.manifest.json").exists()
+
+    def test_obs_selfcheck(self, capsys):
+        assert main(["obs", "selfcheck"]) == 0
+        assert "selfcheck passed" in capsys.readouterr().out

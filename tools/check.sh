@@ -15,7 +15,7 @@ else
     echo "== ruff check == (skipped: ruff not installed)"
 fi
 
-echo "== repro.lint (RL001-RL006) =="
+echo "== repro.lint (RL001-RL007) =="
 python -m repro.lint src tests || failures=$((failures + 1))
 
 echo "== tier-1 pytest =="
