@@ -1,0 +1,42 @@
+"""Bench: the vectorized batched solver against the scalar reference.
+
+Times one 8-row batch (a Fig. 5-style reduction staircase) through
+``solve_many`` from a cold cache, and the same rows through the scalar
+reference — the before/after pair PERFORMANCE.md documents.
+"""
+
+from repro.atm.chip_sim import ChipSim
+from repro.fastpath.cache import reset_solve_cache
+from repro.silicon import sample_chip
+
+
+def _staircase_rows(sim):
+    max_steps = min(core.preset_code for core in sim.chip.cores)
+    return [
+        sim.uniform_assignments(reduction_steps=steps)
+        for steps in range(max_steps + 1)
+    ]
+
+
+def test_fastpath_batched_solve(benchmark):
+    sim = ChipSim(sample_chip(2019, chip_id="bench"))
+    rows = _staircase_rows(sim)
+
+    def solve():
+        reset_solve_cache()
+        return sim.solve_many(rows)
+
+    states = benchmark.pedantic(solve, rounds=5, iterations=1)
+    assert len(states) == len(rows)
+    assert all(state.iterations >= 1 for state in states)
+
+
+def test_scalar_reference_solve(benchmark):
+    sim = ChipSim(sample_chip(2019, chip_id="bench"))
+    rows = _staircase_rows(sim)
+
+    def solve():
+        return [sim.solve_steady_state_reference(row) for row in rows]
+
+    states = benchmark.pedantic(solve, rounds=5, iterations=1)
+    assert len(states) == len(rows)

@@ -1,0 +1,176 @@
+"""Wall-clock benchmark of the experiment suite (``repro bench``).
+
+This is harness self-measurement, not simulation: how long does each
+reproduced experiment take, how much does the solve cache help, and how
+does the suite compare against a recorded pre-optimization baseline.  All
+clock reads go through :mod:`repro.obs.profiling` (the sole RL002
+exemption) and the readings land only in the operator-facing
+``BENCH_solver.json`` artifact — never in event streams or run manifests.
+
+Timing on shared hosts is noisy, so the harness runs the suite
+``repeat`` times and keeps the best (minimum) wall per experiment: the
+minimum estimates the compute cost with the least scheduling noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..experiments import REGISTRY
+from ..fastpath.cache import get_solve_cache, reset_solve_cache
+from ..obs.profiling import wall_clock_s
+
+#: Schema tag written into the artifact so downstream tooling can evolve.
+SCHEMA = "bench_solver/v1"
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """Measured wall-clock profile of one benchmark invocation."""
+
+    seed: int
+    jobs: int
+    repeat: int
+    experiment_wall_s: dict[str, float]
+    total_wall_s: float
+    cache_hits: int
+    cache_misses: int
+    baseline_total_s: float | None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def speedup(self) -> float | None:
+        """Suite speedup over the recorded baseline, when one was given."""
+        if self.baseline_total_s is None or self.total_wall_s <= 0.0:
+            return None
+        return self.baseline_total_s / self.total_wall_s
+
+    def to_dict(self) -> dict:
+        """JSON document written to ``BENCH_solver.json``."""
+        doc: dict = {
+            "schema": SCHEMA,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "repeat": self.repeat,
+            "experiments": [
+                {"id": experiment_id, "wall_s": round(wall_s, 4)}
+                for experiment_id, wall_s in self.experiment_wall_s.items()
+            ],
+            "total_wall_s": round(self.total_wall_s, 4),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+        }
+        if self.baseline_total_s is not None:
+            doc["baseline_total_s"] = round(self.baseline_total_s, 4)
+            doc["speedup"] = round(self.speedup, 4)
+        return doc
+
+    def render(self) -> str:
+        """Plain-text summary for the CLI."""
+        lines = [
+            f"bench: {len(self.experiment_wall_s)} experiment(s), "
+            f"seed {self.seed}, jobs {self.jobs}, best of {self.repeat}"
+        ]
+        for experiment_id, wall_s in self.experiment_wall_s.items():
+            lines.append(f"  {experiment_id:<16} {wall_s:7.3f}s")
+        lines.append(f"  {'total':<16} {self.total_wall_s:7.3f}s")
+        lines.append(
+            f"solve cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100.0 * self.cache_hit_rate:.1f}% hit rate)"
+        )
+        if self.baseline_total_s is not None:
+            lines.append(
+                f"baseline: {self.baseline_total_s:.2f}s -> "
+                f"speedup {self.speedup:.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def run_bench(
+    experiment_ids: list[str] | None = None,
+    *,
+    seed: int = 2019,
+    jobs: int = 1,
+    repeat: int = 1,
+    baseline_total_s: float | None = None,
+    out_path: str | Path | None = "BENCH_solver.json",
+) -> BenchReport:
+    """Time the experiment suite and (optionally) write the JSON artifact.
+
+    ``jobs=1`` times each experiment individually from a cold solve cache
+    (same per-experiment isolation as the pooled runner).  ``jobs>1``
+    times the pooled suite as a whole — per-experiment walls measured
+    inside workers are not collected, so the per-experiment map then
+    carries one ``__suite__`` entry instead.
+    """
+    # Local import: analysis must stay importable without dragging the
+    # experiment registry's transitive imports in at module load.
+    from ..experiments import run_experiment
+    from ..experiments.runner import run_many
+
+    ids = list(experiment_ids) if experiment_ids is not None else list(REGISTRY)
+    unknown = sorted(set(ids) - set(REGISTRY))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown experiment id(s) {unknown}; known: {', '.join(REGISTRY)}"
+        )
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+
+    walls: dict[str, float] = {}
+    cache_hits = 0
+    cache_misses = 0
+    if jobs == 1:
+        for pass_index in range(repeat):
+            for experiment_id in ids:
+                reset_solve_cache()
+                start_s = wall_clock_s()
+                run_experiment(experiment_id, seed=seed)
+                elapsed_s = wall_clock_s() - start_s
+                previous = walls.get(experiment_id)
+                if previous is None or elapsed_s < previous:
+                    walls[experiment_id] = elapsed_s
+                if pass_index == 0:
+                    cache = get_solve_cache()
+                    cache_hits += cache.hits
+                    cache_misses += cache.misses
+        total_wall_s = sum(walls.values())
+    else:
+        total_wall_s = float("inf")
+        for _ in range(repeat):
+            start_s = wall_clock_s()
+            run_many(ids, seed=seed, jobs=jobs)
+            total_wall_s = min(total_wall_s, wall_clock_s() - start_s)
+        walls["__suite__"] = total_wall_s
+
+    report = BenchReport(
+        seed=seed,
+        jobs=jobs,
+        repeat=repeat,
+        experiment_wall_s=walls,
+        total_wall_s=total_wall_s,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        baseline_total_s=baseline_total_s,
+    )
+    if out_path is not None:
+        path = Path(out_path)
+        path.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    return report
+
+
+__all__ = ["BenchReport", "run_bench", "SCHEMA"]

@@ -23,6 +23,7 @@ Each core runs in one of three margin modes:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -140,12 +141,20 @@ class ChipSim:
     #: rounds — hitting this limit indicates a modeling bug.
     MAX_ITERATIONS = 200
 
-    def __init__(self, chip: ChipSpec, thermal: ThermalModel | None = None):
+    def __init__(
+        self,
+        chip: ChipSpec,
+        thermal: ThermalModel | None = None,
+        *,
+        use_fastpath: bool = True,
+    ):
         self._chip = chip
         self._pdn = PowerDeliveryNetwork(
             resistance_ohm=chip.pdn_resistance_ohm, vrm_voltage=chip.vrm_voltage
         )
         self._thermal = thermal if thermal is not None else ThermalModel()
+        self._use_fastpath = use_fastpath
+        self._compiled: "CompiledChip | None" = None
 
     @property
     def chip(self) -> ChipSpec:
@@ -158,6 +167,15 @@ class ChipSim:
     @property
     def thermal(self) -> ThermalModel:
         return self._thermal
+
+    @property
+    def compiled(self) -> "CompiledChip":
+        """Array tables for the vectorized solver, built on first use."""
+        if self._compiled is None:
+            from ..fastpath.compiled import CompiledChip
+
+            self._compiled = CompiledChip(self._chip, self._thermal)
+        return self._compiled
 
     def _validate_assignments(
         self, assignments: tuple[CoreAssignment, ...]
@@ -204,12 +222,84 @@ class ChipSim:
         return freq
 
     def solve_steady_state(
-        self, assignments: tuple[CoreAssignment, ...] | list[CoreAssignment]
+        self,
+        assignments: tuple[CoreAssignment, ...] | list[CoreAssignment],
+        *,
+        warm_start: ChipSteadyState | None = None,
     ) -> ChipSteadyState:
         """Find the converged (frequency, power, voltage, temperature) point.
 
-        Raises :class:`SimulationError` if the fixed point does not
-        converge within the iteration budget.
+        Uses the vectorized :mod:`repro.fastpath` solver backed by the
+        process-wide memo cache; ``warm_start`` seeds the fixed point from a
+        previously converged state (monotone sweeps converge in roughly half
+        the iterations).  Raises :class:`SimulationError` if the fixed point
+        does not converge within the iteration budget.
+        """
+        return self.solve_many([assignments], warm_start=warm_start)[0]
+
+    def solve_many(
+        self,
+        assignment_rows: Sequence[tuple[CoreAssignment, ...] | list[CoreAssignment]],
+        *,
+        warm_start: ChipSteadyState | None = None,
+    ) -> list[ChipSteadyState]:
+        """Converge K candidate assignment vectors simultaneously.
+
+        Stacks the rows into (K, n_cores) matrices and iterates them as one
+        batch with masked per-row convergence; rows already memoized by the
+        solve cache are answered without touching the solver.  Results come
+        back in input order.
+        """
+        from ..fastpath.cache import get_solve_cache
+        from ..fastpath.solver import solve_many_compiled
+
+        rows = [tuple(row) for row in assignment_rows]
+        for row in rows:
+            self._validate_assignments(row)
+        obs = get_obs()
+        if not self._use_fastpath:
+            return [self.solve_steady_state_reference(row) for row in rows]
+
+        compiled = self.compiled
+        cache = get_solve_cache()
+        states: list[ChipSteadyState | None] = []
+        pending: list[int] = []
+        for index, row in enumerate(rows):
+            cached = cache.get((compiled.fingerprint, row))
+            states.append(cached)
+            if cached is None:
+                pending.append(index)
+        if pending:
+            solved = solve_many_compiled(
+                compiled, [rows[i] for i in pending], warm_start=warm_start
+            )
+            for index, state in zip(pending, solved):
+                cache.put((compiled.fingerprint, rows[index]), state)
+                states[index] = state
+        if obs.enabled:
+            hits = len(rows) - len(pending)
+            if hits:
+                obs.metrics.counter("fastpath.cache.hits").inc(hits)
+            if pending:
+                obs.metrics.counter("fastpath.cache.misses").inc(len(pending))
+                obs.metrics.counter("chip.solves").inc(len(pending))
+                for index in pending:
+                    obs.metrics.histogram("chip.solve_iterations").observe(
+                        float(states[index].iterations)
+                    )
+                obs.metrics.gauge("chip.power_w").set(
+                    float(states[pending[-1]].chip_power_w)
+                )
+        return states  # type: ignore[return-value]
+
+    def solve_steady_state_reference(
+        self, assignments: tuple[CoreAssignment, ...] | list[CoreAssignment]
+    ) -> ChipSteadyState:
+        """Scalar reference implementation of the fixed-point solve.
+
+        Kept verbatim as the ground truth the vectorized fast path is
+        property-tested against (and as the fallback when the fast path is
+        disabled); not used on hot paths.
         """
         assignments = tuple(assignments)
         self._validate_assignments(assignments)
@@ -276,6 +366,7 @@ class ChipSim:
         assignments = tuple(assignments)
         self._validate_assignments(assignments)
         violations = []
+        obs = get_obs()
         for core, assignment in zip(self._chip.cores, assignments):
             if assignment.mode is not MarginMode.ATM:
                 continue
@@ -289,7 +380,6 @@ class ChipSim:
                         mode=result.failure_mode,
                     )
                 )
-                obs = get_obs()
                 if obs.enabled:
                     obs.emit(
                         GuardbandViolationEvent(
@@ -329,11 +419,11 @@ class ChipSim:
             per_core = list(reductions)
         else:
             per_core = [reduction_steps or 0] * self._chip.n_cores
-        return tuple(
-            CoreAssignment(
-                workload=workload,
-                mode=mode,
-                reduction_steps=steps if mode is MarginMode.ATM else 0,
+        if mode is not MarginMode.ATM and any(steps != 0 for steps in per_core):
+            raise ConfigurationError(
+                f"reduction steps only apply to ATM mode, not {mode}"
             )
+        return tuple(
+            CoreAssignment(workload=workload, mode=mode, reduction_steps=steps)
             for steps in per_core
         )

@@ -140,6 +140,17 @@ class SafetyProbe:
         Returns whether the run completed correctly; on failure, the result
         carries the sampled manifestation (crash / abnormal exit / SDC).
         """
+        return self._probe_once(core, reduction_steps, workload, get_obs())
+
+    def _probe_once(
+        self, core: CoreSpec, reduction_steps: int, workload: Workload, obs
+    ) -> ProbeResult:
+        """One probe with the observability context already resolved.
+
+        The walk loops below fetch the context once per call and thread it
+        through, so the disabled-path cost per probe is a single attribute
+        check rather than a context lookup.
+        """
         self._probe_count += 1
         slack = core.margin_slack_ps(reduction_steps, workload.stress)
         if self._noise_sigma_ps > 0.0:
@@ -149,7 +160,6 @@ class SafetyProbe:
         else:
             mode = self._failure_model.sample_mode(self._rng, -slack)
             result = ProbeResult(safe=False, slack_ps=slack, failure_mode=mode)
-        obs = get_obs()
         if obs.enabled:
             obs.emit(
                 CpmStepEvent(
@@ -189,12 +199,14 @@ class SafetyProbe:
             )
         if repeats_per_step < 1:
             raise ConfigurationError("repeats_per_step must be >= 1")
+        obs = get_obs()
         best = start
         for steps in range(start + 1, core.preset_code + 1):
-            ok = all(
-                self.probe(core, steps, workload).safe
-                for _ in range(repeats_per_step)
-            )
+            ok = True
+            for _ in range(repeats_per_step):
+                if not self._probe_once(core, steps, workload, obs).safe:
+                    ok = False
+                    break
             if not ok:
                 break
             best = steps
@@ -218,11 +230,13 @@ class SafetyProbe:
             raise ConfigurationError(
                 f"{core.label}: start must be in [0, {core.preset_code}]"
             )
+        obs = get_obs()
         for steps in range(start, -1, -1):
-            ok = all(
-                self.probe(core, steps, workload).safe
-                for _ in range(repeats_per_step)
-            )
+            ok = True
+            for _ in range(repeats_per_step):
+                if not self._probe_once(core, steps, workload, obs).safe:
+                    ok = False
+                    break
             if ok:
                 return steps
         return 0

@@ -42,6 +42,14 @@ _EXCEPTIONS: dict[FailureMode, type[TimingViolation]] = {
     FailureMode.SILENT_DATA_CORRUPTION: SilentDataCorruption,
 }
 
+#: Index-to-mode order of :meth:`FailureModel.sample_mode` draws; matches
+#: the insertion order of :meth:`FailureModel.mode_probabilities`.
+_SAMPLE_ORDER = (
+    FailureMode.SYSTEM_CRASH,
+    FailureMode.ABNORMAL_EXIT,
+    FailureMode.SILENT_DATA_CORRUPTION,
+)
+
 
 @dataclass(frozen=True)
 class FailureModel:
@@ -78,11 +86,26 @@ class FailureModel:
         self, rng: np.random.Generator, deficit_ps: float
     ) -> FailureMode:
         """Draw a failure manifestation for the given deficit."""
-        probs = self.mode_probabilities(deficit_ps)
-        modes = list(probs)
-        weights = np.array([probs[m] for m in modes])
-        index = rng.choice(len(modes), p=weights / weights.sum())
-        return modes[int(index)]
+        if deficit_ps < 0.0:
+            raise ConfigurationError(
+                f"deficit must be >= 0 for a failure, got {deficit_ps}"
+            )
+        # Inline of :meth:`mode_probabilities` without the dict round trip;
+        # the weights (and therefore the draw) are unchanged, and this is
+        # hot: characterization walks sample every failing probe.
+        severity = min(1.0, deficit_ps / self.severity_scale_ps)
+        crash = 0.15 + 0.70 * severity
+        sdc = 0.35 * (1.0 - severity)
+        abnormal = 1.0 - crash - sdc
+        weights = np.array([crash, abnormal, sdc])
+        # Hand-inlined ``rng.choice(3, p=...)``: the same normalized-cdf
+        # searchsorted over the same single uniform draw, so the sampled
+        # index and the generator state after the call are bit-identical —
+        # only choice()'s per-call argument validation is skipped.
+        cdf = (weights / weights.sum()).cumsum()
+        cdf /= cdf[-1]
+        index = cdf.searchsorted(rng.random(), side="right")
+        return _SAMPLE_ORDER[int(index)]
 
     def to_exception(
         self, mode: FailureMode, core_id: str, deficit_ps: float

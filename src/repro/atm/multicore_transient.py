@@ -28,7 +28,7 @@ from ..silicon.chipspec import ChipSpec
 from ..units import require_positive
 from ..workloads.base import Workload
 from .core_sim import equilibrium_frequency_mhz
-from .transient import TransientSimulator
+from .transient import TransientSimulator, segment_matrix, droop_voltage_array
 
 
 @dataclass(frozen=True)
@@ -141,38 +141,58 @@ class MulticoreTransientSimulator:
         min_voltage = dc_voltage
         violations = {core.label: 0 for core in self._chip.cores}
         gated_counts = {core.label: 0 for core in self._chip.cores}
-        gated = [False] * self._chip.n_cores
 
-        for step_index in range(n_steps):
-            time_ns = step_index * self._dt_ns
-            voltage = dc_voltage
-            for event in all_events:
-                if event.start_ns <= time_ns:
-                    voltage += self._droop.waveform_v(
-                        time_ns - event.start_ns, event.current_step_a
-                    )
-            min_voltage = min(min_voltage, voltage)
+        # The shared rail is input-only, so the whole waveform — and each
+        # core's (V, T) delay-scale trajectory — is precomputed; cores with
+        # identical synthetic-path electricals share one scale array.
+        voltage = droop_voltage_array(
+            self._droop, self._dt_ns, n_steps, dc_voltage, all_events
+        )
+        if n_steps:
+            min_voltage = min(min_voltage, float(voltage.min()))
+        scale_by_key: dict[tuple, np.ndarray] = {}
+        scales = []
+        real_worst_matrices = []
+        for index, core in enumerate(self._chip.cores):
+            synth = core.synth_path
+            key = (synth.v_threshold, synth.alpha, synth.temp_coefficient_per_c)
+            if key not in scale_by_key:
+                scale_by_key[key] = core_sims[index]._scale_array(
+                    voltage, temperature_c
+                )
+            scales.append(scale_by_key[key])
+            coeff = core_sims[index]._real_worst_coeff_ps(reductions[index], workload)
+            real_worst_matrices.append(
+                segment_matrix(coeff * scale_by_key[key], steps_per_eval)
+            )
+
+        # Loop evaluations stay step-by-step, in core order, so DPLL slew
+        # trajectories and emitted events match the stepwise loop.  Each
+        # core's cycle time is constant within an interval, so only the
+        # cycle times are collected here (+inf while gated) and all deficit
+        # comparisons happen as one matrix operation per core afterwards.
+        cycles_ps: list[list[float]] = [[] for _ in self._chip.cores]
+        for seg_start in range(0, n_steps, steps_per_eval):
             for index, core in enumerate(self._chip.cores):
                 loop = loops[index]
-                if step_index % steps_per_eval == 0:
-                    cycle_ps = 1.0e6 / loop.frequency_mhz
-                    margin = core_sims[index].cpm_margin_units(
-                        cycle_ps, voltage, temperature_c, reductions[index]
-                    )
-                    result = loop.step(margin)
-                    gated[index] = result.violation
-                    if gated[index]:
-                        gated_counts[core.label] += 1
-                if not gated[index]:
-                    deficit = core_sims[index].real_path_deficit_ps(
-                        1.0e6 / loop.frequency_mhz,
-                        voltage,
-                        temperature_c,
-                        reductions[index],
-                        workload,
-                    )
-                    if deficit > 0.0:
-                        violations[core.label] += 1
+                cycle_ps = 1.0e6 / loop.frequency_mhz
+                margin = core_sims[index]._margin_units_scaled(
+                    cycle_ps, float(scales[index][seg_start]), reductions[index]
+                )
+                result = loop.step(margin)
+                if result.violation:
+                    gated_counts[core.label] += 1
+                    cycles_ps[index].append(np.inf)
+                else:
+                    cycles_ps[index].append(1.0e6 / loop.frequency_mhz)
+        for index, core in enumerate(self._chip.cores):
+            violations[core.label] = int(
+                np.count_nonzero(
+                    real_worst_matrices[index]
+                    - np.array(cycles_ps[index])[:, None]
+                    > 0.0
+                )
+            )
 
         return MulticoreTransientResult(
             duration_ns=duration_ns,

@@ -39,11 +39,49 @@ from ..power.didt import DidtEvent, DidtEventGenerator
 from ..power.pdn import DroopResponse, PowerDeliveryNetwork
 from ..silicon.chipspec import ChipSpec, CoreSpec
 from ..silicon.paths import alpha_power_delay_factor
-from ..units import AMBIENT_TEMPERATURE_C, require_positive
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD, require_positive
 from ..workloads.base import Workload
 from ..workloads.ubench import UBENCH_STRESS
 from .core_sim import equilibrium_frequency_mhz
 from .telemetry import TraceRecorder
+
+
+def droop_voltage_array(
+    droop: DroopResponse,
+    dt_ns: float,
+    n_steps: int,
+    dc_voltage_v: float,
+    events: list[DidtEvent],
+) -> np.ndarray:
+    """Supply voltage at every integration step, all droops superimposed.
+
+    Equivalent to evaluating ``dc + sum(active droops)`` step by step, but
+    each event contributes its whole tail in one vectorized slice add.
+    Contributions accumulate in event order, so per-element floating-point
+    summation order matches the stepwise loop exactly.
+    """
+    times = np.arange(n_steps) * dt_ns
+    voltage = np.full(n_steps, dc_voltage_v)
+    for event in events:
+        start = int(np.searchsorted(times, event.start_ns, side="left"))
+        if start >= n_steps:
+            continue
+        voltage[start:] += droop.waveform_array_v(
+            times[start:] - event.start_ns, event.current_step_a
+        )
+    return voltage
+
+
+def segment_matrix(values: np.ndarray, steps_per_eval: int) -> np.ndarray:
+    """Reshape per-step values into one row per evaluation interval.
+
+    A ragged final interval is padded with ``-inf`` so padded cells can
+    never win a greater-than comparison against any cycle time.
+    """
+    n_segments = -(-values.size // steps_per_eval) if values.size else 0
+    padded = np.full(n_segments * steps_per_eval, -np.inf)
+    padded[: values.size] = values
+    return padded.reshape(n_segments, steps_per_eval)
 
 
 @dataclass(frozen=True)
@@ -128,6 +166,12 @@ class TransientSimulator:
             + self._core.synth_path.temp_coefficient_per_c
             * (temperature_c - AMBIENT_TEMPERATURE_C)
         )
+        return self._margin_units_scaled(cycle_ps, scale, reduction_steps)
+
+    def _margin_units_scaled(
+        self, cycle_ps: float, scale: float, reduction_steps: int
+    ) -> int:
+        """CPM quantization with the (V, T) delay scale already evaluated."""
         code = self._core.preset_code - reduction_steps
         occupied = (
             self._core.synth_path.base_delay_ps + self._core.inserted_delay_ps(code)
@@ -137,6 +181,44 @@ class TransientSimulator:
             return 0
         step = self._chip.inverter_step_ps * scale
         return int(margin_ps / step)
+
+    def _scale_array(self, voltage: np.ndarray, temperature_c: float) -> np.ndarray:
+        """(V, T) delay scale at every step, precomputed for a whole run.
+
+        Evaluates :func:`alpha_power_delay_factor` term by term over the
+        voltage waveform.  Raises up front if any step dips below the
+        core's threshold voltage — the stepwise path would raise at the
+        first such evaluation, so a run that completes is unaffected.
+        """
+        synth = self._core.synth_path
+        if voltage.size and float(voltage.min()) <= synth.v_threshold:
+            raise ConfigurationError(
+                f"vdd {float(voltage.min())} V must exceed threshold voltage "
+                f"{synth.v_threshold} V"
+            )
+        nominal = NOMINAL_VDD / (NOMINAL_VDD - synth.v_threshold) ** synth.alpha
+        actual = voltage / (voltage - synth.v_threshold) ** synth.alpha
+        return (actual / nominal) * (
+            1.0
+            + synth.temp_coefficient_per_c
+            * (temperature_c - AMBIENT_TEMPERATURE_C)
+        )
+
+    def _real_worst_coeff_ps(self, reduction_steps: int, workload: Workload) -> float:
+        """Nominal (unscaled) delay of the worst real path under ``workload``."""
+        protection_left = self._core.protection_headroom_ps - self._core.reduction_ps(
+            reduction_steps
+        )
+        static_requirement = self._core.required_protection_ps(
+            min(workload.stress, UBENCH_STRESS)
+        )
+        code = self._core.preset_code - reduction_steps
+        return (
+            self._core.synth_path.base_delay_ps
+            + self._core.inserted_delay_ps(code)
+            - protection_left
+            + static_requirement
+        )
 
     def real_path_deficit_ps(
         self,
@@ -161,26 +243,14 @@ class TransientSimulator:
             + self._core.synth_path.temp_coefficient_per_c
             * (temperature_c - AMBIENT_TEMPERATURE_C)
         )
-        protection_left = self._core.protection_headroom_ps - self._core.reduction_ps(
-            reduction_steps
-        )
-        # Split the workload's protection requirement into its static part
-        # (synthetic-vs-real path mismatch, present at DC) and its dynamic
-        # part (di/dt-driven, which this simulator applies through the
-        # droop waveforms instead).  Micro-benchmarks produce essentially
-        # no di/dt, so requirements up to the uBench stress level are
-        # static; everything an application demands beyond that is the
-        # voltage-noise share (Sec. V-A's reasoning).
-        static_requirement = self._core.required_protection_ps(
-            min(workload.stress, UBENCH_STRESS)
-        )
-        code = self._core.preset_code - reduction_steps
-        real_worst = (
-            self._core.synth_path.base_delay_ps
-            + self._core.inserted_delay_ps(code)
-            - protection_left
-            + static_requirement
-        ) * scale
+        # The coefficient splits the workload's protection requirement into
+        # its static part (synthetic-vs-real path mismatch, present at DC)
+        # and its dynamic part (di/dt-driven, which this simulator applies
+        # through the droop waveforms instead).  Micro-benchmarks produce
+        # essentially no di/dt, so requirements up to the uBench stress
+        # level are static; everything an application demands beyond that
+        # is the voltage-noise share (Sec. V-A's reasoning).
+        real_worst = self._real_worst_coeff_ps(reduction_steps, workload) * scale
         return real_worst - cycle_ps
 
     def run(
@@ -223,19 +293,30 @@ class TransientSimulator:
         )
         loop = DpllControlLoop(self._loop_config, initial_mhz=start_freq)
 
-        trace = (
-            TraceRecorder(("time_ns", "vdd", "freq_mhz", "margin_units", "gated"))
-            if record_trace
-            else None
-        )
-        violations = 0
-        gated_intervals = 0
-        min_voltage = dc_voltage
-        min_freq = start_freq
         steps_per_eval = max(
             1, int(round(self._loop_config.evaluation_interval_ns / self._dt_ns))
         )
         n_steps = int(duration_ns / self._dt_ns)
+
+        if not record_trace:
+            return self._run_fast(
+                workload,
+                reduction_steps,
+                events,
+                loop,
+                duration_ns=duration_ns,
+                dc_voltage=dc_voltage,
+                temperature_c=temperature_c,
+                start_freq=start_freq,
+                steps_per_eval=steps_per_eval,
+                n_steps=n_steps,
+            )
+
+        trace = TraceRecorder(("time_ns", "vdd", "freq_mhz", "margin_units", "gated"))
+        violations = 0
+        gated_intervals = 0
+        min_voltage = dc_voltage
+        min_freq = start_freq
         margin_units = self._loop_config.threshold_units
         gated = False
 
@@ -284,4 +365,74 @@ class TransientSimulator:
             final_frequency_mhz=loop.frequency_mhz,
             events=tuple(events),
             trace=trace,
+        )
+
+    def _run_fast(
+        self,
+        workload: Workload,
+        reduction_steps: int,
+        events: list[DidtEvent],
+        loop: DpllControlLoop,
+        *,
+        duration_ns: float,
+        dc_voltage: float,
+        temperature_c: float,
+        start_freq: float,
+        steps_per_eval: int,
+        n_steps: int,
+    ) -> TransientResult:
+        """Vectorized run: precomputed waveforms, per-interval violation math.
+
+        Exploits two structural facts of the stepwise loop: the voltage
+        waveform is input-only (so the whole array can be built up front),
+        and the DPLL only changes frequency at evaluation boundaries (so
+        the deficit comparison inside one interval is a single vectorized
+        threshold test against a constant cycle time).  Loop evaluations —
+        the stateful part — still run step by step, in the same order, so
+        emitted guardband events and slew trajectories are unchanged.
+        """
+        voltage = droop_voltage_array(
+            self._droop, self._dt_ns, n_steps, dc_voltage, events
+        )
+        min_voltage = dc_voltage
+        if n_steps:
+            min_voltage = min(min_voltage, float(voltage.min()))
+        scale = self._scale_array(voltage, temperature_c)
+        real_worst_matrix = segment_matrix(
+            self._real_worst_coeff_ps(reduction_steps, workload) * scale,
+            steps_per_eval,
+        )
+
+        # The sequential part of the run is only the DPLL evaluations; each
+        # interval's cycle time is collected (+inf while gated, so those
+        # intervals contribute zero) and the per-step deficit comparison
+        # happens as one matrix operation afterwards.
+        gated_intervals = 0
+        min_freq = start_freq
+        cycles_ps = []
+        for seg_start in range(0, n_steps, steps_per_eval):
+            cycle_ps = 1.0e6 / loop.frequency_mhz
+            margin_units = self._margin_units_scaled(
+                cycle_ps, float(scale[seg_start]), reduction_steps
+            )
+            result = loop.step(margin_units)
+            if result.violation:
+                gated_intervals += 1
+                cycles_ps.append(np.inf)
+            else:
+                cycles_ps.append(1.0e6 / loop.frequency_mhz)
+            min_freq = min(min_freq, loop.frequency_mhz)
+        violations = int(
+            np.count_nonzero(real_worst_matrix - np.array(cycles_ps)[:, None] > 0.0)
+        )
+
+        return TransientResult(
+            duration_ns=duration_ns,
+            violations=violations,
+            gated_intervals=gated_intervals,
+            min_voltage_v=min_voltage,
+            min_frequency_mhz=min_freq,
+            final_frequency_mhz=loop.frequency_mhz,
+            events=tuple(events),
+            trace=None,
         )

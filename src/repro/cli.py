@@ -2,8 +2,11 @@
 
 Mirrors the stages a vendor/operator would actually run:
 
-``python -m repro experiment <id|all>``
-    Regenerate one (or every) paper table/figure and print the report.
+``python -m repro experiment <id|all> [--jobs N]``
+    Regenerate one (or every) paper table/figure and print the report;
+    ``--jobs`` fans the suite across a process pool with identical output.
+``python -m repro bench [--repeat N] [--baseline-s S]``
+    Time the experiment suite and write the BENCH_solver.json artifact.
 ``python -m repro characterize [--seed N] [--random] [--out FILE]``
     Run the Fig. 6 methodology on the testbed (or a sampled chip) and
     optionally save the limit table as JSON.
@@ -63,12 +66,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
         tracer = Tracer(wall_source=wall_clock_tick_source)
         results = {}
-        for experiment_id in REGISTRY:
-            with tracer.span("experiment", id=experiment_id):
-                result = run_experiment(experiment_id, seed=args.seed)
-            results[experiment_id] = result
-            print(result.render())
-            print()
+        pool = None
+        futures = {}
+        if args.jobs > 1:
+            # Fan the suite out, then consume results in registry order so
+            # stdout is laid out exactly as a serial run; only the digest's
+            # wall-clock column can differ.
+            from concurrent.futures import ProcessPoolExecutor
+
+            from .experiments.runner import _run_one
+
+            pool = ProcessPoolExecutor(max_workers=args.jobs)
+            futures = {
+                experiment_id: pool.submit(_run_one, experiment_id, args.seed)
+                for experiment_id in REGISTRY
+            }
+        try:
+            for experiment_id in REGISTRY:
+                with tracer.span("experiment", id=experiment_id):
+                    if pool is not None:
+                        result = futures[experiment_id].result()
+                    else:
+                        result = run_experiment(experiment_id, seed=args.seed)
+                results[experiment_id] = result
+                print(result.render())
+                print()
+        finally:
+            if pool is not None:
+                pool.shutdown()
         print("digest (wall-clock per experiment):")
         for span, (experiment_id, result) in zip(
             tracer.finished, results.items()
@@ -81,6 +106,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"  {experiment_id:<16} {span.wall_s:7.2f}s  {headline}")
         return 0
     print(run_experiment(args.id, seed=args.seed).render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.bench import run_bench
+
+    ids = (
+        [part.strip() for part in args.experiments.split(",") if part.strip()]
+        if args.experiments
+        else None
+    )
+    report = run_bench(
+        ids,
+        seed=args.seed,
+        jobs=args.jobs,
+        repeat=args.repeat,
+        baseline_total_s=args.baseline_s,
+        out_path=args.out,
+    )
+    print(report.render())
+    print(f"bench report written to {args.out}")
     return 0
 
 
@@ -241,7 +287,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("id", choices=[*REGISTRY, "all"])
+    p_exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for `all` (1 = serial; output is identical "
+             "either way, modulo digest wall-clock)",
+    )
     p_exp.set_defaults(func=_cmd_experiment)
+
+    p_bench = sub.add_parser(
+        "bench", help="wall-clock benchmark of the experiment suite"
+    )
+    p_bench.add_argument("--out", default="BENCH_solver.json",
+                         help="benchmark artifact path")
+    p_bench.add_argument(
+        "--experiments",
+        help="comma-separated experiment ids (default: all)",
+    )
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="passes over the suite; best wall is kept")
+    p_bench.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = per-experiment timing)")
+    p_bench.add_argument(
+        "--baseline-s", type=float, default=None, dest="baseline_s",
+        help="reference suite wall-clock to compute the speedup against",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_char = sub.add_parser("characterize", help="run the Fig. 6 methodology")
     p_char.add_argument("--random", action="store_true",
@@ -292,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(func=_cmd_list_workloads)
 
     p_lint = sub.add_parser(
-        "lint", help="run the domain linter (RL001-RL007) over the tree"
+        "lint", help="run the domain linter (RL001-RL008) over the tree"
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=run_lint)

@@ -85,8 +85,8 @@ def frequency_power_sweep(
         )
     if len(reductions) != chip.n_cores:
         raise ConfigurationError(f"reductions must have {chip.n_cores} entries")
-    samples = []
     others = [i for i in range(chip.n_cores) if i != core_index]
+    rows = []
     for active_count in range(len(others) + 1):
         loaded = set(others[:active_count])
         assignments = []
@@ -104,9 +104,13 @@ def frequency_power_sweep(
                     reduction_steps=reductions[index],
                 )
             )
-        state = sim.solve_steady_state(assignments)
-        samples.append((state.chip_power_w, state.core_freq_mhz(core_index)))
-    return samples
+        rows.append(assignments)
+    # All sweep points are independent rows of one batched solve; the rows
+    # differ only in co-runner count, so they converge in lockstep.
+    states = sim.solve_many(rows)
+    return [
+        (state.chip_power_w, state.core_freq_mhz(core_index)) for state in states
+    ]
 
 
 def fit_core_frequency_models(

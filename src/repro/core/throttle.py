@@ -138,10 +138,17 @@ class BackgroundThrottler:
         placement: Placement,
         reductions: tuple[int, ...],
         setting: ThrottleSetting,
+        *,
+        warm_start: ChipSteadyState | None = None,
     ) -> ThrottleDecision:
-        """Steady state of one candidate setting."""
+        """Steady state of one candidate setting.
+
+        ``warm_start`` seeds the fixed-point iteration from a previously
+        converged state; the ladder walk passes each decision's state into
+        the next, progressively tighter candidate.
+        """
         assignments = build_assignments(self._sim, placement, reductions, setting)
-        state = self._sim.solve_steady_state(assignments)
+        state = self._sim.solve_steady_state(assignments, warm_start=warm_start)
         return ThrottleDecision(setting=setting, state=state)
 
     def minimal_throttle(
@@ -162,7 +169,12 @@ class BackgroundThrottler:
             )
         last = None
         for setting in THROTTLE_LADDER:
-            decision = self.evaluate(placement, reductions, setting)
+            decision = self.evaluate(
+                placement,
+                reductions,
+                setting,
+                warm_start=last.state if last is not None else None,
+            )
             last = decision
             if decision.chip_power_w <= power_budget_w:
                 return decision

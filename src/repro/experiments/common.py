@@ -89,7 +89,13 @@ def run_observed(
     # registry (which imports them all) must not be a module-level
     # dependency here.
     from . import run_experiment
+    from ..fastpath.cache import reset_solve_cache
 
+    # A cold solve cache at the start of every observed run makes the
+    # fastpath.cache.* counters in the manifest a property of the
+    # experiment alone, not of whatever ran earlier in this process — so
+    # manifests match byte-for-byte between serial and pooled execution.
+    reset_solve_cache()
     target_dir = Path(out_dir)
     target_dir.mkdir(parents=True, exist_ok=True)
     events_path = target_dir / f"{experiment_id}.events.jsonl"

@@ -1,0 +1,110 @@
+"""Parallel experiment engine: fan experiments out across a process pool.
+
+Every experiment is already a pure function of its seed — each ``run``
+builds its own :class:`~repro.rng.RngStreams` and shares no mutable state
+with its siblings — so the natural unit of parallelism is one experiment
+per pool task.  The engine preserves the serial contract exactly:
+
+* results come back in the order the ids were given, regardless of which
+  worker finished first;
+* every worker starts its experiment from a cold solve cache (a fresh
+  pool process is cold anyway; resetting makes a reused worker behave the
+  same), so observed runs produce byte-identical event streams and
+  manifests whether ``jobs`` is 1 or 16;
+* the worker functions are module-level and take only picklable
+  arguments — lint rule RL008 keeps process identity and mutable global
+  capture out of them.
+
+On a single-CPU host the pool degenerates gracefully: ``jobs=1`` runs
+everything in-process with no executor at all.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..fastpath.cache import reset_solve_cache
+from . import REGISTRY, run_experiment
+from .common import ExperimentResult, ObservedRun, run_observed
+
+
+def _run_one(experiment_id: str, seed: int) -> ExperimentResult:
+    """Pool worker: run one experiment from a cold solve cache.
+
+    The reset makes a reused pool worker indistinguishable from a fresh
+    process, so task-to-worker scheduling cannot leak into behaviour.
+    """
+    reset_solve_cache()
+    return run_experiment(experiment_id, seed=seed)
+
+
+def _run_one_observed(experiment_id: str, seed: int, out_dir: str) -> ObservedRun:
+    """Pool worker: one observed run (event stream + manifest on disk).
+
+    ``run_observed`` resets the solve cache itself, so the artifacts are
+    identical to a serial run of the same id and seed.
+    """
+    return run_observed(experiment_id, seed=seed, out_dir=out_dir)
+
+
+def run_many(
+    experiment_ids: Sequence[str],
+    *,
+    seed: int = 2019,
+    jobs: int = 1,
+    out_dir: str | Path | None = None,
+) -> list[ExperimentResult] | list[ObservedRun]:
+    """Run experiments, optionally across a process pool.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Which experiments to run; order is preserved in the result list.
+    seed:
+        Master seed forwarded to every experiment (each builds its own
+        named streams from it, so experiments stay independent).
+    jobs:
+        Worker processes.  ``1`` runs serially in this process; higher
+        values use a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    out_dir:
+        When given, every experiment runs observed — writing
+        ``<id>.events.jsonl`` and ``<id>.manifest.json`` under this
+        directory — and :class:`ObservedRun` objects are returned.
+        Otherwise plain :class:`ExperimentResult` objects are returned.
+    """
+    ids = list(experiment_ids)
+    unknown = sorted(set(ids) - set(REGISTRY))
+    if unknown:
+        known = ", ".join(REGISTRY)
+        raise ConfigurationError(
+            f"unknown experiment id(s) {unknown}; known: {known}"
+        )
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+
+    if jobs == 1:
+        if out_dir is None:
+            return [_run_one(experiment_id, seed) for experiment_id in ids]
+        return [
+            _run_one_observed(experiment_id, seed, str(out_dir))
+            for experiment_id in ids
+        ]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        if out_dir is None:
+            futures = [pool.submit(_run_one, experiment_id, seed) for experiment_id in ids]
+        else:
+            futures = [
+                pool.submit(_run_one_observed, experiment_id, seed, str(out_dir))
+                for experiment_id in ids
+            ]
+        # Collect in submission order: the list of futures, not
+        # as_completed, is what keeps output deterministic.
+        return [future.result() for future in futures]
+
+
+__all__ = ["run_many"]

@@ -1,0 +1,30 @@
+"""Array-native fast path for the chip steady-state solver.
+
+The scalar solver in :mod:`repro.atm.chip_sim` walks Python loops over
+cores inside every fixed-point iteration; every reproduced figure funnels
+through it, so those loops dominate wall-clock.  This package compiles a
+chip's silicon description into flat numpy arrays once
+(:class:`CompiledChip`), evaluates whole fixed-point iterations as array
+math (:func:`solve_compiled`), converges K candidate assignment vectors
+simultaneously with masked per-row convergence (:func:`solve_many_compiled`),
+and memoizes converged states by content-addressed chip fingerprint plus
+assignment tuple (:class:`SolveCache`).
+
+The scalar implementation remains the reference: the fast path reproduces
+it within ~1e-12 MHz (property-tested bound 1e-9 MHz in
+``tests/fastpath``), and :meth:`repro.atm.chip_sim.ChipSim.
+solve_steady_state_reference` stays available for direct comparison.
+"""
+
+from .cache import SolveCache, get_solve_cache, reset_solve_cache
+from .compiled import CompiledChip
+from .solver import solve_compiled, solve_many_compiled
+
+__all__ = [
+    "CompiledChip",
+    "SolveCache",
+    "get_solve_cache",
+    "reset_solve_cache",
+    "solve_compiled",
+    "solve_many_compiled",
+]

@@ -1,0 +1,140 @@
+"""Per-chip array tables for the vectorized steady-state solver.
+
+A :class:`CompiledChip` flattens everything
+:meth:`repro.atm.chip_sim.ChipSim.solve_steady_state` reads per core —
+synthetic-path base delays, the full inserted-delay table indexed by code,
+alpha-power/V_t/temperature coefficients, and power-spec coefficients —
+into numpy arrays, so one fixed-point iteration is pure array math with no
+per-core Python calls.
+
+The compilation also derives a content-addressed ``fingerprint``: two chip
+specs with identical physics compile to the same fingerprint regardless of
+object identity or ``chip_id``, which is what lets
+:class:`repro.fastpath.cache.SolveCache` share converged states across
+equal chips (e.g. the testbed rebuilt by every experiment).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..power.thermal import ThermalModel
+from ..silicon.chipspec import ChipSpec
+from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+
+
+def _fingerprint_parts(chip: ChipSpec, thermal: ThermalModel) -> list[str]:
+    """Canonical description of every quantity the solver depends on.
+
+    Floats are rendered with ``float.hex`` so the fingerprint is exact:
+    any bit-level change to a physical parameter produces a new
+    fingerprint (and therefore a cold cache), while renaming a chip or
+    core does not.
+    """
+    parts = [
+        "solver-v1",
+        float(chip.pdn_resistance_ohm).hex(),
+        float(chip.uncore_power_w).hex(),
+        float(chip.vrm_voltage).hex(),
+        float(chip.slack_ps).hex(),
+        float(thermal.ambient_c).hex(),
+        float(thermal.resistance_c_per_w).hex(),
+    ]
+    for core in chip.cores:
+        parts.append(f"core:{core.preset_code}")
+        parts.append(float(core.synth_path.base_delay_ps).hex())
+        parts.append(float(core.synth_path.v_threshold).hex())
+        parts.append(float(core.synth_path.alpha).hex())
+        parts.append(float(core.synth_path.temp_coefficient_per_c).hex())
+        parts.append(float(core.power.leakage_w).hex())
+        parts.append(float(core.power.ceff_w_per_ghz).hex())
+        parts.append(float(core.power.leakage_temp_coeff_per_c).hex())
+        parts.extend(float(w).hex() for w in core.step_widths_ps)
+    return parts
+
+
+class CompiledChip:
+    """Flat array view of one chip (plus thermal model) for the fast solver."""
+
+    __slots__ = (
+        "chip",
+        "thermal",
+        "n_cores",
+        "base_delay_ps",
+        "insert_table_ps",
+        "slack_ps",
+        "v_threshold",
+        "alpha",
+        "nominal_alpha_factor",
+        "temp_coeff",
+        "leakage_w",
+        "ceff_w_per_ghz",
+        "leakage_temp_coeff",
+        "preset_code",
+        "vrm_voltage",
+        "pdn_resistance_ohm",
+        "uncore_power_w",
+        "ambient_c",
+        "thermal_resistance",
+        "fingerprint",
+    )
+
+    def __init__(self, chip: ChipSpec, thermal: ThermalModel | None = None):
+        thermal = thermal if thermal is not None else ThermalModel()
+        self.chip = chip
+        self.thermal = thermal
+        cores = chip.cores
+        self.n_cores = len(cores)
+
+        self.base_delay_ps = np.array(
+            [c.synth_path.base_delay_ps for c in cores], dtype=np.float64
+        )
+        # Full inserted-delay tables indexed by code.  Rows are the cores'
+        # cumulative step sums (code 0 .. len(step_widths)); shorter tables
+        # are padded with their final value — codes past a core's own table
+        # are rejected upstream, so the padding is never observable.
+        max_codes = max(len(c.step_widths_ps) for c in cores) + 1
+        table = np.zeros((self.n_cores, max_codes), dtype=np.float64)
+        for row, core in enumerate(cores):
+            cumsum = core._insert_cumsum_ps
+            table[row, : len(cumsum)] = cumsum
+            table[row, len(cumsum):] = cumsum[-1]
+        self.insert_table_ps = table
+
+        self.slack_ps = float(chip.slack_ps)
+        self.v_threshold = np.array(
+            [c.synth_path.v_threshold for c in cores], dtype=np.float64
+        )
+        self.alpha = np.array([c.synth_path.alpha for c in cores], dtype=np.float64)
+        # Denominator of the alpha-power delay ratio, fixed per core:
+        # V_nom / (V_nom - V_t)^alpha.
+        self.nominal_alpha_factor = NOMINAL_VDD / (
+            (NOMINAL_VDD - self.v_threshold) ** self.alpha
+        )
+        self.temp_coeff = np.array(
+            [c.synth_path.temp_coefficient_per_c for c in cores], dtype=np.float64
+        )
+        self.leakage_w = np.array([c.power.leakage_w for c in cores], dtype=np.float64)
+        self.ceff_w_per_ghz = np.array(
+            [c.power.ceff_w_per_ghz for c in cores], dtype=np.float64
+        )
+        self.leakage_temp_coeff = np.array(
+            [c.power.leakage_temp_coeff_per_c for c in cores], dtype=np.float64
+        )
+        self.preset_code = np.array([c.preset_code for c in cores], dtype=np.int64)
+
+        self.vrm_voltage = float(chip.vrm_voltage)
+        self.pdn_resistance_ohm = float(chip.pdn_resistance_ohm)
+        self.uncore_power_w = float(chip.uncore_power_w)
+        self.ambient_c = float(thermal.ambient_c)
+        self.thermal_resistance = float(thermal.resistance_c_per_w)
+
+        digest = hashlib.sha256("\n".join(_fingerprint_parts(chip, thermal)).encode())
+        self.fingerprint = digest.hexdigest()
+
+    @property
+    def ambient_temperature_c(self) -> float:
+        """Ambient reference of the delay/leakage temperature terms."""
+        return AMBIENT_TEMPERATURE_C

@@ -14,6 +14,7 @@ from .determinism import UnseededRngRule, WallClockRule
 from .exceptions import BareExceptionRule
 from .float_eq import FloatEqualityRule
 from .printing import DirectPrintRule
+from .process import ProcessUnsafeParallelRule
 from .units_suffix import UnitSuffixRule
 
 #: Every shipped rule, in id order.
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatEqualityRule(),
     MagicPlatformConstantRule(),
     DirectPrintRule(),
+    ProcessUnsafeParallelRule(),
 )
 
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}

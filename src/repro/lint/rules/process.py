@@ -1,0 +1,200 @@
+"""RL008 — process-identity reads and unsafe captures in parallel code.
+
+The experiment engine and the linter both fan work across
+``concurrent.futures`` process pools, and the whole determinism story
+(byte-identical event streams and manifests, serial vs pooled) rests on
+two properties of the worker functions:
+
+* a worker's behaviour must not depend on *which* process runs it — so
+  no ``os.getpid()`` / ``os.fork()`` / ``multiprocessing.current_process()``
+  anywhere in library code, where the value could leak into results or
+  artifact names;
+* workers dispatched to a pool must be self-contained: a module-level
+  mutable global read inside a worker is a different object in every pool
+  process (and in the parent), so mutations silently diverge — the
+  classic "works serially, wrong under ``--jobs``" bug.
+
+The second check resolves the callable passed to ``submit`` / ``map`` /
+``apply_async`` / ``imap*`` / ``starmap*`` to a module-level function in
+the same file and flags reads of module-level names bound to mutable
+literals (lists, dicts, sets, and their comprehensions or constructor
+calls).  Lambdas are flagged outright: they do not pickle.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from ..engine import Finding, LintContext, Rule
+from .determinism import attr_chain
+
+#: Dotted reads that make behaviour depend on process identity.
+_IDENTITY_CHAINS = frozenset(
+    {
+        ("os", "getpid"),
+        ("os", "getppid"),
+        ("os", "fork"),
+        ("multiprocessing", "current_process"),
+        ("threading", "get_ident"),
+        ("threading", "get_native_id"),
+    }
+)
+
+#: Executor / pool methods that dispatch a callable to workers.
+_POOL_METHODS = frozenset(
+    {"submit", "map", "apply_async", "imap", "imap_unordered",
+     "starmap", "starmap_async"}
+)
+
+#: Constructor names whose module-level call binds a mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_binding(value: ast.AST) -> bool:
+    """Whether ``value`` evaluates to a mutable container at module level."""
+    if isinstance(value, _MUTABLE_LITERALS):
+        return True
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        return value.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _module_mutable_globals(module: ast.Module) -> set[str]:
+    """Names bound to mutable containers at module level."""
+    names: set[str] = set()
+    for statement in module.body:
+        if isinstance(statement, ast.Assign) and _is_mutable_binding(
+            statement.value
+        ):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(statement, ast.AnnAssign)
+            and statement.value is not None
+            and isinstance(statement.target, ast.Name)
+            and _is_mutable_binding(statement.value)
+        ):
+            names.add(statement.target.id)
+    return names
+
+
+def _local_bindings(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter and assignment names that shadow globals inside ``func``."""
+    bound = {arg.arg for arg in func.args.args}
+    bound.update(arg.arg for arg in func.args.posonlyargs)
+    bound.update(arg.arg for arg in func.args.kwonlyargs)
+    if func.args.vararg:
+        bound.add(func.args.vararg.arg)
+    if func.args.kwarg:
+        bound.add(func.args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+    return bound
+
+
+def _captured_mutable_globals(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, mutable_globals: set[str]
+) -> list[str]:
+    """Mutable module globals read (unshadowed) inside ``func``."""
+    if not mutable_globals:
+        return []
+    local = _local_bindings(func)
+    captured: list[str] = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in mutable_globals
+            and node.id not in local
+            and node.id not in captured
+        ):
+            captured.append(node.id)
+    return captured
+
+
+class ProcessUnsafeParallelRule(Rule):
+    """RL008: pool workers must be process-agnostic and self-contained."""
+
+    rule_id = "RL008"
+    severity = "error"
+    summary = "process-unsafe-parallel"
+    rationale = (
+        "worker behaviour must not depend on process identity, and "
+        "mutable module globals diverge silently across pool processes"
+    )
+    interests = (ast.Attribute, ast.Call)
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro_src and not ctx.is_test
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Attribute):
+            chain = attr_chain(node)
+            if chain is not None and chain in _IDENTITY_CHAINS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"process identity read {'.'.join(chain)}; library "
+                    "behaviour must not depend on which process runs it",
+                )
+            return
+
+        assert isinstance(node, ast.Call)
+        if not (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_METHODS
+            and node.args
+        ):
+            return
+        worker = node.args[0]
+        if isinstance(worker, ast.Lambda):
+            yield self.finding(
+                ctx,
+                node,
+                f"lambda passed to pool {node.func.attr}(); workers must be "
+                "module-level functions (lambdas neither pickle nor stay "
+                "free of closure capture)",
+            )
+            return
+        if not isinstance(worker, ast.Name) or not parents:
+            return
+        module = parents[0]
+        if not isinstance(module, ast.Module):
+            return
+        target = None
+        for statement in module.body:
+            if (
+                isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name == worker.id
+            ):
+                target = statement
+        if target is None:
+            return
+        mutable_globals = _module_mutable_globals(module)
+        for name in _captured_mutable_globals(target, mutable_globals):
+            yield self.finding(
+                ctx,
+                node,
+                f"worker {worker.id}() dispatched via {node.func.attr}() "
+                f"reads module-level mutable global {name!r}; each pool "
+                "process gets its own copy, so state diverges silently — "
+                "pass the data as an argument instead",
+            )

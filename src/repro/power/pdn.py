@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from ..units import NOMINAL_VDD, require_positive
 
@@ -123,3 +125,21 @@ class DroopResponse:
         phase = 2.0 * math.pi * self.resonance_mhz * time_ns / 1000.0
         envelope = math.exp(-time_ns / self.damping_tau_ns)
         return -amplitude * envelope * math.sin(phase)
+
+    def waveform_array_v(
+        self, times_ns: np.ndarray, current_step_a: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`waveform_v` over an array of elapsed times.
+
+        Evaluates the same expression, term by term, for every element;
+        the transient simulators use it to precompute whole voltage
+        waveforms instead of re-summing active droops at every step.
+        """
+        if times_ns.size and float(times_ns.min()) < 0.0:
+            raise ConfigurationError(
+                f"times must be >= 0, got {float(times_ns.min())}"
+            )
+        amplitude = self.amplitude_v(current_step_a)
+        phase = 2.0 * math.pi * self.resonance_mhz * times_ns / 1000.0
+        envelope = np.exp(-times_ns / self.damping_tau_ns)
+        return -amplitude * envelope * np.sin(phase)

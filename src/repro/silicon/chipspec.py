@@ -189,6 +189,17 @@ class CoreSpec:
                     f"stress and non-decreasing in ps"
                 )
             previous_stress, previous_ps = stress, ps
+        # Derived lookup tables.  The spec is frozen, so these are attached
+        # through object.__setattr__; neither participates in equality or
+        # hashing.  ``_insert_cumsum_ps[c]`` accumulates the step widths
+        # left-to-right, exactly like the summation in inserted_delay_ps()
+        # used to, so cached and recomputed values are bit-identical.
+        cumsum = [0.0]
+        for width in self.step_widths_ps:
+            cumsum.append(cumsum[-1] + width)
+        object.__setattr__(self, "_insert_cumsum_ps", tuple(cumsum))
+        object.__setattr__(self, "_protection_cache", {})
+        object.__setattr__(self, "_slack_cache", {})
 
     # -- inserted-delay geometry -------------------------------------------
 
@@ -199,7 +210,7 @@ class CoreSpec:
                 f"{self.label}: code must be in [0, {len(self.step_widths_ps)}], "
                 f"got {code}"
             )
-        return float(sum(self.step_widths_ps[:code]))
+        return self._insert_cumsum_ps[code]
 
     def reduction_ps(self, steps: int) -> float:
         """Delay removed by reducing the preset code by ``steps`` steps."""
@@ -230,14 +241,25 @@ class CoreSpec:
         """
         if stress < 0.0:
             raise ConfigurationError(f"stress must be >= 0, got {stress}")
+        # Workloads use a handful of distinct stress levels, and the probe
+        # loops of characterization ask for the same ones millions of times;
+        # memoize per stress value.  The cached entry is produced by the
+        # same interpolation below, so memoized and direct answers are
+        # bit-identical.
+        cached = self._protection_cache.get(stress)
+        if cached is not None:
+            return cached
         points = self.stress_curve
         if stress <= points[-1][0]:
             xs = [p[0] for p in points]
             ys = [p[1] for p in points]
-            return float(np.interp(stress, xs, ys))
-        (x0, y0), (x1, y1) = points[-2], points[-1]
-        slope = (y1 - y0) / (x1 - x0)
-        return float(y1 + slope * (stress - x1))
+            value = float(np.interp(stress, xs, ys))
+        else:
+            (x0, y0), (x1, y1) = points[-2], points[-1]
+            slope = (y1 - y0) / (x1 - x0)
+            value = float(y1 + slope * (stress - x1))
+        self._protection_cache[stress] = value
+        return value
 
     def margin_slack_ps(self, reduction_steps: int, stress: float) -> float:
         """Signed safety slack at ``reduction_steps`` under ``stress``.
@@ -246,11 +268,21 @@ class CoreSpec:
         configuration violates timing by that many picoseconds (before
         measurement noise).
         """
-        return (
+        # Characterization walks re-evaluate the same (steps, stress) pairs
+        # tens of thousands of times; memoize like required_protection_ps.
+        # The cached entry is produced by the identical expression below,
+        # and only valid inputs are ever cached (invalid ones raise first).
+        key = (reduction_steps, stress)
+        cached = self._slack_cache.get(key)
+        if cached is not None:
+            return cached
+        value = (
             self.protection_headroom_ps
             - self.reduction_ps(reduction_steps)
             - self.required_protection_ps(stress)
         )
+        self._slack_cache[key] = value
+        return value
 
     def max_safe_reduction(self, stress: float) -> int:
         """Largest noise-free safe reduction under ``stress`` (may be 0)."""

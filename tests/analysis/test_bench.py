@@ -1,0 +1,66 @@
+"""Tests for the `repro bench` harness and its JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import SCHEMA, run_bench
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+class TestRunBench:
+    def test_writes_schema_and_timings(self, tmp_path):
+        out = tmp_path / "BENCH_solver.json"
+        report = run_bench(["fig01"], seed=2019, out_path=out)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["schema"] == SCHEMA
+        assert doc["seed"] == 2019
+        assert doc["experiments"][0]["id"] == "fig01"
+        assert doc["experiments"][0]["wall_s"] >= 0.0
+        assert doc["total_wall_s"] >= 0.0
+        assert set(doc["cache"]) == {"hits", "misses", "hit_rate"}
+        assert report.total_wall_s > 0.0
+
+    def test_baseline_yields_speedup(self, tmp_path):
+        out = tmp_path / "bench.json"
+        run_bench(["fig01"], baseline_total_s=100.0, out_path=out)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["baseline_total_s"] == 100.0
+        assert doc["speedup"] > 0.0
+
+    def test_best_of_n_keeps_minimum(self, tmp_path):
+        report = run_bench(
+            ["fig01"], repeat=2, out_path=tmp_path / "bench.json"
+        )
+        assert report.repeat == 2
+        assert list(report.experiment_wall_s) == ["fig01"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bench(["fig99"], out_path=None)
+
+    def test_invalid_repeat_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_bench(["fig01"], repeat=0, out_path=None)
+
+
+class TestBenchCli:
+    def test_bench_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_solver.json"
+        code = main(
+            ["bench", "--experiments", "fig01", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "bench:" in printed
+        assert "solve cache:" in printed
+
+    def test_bench_rejects_unknown_experiment(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--experiments", "fig99",
+             "--out", str(tmp_path / "b.json")]
+        )
+        assert code == 1
+        assert "unknown experiment" in capsys.readouterr().err

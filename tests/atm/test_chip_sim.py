@@ -35,6 +35,16 @@ class TestAssignments:
         with pytest.raises(ConfigurationError):
             chip0_sim.uniform_assignments(reduction_steps=1, reductions=[0] * 8)
 
+    def test_uniform_builder_rejects_non_atm_reductions(self, chip0_sim):
+        with pytest.raises(ConfigurationError):
+            chip0_sim.uniform_assignments(
+                mode=MarginMode.STATIC, reduction_steps=2
+            )
+        with pytest.raises(ConfigurationError):
+            chip0_sim.uniform_assignments(
+                mode=MarginMode.GATED, reductions=[1] * 8
+            )
+
 
 class TestSteadyState:
     def test_idle_default_atm_near_4600(self, chip0_sim):

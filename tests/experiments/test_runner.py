@@ -1,0 +1,64 @@
+"""Tests for the parallel experiment engine.
+
+The load-bearing property is that fanning experiments across a process
+pool is unobservable in the artifacts: same results, same event streams,
+same manifests, byte for byte.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.experiments.runner import run_many
+
+#: Cheap experiments used for the serial-vs-pooled comparisons.
+SAMPLE_IDS = ["fig01", "fig05"]
+
+
+class TestValidation:
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_many(["fig99"])
+
+    def test_non_positive_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_many(SAMPLE_IDS, jobs=0)
+
+
+class TestSerial:
+    def test_results_match_direct_runs_in_order(self):
+        results = run_many(SAMPLE_IDS, seed=2019, jobs=1)
+        for experiment_id, result in zip(SAMPLE_IDS, results):
+            direct = run_experiment(experiment_id, seed=2019)
+            assert result.experiment_id == experiment_id
+            assert result.metrics == direct.metrics
+
+    def test_observed_runs_write_artifacts(self, tmp_path):
+        runs = run_many(SAMPLE_IDS, seed=2019, jobs=1, out_dir=tmp_path)
+        for experiment_id, run in zip(SAMPLE_IDS, runs):
+            assert run.result.experiment_id == experiment_id
+            assert run.events_path.exists()
+            assert run.manifest_path.exists()
+
+
+class TestPooled:
+    def test_pool_preserves_order_and_results(self):
+        serial = run_many(SAMPLE_IDS, seed=2019, jobs=1)
+        pooled = run_many(SAMPLE_IDS, seed=2019, jobs=2)
+        for one, two in zip(serial, pooled):
+            assert one.experiment_id == two.experiment_id
+            assert one.metrics == two.metrics
+
+    def test_pooled_artifacts_byte_identical_to_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        pooled_dir = tmp_path / "pooled"
+        run_many(SAMPLE_IDS, seed=2019, jobs=1, out_dir=serial_dir)
+        run_many(SAMPLE_IDS, seed=2019, jobs=2, out_dir=pooled_dir)
+        for experiment_id in SAMPLE_IDS:
+            for suffix in (".events.jsonl", ".manifest.json"):
+                serial_bytes = (serial_dir / f"{experiment_id}{suffix}").read_bytes()
+                pooled_bytes = (pooled_dir / f"{experiment_id}{suffix}").read_bytes()
+                assert serial_bytes == pooled_bytes, (
+                    f"{experiment_id}{suffix} differs between serial and "
+                    "pooled execution"
+                )

@@ -1,0 +1,98 @@
+"""Tests for the solve cache and the compiled-chip fingerprint."""
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.errors import ConfigurationError
+from repro.fastpath.cache import (
+    SolveCache,
+    get_solve_cache,
+    reset_solve_cache,
+)
+from repro.fastpath.compiled import CompiledChip
+from repro.silicon import sample_chip
+
+
+class TestSolveCache:
+    def test_counts_hits_and_misses(self):
+        cache = SolveCache()
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_when_unused(self):
+        assert SolveCache().hit_rate == 0.0
+
+    def test_lru_eviction(self):
+        cache = SolveCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = SolveCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ConfigurationError):
+            SolveCache(max_entries=0)
+
+
+class TestFingerprint:
+    def test_equal_physics_share_a_fingerprint(self):
+        # The same seed rebuilds the same silicon in a fresh object — the
+        # content address sees through object identity, which is what lets
+        # consecutive experiments reuse each other's converged testbed
+        # states.
+        chip_a = sample_chip(11)
+        chip_b = sample_chip(11)
+        assert chip_a is not chip_b
+        assert CompiledChip(chip_a).fingerprint == CompiledChip(chip_b).fingerprint
+
+    def test_different_physics_differ(self):
+        chip_a = sample_chip(11)
+        chip_b = sample_chip(12)
+        assert CompiledChip(chip_a).fingerprint != CompiledChip(chip_b).fingerprint
+
+
+class TestProcessCache:
+    def test_second_solve_is_a_cache_hit(self):
+        reset_solve_cache()
+        chip = sample_chip(21)
+        sim = ChipSim(chip)
+        row = sim.uniform_assignments()
+        first = sim.solve_steady_state(row)
+        cache = get_solve_cache()
+        misses_after_first = cache.misses
+        second = sim.solve_steady_state(row)
+        assert cache.hits >= 1
+        assert cache.misses == misses_after_first
+        assert second is first
+
+    def test_equal_chips_share_entries(self):
+        reset_solve_cache()
+        sim_a = ChipSim(sample_chip(21))
+        sim_b = ChipSim(sample_chip(21))
+        state_a = sim_a.solve_steady_state(sim_a.uniform_assignments())
+        state_b = sim_b.solve_steady_state(sim_b.uniform_assignments())
+        assert get_solve_cache().hits >= 1
+        assert state_b is state_a
+
+    def test_reset_clears_the_process_cache(self):
+        cache = get_solve_cache()
+        cache.put("sentinel", object())
+        reset_solve_cache()
+        assert len(cache) == 0

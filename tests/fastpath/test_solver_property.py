@@ -1,0 +1,112 @@
+"""Property tests: the vectorized solver is the scalar reference, faster.
+
+Hypothesis drives random chips (process-variation samples), random
+per-core assignments across every margin mode — ATM with and without
+frequency caps, static, power-gated — and random batch shapes, asserting
+the fast path lands within 1e-9 MHz of the scalar reference.  The two
+implementations execute the same arithmetic in the same iteration order,
+so agreement is tight even though the fixed point itself only converges
+to 1e-3 MHz.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from repro.fastpath.cache import reset_solve_cache
+from repro.silicon import sample_chip
+from repro.workloads.base import IDLE
+from repro.workloads.registry import ALL_WORKLOADS
+
+#: Frequency agreement bound between fast path and reference (MHz).
+MATCH_TOL_MHZ = 1.0e-9
+
+_WORKLOADS = [IDLE] + [ALL_WORKLOADS[name] for name in sorted(ALL_WORKLOADS)]
+
+
+@st.composite
+def chip_and_rows(draw, max_rows: int = 4):
+    """A sampled chip plus 1..max_rows random assignment rows for it."""
+    chip = sample_chip(draw(st.integers(0, 9999)), chip_id="prop")
+    n_rows = draw(st.integers(1, max_rows))
+    rows = []
+    for _ in range(n_rows):
+        row = []
+        for core in chip.cores:
+            mode = draw(
+                st.sampled_from(
+                    [MarginMode.ATM, MarginMode.ATM, MarginMode.STATIC,
+                     MarginMode.GATED]
+                )
+            )
+            workload = draw(st.sampled_from(_WORKLOADS))
+            if mode is MarginMode.ATM:
+                steps = draw(st.integers(0, core.preset_code))
+                cap = draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(3500.0, 5200.0, allow_nan=False),
+                    )
+                )
+                row.append(
+                    CoreAssignment(
+                        workload=workload,
+                        mode=mode,
+                        reduction_steps=steps,
+                        freq_cap_mhz=cap,
+                    )
+                )
+            else:
+                row.append(CoreAssignment(workload=workload, mode=mode))
+        rows.append(tuple(row))
+    return chip, rows
+
+
+@settings(max_examples=25, deadline=None)
+@given(chip_and_rows())
+def test_fastpath_matches_scalar_reference(case):
+    chip, rows = case
+    sim = ChipSim(chip)
+    reset_solve_cache()
+    for row in rows:
+        reference = sim.solve_steady_state_reference(row)
+        fast = sim.solve_steady_state(row)
+        for fast_mhz, ref_mhz in zip(fast.freqs_mhz, reference.freqs_mhz):
+            assert abs(fast_mhz - ref_mhz) <= MATCH_TOL_MHZ
+        assert abs(fast.chip_power_w - reference.chip_power_w) <= 1.0e-9
+        assert abs(fast.vdd - reference.vdd) <= 1.0e-12
+        assert fast.iterations == reference.iterations
+
+
+@settings(max_examples=25, deadline=None)
+@given(chip_and_rows())
+def test_batched_solve_matches_per_row(case):
+    chip, rows = case
+    sim = ChipSim(chip)
+    reset_solve_cache()
+    batched = sim.solve_many(rows)
+    reset_solve_cache()
+    for state, row in zip(batched, rows):
+        single = sim.solve_steady_state(row)
+        for batch_mhz, single_mhz in zip(state.freqs_mhz, single.freqs_mhz):
+            assert abs(batch_mhz - single_mhz) <= MATCH_TOL_MHZ
+        assert abs(state.chip_power_w - single.chip_power_w) <= 1.0e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(chip_and_rows(max_rows=1))
+def test_warm_start_agrees_within_solver_tolerance(case):
+    """Warm starts change the iteration path, not the answer.
+
+    The fixed point is a strong contraction, so a solve seeded from a
+    neighbouring converged state stops within the solver's own tolerance
+    band of the cold-start answer.
+    """
+    chip, rows = case
+    sim = ChipSim(chip)
+    reset_solve_cache()
+    cold = sim.solve_steady_state(rows[0])
+    reset_solve_cache()
+    warm = sim.solve_steady_state(rows[0], warm_start=cold)
+    for warm_mhz, cold_mhz in zip(warm.freqs_mhz, cold.freqs_mhz):
+        assert abs(warm_mhz - cold_mhz) <= 10.0 * ChipSim.TOLERANCE_MHZ

@@ -1,0 +1,22 @@
+"""Bad exemplar for RL008: process identity + mutable-global capture."""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS: dict = {}
+
+
+def tag() -> int:
+    return os.getpid()
+
+
+def worker(item: int) -> int:
+    _RESULTS[item] = item * 2
+    return _RESULTS[item]
+
+
+def fan_out(items: list[int]) -> None:
+    with ProcessPoolExecutor() as pool:
+        for item in items:
+            pool.submit(worker, item)
+        pool.map(lambda item: item * 2, items)

@@ -1,0 +1,17 @@
+"""Good exemplar for RL008: self-contained, identity-free pool workers."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_SCALE_TABLE = (1, 2, 4)
+
+
+def worker(item: int, scale: int) -> int:
+    local_results = {}
+    local_results[item] = item * scale
+    return local_results[item]
+
+
+def fan_out(items: list[int]) -> list[int]:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(worker, item, _SCALE_TABLE[0]) for item in items]
+        return [future.result() for future in futures]

@@ -14,7 +14,9 @@ from repro.lint.rules import get_rules
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
-RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+RULE_IDS = [
+    "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008",
+]
 
 
 def lint_fixture(name: str, rule_id: str):
@@ -81,6 +83,20 @@ class TestRuleDetails:
                 in_repro_src=True,
             )
             assert findings == [], f"RL007 should not apply to {allowed}"
+
+    def test_rl008_flags_identity_capture_and_lambda(self):
+        messages = [
+            finding.message for finding in lint_fixture("rl008_bad.py", "RL008")
+        ]
+        joined = " ".join(messages)
+        assert "os.getpid" in joined
+        assert "_RESULTS" in joined
+        assert "lambda" in joined
+        assert len(messages) == 3
+
+    def test_rl008_ignores_shadowed_and_immutable_globals(self):
+        findings = lint_fixture("rl008_good.py", "RL008")
+        assert findings == []
 
     def test_rules_do_not_apply_to_test_files(self):
         source = (FIXTURES / "rl001_bad.py").read_text(encoding="utf-8")

@@ -15,8 +15,17 @@ else
     echo "== ruff check == (skipped: ruff not installed)"
 fi
 
-echo "== repro.lint (RL001-RL007) =="
+echo "== repro.lint (RL001-RL008) =="
 python -m repro.lint src tests || failures=$((failures + 1))
+
+echo "== repro bench (smoke) =="
+bench_out="$(mktemp)"
+if python -m repro bench --experiments fig01 --out "$bench_out" >/dev/null; then
+    echo "bench smoke ok"
+else
+    failures=$((failures + 1))
+fi
+rm -f "$bench_out"
 
 echo "== tier-1 pytest =="
 python -m pytest -x -q || failures=$((failures + 1))
