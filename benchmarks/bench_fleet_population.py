@@ -1,0 +1,60 @@
+"""Bench: the fleet-batched population solve against the chip loop.
+
+Times a 64-chip sampled fleet (4 assignment rows per chip — baseline,
+two reduction steps, and a near-preset row) through one
+``solve_population`` batch from a cold cache, and the identical work
+through the chip-at-a-time ``solve_many`` loop — the before/after pair
+the PERFORMANCE.md population section documents (the committed
+``BENCH_solver.json`` fleet entry measures the same pair at 500 chips).
+"""
+
+from repro.atm.chip_sim import ChipSim
+from repro.fastpath.cache import reset_solve_cache
+from repro.fastpath.population import solve_population
+from repro.silicon import sample_chip
+
+N_CHIPS = 64
+
+
+def _fleet():
+    sims = [
+        ChipSim(sample_chip(2019 + index, chip_id=f"F{index}"))
+        for index in range(N_CHIPS)
+    ]
+    rows_per_chip = []
+    for sim in sims:
+        max_steps = min(core.preset_code for core in sim.chip.cores)
+        rows_per_chip.append(
+            [
+                sim.uniform_assignments(reduction_steps=min(steps, max_steps))
+                for steps in (0, 2, 4, max_steps)
+            ]
+        )
+    for sim in sims:
+        sim.compiled  # noqa: B018 -- build tables outside the timed region
+    return sims, rows_per_chip
+
+
+def test_population_batched_solve(benchmark):
+    sims, rows_per_chip = _fleet()
+
+    def solve():
+        reset_solve_cache()
+        return solve_population(sims, rows_per_chip)
+
+    states = benchmark.pedantic(solve, rounds=5, iterations=1)
+    assert len(states) == N_CHIPS
+    assert all(len(chip_states) == 4 for chip_states in states)
+
+
+def test_chip_at_a_time_loop(benchmark):
+    sims, rows_per_chip = _fleet()
+
+    def solve():
+        reset_solve_cache()
+        return [
+            sim.solve_many(rows) for sim, rows in zip(sims, rows_per_chip)
+        ]
+
+    states = benchmark.pedantic(solve, rounds=5, iterations=1)
+    assert len(states) == N_CHIPS

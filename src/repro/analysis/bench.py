@@ -18,13 +18,126 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from ..experiments import REGISTRY
 from ..fastpath.cache import get_solve_cache, reset_solve_cache
 from ..obs.profiling import wall_clock_s
 
 #: Schema tag written into the artifact so downstream tooling can evolve.
 SCHEMA = "bench_solver/v1"
+
+#: Absolute wall-clock slack for the regression gate: totals below this
+#: delta are scheduling noise on shared CI hosts, never a regression.
+MIN_REGRESSION_S = 0.05
+
+
+@dataclass(frozen=True)
+class FleetBench:
+    """Population-vs-loop solve timing over a sampled fleet.
+
+    Both strategies converge the identical (chip, assignment rows) work
+    list from a cold solve cache; results are checked equal before the
+    numbers are reported, so the speedup can never come from divergence.
+    """
+
+    n_chips: int
+    rows_per_chip: int
+    chip_loop_wall_s: float
+    population_wall_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Chip-at-a-time wall over fleet-batched wall."""
+        if self.population_wall_s <= 0.0:
+            return float("inf")
+        return self.chip_loop_wall_s / self.population_wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "n_chips": self.n_chips,
+            "rows_per_chip": self.rows_per_chip,
+            "chip_loop_wall_s": round(self.chip_loop_wall_s, 4),
+            "population_wall_s": round(self.population_wall_s, 4),
+            "speedup": round(self.speedup, 4),
+        }
+
+
+def run_fleet_bench(
+    n_chips: int = 500,
+    *,
+    seed: int = 2019,
+    rows_per_chip: int = 4,
+    repeat: int = 1,
+) -> FleetBench:
+    """Time fleet solving: chip-at-a-time ``solve_many`` loop vs
+    :func:`~repro.fastpath.population.solve_population`.
+
+    Samples ``n_chips`` chips, builds each a reduction ladder of
+    ``rows_per_chip`` assignment rows, compiles the chip tables outside
+    the timed region (both strategies need them), then times each
+    strategy from a cold cache, best of ``repeat``.  Raises
+    :class:`SimulationError` if the two strategies disagree on any
+    per-chip state.
+    """
+    from ..atm.chip_sim import ChipSim
+    from ..fastpath.population import solve_population
+    from ..silicon.chipspec import sample_chip
+
+    if n_chips < 1:
+        raise ConfigurationError(f"fleet chips must be >= 1, got {n_chips}")
+    if rows_per_chip < 1:
+        raise ConfigurationError(
+            f"rows_per_chip must be >= 1, got {rows_per_chip}"
+        )
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+
+    sims = []
+    rows_per = []
+    for index in range(n_chips):
+        chip = sample_chip(seed + index, chip_id=f"F{index}")
+        sim = ChipSim(chip)
+        sim.compiled  # noqa: B018 — build the tables outside the timed region
+        max_step = int(min(core.preset_code for core in chip.cores))
+        rows_per.append(
+            [
+                sim.uniform_assignments(reduction_steps=min(step, max_step))
+                for step in range(rows_per_chip)
+            ]
+        )
+        sims.append(sim)
+
+    loop_wall_s = float("inf")
+    population_wall_s = float("inf")
+    loop_states: list = []
+    population_states: list = []
+    for _ in range(repeat):
+        reset_solve_cache()
+        start_s = wall_clock_s()
+        loop_states = [
+            sim.solve_many(rows) for sim, rows in zip(sims, rows_per)
+        ]
+        loop_wall_s = min(loop_wall_s, wall_clock_s() - start_s)
+
+        reset_solve_cache()
+        start_s = wall_clock_s()
+        population_states = solve_population(sims, rows_per)
+        population_wall_s = min(population_wall_s, wall_clock_s() - start_s)
+    reset_solve_cache()
+
+    for loop_chip, population_chip in zip(loop_states, population_states):
+        for one, two in zip(loop_chip, population_chip):
+            if one.freqs_mhz != two.freqs_mhz:  # repro-lint: disable=RL005
+                # Bitwise contract check — any mismatch at all is a bug.
+                raise SimulationError(
+                    "population solve deviates from the chip-at-a-time loop"
+                )
+    return FleetBench(
+        n_chips=n_chips,
+        rows_per_chip=rows_per_chip,
+        chip_loop_wall_s=loop_wall_s,
+        population_wall_s=population_wall_s,
+    )
 
 
 @dataclass(frozen=True)
@@ -39,6 +152,7 @@ class BenchReport:
     cache_hits: int
     cache_misses: int
     baseline_total_s: float | None
+    fleet: FleetBench | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -73,6 +187,8 @@ class BenchReport:
         if self.baseline_total_s is not None:
             doc["baseline_total_s"] = round(self.baseline_total_s, 4)
             doc["speedup"] = round(self.speedup, 4)
+        if self.fleet is not None:
+            doc["fleet"] = self.fleet.to_dict()
         return doc
 
     def render(self) -> str:
@@ -93,6 +209,14 @@ class BenchReport:
                 f"baseline: {self.baseline_total_s:.2f}s -> "
                 f"speedup {self.speedup:.2f}x"
             )
+        if self.fleet is not None:
+            lines.append(
+                f"fleet ({self.fleet.n_chips} chips x "
+                f"{self.fleet.rows_per_chip} rows): "
+                f"chip loop {self.fleet.chip_loop_wall_s:.3f}s / "
+                f"population {self.fleet.population_wall_s:.3f}s -> "
+                f"speedup {self.fleet.speedup:.2f}x"
+            )
         return "\n".join(lines)
 
 
@@ -104,6 +228,7 @@ def run_bench(
     repeat: int = 1,
     baseline_total_s: float | None = None,
     out_path: str | Path | None = "BENCH_solver.json",
+    fleet_chips: int = 0,
 ) -> BenchReport:
     """Time the experiment suite and (optionally) write the JSON artifact.
 
@@ -111,7 +236,9 @@ def run_bench(
     (same per-experiment isolation as the pooled runner).  ``jobs>1``
     times the pooled suite as a whole — per-experiment walls measured
     inside workers are not collected, so the per-experiment map then
-    carries one ``__suite__`` entry instead.
+    carries one ``__suite__`` entry instead.  ``fleet_chips > 0`` appends
+    a :class:`FleetBench` entry timing population-vs-loop solving over
+    that many sampled chips.
     """
     # Local import: analysis must stay importable without dragging the
     # experiment registry's transitive imports in at module load.
@@ -155,6 +282,11 @@ def run_bench(
             total_wall_s = min(total_wall_s, wall_clock_s() - start_s)
         walls["__suite__"] = total_wall_s
 
+    fleet = (
+        run_fleet_bench(fleet_chips, seed=seed, repeat=repeat)
+        if fleet_chips > 0
+        else None
+    )
     report = BenchReport(
         seed=seed,
         jobs=jobs,
@@ -164,6 +296,7 @@ def run_bench(
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         baseline_total_s=baseline_total_s,
+        fleet=fleet,
     )
     if out_path is not None:
         path = Path(out_path)
@@ -173,4 +306,86 @@ def run_bench(
     return report
 
 
-__all__ = ["BenchReport", "run_bench", "SCHEMA"]
+def compare_to_baseline(
+    report: BenchReport,
+    baseline_path: str | Path,
+    *,
+    threshold: float = 2.0,
+) -> tuple[bool, str]:
+    """Diff a fresh bench run against a committed artifact (CI perf gate).
+
+    Compares the total wall-clock over the experiments both runs measured;
+    the gate trips when ``fresh / baseline > threshold`` *and* the
+    absolute delta exceeds :data:`MIN_REGRESSION_S` (sub-50 ms deltas are
+    scheduling noise, not regressions).  Returns ``(ok, text)`` — the
+    caller turns ``ok=False`` into a non-zero exit.
+    """
+    if threshold <= 0.0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    path = Path(baseline_path)
+    if not path.exists():
+        raise ConfigurationError(f"no bench baseline at {path}")
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    schema = str(doc.get("schema", ""))
+    if not schema.startswith("bench_solver/"):
+        raise ConfigurationError(
+            f"{path} is not a bench artifact (schema {schema!r})"
+        )
+    baseline_walls = {
+        entry["id"]: float(entry["wall_s"])
+        for entry in doc.get("experiments", [])
+    }
+    shared = [
+        experiment_id
+        for experiment_id in report.experiment_wall_s
+        if experiment_id in baseline_walls
+    ]
+    if not shared:
+        raise ConfigurationError(
+            f"no overlapping experiments between this run and {path}"
+        )
+
+    lines = [f"compare vs {path} ({len(shared)} shared experiment(s)):"]
+    for experiment_id in shared:
+        fresh_s = report.experiment_wall_s[experiment_id]
+        base_s = baseline_walls[experiment_id]
+        ratio = fresh_s / base_s if base_s > 0.0 else float("inf")
+        lines.append(
+            f"  {experiment_id:<16} {fresh_s:7.3f}s vs {base_s:7.3f}s "
+            f"({ratio:5.2f}x)"
+        )
+    fresh_total = sum(report.experiment_wall_s[i] for i in shared)
+    base_total = sum(baseline_walls[i] for i in shared)
+    total_ratio = fresh_total / base_total if base_total > 0.0 else float("inf")
+    lines.append(
+        f"  {'total':<16} {fresh_total:7.3f}s vs {base_total:7.3f}s "
+        f"({total_ratio:5.2f}x, threshold {threshold:.2f}x)"
+    )
+    if report.fleet is not None and "fleet" in doc:
+        lines.append(
+            f"  fleet speedup: {report.fleet.speedup:.2f}x now vs "
+            f"{float(doc['fleet'].get('speedup', 0.0)):.2f}x committed"
+        )
+
+    regressed = (
+        total_ratio > threshold
+        and (fresh_total - base_total) > MIN_REGRESSION_S
+    )
+    if regressed:
+        lines.append(
+            f"REGRESSION: total wall exceeds the committed baseline by more "
+            f"than {threshold:.2f}x"
+        )
+    else:
+        lines.append("within threshold")
+    return (not regressed, "\n".join(lines))
+
+
+__all__ = [
+    "BenchReport",
+    "FleetBench",
+    "compare_to_baseline",
+    "run_bench",
+    "run_fleet_bench",
+    "SCHEMA",
+]

@@ -83,6 +83,20 @@ class CoreAssignment:
                 f"reduction_steps only applies to ATM mode, not {self.mode}"
             )
 
+    def __hash__(self) -> int:
+        # Same value the generated dataclass hash would produce, memoized:
+        # assignment tuples are solve-cache keys, so every cache operation
+        # re-hashes them, and the nested workload dataclass makes the
+        # field-tuple hash expensive enough to show up on fleet solves.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash(
+                (self.workload, self.mode, self.reduction_steps, self.freq_cap_mhz)
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
+
 
 @dataclass(frozen=True)
 class SafetyViolation:
@@ -177,6 +191,17 @@ class ChipSim:
             self._compiled = CompiledChip(self._chip, self._thermal)
         return self._compiled
 
+    @property
+    def uses_fastpath(self) -> bool:
+        """Whether solves go through the vectorized fast path."""
+        return self._use_fastpath
+
+    def validate_assignments(
+        self, assignments: tuple[CoreAssignment, ...]
+    ) -> None:
+        """Reject malformed assignment vectors (length, reduction vs preset)."""
+        self._validate_assignments(assignments)
+
     def _validate_assignments(
         self, assignments: tuple[CoreAssignment, ...]
     ) -> None:
@@ -248,49 +273,18 @@ class ChipSim:
         Stacks the rows into (K, n_cores) matrices and iterates them as one
         batch with masked per-row convergence; rows already memoized by the
         solve cache are answered without touching the solver.  Results come
-        back in input order.
+        back in input order.  The cache/metrics orchestration is shared with
+        the fleet-scale :func:`repro.fastpath.population.solve_population`,
+        which batches many chips' rows with this exact per-chip contract.
         """
-        from ..fastpath.cache import get_solve_cache
-        from ..fastpath.solver import solve_many_compiled
+        from ..fastpath.population import solve_chips_cached
 
         rows = [tuple(row) for row in assignment_rows]
         for row in rows:
             self._validate_assignments(row)
-        obs = get_obs()
         if not self._use_fastpath:
             return [self.solve_steady_state_reference(row) for row in rows]
-
-        compiled = self.compiled
-        cache = get_solve_cache()
-        states: list[ChipSteadyState | None] = []
-        pending: list[int] = []
-        for index, row in enumerate(rows):
-            cached = cache.get((compiled.fingerprint, row))
-            states.append(cached)
-            if cached is None:
-                pending.append(index)
-        if pending:
-            solved = solve_many_compiled(
-                compiled, [rows[i] for i in pending], warm_start=warm_start
-            )
-            for index, state in zip(pending, solved):
-                cache.put((compiled.fingerprint, rows[index]), state)
-                states[index] = state
-        if obs.enabled:
-            hits = len(rows) - len(pending)
-            if hits:
-                obs.metrics.counter("fastpath.cache.hits").inc(hits)
-            if pending:
-                obs.metrics.counter("fastpath.cache.misses").inc(len(pending))
-                obs.metrics.counter("chip.solves").inc(len(pending))
-                for index in pending:
-                    obs.metrics.histogram("chip.solve_iterations").observe(
-                        float(states[index].iterations)
-                    )
-                obs.metrics.gauge("chip.power_w").set(
-                    float(states[pending[-1]].chip_power_w)
-                )
-        return states  # type: ignore[return-value]
+        return solve_chips_cached([(self.compiled, rows, warm_start)])[0]
 
     def solve_steady_state_reference(
         self, assignments: tuple[CoreAssignment, ...] | list[CoreAssignment]

@@ -110,7 +110,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .analysis.bench import run_bench
+    from .analysis.bench import compare_to_baseline, run_bench
 
     ids = (
         [part.strip() for part in args.experiments.split(",") if part.strip()]
@@ -124,9 +124,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         baseline_total_s=args.baseline_s,
         out_path=args.out,
+        fleet_chips=args.fleet_chips,
     )
     print(report.render())
     print(f"bench report written to {args.out}")
+    if args.compare:
+        ok, text = compare_to_baseline(
+            report, args.compare, threshold=args.compare_threshold
+        )
+        print(text)
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
+    from .atm.chip_sim import MarginMode
+    from .core.fleet import characterize_fleet, run_fleet_observed
+
+    kwargs = dict(
+        chunk_size=args.chunk,
+        trials=args.trials,
+        n_cores=args.cores,
+        mode=MarginMode(args.mode),
+        reduction_steps=args.reduction,
+        population=not args.chip_loop,
+    )
+    if args.out:
+        run = run_fleet_observed(
+            args.chips, out_dir=args.out, seed=args.seed, **kwargs
+        )
+        print(run.report.render())
+        print(f"\nevent stream: {run.events_path} ({run.event_count} events)")
+        print(f"manifest: {run.manifest_path}")
+        return 0
+    print(characterize_fleet(args.chips, seed=args.seed, **kwargs).render())
     return 0
 
 
@@ -311,7 +343,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline-s", type=float, default=None, dest="baseline_s",
         help="reference suite wall-clock to compute the speedup against",
     )
+    p_bench.add_argument(
+        "--compare", default=None,
+        help="committed bench artifact to diff against; exits non-zero "
+             "past the regression threshold",
+    )
+    p_bench.add_argument(
+        "--compare-threshold", type=float, default=2.0,
+        dest="compare_threshold",
+        help="fail when fresh/baseline total wall exceeds this ratio",
+    )
+    p_bench.add_argument(
+        "--fleet-chips", type=int, default=0, dest="fleet_chips",
+        help="also bench fleet solving over N sampled chips: population "
+             "batch vs chip-at-a-time loop (0 skips)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="fleet-scale population studies over sampled chips"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fchar = fleet_sub.add_parser(
+        "characterize",
+        help="run the Fig. 6 idle/uBench methodology over a sampled fleet "
+             "in memory-bounded chunks",
+    )
+    p_fchar.add_argument("--chips", type=int, required=True,
+                         help="fleet size (sampled chips)")
+    p_fchar.add_argument("--chunk", type=int, default=64,
+                         help="chips per memory-bounded processing chunk")
+    p_fchar.add_argument("--trials", type=int, default=4)
+    p_fchar.add_argument("--cores", type=int, default=8,
+                         help="cores per sampled chip")
+    p_fchar.add_argument(
+        "--mode", choices=["static", "atm", "gated"], default="atm",
+        help="margin mode of the baseline operating point",
+    )
+    p_fchar.add_argument(
+        "--reduction", type=int, default=0,
+        help="uniform CPM reduction of the baseline row (ATM mode only)",
+    )
+    p_fchar.add_argument(
+        "--chip-loop", action="store_true", dest="chip_loop",
+        help="solve chip-at-a-time instead of one fleet batch (A/B check)",
+    )
+    p_fchar.add_argument("--out", default=None,
+                         help="write fleet.events.jsonl + fleet.manifest.json here")
+    p_fchar.set_defaults(func=_cmd_fleet_characterize)
 
     p_char = sub.add_parser("characterize", help="run the Fig. 6 methodology")
     p_char.add_argument("--random", action="store_true",

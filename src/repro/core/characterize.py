@@ -22,6 +22,7 @@ module peeks at the simulator's ground-truth safety model.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..analysis.stats import DistributionSummary, summarize
@@ -330,16 +331,34 @@ class Characterizer:
             limits=limits,
         )
 
+    def characterize_chips(
+        self,
+        chips: Sequence[ChipSpec],
+        applications: tuple[Workload, ...] | None = None,
+        normal_population: tuple[Workload, ...] | None = None,
+    ) -> dict[str, ChipCharacterization]:
+        """Run the full methodology over a fleet of chips, in order.
+
+        The fleet entry point used by the population experiments and
+        :mod:`repro.core.fleet`.  Chips are processed strictly in input
+        order (characterization is probe-driven, so ordering determines
+        the event stream; keeping it fixed keeps artifacts byte-identical
+        between per-chip and fleet-batched solving downstream).
+        """
+        return {
+            chip.chip_id: self.characterize_chip(
+                chip, applications, normal_population
+            )
+            for chip in chips
+        }
+
     def characterize_server(
         self,
         server: ServerSpec,
         applications: tuple[Workload, ...] | None = None,
     ) -> tuple[LimitTable, dict[str, ChipCharacterization]]:
         """Characterize every chip; returns the Table I limit table."""
-        per_chip = {
-            chip.chip_id: self.characterize_chip(chip, applications)
-            for chip in server.chips
-        }
+        per_chip = self.characterize_chips(server.chips, applications)
         merged: dict[str, CoreLimits] = {}
         for characterization in per_chip.values():
             merged.update(characterization.limits)

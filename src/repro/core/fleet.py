@@ -1,0 +1,436 @@
+"""Fleet-scale characterization over a sampled chip population.
+
+The paper characterizes a two-chip testbed (Sec. V); the methodology only
+becomes a vendor story when it is statistically validated across process
+variation — thousands of sampled chips, not two.  This driver runs the
+Fig. 6 idle → uBench stages over ``n_chips`` independently sampled chips
+and converges each chip's baseline and fine-tuned operating points through
+the fleet-scale batched solver
+(:func:`repro.fastpath.population.solve_fleet`).
+
+Memory discipline: chips are processed in bounded *chunks* — each chunk's
+chips are sampled, characterized, batch-solved, folded into streaming
+accumulators, and dropped.  Peak memory is O(chunk size), results are
+exactly independent of the chunk size (every chip's RNG streams derive
+from ``seed + chip index``, and the solve cache keys on content-addressed
+fingerprints), and population size is bounded by wall-clock, not RAM.
+
+Aggregation is streaming: per-step histograms of idle and uBench limits,
+nearest-rank quantiles of the safe reduction steps, rollback-rate
+summaries, and running min/mean/max of the baseline and fine-tuned
+frequencies.  When an :class:`~repro.obs.runtime.Observability` context is
+installed the driver feeds the ``fleet.*`` instruments and the run can be
+sealed into a standard run manifest (:func:`run_fleet_observed`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.rendering import ascii_table
+from ..atm.chip_sim import ChipSim, MarginMode
+from ..errors import ConfigurationError
+from ..fastpath.cache import reset_solve_cache
+from ..fastpath.population import solve_fleet
+from ..obs.manifest import RunManifest, build_manifest, save_manifest
+from ..obs.runtime import Observability, get_obs, observed
+from ..obs.sinks import JsonlFileSink
+from ..rng import RngStreams
+from ..silicon.chipspec import CORES_PER_CHIP, sample_chip
+from .characterize import Characterizer
+
+#: Default chips per memory-bounded processing chunk.
+DEFAULT_CHUNK_SIZE = 64
+
+#: Quantiles reported for the limit distributions.
+QUANTILES = (0.10, 0.50, 0.90)
+
+
+def quantile_from_counts(counts: dict[int, int], q: float) -> int:
+    """Nearest-rank quantile of an integer histogram (exact, streaming)."""
+    if not counts:
+        raise ConfigurationError("cannot take a quantile of an empty histogram")
+    if not (0.0 <= q <= 1.0):
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts.values())
+    rank = max(1, math.ceil(q * total))
+    cumulative = 0
+    for value in sorted(counts):
+        cumulative += counts[value]
+        if cumulative >= rank:
+            return value
+    return max(counts)
+
+
+class RunningStat:
+    """Streaming min/mean/max accumulator (no sample retention)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ConfigurationError("no samples accumulated")
+        return self.total / self.count
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Streaming aggregate of one fleet characterization run."""
+
+    n_chips: int
+    n_cores: int
+    chunk_size: int
+    trials: int
+    seed: int
+    mode: MarginMode
+    reduction_steps: int
+    #: Histogram of per-core idle limits (safe reduction steps).
+    idle_limit_counts: dict[int, int] = field(default_factory=dict)
+    #: Histogram of per-core uBench limits.
+    ubench_limit_counts: dict[int, int] = field(default_factory=dict)
+    #: Histogram of per-core worst uBench rollbacks (steps given back).
+    rollback_counts: dict[int, int] = field(default_factory=dict)
+    cores_total: int = 0
+    cores_rolled_back: int = 0
+    probe_runs: int = 0
+    baseline_freq_min_mhz: float = 0.0
+    baseline_freq_mean_mhz: float = 0.0
+    baseline_freq_max_mhz: float = 0.0
+    tuned_freq_min_mhz: float = 0.0
+    tuned_freq_mean_mhz: float = 0.0
+    tuned_freq_max_mhz: float = 0.0
+
+    @property
+    def rollback_rate(self) -> float:
+        """Fraction of cores whose uBench stage forced a rollback (Fig. 8)."""
+        if self.cores_total == 0:
+            raise ConfigurationError("report covers no cores")
+        return self.cores_rolled_back / self.cores_total
+
+    def limit_quantile(self, which: str, q: float) -> int:
+        """Nearest-rank quantile of one of the step histograms."""
+        counts = {
+            "idle": self.idle_limit_counts,
+            "ubench": self.ubench_limit_counts,
+            "rollback": self.rollback_counts,
+        }.get(which)
+        if counts is None:
+            raise ConfigurationError(
+                f"unknown histogram {which!r}; use idle, ubench, or rollback"
+            )
+        return quantile_from_counts(counts, q)
+
+    def metrics(self) -> dict[str, float]:
+        """Flat metric dict (feeds the run manifest's result metrics)."""
+        out = {
+            "chips": float(self.n_chips),
+            "cores": float(self.cores_total),
+            "probe_runs": float(self.probe_runs),
+            "rollback_rate": self.rollback_rate,
+            "baseline_freq_mean_mhz": self.baseline_freq_mean_mhz,
+            "tuned_freq_mean_mhz": self.tuned_freq_mean_mhz,
+            "tuned_freq_min_mhz": self.tuned_freq_min_mhz,
+            "tuned_freq_max_mhz": self.tuned_freq_max_mhz,
+        }
+        for name in ("idle", "ubench", "rollback"):
+            for q in QUANTILES:
+                out[f"{name}_p{int(round(q * 100)):02d}_steps"] = float(
+                    self.limit_quantile(name, q)
+                )
+        return out
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form (chunk-invariance is tested on this)."""
+        return {
+            "n_chips": self.n_chips,
+            "n_cores": self.n_cores,
+            "trials": self.trials,
+            "seed": self.seed,
+            "mode": self.mode.value,
+            "reduction_steps": self.reduction_steps,
+            "idle_limit_counts": {
+                str(k): v for k, v in sorted(self.idle_limit_counts.items())
+            },
+            "ubench_limit_counts": {
+                str(k): v for k, v in sorted(self.ubench_limit_counts.items())
+            },
+            "rollback_counts": {
+                str(k): v for k, v in sorted(self.rollback_counts.items())
+            },
+            "metrics": {k: round(v, 6) for k, v in sorted(self.metrics().items())},
+        }
+
+    def render(self) -> str:
+        """Operator-facing summary table."""
+        def row(name: str, counts: dict[int, int]) -> tuple:
+            total = sum(counts.values())
+            mean = sum(k * v for k, v in counts.items()) / total
+            return (
+                name,
+                min(counts),
+                *(quantile_from_counts(counts, q) for q in QUANTILES),
+                max(counts),
+                round(mean, 2),
+            )
+
+        table = ascii_table(
+            ("distribution", "min", "p10", "p50", "p90", "max", "mean"),
+            [
+                row("idle limit steps", self.idle_limit_counts),
+                row("uBench limit steps", self.ubench_limit_counts),
+                row("uBench rollback steps", self.rollback_counts),
+            ],
+            title=(
+                f"fleet characterization: {self.n_chips} chips x "
+                f"{self.n_cores} cores (seed {self.seed}, trials {self.trials}, "
+                f"baseline {self.mode.value}+{self.reduction_steps})"
+            ),
+        )
+        lines = [
+            table,
+            "",
+            f"rollback rate: {100.0 * self.rollback_rate:.1f}% of "
+            f"{self.cores_total} cores",
+            f"baseline freq MHz: min {self.baseline_freq_min_mhz:.0f} / "
+            f"mean {self.baseline_freq_mean_mhz:.0f} / "
+            f"max {self.baseline_freq_max_mhz:.0f}",
+            f"fine-tuned freq MHz: min {self.tuned_freq_min_mhz:.0f} / "
+            f"mean {self.tuned_freq_mean_mhz:.0f} / "
+            f"max {self.tuned_freq_max_mhz:.0f}",
+            f"probe runs: {self.probe_runs}",
+        ]
+        return "\n".join(lines)
+
+
+def _validate_fleet_args(
+    n_chips: int,
+    chunk_size: int,
+    trials: int,
+    n_cores: int,
+    mode: MarginMode,
+    reduction_steps: int,
+) -> None:
+    """Reject malformed fleet inputs before any chip is sampled.
+
+    Mirrors the :meth:`ChipSim.uniform_assignments` validation style: the
+    baseline row's mode/reduction combination is checked here so
+    ``repro fleet`` fails fast instead of deep inside the first chunk.
+    """
+    if n_chips < 1:
+        raise ConfigurationError(f"chips must be >= 1, got {n_chips}")
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk size must be >= 1, got {chunk_size}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if n_cores < 1:
+        raise ConfigurationError(f"cores must be >= 1, got {n_cores}")
+    if reduction_steps < 0:
+        raise ConfigurationError(
+            f"reduction_steps must be >= 0, got {reduction_steps}"
+        )
+    if mode is not MarginMode.ATM and reduction_steps != 0:
+        raise ConfigurationError(
+            f"reduction steps only apply to ATM mode, not {mode}"
+        )
+
+
+def characterize_fleet(
+    n_chips: int,
+    *,
+    seed: int = 2019,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    trials: int = 4,
+    n_cores: int = CORES_PER_CHIP,
+    mode: MarginMode = MarginMode.ATM,
+    reduction_steps: int = 0,
+    noise_sigma_ps: float = 0.1,
+    population: bool = True,
+) -> FleetReport:
+    """Run the Fig. 6 idle → uBench methodology over a sampled fleet.
+
+    Chip ``i`` is ``sample_chip(seed + i)`` with its own characterizer
+    seeded ``seed + i``, so the result is a pure function of ``seed`` and
+    ``n_chips`` — the chunk size only bounds memory.  ``mode`` and
+    ``reduction_steps`` configure the *baseline* row each chip is solved
+    at (the fine-tuned row always applies the chip's own uBench limits);
+    ``population=False`` solves chip-at-a-time for A/B comparison.
+    """
+    _validate_fleet_args(
+        n_chips, chunk_size, trials, n_cores, mode, reduction_steps
+    )
+    obs = get_obs()
+
+    idle_counts: dict[int, int] = {}
+    ubench_counts: dict[int, int] = {}
+    rollback_counts: dict[int, int] = {}
+    cores_total = 0
+    cores_rolled_back = 0
+    probe_runs = 0
+    baseline_stat = RunningStat()
+    tuned_stat = RunningStat()
+
+    for chunk_start in range(0, n_chips, chunk_size):
+        chunk = range(chunk_start, min(chunk_start + chunk_size, n_chips))
+        sims: list[ChipSim] = []
+        rows_per_chip = []
+        per_chip = []
+        for index in chunk:
+            chip = sample_chip(seed + index, chip_id=f"F{index}", n_cores=n_cores)
+            characterizer = Characterizer(
+                RngStreams(seed + index),
+                trials=trials,
+                noise_sigma_ps=noise_sigma_ps,
+            )
+            idle = {
+                core.label: characterizer.characterize_idle(core)
+                for core in chip.cores
+            }
+            ubench = {
+                core.label: characterizer.characterize_ubench(
+                    core, idle[core.label].idle_limit
+                )
+                for core in chip.cores
+            }
+            sim = ChipSim(chip)
+            baseline_row = sim.uniform_assignments(
+                mode=mode, reduction_steps=reduction_steps
+            )
+            tuned_row = sim.uniform_assignments(
+                reductions=[ubench[c.label].ubench_limit for c in chip.cores]
+            )
+            sims.append(sim)
+            rows_per_chip.append([baseline_row, tuned_row])
+            per_chip.append((chip, idle, ubench, characterizer.total_probe_count))
+
+        states = solve_fleet(sims, rows_per_chip, population=population)
+
+        for (chip, idle, ubench, probes), chip_states in zip(per_chip, states):
+            baseline_state, tuned_state = chip_states
+            probe_runs += probes
+            for core in chip.cores:
+                limit = idle[core.label].idle_limit
+                ub = ubench[core.label]
+                idle_counts[limit] = idle_counts.get(limit, 0) + 1
+                ubench_counts[ub.ubench_limit] = (
+                    ubench_counts.get(ub.ubench_limit, 0) + 1
+                )
+                rollback = ub.rollback_distribution.maximum
+                rollback_counts[rollback] = rollback_counts.get(rollback, 0) + 1
+                cores_total += 1
+                if ub.needed_rollback:
+                    cores_rolled_back += 1
+            for freq in baseline_state.freqs_mhz:
+                baseline_stat.add(freq)
+            for freq in tuned_state.freqs_mhz:
+                tuned_stat.add(freq)
+            if obs.enabled:
+                obs.metrics.counter("fleet.chips").inc()
+                obs.metrics.counter("fleet.cores").inc(len(chip.cores))
+                for core in chip.cores:
+                    obs.metrics.histogram("fleet.idle_limit_steps").observe(
+                        float(idle[core.label].idle_limit)
+                    )
+                    obs.metrics.histogram("fleet.ubench_rollback_steps").observe(
+                        float(ubench[core.label].rollback_distribution.maximum)
+                    )
+                obs.metrics.gauge("fleet.tuned_slowest_mhz").set(
+                    float(tuned_state.slowest_mhz)
+                )
+
+    return FleetReport(
+        n_chips=n_chips,
+        n_cores=n_cores,
+        chunk_size=chunk_size,
+        trials=trials,
+        seed=seed,
+        mode=mode,
+        reduction_steps=reduction_steps,
+        idle_limit_counts=idle_counts,
+        ubench_limit_counts=ubench_counts,
+        rollback_counts=rollback_counts,
+        cores_total=cores_total,
+        cores_rolled_back=cores_rolled_back,
+        probe_runs=probe_runs,
+        baseline_freq_min_mhz=baseline_stat.minimum,
+        baseline_freq_mean_mhz=baseline_stat.mean,
+        baseline_freq_max_mhz=baseline_stat.maximum,
+        tuned_freq_min_mhz=tuned_stat.minimum,
+        tuned_freq_mean_mhz=tuned_stat.mean,
+        tuned_freq_max_mhz=tuned_stat.maximum,
+    )
+
+
+@dataclass(frozen=True)
+class ObservedFleetRun:
+    """Artifacts of one observed fleet characterization."""
+
+    report: FleetReport
+    manifest: RunManifest
+    events_path: Path
+    manifest_path: Path
+    event_count: int
+
+
+def run_fleet_observed(
+    n_chips: int,
+    *,
+    out_dir: str | Path = "runs",
+    seed: int = 2019,
+    **kwargs,
+) -> ObservedFleetRun:
+    """Run :func:`characterize_fleet` under full observability.
+
+    Writes ``fleet.events.jsonl`` plus ``fleet.manifest.json`` into
+    ``out_dir`` using the same canonical-artifact conventions as
+    :func:`repro.experiments.common.run_observed`: cold solve cache, JSONL
+    event stream, manifest with metric summary and event digest — two
+    runs with the same arguments produce byte-identical artifacts.
+    """
+    reset_solve_cache()
+    target_dir = Path(out_dir)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    events_path = target_dir / "fleet.events.jsonl"
+    manifest_path = target_dir / "fleet.manifest.json"
+
+    sink = JsonlFileSink(events_path)
+    obs = Observability(sink)
+    try:
+        with observed(obs):
+            report = characterize_fleet(n_chips, seed=seed, **kwargs)
+        metrics_summary = obs.metrics.to_summary()
+    finally:
+        obs.close()
+
+    manifest = build_manifest(
+        "fleet",
+        seed,
+        result_metrics=report.metrics(),
+        metrics_summary=metrics_summary,
+        events_path=events_path,
+        event_count=sink.count,
+    )
+    save_manifest(manifest, manifest_path)
+    return ObservedFleetRun(
+        report=report,
+        manifest=manifest,
+        events_path=events_path,
+        manifest_path=manifest_path,
+        event_count=sink.count,
+    )

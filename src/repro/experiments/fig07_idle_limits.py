@@ -12,26 +12,46 @@ from __future__ import annotations
 from ..analysis.rendering import ascii_table
 from ..atm.chip_sim import ChipSim
 from ..core.characterize import Characterizer
+from ..fastpath.population import solve_fleet
 from ..rng import RngStreams
 from ..silicon import power7plus_testbed
 from .common import ExperimentResult
 
 
-def run(seed: int = 2019, trials: int = 10) -> ExperimentResult:
-    """Reproduce Fig. 7 across both testbed chips."""
+def run(
+    seed: int = 2019, trials: int = 10, population: bool = True
+) -> ExperimentResult:
+    """Reproduce Fig. 7 across both testbed chips.
+
+    ``population`` selects the fleet-batched solve (every chip's
+    idle-limit row converges in one :func:`solve_fleet` batch) versus the
+    chip-at-a-time loop; both produce byte-identical results and event
+    streams at the same seed.
+    """
     server = power7plus_testbed(seed)
     characterizer = Characterizer(RngStreams(seed), trials=trials)
 
-    rows = []
-    limit_freqs = {}
-    spreads = []
+    sims = []
+    rows_per_chip = []
+    idle_by_chip = []
     for chip in server.chips:
         sim = ChipSim(chip)
         idle_results = {
             core.label: characterizer.characterize_idle(core) for core in chip.cores
         }
         limits = [idle_results[c.label].idle_limit for c in chip.cores]
-        state = sim.solve_steady_state(sim.uniform_assignments(reductions=limits))
+        sims.append(sim)
+        rows_per_chip.append([sim.uniform_assignments(reductions=limits)])
+        idle_by_chip.append(idle_results)
+    states = solve_fleet(sims, rows_per_chip, population=population)
+
+    rows = []
+    limit_freqs = {}
+    spreads = []
+    for chip, idle_results, chip_states in zip(
+        server.chips, idle_by_chip, states
+    ):
+        state = chip_states[0]
         for index, core in enumerate(chip.cores):
             result = idle_results[core.label]
             dist = result.distribution

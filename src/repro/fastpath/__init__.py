@@ -18,13 +18,25 @@ solve_steady_state_reference` stays available for direct comparison.
 
 from .cache import SolveCache, get_solve_cache, reset_solve_cache
 from .compiled import CompiledChip
+from .population import (
+    CompiledPopulation,
+    solve_chips_cached,
+    solve_fleet,
+    solve_population,
+    solve_population_compiled,
+)
 from .solver import solve_compiled, solve_many_compiled
 
 __all__ = [
     "CompiledChip",
+    "CompiledPopulation",
     "SolveCache",
     "get_solve_cache",
     "reset_solve_cache",
+    "solve_chips_cached",
     "solve_compiled",
+    "solve_fleet",
     "solve_many_compiled",
+    "solve_population",
+    "solve_population_compiled",
 ]

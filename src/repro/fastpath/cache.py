@@ -35,6 +35,7 @@ class SolveCache:
         self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,6 +56,22 @@ class SolveCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self._max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def replace(self, key, expected, state) -> None:
+        """Swap ``expected`` for ``state`` at ``key`` without touching LRU order.
+
+        A no-op when the slot no longer holds ``expected`` (it was evicted,
+        or another writer got there first) — the population solver uses this
+        to resolve its in-flight placeholder entries in place.
+        """
+        if self._entries.get(key) is expected:
+            self._entries[key] = state
+
+    def discard(self, key, expected) -> None:
+        """Remove ``key`` if it still holds ``expected`` (error-path cleanup)."""
+        if self._entries.get(key) is expected:
+            del self._entries[key]
 
     @property
     def hit_rate(self) -> float:
@@ -63,10 +80,11 @@ class SolveCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        """Drop every entry and zero the hit/miss counters."""
+        """Drop every entry and zero the hit/miss/eviction counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 _GLOBAL_CACHE = SolveCache()

@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.analysis.bench import SCHEMA, run_bench
+from repro.analysis.bench import (
+    SCHEMA,
+    compare_to_baseline,
+    run_bench,
+    run_fleet_bench,
+)
 from repro.cli import main
 from repro.errors import ConfigurationError
 
@@ -64,3 +69,125 @@ class TestBenchCli:
         )
         assert code == 1
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestFleetBench:
+    def test_fleet_entry_schema_and_agreement(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_bench(
+            ["fig01"], out_path=out, fleet_chips=8
+        )
+        assert report.fleet is not None
+        assert report.fleet.n_chips == 8
+        assert report.fleet.speedup > 0.0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert set(doc["fleet"]) == {
+            "n_chips",
+            "rows_per_chip",
+            "chip_loop_wall_s",
+            "population_wall_s",
+            "speedup",
+        }
+
+    def test_rejects_non_positive_fleet(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet_bench(0)
+
+
+class TestCompareToBaseline:
+    def _baseline(self, tmp_path, wall_s, **extra):
+        doc = {
+            "schema": SCHEMA,
+            "experiments": [{"id": "fig01", "wall_s": wall_s}],
+            **extra,
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    def test_within_threshold_passes(self, tmp_path):
+        report = run_bench(["fig01"], out_path=None)
+        path = self._baseline(tmp_path, wall_s=60.0)
+        ok, text = compare_to_baseline(report, path)
+        assert ok
+        assert "within threshold" in text
+        assert "fig01" in text
+
+    def test_gross_regression_trips_the_gate(self, tmp_path):
+        # table1 is the slowest experiment (~0.2 s): against a microscopic
+        # committed wall the ratio explodes *and* the absolute delta
+        # clears the noise floor, unlike millisecond smoke runs.
+        report = run_bench(["table1"], out_path=None)
+        doc = {
+            "schema": SCHEMA,
+            "experiments": [{"id": "table1", "wall_s": 1e-6}],
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        ok, text = compare_to_baseline(report, path)
+        assert not ok
+        assert "REGRESSION" in text
+
+    def test_noise_floor_spares_tiny_deltas(self, tmp_path):
+        # Ratio above threshold but delta far below MIN_REGRESSION_S:
+        # smoke-sized runs must not flap on scheduling noise.
+        report = run_bench(["fig01"], out_path=None)
+        fresh_s = report.experiment_wall_s["fig01"]
+        path = self._baseline(tmp_path, wall_s=fresh_s / 10.0)
+        ok, text = compare_to_baseline(report, path)
+        if fresh_s - fresh_s / 10.0 <= 0.05:
+            assert ok
+            assert "within threshold" in text
+
+    def test_missing_baseline_rejected(self, tmp_path):
+        report = run_bench(["fig01"], out_path=None)
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline(report, tmp_path / "nope.json")
+
+    def test_non_bench_artifact_rejected(self, tmp_path):
+        report = run_bench(["fig01"], out_path=None)
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "manifest/v1"}), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline(report, path)
+
+    def test_disjoint_experiments_rejected(self, tmp_path):
+        report = run_bench(["fig01"], out_path=None)
+        doc = {
+            "schema": SCHEMA,
+            "experiments": [{"id": "fig02", "wall_s": 1.0}],
+        }
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline(report, path)
+
+    def test_invalid_threshold_rejected(self, tmp_path):
+        report = run_bench(["fig01"], out_path=None)
+        path = self._baseline(tmp_path, wall_s=1.0)
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline(report, path, threshold=0.0)
+
+    def test_cli_compare_exit_codes(self, tmp_path, capsys):
+        baseline = self._baseline(tmp_path, wall_s=60.0)
+        code = main(
+            ["bench", "--experiments", "fig01",
+             "--out", str(tmp_path / "b.json"),
+             "--compare", str(baseline)]
+        )
+        assert code == 0
+        assert "within threshold" in capsys.readouterr().out
+
+        doc = {
+            "schema": SCHEMA,
+            "experiments": [{"id": "table1", "wall_s": 1e-6}],
+        }
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(json.dumps(doc), encoding="utf-8")
+        code = main(
+            ["bench", "--experiments", "table1",
+             "--out", str(tmp_path / "b2.json"),
+             "--compare", str(regressed)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out

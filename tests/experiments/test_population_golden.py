@@ -1,0 +1,80 @@
+"""Golden tests: population vs chip-loop experiment artifacts.
+
+The fleet-batched solver's contract is that converting an experiment from
+chip-at-a-time solving to one :func:`solve_fleet` batch changes *nothing*
+observable: rendered output, metrics, event streams, and run manifests
+are byte-identical at the same seed.  These tests pin that for the
+converted call sites (``fig07``, ``ext_generality``; ``table1`` is
+characterization-only — no steady-state solves — so both strategies share
+one path and the test pins its determinism through
+:meth:`Characterizer.characterize_chips`).
+"""
+
+import pytest
+
+from repro.experiments import ext_generality, fig07_idle_limits, table1_limits
+from repro.fastpath.cache import reset_solve_cache
+from repro.obs.manifest import build_manifest, save_manifest
+from repro.obs.runtime import Observability, observed
+from repro.obs.sinks import JsonlFileSink
+
+SEED = 2019
+
+
+def _run_observed(run_fn, experiment_id, out_dir, **kwargs):
+    """Inline mirror of :func:`repro.experiments.common.run_observed` that
+    forwards extra kwargs (``population``, ``trials``) to ``run()``."""
+    reset_solve_cache()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    events_path = out_dir / f"{experiment_id}.events.jsonl"
+    manifest_path = out_dir / f"{experiment_id}.manifest.json"
+    sink = JsonlFileSink(events_path)
+    obs = Observability(sink)
+    try:
+        with observed(obs):
+            result = run_fn(seed=SEED, **kwargs)
+        metrics_summary = obs.metrics.to_summary()
+    finally:
+        obs.close()
+    manifest = build_manifest(
+        experiment_id,
+        SEED,
+        result_metrics=result.metrics,
+        metrics_summary=metrics_summary,
+        events_path=events_path,
+        event_count=sink.count,
+    )
+    save_manifest(manifest, manifest_path)
+    return result, events_path, manifest_path
+
+
+@pytest.mark.parametrize(
+    ("module", "experiment_id", "kwargs"),
+    [
+        (fig07_idle_limits, "fig07", {"trials": 3}),
+        (ext_generality, "ext_generality", {}),
+    ],
+)
+def test_population_path_is_byte_identical(tmp_path, module, experiment_id, kwargs):
+    batched, batched_events, batched_manifest = _run_observed(
+        module.run, experiment_id, tmp_path / "pop", population=True, **kwargs
+    )
+    looped, looped_events, looped_manifest = _run_observed(
+        module.run, experiment_id, tmp_path / "loop", population=False, **kwargs
+    )
+    assert batched.render() == looped.render()
+    assert batched.metrics == looped.metrics
+    assert batched_events.read_bytes() == looped_events.read_bytes()
+    assert batched_manifest.read_bytes() == looped_manifest.read_bytes()
+
+
+def test_table1_characterize_chips_path_is_deterministic(tmp_path):
+    first, first_events, first_manifest = _run_observed(
+        table1_limits.run, "table1", tmp_path / "a", trials=3
+    )
+    second, second_events, second_manifest = _run_observed(
+        table1_limits.run, "table1", tmp_path / "b", trials=3
+    )
+    assert first.render() == second.render()
+    assert first_events.read_bytes() == second_events.read_bytes()
+    assert first_manifest.read_bytes() == second_manifest.read_bytes()

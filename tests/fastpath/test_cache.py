@@ -50,6 +50,63 @@ class TestSolveCache:
         with pytest.raises(ConfigurationError):
             SolveCache(max_entries=0)
 
+    def test_eviction_counter(self):
+        cache = SolveCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 0
+        cache.put("c", 3)  # evicts "a"
+        cache.put("d", 4)  # evicts "b"
+        assert cache.evictions == 2
+
+    def test_clear_resets_evictions(self):
+        cache = SolveCache(max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evictions == 1
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_replace_swaps_the_value(self):
+        cache = SolveCache()
+        placeholder = object()
+        cache.put("a", placeholder)
+        cache.replace("a", placeholder, 1)
+        assert cache.get("a") == 1
+
+    def test_replace_preserves_lru_position(self):
+        cache = SolveCache(max_entries=2)
+        placeholder = object()
+        cache.put("a", placeholder)
+        cache.put("b", 2)
+        cache.replace("a", placeholder, 1)
+        # The swap must not refresh recency: "a" is still the oldest
+        # entry, so the next insert evicts it, not "b".
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_replace_is_noop_when_value_moved_on(self):
+        cache = SolveCache()
+        placeholder = object()
+        cache.put("a", placeholder)
+        cache.put("a", "final")
+        cache.replace("a", placeholder, "stale")
+        assert cache.get("a") == "final"
+        cache.replace("missing", placeholder, "stale")
+        assert cache.get("missing") is None
+
+    def test_discard_removes_only_the_expected_value(self):
+        cache = SolveCache()
+        placeholder = object()
+        cache.put("a", placeholder)
+        cache.put("b", "kept")
+        cache.discard("a", placeholder)
+        cache.discard("b", placeholder)
+        cache.discard("missing", placeholder)
+        assert cache.get("a") is None
+        assert cache.get("b") == "kept"
+
 
 class TestFingerprint:
     def test_equal_physics_share_a_fingerprint(self):

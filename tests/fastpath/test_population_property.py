@@ -1,0 +1,153 @@
+"""Property tests: the fleet-batched solve is the per-chip solve, faster.
+
+Hypothesis drives random *populations* — mixed core counts (exercising
+the phantom-core padding), mixed margin modes, uneven row batches — and
+asserts the three implementations agree: :func:`solve_population` (one
+masked fixed point over the stacked fleet) vs per-chip
+:meth:`ChipSim.solve_many` vs the scalar
+:meth:`ChipSim.solve_steady_state_reference` ground truth, all within
+1e-9 MHz.  A separate test pins the stronger bitwise claim for
+equal-core-count fleets, and one checks that identical-fingerprint chips
+share solve-cache entries across the population.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm.chip_sim import ChipSim, CoreAssignment, MarginMode
+from repro.fastpath.cache import get_solve_cache, reset_solve_cache
+from repro.fastpath.population import solve_population
+from repro.silicon import sample_chip
+from repro.workloads.base import IDLE
+from repro.workloads.registry import ALL_WORKLOADS
+
+#: Frequency agreement bound across the three implementations (MHz).
+MATCH_TOL_MHZ = 1.0e-9
+
+_WORKLOADS = [IDLE] + [ALL_WORKLOADS[name] for name in sorted(ALL_WORKLOADS)]
+
+
+def _draw_row(draw, chip):
+    row = []
+    for core in chip.cores:
+        mode = draw(
+            st.sampled_from(
+                [MarginMode.ATM, MarginMode.ATM, MarginMode.STATIC,
+                 MarginMode.GATED]
+            )
+        )
+        workload = draw(st.sampled_from(_WORKLOADS))
+        if mode is MarginMode.ATM:
+            row.append(
+                CoreAssignment(
+                    workload=workload,
+                    mode=mode,
+                    reduction_steps=draw(st.integers(0, core.preset_code)),
+                    freq_cap_mhz=draw(
+                        st.one_of(
+                            st.none(),
+                            st.floats(3500.0, 5200.0, allow_nan=False),
+                        )
+                    ),
+                )
+            )
+        else:
+            row.append(CoreAssignment(workload=workload, mode=mode))
+    return tuple(row)
+
+
+@st.composite
+def fleet(draw, min_cores: int = 2, max_cores: int = 6):
+    """1..4 sampled chips with mixed core counts and 1..3 rows each."""
+    n_chips = draw(st.integers(1, 4))
+    chips = [
+        sample_chip(
+            draw(st.integers(0, 9999)),
+            chip_id=f"prop{index}",
+            n_cores=draw(st.integers(min_cores, max_cores)),
+        )
+        for index in range(n_chips)
+    ]
+    rows_per_chip = [
+        [_draw_row(draw, chip) for _ in range(draw(st.integers(1, 3)))]
+        for chip in chips
+    ]
+    return chips, rows_per_chip
+
+
+@settings(max_examples=25, deadline=None)
+@given(fleet())
+def test_population_matches_per_chip_and_reference(case):
+    chips, rows_per_chip = case
+    sims = [ChipSim(chip) for chip in chips]
+
+    reset_solve_cache()
+    batched = solve_population(sims, rows_per_chip)
+
+    reset_solve_cache()
+    looped = [sim.solve_many(rows) for sim, rows in zip(sims, rows_per_chip)]
+
+    for sim, rows, pop_states, loop_states in zip(
+        sims, rows_per_chip, batched, looped
+    ):
+        assert len(pop_states) == len(rows)
+        for row, pop, loop in zip(rows, pop_states, loop_states):
+            reference = sim.solve_steady_state_reference(row)
+            for pop_mhz, loop_mhz, ref_mhz in zip(
+                pop.freqs_mhz, loop.freqs_mhz, reference.freqs_mhz
+            ):
+                assert abs(pop_mhz - loop_mhz) <= MATCH_TOL_MHZ
+                assert abs(pop_mhz - ref_mhz) <= MATCH_TOL_MHZ
+            assert abs(pop.chip_power_w - reference.chip_power_w) <= 1.0e-9
+            assert abs(pop.vdd - reference.vdd) <= 1.0e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(fleet(min_cores=8, max_cores=8))
+def test_equal_core_count_fleets_are_bitwise_equal(case):
+    """Same-width chips see bit-identical operands: exact equality."""
+    chips, rows_per_chip = case
+    sims = [ChipSim(chip) for chip in chips]
+
+    reset_solve_cache()
+    batched = solve_population(sims, rows_per_chip)
+
+    reset_solve_cache()
+    looped = [sim.solve_many(rows) for sim, rows in zip(sims, rows_per_chip)]
+
+    for pop_states, loop_states in zip(batched, looped):
+        for pop, loop in zip(pop_states, loop_states):
+            assert pop.freqs_mhz == loop.freqs_mhz  # repro-lint: disable=RL005
+            assert pop.chip_power_w == loop.chip_power_w  # repro-lint: disable=RL005
+            assert pop.vdd == loop.vdd  # repro-lint: disable=RL005
+            assert pop.temperature_c == loop.temperature_c  # repro-lint: disable=RL005
+            assert pop.iterations == loop.iterations
+
+
+def test_identical_fingerprint_chips_share_cache_entries():
+    reset_solve_cache()
+    twin_a = ChipSim(sample_chip(77, chip_id="twin"))
+    twin_b = ChipSim(sample_chip(77, chip_id="twin"))
+    row = twin_a.uniform_assignments()
+    states = solve_population([twin_a, twin_b], [[row], [row]])
+    cache = get_solve_cache()
+    # One chip's miss is its twin's hit, answered with the same object.
+    assert cache.misses == 1
+    assert cache.hits == 1
+    assert states[1][0] is states[0][0]
+
+
+def test_population_warm_starts_agree_within_solver_tolerance():
+    chips = [sample_chip(5, chip_id="w0"), sample_chip(6, chip_id="w1")]
+    sims = [ChipSim(chip) for chip in chips]
+    rows_per_chip = [[sim.uniform_assignments()] for sim in sims]
+    reset_solve_cache()
+    cold = solve_population(sims, rows_per_chip)
+    reset_solve_cache()
+    warm = solve_population(
+        sims, rows_per_chip, warm_starts=[cold[0][0], cold[1][0]]
+    )
+    for cold_states, warm_states in zip(cold, warm):
+        for c, w in zip(cold_states, warm_states):
+            for c_mhz, w_mhz in zip(c.freqs_mhz, w.freqs_mhz):
+                assert abs(c_mhz - w_mhz) <= 10.0 * ChipSim.TOLERANCE_MHZ

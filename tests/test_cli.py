@@ -140,3 +140,61 @@ class TestObservabilityCommands:
     def test_obs_selfcheck(self, capsys):
         assert main(["obs", "selfcheck"]) == 0
         assert "selfcheck passed" in capsys.readouterr().out
+
+
+class TestFleetCli:
+    def test_characterize_renders_summary(self, capsys):
+        code = main(
+            ["fleet", "characterize", "--chips", "2",
+             "--trials", "2", "--cores", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet characterization: 2 chips x 2 cores" in out
+        assert "rollback rate:" in out
+
+    def test_characterize_with_out_writes_artifacts(self, tmp_path, capsys):
+        code = main(
+            ["fleet", "characterize", "--chips", "2",
+             "--trials", "2", "--cores", "2", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "fleet.events.jsonl").exists()
+        assert (tmp_path / "fleet.manifest.json").exists()
+        out = capsys.readouterr().out
+        assert "event stream:" in out
+        assert "manifest:" in out
+
+    def test_zero_chips_fails_cleanly(self, capsys):
+        code = main(["fleet", "characterize", "--chips", "0"])
+        assert code == 1
+        assert "chips must be >= 1" in capsys.readouterr().err
+
+    def test_zero_chunk_fails_cleanly(self, capsys):
+        code = main(
+            ["fleet", "characterize", "--chips", "2", "--chunk", "0"]
+        )
+        assert code == 1
+        assert "chunk size must be >= 1" in capsys.readouterr().err
+
+    def test_reduction_requires_atm_mode(self, capsys):
+        code = main(
+            ["fleet", "characterize", "--chips", "2",
+             "--mode", "static", "--reduction", "2"]
+        )
+        assert code == 1
+        assert "reduction steps only apply to ATM mode" in (
+            capsys.readouterr().err
+        )
+
+    def test_chip_loop_flag_matches_population(self, capsys):
+        assert main(
+            ["fleet", "characterize", "--chips", "2",
+             "--trials", "2", "--cores", "2"]
+        ) == 0
+        batched = capsys.readouterr().out
+        assert main(
+            ["fleet", "characterize", "--chips", "2",
+             "--trials", "2", "--cores", "2", "--chip-loop"]
+        ) == 0
+        assert capsys.readouterr().out == batched

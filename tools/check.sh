@@ -18,9 +18,13 @@ fi
 echo "== repro.lint (RL001-RL008) =="
 python -m repro.lint src tests || failures=$((failures + 1))
 
-echo "== repro bench (smoke) =="
+echo "== repro bench (smoke + perf gate) =="
 bench_out="$(mktemp)"
-if python -m repro bench --experiments fig01 --out "$bench_out" >/dev/null; then
+# Diffs a small fresh run against the committed artifact; the absolute
+# noise floor in compare_to_baseline keeps tiny smoke runs from tripping
+# on machine jitter, so this only fails on gross regressions.
+if python -m repro bench --experiments fig01 --fleet-chips 32 \
+        --compare BENCH_solver.json --out "$bench_out" >/dev/null; then
     echo "bench smoke ok"
 else
     failures=$((failures + 1))
