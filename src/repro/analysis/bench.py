@@ -31,6 +31,29 @@ SCHEMA = "bench_solver/v1"
 MIN_REGRESSION_S = 0.05
 
 
+def exceeds_ratio_gate(
+    fresh: float,
+    base: float,
+    *,
+    threshold: float,
+    min_delta: float = MIN_REGRESSION_S,
+) -> bool:
+    """Shared regression predicate: ratio threshold plus a noise floor.
+
+    True when ``fresh / base > threshold`` *and* the absolute increase
+    exceeds ``min_delta`` — the same two-condition gate ``--compare`` uses
+    for wall-clock totals, reused by ``repro obs history`` for metric
+    series (with a caller-chosen floor).
+    """
+    if threshold <= 0.0:
+        raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    if base > 0.0:
+        ratio = fresh / base
+    else:
+        ratio = float("inf") if fresh > 0.0 else 0.0
+    return ratio > threshold and (fresh - base) > min_delta
+
+
 @dataclass(frozen=True)
 class FleetBench:
     """Population-vs-loop solve timing over a sampled fleet.
@@ -367,10 +390,7 @@ def compare_to_baseline(
             f"{float(doc['fleet'].get('speedup', 0.0)):.2f}x committed"
         )
 
-    regressed = (
-        total_ratio > threshold
-        and (fresh_total - base_total) > MIN_REGRESSION_S
-    )
+    regressed = exceeds_ratio_gate(fresh_total, base_total, threshold=threshold)
     if regressed:
         lines.append(
             f"REGRESSION: total wall exceeds the committed baseline by more "
@@ -385,7 +405,9 @@ __all__ = [
     "BenchReport",
     "FleetBench",
     "compare_to_baseline",
+    "exceeds_ratio_gate",
     "run_bench",
     "run_fleet_bench",
+    "MIN_REGRESSION_S",
     "SCHEMA",
 ]

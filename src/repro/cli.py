@@ -21,6 +21,15 @@ Mirrors the stages a vendor/operator would actually run:
     Same observed run, reported as the instrument summary table.
 ``python -m repro obs selfcheck``
     End-to-end smoke test of the observability pipeline.
+``python -m repro obs diff <left> <right>``
+    First-divergence diff of two observed runs (event streams and/or
+    manifests); exits non-zero on any divergence or manifest drift.
+``python -m repro obs history --store DIR``
+    Per-metric time series across registered runs with regression flags.
+``python -m repro obs report --store DIR [--format markdown|json]``
+    Deterministic digest: registry, history, spans, optional fleet health.
+``python -m repro fleet health --chips N``
+    Outlier-chip triage over a sampled fleet (quantile fences).
 ``python -m repro list-workloads``
     Show every modeled workload and its observables.
 ``python -m repro lint [paths]``
@@ -32,6 +41,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .atm.chip_sim import ChipSim
 from .core.characterize import Characterizer
@@ -162,6 +172,16 @@ def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _register_run(run, store_dir: str | None) -> None:
+    """Register an observed run's artifacts into a run-store directory."""
+    if not store_dir:
+        return
+    from .obs.analyze.store import RunStore
+
+    record = RunStore(store_dir).put(run.manifest_path, run.events_path)
+    print(f"registered as {record.run_id} in {store_dir}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     run = run_observed(args.id, seed=args.seed, out_dir=args.out)
     print(run.manifest.render())
@@ -179,6 +199,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for event in tail:
             print(f"  {event_to_json_line(event)}")
     print(f"manifest: {run.manifest_path}")
+    _register_run(run, args.store)
     return 0
 
 
@@ -193,6 +214,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     )
     print(f"\nevent stream: {run.events_path}")
     print(f"manifest: {run.manifest_path}")
+    _register_run(run, args.store)
     return 0
 
 
@@ -200,6 +222,156 @@ def _cmd_obs_selfcheck(_args: argparse.Namespace) -> int:
     ok, report = run_selfcheck()
     print(report)
     return 0 if ok else 1
+
+
+def _resolve_run_artifacts(arg: str, run_id: str | None):
+    """Resolve a diff operand to ``(events_path, manifest_path)``.
+
+    Accepts a run directory (``runs/``, disambiguated by ``--id`` when it
+    holds several runs), an ``.events.jsonl`` stream, or a
+    ``.manifest.json`` manifest; siblings are picked up automatically.
+    """
+    from .errors import ConfigurationError
+
+    path = Path(arg)
+    if path.is_dir():
+        manifests = sorted(path.glob("*.manifest.json"))
+        if run_id is not None:
+            base = run_id
+        elif len(manifests) == 1:
+            base = manifests[0].name[: -len(".manifest.json")]
+        else:
+            raise ConfigurationError(
+                f"{path} holds {len(manifests)} run(s); pass --id to pick one"
+            )
+        events = path / f"{base}.events.jsonl"
+        manifest = path / f"{base}.manifest.json"
+        if not events.exists() and not manifest.exists():
+            raise ConfigurationError(f"no run artifacts for {base!r} in {path}")
+        return (events if events.exists() else None,
+                manifest if manifest.exists() else None)
+    if not path.exists():
+        raise ConfigurationError(f"no run artifact at {path}")
+    name = path.name
+    if name.endswith(".events.jsonl"):
+        sibling = path.with_name(
+            name[: -len(".events.jsonl")] + ".manifest.json"
+        )
+        return path, (sibling if sibling.exists() else None)
+    if name.endswith(".jsonl"):
+        return path, None
+    if name.endswith(".manifest.json"):
+        sibling = path.with_name(
+            name[: -len(".manifest.json")] + ".events.jsonl"
+        )
+        return (sibling if sibling.exists() else None), path
+    if name.endswith(".json"):
+        return None, path
+    raise ConfigurationError(
+        f"{path} is neither a run directory, a .jsonl stream, nor a manifest"
+    )
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .obs.analyze.diff import diff_manifests, diff_streams
+
+    left_events, left_manifest = _resolve_run_artifacts(args.left, args.id)
+    right_events, right_manifest = _resolve_run_artifacts(args.right, args.id)
+    compared = False
+    diverged = False
+    if left_manifest is not None and right_manifest is not None:
+        manifest_diff = diff_manifests(left_manifest, right_manifest)
+        print(manifest_diff.render())
+        compared = True
+        diverged = diverged or not manifest_diff.identical
+    if left_events is not None and right_events is not None:
+        stream_diff = diff_streams(left_events, right_events, context=args.context)
+        print(stream_diff.render())
+        compared = True
+        diverged = diverged or not stream_diff.identical
+    if not compared:
+        raise ConfigurationError(
+            "the two operands share no comparable artifacts "
+            "(need two event streams and/or two manifests)"
+        )
+    return 1 if diverged else 0
+
+
+def _cmd_obs_history(args: argparse.Namespace) -> int:
+    from .obs.analyze.history import (
+        bench_wall_series,
+        build_history,
+        flag_regressions,
+        render_history,
+    )
+    from .obs.analyze.store import RunStore
+
+    store = RunStore(args.store)
+    metrics = (
+        [part.strip() for part in args.metrics.split(",") if part.strip()]
+        if args.metrics
+        else None
+    )
+    series = list(
+        build_history(store, experiment_id=args.experiment, metrics=metrics)
+    )
+    series.extend(bench_wall_series(args.bench or ()))
+    flags = flag_regressions(series, threshold=args.threshold)
+    print(
+        render_history(
+            series,
+            flags,
+            title=f"metrics history: {len(store.run_ids())} run(s)",
+            threshold=args.threshold,
+        )
+    )
+    return 1 if flags else 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs.analyze.report import build_report, render_json, render_markdown
+    from .obs.analyze.store import RunStore
+
+    fleet_health = None
+    if args.fleet_chips > 0:
+        from .obs.analyze.fleet_health import assess_fleet
+
+        fleet_health = assess_fleet(
+            args.fleet_chips, seed=args.seed, trials=args.trials
+        )
+    report = build_report(
+        RunStore(args.store),
+        threshold=args.threshold,
+        bench_paths=args.bench or (),
+        fleet_health=fleet_health,
+    )
+    text = render_json(report) if args.format == "json" else render_markdown(report)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"report written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_fleet_health(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs.analyze.fleet_health import assess_fleet
+
+    report = assess_fleet(
+        args.chips,
+        seed=args.seed,
+        trials=args.trials,
+        n_cores=args.cores,
+        fence_k=args.fence_k,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(report.render())
+    return 0
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -392,6 +564,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write fleet.events.jsonl + fleet.manifest.json here")
     p_fchar.set_defaults(func=_cmd_fleet_characterize)
 
+    p_fhealth = fleet_sub.add_parser(
+        "health",
+        help="quantile-fence outlier triage over a characterized fleet",
+    )
+    p_fhealth.add_argument("--chips", type=int, required=True,
+                           help="fleet size (sampled chips)")
+    p_fhealth.add_argument("--trials", type=int, default=4)
+    p_fhealth.add_argument("--cores", type=int, default=8,
+                           help="cores per sampled chip")
+    p_fhealth.add_argument(
+        "--fence-k", type=float, default=1.5, dest="fence_k",
+        help="fence multiplier over the quantile spreads",
+    )
+    p_fhealth.add_argument(
+        "--json", action="store_true",
+        help="print the canonical JSON document instead of the table",
+    )
+    p_fhealth.set_defaults(func=_cmd_fleet_health)
+
     p_char = sub.add_parser("characterize", help="run the Fig. 6 methodology")
     p_char.add_argument("--random", action="store_true",
                         help="characterize a sampled chip instead of the testbed")
@@ -421,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--tail", type=int, default=5,
         help="trailing events to print (0 disables)",
     )
+    p_trace.add_argument(
+        "--store", default=None,
+        help="register the run into this run-registry directory",
+    )
     p_trace.set_defaults(func=_cmd_trace)
 
     p_metrics = sub.add_parser(
@@ -428,6 +623,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_metrics.add_argument("id", choices=list(REGISTRY))
     p_metrics.add_argument("--out", default="runs", help="artifact directory")
+    p_metrics.add_argument(
+        "--store", default=None,
+        help="register the run into this run-registry directory",
+    )
     p_metrics.set_defaults(func=_cmd_metrics)
 
     p_obs = sub.add_parser("obs", help="observability utilities")
@@ -436,6 +635,74 @@ def build_parser() -> argparse.ArgumentParser:
         "selfcheck", help="end-to-end smoke test of the obs pipeline"
     )
     p_selfcheck.set_defaults(func=_cmd_obs_selfcheck)
+
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="first-divergence diff of two runs (streams and/or manifests)",
+    )
+    p_diff.add_argument("left", help="run dir, .events.jsonl, or manifest")
+    p_diff.add_argument("right", help="run dir, .events.jsonl, or manifest")
+    p_diff.add_argument(
+        "--id", default=None,
+        help="run base name when an operand directory holds several runs",
+    )
+    p_diff.add_argument(
+        "--context", type=int, default=3,
+        help="shared context lines shown before the divergence",
+    )
+    p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_history = obs_sub.add_parser(
+        "history", help="per-metric series + regression flags over a registry"
+    )
+    p_history.add_argument(
+        "--store", required=True, help="run-registry directory"
+    )
+    p_history.add_argument(
+        "--experiment", default=None,
+        help="restrict to runs of this experiment id",
+    )
+    p_history.add_argument(
+        "--metrics", default=None,
+        help="comma-separated metric names to keep (default: all)",
+    )
+    p_history.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="regression ratio gate (latest/first)",
+    )
+    p_history.add_argument(
+        "--bench", action="append", default=None,
+        help="bench_solver JSON artifact to fold in (repeatable)",
+    )
+    p_history.set_defaults(func=_cmd_obs_history)
+
+    p_oreport = obs_sub.add_parser(
+        "report", help="rendered regression report over a run registry"
+    )
+    p_oreport.add_argument(
+        "--store", required=True, help="run-registry directory"
+    )
+    p_oreport.add_argument(
+        "--format", choices=["markdown", "json"], default="markdown"
+    )
+    p_oreport.add_argument("--out", default=None, help="write the report here")
+    p_oreport.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="regression ratio gate (latest/first)",
+    )
+    p_oreport.add_argument(
+        "--bench", action="append", default=None,
+        help="bench_solver JSON artifact to fold in (repeatable)",
+    )
+    p_oreport.add_argument(
+        "--fleet-chips", type=int, default=0, dest="fleet_chips",
+        help="include a fleet-health section over this many sampled chips",
+    )
+    p_oreport.add_argument(
+        "--trials", type=int, default=4,
+        help="characterization trials for the fleet-health section",
+    )
+    p_oreport.set_defaults(func=_cmd_obs_report)
 
     p_list = sub.add_parser("list-workloads", help="show all modeled workloads")
     p_list.set_defaults(func=_cmd_list_workloads)

@@ -251,6 +251,134 @@ def _validate_fleet_args(
         )
 
 
+def _characterize_chip(
+    index: int,
+    *,
+    seed: int,
+    trials: int,
+    n_cores: int,
+    noise_sigma_ps: float,
+):
+    """Sample and characterize chip ``index`` (the Fig. 6 idle → uBench stages).
+
+    Chip ``index`` is ``sample_chip(seed + index)`` with its own
+    characterizer seeded the same way — the shared per-chip recipe of
+    :func:`characterize_fleet` and :func:`collect_chip_stats`, so both
+    observe identical chips (and emit identical event streams) for a
+    given seed.
+    """
+    chip = sample_chip(seed + index, chip_id=f"F{index}", n_cores=n_cores)
+    characterizer = Characterizer(
+        RngStreams(seed + index),
+        trials=trials,
+        noise_sigma_ps=noise_sigma_ps,
+    )
+    idle = {
+        core.label: characterizer.characterize_idle(core)
+        for core in chip.cores
+    }
+    ubench = {
+        core.label: characterizer.characterize_ubench(
+            core, idle[core.label].idle_limit
+        )
+        for core in chip.cores
+    }
+    return chip, idle, ubench, characterizer.total_probe_count
+
+
+@dataclass(frozen=True)
+class ChipStats:
+    """Per-chip characterization digest (the fleet-health input row)."""
+
+    chip_id: str
+    n_cores: int
+    idle_limit_counts: dict[int, int]
+    ubench_limit_counts: dict[int, int]
+    rollback_counts: dict[int, int]
+    probe_runs: int
+
+    @staticmethod
+    def _mean(counts: dict[int, int]) -> float:
+        total = sum(counts.values())
+        if total == 0:
+            raise ConfigurationError("chip stats cover no cores")
+        return sum(step * count for step, count in counts.items()) / total
+
+    @property
+    def mean_idle_steps(self) -> float:
+        return self._mean(self.idle_limit_counts)
+
+    @property
+    def mean_ubench_steps(self) -> float:
+        return self._mean(self.ubench_limit_counts)
+
+    @property
+    def min_ubench_steps(self) -> int:
+        return min(self.ubench_limit_counts)
+
+    @property
+    def max_rollback_steps(self) -> int:
+        return max(self.rollback_counts)
+
+    @property
+    def rollback_rate(self) -> float:
+        """Fraction of this chip's cores whose uBench stage rolled back."""
+        rolled = sum(
+            count for steps, count in self.rollback_counts.items() if steps > 0
+        )
+        return rolled / self.n_cores
+
+
+def collect_chip_stats(
+    n_chips: int,
+    *,
+    seed: int = 2019,
+    trials: int = 4,
+    n_cores: int = CORES_PER_CHIP,
+    noise_sigma_ps: float = 0.1,
+) -> tuple[ChipStats, ...]:
+    """Per-chip limit/rollback digests over a sampled fleet.
+
+    The characterization-only sibling of :func:`characterize_fleet`: same
+    chips, same per-chip RNG streams, but no operating-point solves and
+    no aggregation — the per-chip rows feed
+    :mod:`repro.obs.analyze.fleet_health`'s outlier fences.
+    """
+    _validate_fleet_args(n_chips, 1, trials, n_cores, MarginMode.ATM, 0)
+    stats = []
+    for index in range(n_chips):
+        chip, idle, ubench, probes = _characterize_chip(
+            index,
+            seed=seed,
+            trials=trials,
+            n_cores=n_cores,
+            noise_sigma_ps=noise_sigma_ps,
+        )
+        idle_counts: dict[int, int] = {}
+        ubench_counts: dict[int, int] = {}
+        rollback_counts: dict[int, int] = {}
+        for core in chip.cores:
+            limit = idle[core.label].idle_limit
+            ub = ubench[core.label]
+            idle_counts[limit] = idle_counts.get(limit, 0) + 1
+            ubench_counts[ub.ubench_limit] = (
+                ubench_counts.get(ub.ubench_limit, 0) + 1
+            )
+            rollback = ub.rollback_distribution.maximum
+            rollback_counts[rollback] = rollback_counts.get(rollback, 0) + 1
+        stats.append(
+            ChipStats(
+                chip_id=chip.chip_id,
+                n_cores=len(chip.cores),
+                idle_limit_counts=idle_counts,
+                ubench_limit_counts=ubench_counts,
+                rollback_counts=rollback_counts,
+                probe_runs=probes,
+            )
+        )
+    return tuple(stats)
+
+
 def characterize_fleet(
     n_chips: int,
     *,
@@ -292,22 +420,13 @@ def characterize_fleet(
         rows_per_chip = []
         per_chip = []
         for index in chunk:
-            chip = sample_chip(seed + index, chip_id=f"F{index}", n_cores=n_cores)
-            characterizer = Characterizer(
-                RngStreams(seed + index),
+            chip, idle, ubench, probes = _characterize_chip(
+                index,
+                seed=seed,
                 trials=trials,
+                n_cores=n_cores,
                 noise_sigma_ps=noise_sigma_ps,
             )
-            idle = {
-                core.label: characterizer.characterize_idle(core)
-                for core in chip.cores
-            }
-            ubench = {
-                core.label: characterizer.characterize_ubench(
-                    core, idle[core.label].idle_limit
-                )
-                for core in chip.cores
-            }
             sim = ChipSim(chip)
             baseline_row = sim.uniform_assignments(
                 mode=mode, reduction_steps=reduction_steps
@@ -317,7 +436,7 @@ def characterize_fleet(
             )
             sims.append(sim)
             rows_per_chip.append([baseline_row, tuned_row])
-            per_chip.append((chip, idle, ubench, characterizer.total_probe_count))
+            per_chip.append((chip, idle, ubench, probes))
 
         states = solve_fleet(sims, rows_per_chip, population=population)
 

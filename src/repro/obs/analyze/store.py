@@ -1,0 +1,268 @@
+"""The run registry: observed-run artifacts indexed on disk by manifest.
+
+A :class:`RunStore` is a directory of ``<run_id>.events.jsonl`` +
+``<run_id>.manifest.json`` pairs plus one canonical ``index.json``
+summarizing every registered run (experiment id, seed, manifest schema,
+limit-table fingerprint, events sha256, event count).  Runs enter via
+:meth:`RunStore.put`, which *verifies* the event stream against the
+manifest digest at ingest — stream drift is caught at the door, not at
+analysis time.
+
+Determinism rules (the same ones as the write side):
+
+* the index records file *names* relative to the store root — no
+  absolute paths, so a store relocates and byte-compares cleanly;
+* run ids default to ``<experiment>@s<seed>-<sha8>`` — a pure function
+  of the artifact content, so re-registering an identical run is a
+  no-op overwrite, never a duplicate;
+* :meth:`RunStore.prune` orders runs lexicographically by run id (the
+  registry has no clock to order by).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from ...errors import ConfigurationError
+from ..manifest import RunManifest, load_manifest, sha256_hex
+from ..sinks import read_jsonl_documents
+
+#: Canonical index file name inside the store root.
+INDEX_FILE = "index.json"
+
+#: Index document schema version.
+STORE_SCHEMA = 1
+
+_MANIFEST_SUFFIX = ".manifest.json"
+_EVENTS_SUFFIX = ".events.jsonl"
+
+_RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.@+-]*$")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One registered run, as indexed (a manifest digest, not the manifest)."""
+
+    run_id: str
+    experiment_id: str
+    seed: int
+    schema: int
+    limits_fingerprint: str
+    events_sha256: str
+    event_count: int
+    events_file: str
+    manifest_file: str
+    #: Truncated trailing lines observed in the stream (crashed run).
+    skipped_lines: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "schema": self.schema,
+            "limits_fingerprint": self.limits_fingerprint,
+            "events_sha256": self.events_sha256,
+            "event_count": self.event_count,
+            "events_file": self.events_file,
+            "manifest_file": self.manifest_file,
+            "skipped_lines": self.skipped_lines,
+        }
+
+
+@dataclass(frozen=True)
+class LoadedRun:
+    """One run loaded back out of the store."""
+
+    record: RunRecord
+    manifest: RunManifest
+    documents: tuple[dict, ...]
+    skipped_lines: int
+
+
+def default_run_id(manifest: RunManifest) -> str:
+    """Content-derived run id: ``<experiment>@s<seed>-<sha8>``."""
+    sha8 = manifest.events_sha256[:8] if manifest.events_sha256 else "noevents"
+    return f"{manifest.experiment_id}@s{manifest.seed}-{sha8}"
+
+
+class RunStore:
+    """Directory-backed registry of observed runs."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_FILE
+
+    def events_path(self, run_id: str) -> Path:
+        return self.root / f"{run_id}{_EVENTS_SUFFIX}"
+
+    def manifest_path(self, run_id: str) -> Path:
+        return self.root / f"{run_id}{_MANIFEST_SUFFIX}"
+
+    def put(
+        self,
+        manifest_path: str | Path,
+        events_path: str | Path | None = None,
+        *,
+        run_id: str | None = None,
+    ) -> RunRecord:
+        """Register one observed run, verifying the stream digest.
+
+        ``events_path`` defaults to the manifest's sibling
+        ``<name>.events.jsonl``.  The stream's sha256 must match the
+        manifest's ``events_sha256`` (drift at ingest is an error, not a
+        record).  Registering an existing ``run_id`` overwrites it.
+        """
+        manifest_source = Path(manifest_path)
+        manifest = load_manifest(manifest_source)
+        if events_path is None:
+            name = manifest_source.name
+            if not name.endswith(_MANIFEST_SUFFIX):
+                raise ConfigurationError(
+                    f"cannot infer the event stream next to {manifest_source}; "
+                    f"pass events_path explicitly"
+                )
+            events_path = manifest_source.with_name(
+                name[: -len(_MANIFEST_SUFFIX)] + _EVENTS_SUFFIX
+            )
+        events_source = Path(events_path)
+        if not events_source.exists():
+            raise ConfigurationError(f"no event stream at {events_source}")
+        stream_bytes = events_source.read_bytes()
+        if manifest.events_sha256 and sha256_hex(stream_bytes) != manifest.events_sha256:
+            raise ConfigurationError(
+                f"stream drift at ingest: {events_source} does not hash to "
+                f"the manifest's events_sha256 ({manifest.events_sha256[:16]}…)"
+            )
+        resolved_id = run_id if run_id is not None else default_run_id(manifest)
+        if not _RUN_ID_PATTERN.match(resolved_id):
+            raise ConfigurationError(
+                f"run id {resolved_id!r} must match {_RUN_ID_PATTERN.pattern}"
+            )
+        self.manifest_path(resolved_id).write_bytes(
+            manifest_source.read_bytes()
+        )
+        self.events_path(resolved_id).write_bytes(stream_bytes)
+        self.rebuild_index()
+        return self._record_for(resolved_id)
+
+    def run_ids(self) -> tuple[str, ...]:
+        """Every registered run id, sorted."""
+        return tuple(
+            sorted(
+                path.name[: -len(_MANIFEST_SUFFIX)]
+                for path in self.root.glob(f"*{_MANIFEST_SUFFIX}")
+            )
+        )
+
+    def _record_for(self, run_id: str) -> RunRecord:
+        manifest = load_manifest(self.manifest_path(run_id))
+        events_file = self.events_path(run_id)
+        skipped = 0
+        if events_file.exists():
+            skipped = _trailing_truncation(events_file)
+        return RunRecord(
+            run_id=run_id,
+            experiment_id=manifest.experiment_id,
+            seed=manifest.seed,
+            schema=_manifest_schema(self.manifest_path(run_id)),
+            limits_fingerprint=manifest.limits_fingerprint,
+            events_sha256=manifest.events_sha256,
+            event_count=manifest.event_count,
+            events_file=events_file.name,
+            manifest_file=self.manifest_path(run_id).name,
+            skipped_lines=skipped,
+        )
+
+    def records(self) -> tuple[RunRecord, ...]:
+        """Indexed records for every registered run, sorted by run id."""
+        return tuple(self._record_for(run_id) for run_id in self.run_ids())
+
+    def rebuild_index(self) -> dict:
+        """Re-scan the store and (re)write the canonical ``index.json``."""
+        document = {
+            "kind": "obs_store_index",
+            "schema": STORE_SCHEMA,
+            "runs": {record.run_id: record.to_dict() for record in self.records()},
+        }
+        self.index_path.write_text(
+            json.dumps(document, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return document
+
+    def load(self, run_id: str) -> LoadedRun:
+        """Load one run's manifest and event documents (tolerant read)."""
+        manifest_file = self.manifest_path(run_id)
+        if not manifest_file.exists():
+            known = ", ".join(self.run_ids()) or "(store is empty)"
+            raise ConfigurationError(
+                f"no run {run_id!r} in {self.root.name}; known: {known}"
+            )
+        documents, skipped = read_jsonl_documents(
+            self.events_path(run_id), tolerant=True
+        )
+        return LoadedRun(
+            record=self._record_for(run_id),
+            manifest=load_manifest(manifest_file),
+            documents=tuple(documents),
+            skipped_lines=skipped,
+        )
+
+    def prune(self, keep: int, *, experiment_id: str | None = None) -> tuple[str, ...]:
+        """Drop all but the lexicographically-last ``keep`` runs per experiment.
+
+        Returns the removed run ids.  With ``experiment_id`` only that
+        experiment's runs are considered.  Run ids are the only ordering
+        the registry has (deterministic by design — there is no clock),
+        so callers wanting retention-by-recency should encode an ordinal
+        in their run ids.
+        """
+        if keep < 0:
+            raise ConfigurationError(f"keep must be >= 0, got {keep}")
+        by_experiment: dict[str, list[str]] = {}
+        for record in self.records():
+            if experiment_id is not None and record.experiment_id != experiment_id:
+                continue
+            by_experiment.setdefault(record.experiment_id, []).append(record.run_id)
+        removed = []
+        for run_ids in by_experiment.values():
+            for run_id in sorted(run_ids)[: max(0, len(run_ids) - keep)]:
+                self.manifest_path(run_id).unlink()
+                self.events_path(run_id).unlink(missing_ok=True)
+                removed.append(run_id)
+        self.rebuild_index()
+        return tuple(sorted(removed))
+
+
+def _manifest_schema(path: Path) -> int:
+    """The raw ``schema`` field of a manifest document on disk."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}") from exc
+    schema = document.get("schema")
+    return schema if isinstance(schema, int) else 0
+
+
+def _trailing_truncation(events_path: Path) -> int:
+    """0 or 1: whether the stream's final line fails to parse."""
+    lines = [
+        line
+        for line in events_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not lines:
+        return 0
+    try:
+        json.loads(lines[-1])
+    except json.JSONDecodeError:
+        return 1
+    return 0

@@ -69,7 +69,7 @@ class TraceRecorder:
         return self._data[: self._size, self._index[name]].copy()
 
     def summary(self, name: str) -> dict[str, float]:
-        """Min / max / mean / p50 / p95 of one column (empty traces raise)."""
+        """Min / max / mean / p50 / p95 / p99 of one column (empty traces raise)."""
         if name not in self._index:
             raise ConfigurationError(
                 f"unknown column {name!r}; trace has {self._columns}"
@@ -83,4 +83,5 @@ class TraceRecorder:
             "mean": float(data.mean()),
             "p50": float(np.percentile(data, 50.0)),
             "p95": float(np.percentile(data, 95.0)),
+            "p99": float(np.percentile(data, 99.0)),
         }

@@ -76,7 +76,7 @@ class Gauge:
         return float(self._trace.column("value")[-1])
 
     def summary(self) -> dict[str, float]:
-        """min/max/mean/p50/p95 of every sample."""
+        """min/max/mean/p50/p95/p99 of every sample."""
         return self._trace.summary("value")
 
 
@@ -202,6 +202,7 @@ class MetricsRegistry:
                     entry["mean"] = instrument.mean
                     entry["p50"] = instrument.quantile(0.5)
                     entry["p95"] = instrument.quantile(0.95)
+                    entry["p99"] = instrument.quantile(0.99)
                 summary[name] = entry
         return summary
 
@@ -225,6 +226,9 @@ def render_summary_table(summary: dict[str, dict], title: str = "metrics") -> st
                     f"n={entry['samples']} mean={entry['mean']:.4g} "
                     f"p50={entry['p50']:.4g} p95={entry['p95']:.4g}"
                 )
+                # Summaries read back from pre-p99 manifests lack the key.
+                if "p99" in entry:
+                    detail += f" p99={entry['p99']:.4g}"
             else:
                 detail = "n=0"
         else:
@@ -233,6 +237,8 @@ def render_summary_table(summary: dict[str, dict], title: str = "metrics") -> st
                     f"n={entry['count']} mean={entry['mean']:.4g} "
                     f"p50<={entry['p50']:.4g} p95<={entry['p95']:.4g}"
                 )
+                if "p99" in entry:
+                    detail += f" p99<={entry['p99']:.4g}"
             else:
                 detail = "n=0"
         rows.append((name, kind, detail))

@@ -139,3 +139,50 @@ def read_jsonl(path: str | Path) -> Iterator[ObsEvent]:
                     f"{source}:{lineno}: not valid JSON: {exc}"
                 ) from exc
             yield event_from_dict(document)
+
+
+def read_jsonl_documents(
+    path: str | Path, *, tolerant: bool = False
+) -> tuple[list[dict], int]:
+    """Parse a JSONL event stream into raw JSON documents.
+
+    Returns ``(documents, skipped_lines)``.  With ``tolerant=True`` a
+    malformed *final* line — the signature of a run that crashed mid-write
+    — is skipped and counted instead of raising; malformed lines anywhere
+    else always raise, because mid-stream corruption is never a clean
+    truncation.  The analyze-layer loaders (diff engine, run store) use
+    the tolerant mode so a crashed run can still be inspected.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"no event file at {source}")
+    payload = [
+        (lineno, stripped)
+        for lineno, raw in enumerate(
+            source.read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if (stripped := raw.strip())
+    ]
+    documents: list[dict] = []
+    skipped = 0
+    for position, (lineno, line) in enumerate(payload):
+        try:
+            documents.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if tolerant and position == len(payload) - 1:
+                skipped += 1
+                break
+            raise ConfigurationError(
+                f"{source}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+    return documents, skipped
+
+
+def read_jsonl_tolerant(path: str | Path) -> tuple[list[ObsEvent], int]:
+    """Typed variant of :func:`read_jsonl_documents` in tolerant mode.
+
+    Returns ``(events, skipped_lines)`` where ``skipped_lines`` counts a
+    truncated final line (0 or 1).
+    """
+    documents, skipped = read_jsonl_documents(path, tolerant=True)
+    return [event_from_dict(document) for document in documents], skipped

@@ -43,6 +43,7 @@ class TestTraceRecorder:
             "mean": 2.0,
             "p50": 2.0,
             "p95": pytest.approx(2.9),
+            "p99": pytest.approx(2.98),
         }
 
     def test_growth_beyond_initial_capacity(self):

@@ -6,6 +6,7 @@ from repro.atm.chip_sim import MarginMode
 from repro.core.fleet import (
     RunningStat,
     characterize_fleet,
+    collect_chip_stats,
     quantile_from_counts,
     run_fleet_observed,
 )
@@ -131,6 +132,33 @@ class TestCharacterizeFleet:
         assert summary["fleet.chips"]["value"] == 3
         assert summary["fleet.cores"]["value"] == 6
         assert summary["fleet.idle_limit_steps"]["count"] == 6
+
+
+class TestCollectChipStats:
+    def test_agrees_with_characterize_fleet_histograms(self):
+        """The stats path shares the per-chip recipe with the full driver,
+        so summing its per-chip counts reproduces the fleet aggregates."""
+        stats = collect_chip_stats(3, trials=2, n_cores=2)
+        report = characterize_fleet(3, trials=2, n_cores=2)
+        summed: dict[int, int] = {}
+        for chip in stats:
+            for steps, count in chip.idle_limit_counts.items():
+                summed[steps] = summed.get(steps, 0) + count
+        assert summed == report.idle_limit_counts
+        assert sum(chip.probe_runs for chip in stats) == report.probe_runs
+
+    def test_per_chip_digest_properties(self):
+        stats = collect_chip_stats(2, trials=2, n_cores=2)
+        assert [chip.chip_id for chip in stats] == ["F0", "F1"]
+        for chip in stats:
+            assert chip.n_cores == 2
+            assert sum(chip.idle_limit_counts.values()) == 2
+            assert 0.0 <= chip.rollback_rate <= 1.0
+            assert chip.min_ubench_steps <= chip.mean_ubench_steps
+
+    def test_invalid_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collect_chip_stats(0)
 
 
 class TestRunFleetObserved:

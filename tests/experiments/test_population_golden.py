@@ -14,6 +14,7 @@ import pytest
 
 from repro.experiments import ext_generality, fig07_idle_limits, table1_limits
 from repro.fastpath.cache import reset_solve_cache
+from repro.obs.analyze.diff import diff_manifests, explain_divergence
 from repro.obs.manifest import build_manifest, save_manifest
 from repro.obs.runtime import Observability, observed
 from repro.obs.sinks import JsonlFileSink
@@ -64,6 +65,17 @@ def test_population_path_is_byte_identical(tmp_path, module, experiment_id, kwar
     )
     assert batched.render() == looped.render()
     assert batched.metrics == looped.metrics
+    # First-divergence diff before the byte oracle: a failure names the
+    # first diverging seq and field instead of a bare bytes mismatch.
+    delta = explain_divergence(batched_events, looped_events)
+    assert delta is None, (
+        f"{experiment_id} population vs chip-loop streams diverged:\n{delta}"
+    )
+    manifest_diff = diff_manifests(batched_manifest, looped_manifest)
+    assert manifest_diff.identical, (
+        f"{experiment_id} population vs chip-loop manifests drifted:\n"
+        f"{manifest_diff.render()}"
+    )
     assert batched_events.read_bytes() == looped_events.read_bytes()
     assert batched_manifest.read_bytes() == looped_manifest.read_bytes()
 

@@ -1,0 +1,165 @@
+"""Tests for metrics history, regression flagging, and span statistics."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.analyze.history import (
+    MetricSeries,
+    SeriesPoint,
+    bench_wall_series,
+    build_history,
+    flag_regressions,
+    headline_value,
+    render_history,
+    span_wall_stats,
+)
+from repro.obs.analyze.store import RunStore
+from repro.experiments.common import run_observed
+
+SEED = 2019
+
+
+def _series(name, kind, *values):
+    return MetricSeries(
+        name=name,
+        kind=kind,
+        points=tuple(
+            SeriesPoint(label=f"r{i}", value=v) for i, v in enumerate(values)
+        ),
+    )
+
+
+class TestHeadlineValue:
+    def test_counter_contributes_value(self):
+        assert headline_value({"kind": "counter", "value": 7}) == 7.0
+
+    def test_gauge_contributes_mean(self):
+        entry = {"kind": "gauge", "samples": 3, "mean": 2.5}
+        assert headline_value(entry) == 2.5
+
+    def test_empty_gauge_skipped(self):
+        assert headline_value({"kind": "gauge", "samples": 0}) is None
+
+    def test_histogram_contributes_mean(self):
+        entry = {"kind": "histogram", "count": 4, "mean": 1.25}
+        assert headline_value(entry) == 1.25
+
+    def test_unknown_kind_skipped(self):
+        assert headline_value({"kind": "mystery"}) is None
+
+
+class TestBuildHistory:
+    def test_folds_runs_into_series(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        for run_id, seed in (("fig01@a", SEED), ("fig01@b", 7)):
+            run = run_observed("fig01", seed=seed, out_dir=tmp_path / run_id)
+            store.put(run.manifest_path, run_id=run_id)
+        series = build_history(store)
+        by_name = {one.name: one for one in series}
+        assert "result.gain_ratio_finetuned_over_default" in by_name
+        gain = by_name["result.gain_ratio_finetuned_over_default"]
+        assert gain.kind == "result"
+        assert [point.label for point in gain.points] == ["fig01@a", "fig01@b"]
+
+    def test_metrics_filter_is_exact(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run = run_observed("fig01", seed=SEED, out_dir=tmp_path / "run")
+        store.put(run.manifest_path)
+        series = build_history(store, metrics=["chip.solves"])
+        assert [one.name for one in series] == ["chip.solves"]
+
+
+class TestBenchWallSeries:
+    def _artifact(self, tmp_path, name, total, wall):
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "bench_solver/1",
+                    "total_wall_s": total,
+                    "experiments": [{"id": "fig01", "wall_s": wall}],
+                }
+            )
+        )
+        return path
+
+    def test_folds_artifacts_in_order(self, tmp_path):
+        first = self._artifact(tmp_path, "bench_a.json", 1.0, 0.4)
+        second = self._artifact(tmp_path, "bench_b.json", 3.0, 2.4)
+        series = bench_wall_series([first, second])
+        by_name = {one.name: one for one in series}
+        total = by_name["bench.total_wall_s"]
+        assert total.kind == "wall"
+        assert [p.value for p in total.points] == [1.0, 3.0]
+        assert by_name["bench.fig01.wall_s"].latest == 2.4
+
+    def test_non_bench_document_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "run_manifest/1"}))
+        with pytest.raises(ConfigurationError):
+            bench_wall_series([path])
+
+
+class TestFlagRegressions:
+    def test_flags_growth_past_threshold(self):
+        flags = flag_regressions(
+            [_series("rollbacks", "counter", 2.0, 5.0)], threshold=2.0
+        )
+        assert len(flags) == 1
+        assert flags[0].name == "rollbacks"
+        assert flags[0].ratio == pytest.approx(2.5)
+
+    def test_growth_below_threshold_not_flagged(self):
+        flags = flag_regressions(
+            [_series("rollbacks", "counter", 2.0, 3.0)], threshold=2.0
+        )
+        assert flags == ()
+
+    def test_wall_series_gets_noise_floor(self):
+        # 3x growth but only 30ms absolute: under the bench noise floor.
+        flags = flag_regressions(
+            [_series("bench.total_wall_s", "wall", 0.015, 0.045)], threshold=2.0
+        )
+        assert flags == ()
+
+    def test_single_point_series_never_flags(self):
+        assert flag_regressions([_series("x", "counter", 9.0)]) == ()
+
+    def test_improvement_never_flags(self):
+        assert flag_regressions([_series("x", "counter", 5.0, 1.0)]) == ()
+
+
+class TestSpanWallStats:
+    def test_sentinel_spans_excluded_from_wall_statistics(self):
+        """Satellite: wall_s == -1 (not profiled) must never be averaged."""
+        documents = [
+            {"type": "SpanEvent", "name": "a", "wall_s": -1.0},
+            {"type": "SpanEvent", "name": "b", "wall_s": 0.5},
+            {"type": "SpanEvent", "name": "c", "wall_s": 1.5},
+            {"type": "CpmStepEvent", "seq": 0},
+        ]
+        stats = span_wall_stats(documents)
+        assert stats["spans"] == 3
+        assert stats["profiled"] == 2
+        assert stats["wall_total_s"] == pytest.approx(2.0)
+        assert stats["wall_mean_s"] == pytest.approx(1.0)
+        assert stats["wall_max_s"] == pytest.approx(1.5)
+
+    def test_all_sentinel_stream_has_no_wall_keys(self):
+        documents = [{"type": "SpanEvent", "name": "a", "wall_s": -1.0}]
+        stats = span_wall_stats(documents)
+        assert stats == {"spans": 1, "profiled": 0}
+
+
+class TestRenderHistory:
+    def test_table_marks_flagged_series(self):
+        series = [_series("rollbacks", "counter", 2.0, 5.0)]
+        flags = flag_regressions(series, threshold=2.0)
+        text = render_history(series, flags, threshold=2.0)
+        assert "REGRESSED" in text
+        assert "1 regression(s) past 2.00x" in text
+
+    def test_empty_series_renders_placeholder(self):
+        assert "(no metric series)" in render_history([], [])

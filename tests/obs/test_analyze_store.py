@@ -1,0 +1,107 @@
+"""Tests for the run registry (RunStore): index, load, prune, ingest checks."""
+
+import json
+
+import pytest
+
+from repro.core.fleet import run_fleet_observed
+from repro.errors import ConfigurationError
+from repro.experiments.common import run_observed
+from repro.obs.analyze.diff import diff_manifests, diff_streams
+from repro.obs.analyze.store import RunStore, default_run_id
+
+SEED = 2019
+
+
+@pytest.fixture()
+def fig01_run(tmp_path):
+    return run_observed("fig01", seed=SEED, out_dir=tmp_path / "run")
+
+
+class TestRunStore:
+    def test_put_indexes_by_manifest_content(self, tmp_path, fig01_run):
+        store = RunStore(tmp_path / "store")
+        record = store.put(fig01_run.manifest_path)
+        assert record.run_id == default_run_id(fig01_run.manifest)
+        assert record.experiment_id == "fig01"
+        assert record.seed == SEED
+        assert record.events_sha256 == fig01_run.manifest.events_sha256
+        assert store.run_ids() == (record.run_id,)
+
+    def test_index_file_is_canonical_and_relative(self, tmp_path, fig01_run):
+        store = RunStore(tmp_path / "store")
+        record = store.put(fig01_run.manifest_path)
+        document = json.loads(store.index_path.read_text())
+        assert document["kind"] == "obs_store_index"
+        indexed = document["runs"][record.run_id]
+        # File references must be names, never absolute paths — the store
+        # should relocate and byte-compare cleanly.
+        assert "/" not in indexed["events_file"]
+        assert str(tmp_path) not in store.index_path.read_text()
+
+    def test_reregistering_identical_run_is_idempotent(self, tmp_path, fig01_run):
+        store = RunStore(tmp_path / "store")
+        store.put(fig01_run.manifest_path)
+        before = store.index_path.read_bytes()
+        store.put(fig01_run.manifest_path)
+        assert store.index_path.read_bytes() == before
+        assert len(store.run_ids()) == 1
+
+    def test_load_round_trips_the_manifest(self, tmp_path, fig01_run):
+        store = RunStore(tmp_path / "store")
+        record = store.put(fig01_run.manifest_path)
+        loaded = store.load(record.run_id)
+        assert loaded.manifest == fig01_run.manifest
+        assert loaded.skipped_lines == 0
+        assert len(loaded.documents) == fig01_run.manifest.event_count
+
+    def test_load_unknown_run_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(ConfigurationError):
+            store.load("nope")
+
+    def test_stream_drift_rejected_at_ingest(self, tmp_path):
+        run = run_observed("fig11", seed=SEED, out_dir=tmp_path / "run")
+        # Tamper with the stream after the manifest digested it.
+        with run.events_path.open("a", encoding="utf-8") as stream:
+            stream.write('{"type":"SpanEvent","seq":9999}\n')
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(ConfigurationError, match="stream drift at ingest"):
+            store.put(run.manifest_path)
+
+    def test_bad_run_id_rejected(self, tmp_path, fig01_run):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(ConfigurationError):
+            store.put(fig01_run.manifest_path, run_id="../escape")
+
+    def test_prune_keeps_lexicographically_last(self, tmp_path, fig01_run):
+        store = RunStore(tmp_path / "store")
+        store.put(fig01_run.manifest_path, run_id="fig01@r1")
+        store.put(fig01_run.manifest_path, run_id="fig01@r2")
+        store.put(fig01_run.manifest_path, run_id="fig01@r3")
+        removed = store.prune(1)
+        assert removed == ("fig01@r1", "fig01@r2")
+        assert store.run_ids() == ("fig01@r3",)
+        assert "fig01@r1" not in store.index_path.read_text()
+
+
+class TestFleetRunRoundTrip:
+    def test_fleet_manifest_survives_store_round_trip(self, tmp_path):
+        """Satellite: fleet artifacts index, load, and diff with zero drift."""
+        first = run_fleet_observed(
+            3, out_dir=tmp_path / "a", seed=SEED, trials=2, n_cores=2
+        )
+        second = run_fleet_observed(
+            3, out_dir=tmp_path / "b", seed=SEED, trials=2, n_cores=2
+        )
+        store = RunStore(tmp_path / "store")
+        record = store.put(first.manifest_path, first.events_path)
+        loaded = store.load(record.run_id)
+        assert loaded.manifest.events_sha256 == first.manifest.events_sha256
+
+        manifest_diff = diff_manifests(loaded.manifest, second.manifest)
+        assert manifest_diff.identical, manifest_diff.render()
+        stream_diff = diff_streams(
+            store.events_path(record.run_id), second.events_path
+        )
+        assert stream_diff.identical, stream_diff.render()

@@ -11,6 +11,7 @@ diff against this oracle.
 """
 
 from repro.experiments.common import run_observed
+from repro.obs.analyze.diff import diff_manifests, explain_divergence
 from repro.obs.events import RollbackEvent
 from repro.obs.sinks import read_jsonl
 from repro.silicon.chipspec import (
@@ -62,6 +63,15 @@ class TestFig11Golden:
     def test_same_seed_runs_are_byte_identical(self, tmp_path):
         first = run_observed("fig11", seed=SEED, out_dir=tmp_path / "a")
         second = run_observed("fig11", seed=SEED, out_dir=tmp_path / "b")
+        # On failure the analyze layer pinpoints the first diverging seq
+        # and field instead of an opaque byte mismatch.
+        delta = explain_divergence(first.events_path, second.events_path)
+        assert delta is None, f"fig11 same-seed event streams diverged:\n{delta}"
+        manifest_diff = diff_manifests(first.manifest_path, second.manifest_path)
+        assert manifest_diff.identical, (
+            f"fig11 same-seed manifests drifted:\n{manifest_diff.render()}"
+        )
+        # The byte-level oracle still holds after the pinpointed checks.
         assert (
             first.events_path.read_bytes() == second.events_path.read_bytes()
         )

@@ -45,6 +45,7 @@ class TestGauge:
         summary = gauge.summary()
         assert summary["p50"] == pytest.approx(50.5)
         assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
 
     def test_last_of_empty_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -111,6 +112,7 @@ class TestMetricsRegistry:
         assert summary["power_w"]["samples"] == 1
         assert summary["iters"]["kind"] == "histogram"
         assert summary["iters"]["count"] == 1
+        assert "p99" in summary["iters"]
         assert registry.to_summary() == summary
 
     def test_render_table_lists_every_instrument(self):

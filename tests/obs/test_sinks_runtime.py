@@ -5,7 +5,15 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.obs.events import CpmStepEvent, RollbackEvent, SpanEvent
 from repro.obs.runtime import Observability, get_obs, install, observed
-from repro.obs.sinks import JsonlFileSink, RingBufferSink, TeeSink, read_jsonl
+from repro.obs.sinks import (
+    JsonlFileSink,
+    RingBufferSink,
+    TeeSink,
+    event_to_json_line,
+    read_jsonl,
+    read_jsonl_documents,
+    read_jsonl_tolerant,
+)
 
 
 def _step(seq: int = 0) -> CpmStepEvent:
@@ -62,6 +70,41 @@ class TestJsonlFileSink:
         path.write_text("not json\n")
         with pytest.raises(ConfigurationError):
             list(read_jsonl(path))
+
+
+class TestTolerantRead:
+    def test_truncated_final_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        intact = event_to_json_line(_step())
+        # A crashed writer leaves a partial final record behind.
+        path.write_text(intact + "\n" + intact[: len(intact) // 2] + "\n")
+        events, skipped = read_jsonl_tolerant(path)
+        assert skipped == 1
+        assert len(events) == 1
+        assert events[0].seq == 0
+
+    def test_intact_stream_reports_zero_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text(event_to_json_line(_step()) + "\n")
+        events, skipped = read_jsonl_tolerant(path)
+        assert skipped == 0
+        assert len(events) == 1
+
+    def test_mid_stream_corruption_still_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        intact = event_to_json_line(_step())
+        # Only the FINAL line is forgivable; corruption followed by more
+        # records means the stream itself is damaged, not just cut short.
+        path.write_text("not json\n" + intact + "\n")
+        with pytest.raises(ConfigurationError):
+            read_jsonl_documents(path, tolerant=True)
+
+    def test_strict_mode_rejects_truncated_final_line(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        intact = event_to_json_line(_step())
+        path.write_text(intact + "\n{\"half\":\n")
+        with pytest.raises(ConfigurationError):
+            read_jsonl_documents(path, tolerant=False)
 
 
 class TestTeeSink:

@@ -141,6 +141,110 @@ class TestObservabilityCommands:
         assert main(["obs", "selfcheck"]) == 0
         assert "selfcheck passed" in capsys.readouterr().out
 
+    def test_trace_store_registers_the_run(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        code = main(
+            ["trace", "fig01", "--out", str(tmp_path / "run"),
+             "--tail", "0", "--store", str(store_dir)]
+        )
+        assert code == 0
+        assert "registered as fig01@s2019-" in capsys.readouterr().out
+        assert (store_dir / "index.json").exists()
+
+
+class TestAnalyzeCli:
+    def _trace(self, tmp_path, name, seed="2019", experiment="fig01"):
+        out_dir = tmp_path / name
+        assert main(
+            ["--seed", seed, "trace", experiment,
+             "--out", str(out_dir), "--tail", "0"]
+        ) == 0
+        return out_dir
+
+    def test_diff_same_seed_is_clean(self, tmp_path, capsys):
+        left = self._trace(tmp_path, "a")
+        right = self._trace(tmp_path, "b")
+        capsys.readouterr()
+        code = main(["obs", "diff", str(left), str(right)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no drift" in out
+        assert "no divergence" in out
+
+    def test_diff_different_seed_pinpoints_divergence(self, tmp_path, capsys):
+        left = self._trace(tmp_path, "a", experiment="fig11")
+        right = self._trace(tmp_path, "b", seed="7", experiment="fig11")
+        capsys.readouterr()
+        code = main(["obs", "diff", str(left), str(right)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "primary: seed" in out
+        assert "first divergence at seq" in out
+
+    def test_diff_missing_operand_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["obs", "diff", str(tmp_path / "nope.jsonl"),
+             str(tmp_path / "also-nope.jsonl")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_history_over_registered_runs(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        for name, seed in (("a", "2019"), ("b", "7")):
+            main(
+                ["--seed", seed, "trace", "fig01",
+                 "--out", str(tmp_path / name), "--tail", "0",
+                 "--store", str(store_dir)]
+            )
+        capsys.readouterr()
+        code = main(["obs", "history", "--store", str(store_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics history: 2 run(s)" in out
+        assert "no regressions past 2.00x" in out
+
+    def test_report_json_to_file(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        main(
+            ["trace", "fig01", "--out", str(tmp_path / "run"),
+             "--tail", "0", "--store", str(store_dir)]
+        )
+        capsys.readouterr()
+        out_file = tmp_path / "report.json"
+        code = main(
+            ["obs", "report", "--store", str(store_dir),
+             "--format", "json", "--out", str(out_file)]
+        )
+        assert code == 0
+        import json
+
+        document = json.loads(out_file.read_text())
+        assert document["kind"] == "obs_report"
+        assert len(document["runs"]) == 1
+
+    def test_fleet_health_renders_triage_table(self, capsys):
+        code = main(
+            ["fleet", "health", "--chips", "3",
+             "--trials", "2", "--cores", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet health: 3 chips x 2 cores" in out
+        assert "outliers:" in out
+
+    def test_fleet_health_json_document(self, capsys):
+        import json
+
+        code = main(
+            ["fleet", "health", "--chips", "2",
+             "--trials", "2", "--cores", "2", "--json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "fleet_health"
+        assert len(document["chips"]) == 2
+
 
 class TestFleetCli:
     def test_characterize_renders_summary(self, capsys):

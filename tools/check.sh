@@ -31,6 +31,22 @@ else
 fi
 rm -f "$bench_out"
 
+echo "== repro obs selfcheck =="
+python -m repro obs selfcheck >/dev/null || failures=$((failures + 1))
+
+echo "== repro obs diff (same-seed self-comparison) =="
+# Two observed runs at the same seed must diff clean: first-divergence
+# diffing is itself the regression oracle for the obs pipeline.
+obs_tmp="$(mktemp -d)"
+if python -m repro trace fig01 --out "$obs_tmp/a" --tail 0 >/dev/null \
+        && python -m repro trace fig01 --out "$obs_tmp/b" --tail 0 >/dev/null \
+        && python -m repro obs diff "$obs_tmp/a" "$obs_tmp/b" >/dev/null; then
+    echo "obs diff self-comparison ok"
+else
+    failures=$((failures + 1))
+fi
+rm -rf "$obs_tmp"
+
 echo "== tier-1 pytest =="
 python -m pytest -x -q || failures=$((failures + 1))
 
