@@ -324,7 +324,8 @@ def run_bench(
     if out_path is not None:
         path = Path(out_path)
         path.write_text(
-            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
         )
     return report
 

@@ -708,7 +708,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.set_defaults(func=_cmd_list_workloads)
 
     p_lint = sub.add_parser(
-        "lint", help="run the domain linter (RL001-RL008) over the tree"
+        "lint",
+        help="run the domain linter (RL001-RL008; --project adds the "
+        "interprocedural RL009-RL012) over the tree",
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=run_lint)

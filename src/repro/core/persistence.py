@@ -75,7 +75,9 @@ def limit_table_from_dict(document: dict) -> LimitTable:
 def save_limit_table(table: LimitTable, path: str | Path) -> Path:
     """Write a limit table to ``path`` as JSON; returns the path."""
     target = Path(path)
-    target.write_text(json.dumps(limit_table_to_dict(table), indent=2))
+    target.write_text(
+        json.dumps(limit_table_to_dict(table), indent=2, sort_keys=True)
+    )
     return target
 
 
@@ -143,7 +145,9 @@ def deployment_from_dict(document: dict) -> DeploymentConfig:
 def save_deployment(config: DeploymentConfig, path: str | Path) -> Path:
     """Write a deployment configuration to ``path``; returns the path."""
     target = Path(path)
-    target.write_text(json.dumps(deployment_to_dict(config), indent=2))
+    target.write_text(
+        json.dumps(deployment_to_dict(config), indent=2, sort_keys=True)
+    )
     return target
 
 

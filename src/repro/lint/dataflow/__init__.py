@@ -1,0 +1,31 @@
+"""Project-wide dataflow analysis for ``repro.lint`` (the ``--project`` mode).
+
+The per-file rules (RL001-RL008) see one AST at a time; this package sees
+the whole package at once:
+
+:mod:`~repro.lint.dataflow.symbols`
+    Per-module extraction: functions, classes and their fields, import
+    bindings, ``__all__`` — one picklable :class:`ModuleInfo` per file.
+:mod:`~repro.lint.dataflow.project`
+    The :class:`ProjectModel`: module index, import/name resolution, and
+    the shared entry point :func:`analyze_project`.
+:mod:`~repro.lint.dataflow.dimensions`
+    The unit-dimension lattice inferred from the suffix convention
+    (``_mhz``, ``_v``, ``_w``, ``_ps``, ...).
+:mod:`~repro.lint.dataflow.unitflow`
+    Interprocedural unit propagation (assignments, arithmetic, returns,
+    call arguments) powering RL009.
+:mod:`~repro.lint.dataflow.taint`
+    Seed-provenance taint analysis powering RL010.
+:mod:`~repro.lint.dataflow.callgraph`
+    Symbol reference graph and reachability powering RL012.
+:mod:`~repro.lint.dataflow.cache`
+    sha256-keyed on-disk cache of parsed/extracted modules, so repeated
+    ``--project`` runs on an unchanged tree skip re-parsing.
+"""
+
+from __future__ import annotations
+
+from .project import ProjectModel, analyze_project
+
+__all__ = ["ProjectModel", "analyze_project"]

@@ -98,7 +98,7 @@ class LintContext:
         self.is_test = is_test
         #: True for files that belong to the ``repro`` package proper.
         self.in_repro_src = in_repro_src
-        self.suppressions = _parse_suppressions(source)
+        self.suppressions = parse_suppressions(source)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         """True when ``line`` carries a disable comment covering ``rule_id``."""
@@ -108,7 +108,8 @@ class LintContext:
         return "all" in disabled or rule_id in disabled
 
 
-def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Line -> rule-ids disabled by a ``# repro-lint: disable=`` comment."""
     suppressions: dict[int, frozenset[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
@@ -150,6 +151,40 @@ class Rule:
             path=ctx.path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class ProjectRule:
+    """Base class for project-wide (interprocedural) lint rules.
+
+    Unlike :class:`Rule`, a project rule sees the whole
+    :class:`~repro.lint.dataflow.project.ProjectModel` at once and is
+    responsible for anchoring each finding at a concrete file and line.
+    Suppression comments and baselines are applied by the caller
+    (:func:`~repro.lint.dataflow.project.analyze_project`), exactly as for
+    per-file rules.
+    """
+
+    rule_id: str = "RL900"
+    severity: str = "error"
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, project) -> Iterable[Finding]:
+        """Yield findings for the whole project."""
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` at an explicit location."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
             rule_id=self.rule_id,
             severity=self.severity,
             message=message,

@@ -1,11 +1,19 @@
-"""Finding renderers for the lint CLI (``--format=text|json``)."""
+"""Finding renderers for the lint CLI (``--format=text|json|sarif``)."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
+from collections.abc import Sequence
 
 from .engine import Finding, Rule
+
+#: SARIF 2.1.0 is the interchange schema GitHub code scanning ingests.
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def format_text(findings: list[Finding], *, files_checked: int) -> str:
@@ -35,7 +43,80 @@ def format_json(findings: list[Finding], *, files_checked: int) -> str:
             "findings": [finding.to_dict() for finding in findings],
         },
         indent=2,
+        sort_keys=True,
     )
+
+
+def format_sarif(
+    findings: list[Finding], *, rules: Sequence[object] = ()
+) -> str:
+    """SARIF 2.1.0 report (one run, driver ``repro.lint``).
+
+    ``rules`` is any iterable of rule objects with ``rule_id`` /
+    ``summary`` / ``rationale`` attributes; only rules that actually
+    produced findings (plus the ones passed) are described, which keeps
+    the document small and deterministic.
+    """
+    described = {}
+    for rule in rules:
+        described[rule.rule_id] = {
+            "id": rule.rule_id,
+            "name": getattr(rule, "summary", "") or rule.rule_id,
+            "shortDescription": {
+                "text": getattr(rule, "summary", "") or rule.rule_id
+            },
+            "fullDescription": {"text": getattr(rule, "rationale", "")},
+        }
+    for finding in findings:
+        described.setdefault(
+            finding.rule_id,
+            {
+                "id": finding.rule_id,
+                "name": finding.rule_id,
+                "shortDescription": {"text": finding.rule_id},
+            },
+        )
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error" if finding.severity == "error" else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            described[rule_id]
+                            for rule_id in sorted(described)
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def format_rule_table(rules: tuple[Rule, ...]) -> str:

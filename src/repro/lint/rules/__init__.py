@@ -8,16 +8,20 @@ pool workers, and ``--list-rules`` all see the same set.
 from __future__ import annotations
 
 from ...errors import LintError
-from ..engine import Rule
+from ..engine import ProjectRule, Rule
 from .constants import MagicPlatformConstantRule
+from .dead_api import DeadPublicApiRule
 from .determinism import UnseededRngRule, WallClockRule
 from .exceptions import BareExceptionRule
 from .float_eq import FloatEqualityRule
+from .obs_contract import ObsContractRule
 from .printing import DirectPrintRule
 from .process import ProcessUnsafeParallelRule
+from .seed_taint import SeedTaintRule
 from .units_suffix import UnitSuffixRule
+from .unit_flow import UnitFlowRule
 
-#: Every shipped rule, in id order.
+#: Every shipped per-file rule, in id order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRngRule(),
     WallClockRule(),
@@ -29,11 +33,20 @@ ALL_RULES: tuple[Rule, ...] = (
     ProcessUnsafeParallelRule(),
 )
 
+#: Every shipped project-wide (``--project``) rule, in id order.
+PROJECT_RULES: tuple[ProjectRule, ...] = (
+    UnitFlowRule(),
+    SeedTaintRule(),
+    ObsContractRule(),
+    DeadPublicApiRule(),
+)
+
 _BY_ID = {rule.rule_id: rule for rule in ALL_RULES}
+_PROJECT_BY_ID = {rule.rule_id: rule for rule in PROJECT_RULES}
 
 
 def get_rules(rule_ids: list[str] | None = None) -> tuple[Rule, ...]:
-    """Resolve ``rule_ids`` to rule objects; ``None`` selects every rule."""
+    """Resolve ``rule_ids`` to per-file rule objects; ``None`` selects all."""
     if rule_ids is None:
         return ALL_RULES
     missing = [rule_id for rule_id in rule_ids if rule_id not in _BY_ID]
@@ -43,4 +56,19 @@ def get_rules(rule_ids: list[str] | None = None) -> tuple[Rule, ...]:
     return tuple(_BY_ID[rule_id] for rule_id in rule_ids)
 
 
-__all__ = ["ALL_RULES", "get_rules"]
+def get_project_rules(
+    rule_ids: list[str] | None = None,
+) -> tuple[ProjectRule, ...]:
+    """Resolve ``rule_ids`` to project rules; ``None`` selects all."""
+    if rule_ids is None:
+        return PROJECT_RULES
+    missing = [rid for rid in rule_ids if rid not in _PROJECT_BY_ID]
+    if missing:
+        known = ", ".join(sorted(_PROJECT_BY_ID))
+        raise LintError(
+            f"unknown project rule id(s) {missing}; known rules: {known}"
+        )
+    return tuple(_PROJECT_BY_ID[rule_id] for rule_id in rule_ids)
+
+
+__all__ = ["ALL_RULES", "PROJECT_RULES", "get_rules", "get_project_rules"]

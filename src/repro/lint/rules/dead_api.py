@@ -1,0 +1,34 @@
+"""RL012 — dead-public-API rule.
+
+A public top-level symbol nobody can reach from the CLI, the experiments
+registry, or the tests is untested, unmaintained surface area — exactly
+the code that rots silently until a refactor trips over it.  The
+reference graph and reachability walk live in
+:mod:`repro.lint.dataflow.callgraph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..engine import Finding, ProjectRule
+
+
+class DeadPublicApiRule(ProjectRule):
+    """RL012: public symbols must be reachable from an entry point."""
+
+    rule_id = "RL012"
+    severity = "warning"
+    summary = "dead-public-api"
+    rationale = (
+        "unreachable public symbols carry no tests and no callers; they "
+        "either deserve a caller, a test, an underscore, or deletion"
+    )
+
+    def check(self, project) -> Iterable[Finding]:
+        from ..dataflow.callgraph import ReferenceGraph
+
+        for path, line, col, message in ReferenceGraph(
+            project
+        ).dead_public_symbols():
+            yield self.finding(path, line, col, message)

@@ -1,0 +1,172 @@
+"""RL011 — observability contract rule.
+
+The obs pipeline's byte-identical guarantee rests on three conventions
+this rule checks statically, project-wide:
+
+1. **Complete events** — constructing an :class:`~repro.obs.events.ObsEvent`
+   subclass must supply every required field (and no unknown ones);
+   dataclasses only raise at runtime, and only when a sink is attached.
+2. **Canonical JSON** — every ``json.dumps`` call in the package must pass
+   ``sort_keys=True``; unsorted keys make artifacts depend on dict
+   insertion history instead of content.
+3. **Balanced spans** — ``tracer.span(...)`` builds a context manager; a
+   call that is not the context expression of a ``with`` never enters or
+   exits, silently dropping the span (and any nesting under it).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..dataflow.symbols import ClassInfo, ModuleInfo, dotted_name
+from ..engine import Finding, ProjectRule
+
+
+def _event_classes(project) -> dict[str, ClassInfo]:
+    """Qualname -> ClassInfo for every ObsEvent subclass in the project."""
+    classes: dict[str, ClassInfo] = {}
+    for module in project.all_modules:
+        for cls in module.classes.values():
+            if project.inherits_from(cls, "ObsEvent"):
+                classes[cls.qualname] = cls
+    return classes
+
+
+def _with_context_calls(tree: ast.Module) -> set[int]:
+    """ids of Call nodes used directly as a ``with`` context expression."""
+    used: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    used.add(id(item.context_expr))
+    return used
+
+
+class ObsContractRule(ProjectRule):
+    """RL011: event fields, canonical JSON, and span balance."""
+
+    rule_id = "RL011"
+    severity = "error"
+    summary = "obs-contract"
+    rationale = (
+        "the obs guarantee is same seed => byte-identical artifacts; "
+        "incomplete events, unsorted JSON, and unentered spans each break "
+        "it without failing a unit test"
+    )
+
+    def check(self, project) -> Iterable[Finding]:
+        events = _event_classes(project)
+        for module in project.modules:
+            yield from self._check_module(project, module, events)
+
+    def _check_module(
+        self, project, module: ModuleInfo, events: dict[str, ClassInfo]
+    ) -> Iterable[Finding]:
+        with_calls = _with_context_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_event_call(project, module, node, events)
+            yield from self._check_json_dumps(project, module, node)
+            yield from self._check_span(module, node, with_calls)
+
+    # -- 1. complete events ------------------------------------------------
+
+    def _check_event_call(
+        self,
+        project,
+        module: ModuleInfo,
+        call: ast.Call,
+        events: dict[str, ClassInfo],
+    ) -> Iterable[Finding]:
+        resolution = project.resolve_call_target(module, call.func)
+        if resolution is None or resolution.kind != "class":
+            return
+        cls: ClassInfo = resolution.value
+        if cls.qualname not in events:
+            return
+        params = project.constructor_params(cls)
+        if params is None:
+            return
+        if any(isinstance(arg, ast.Starred) for arg in call.args) or any(
+            keyword.arg is None for keyword in call.keywords
+        ):
+            return  # splats defeat static checking (event_from_dict)
+        supplied = {param.name for param in params[: len(call.args)]}
+        known = {param.name for param in params}
+        for keyword in call.keywords:
+            if keyword.arg not in known:
+                yield self.finding(
+                    module.path,
+                    keyword.value.lineno,
+                    keyword.value.col_offset,
+                    f"`{cls.name}` has no field `{keyword.arg}` "
+                    "(event document would fail round-trip)",
+                )
+            else:
+                supplied.add(keyword.arg)
+        missing = [
+            param.name
+            for param in params
+            if not param.has_default and param.name not in supplied
+        ]
+        if missing:
+            yield self.finding(
+                module.path,
+                call.lineno,
+                call.col_offset,
+                f"`{cls.name}` emission misses required field(s) "
+                f"{', '.join(sorted(missing))}",
+            )
+
+    # -- 2. canonical JSON ---------------------------------------------------
+
+    def _check_json_dumps(
+        self, project, module: ModuleInfo, call: ast.Call
+    ) -> Iterable[Finding]:
+        resolution = project.resolve_call_target(module, call.func)
+        if resolution is None or resolution.kind != "external":
+            return
+        if str(resolution.value) != "json.dumps":
+            return
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                return  # **kwargs may carry sort_keys
+            if keyword.arg == "sort_keys":
+                if (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return
+                break
+        yield self.finding(
+            module.path,
+            call.lineno,
+            call.col_offset,
+            "json.dumps without sort_keys=True bypasses canonical JSON; "
+            "artifact bytes would depend on dict insertion order",
+        )
+
+    # -- 3. balanced spans ---------------------------------------------------
+
+    def _check_span(
+        self, module: ModuleInfo, call: ast.Call, with_calls: set[int]
+    ) -> Iterable[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr != "span":
+            return
+        receiver = dotted_name(func.value)
+        if receiver is None or "tracer" not in receiver.lower():
+            return
+        if id(call) in with_calls:
+            return
+        yield self.finding(
+            module.path,
+            call.lineno,
+            call.col_offset,
+            f"`{receiver}.span(...)` outside a `with` statement never "
+            "enters or exits; the span (and everything nested under it) "
+            "is silently dropped",
+        )

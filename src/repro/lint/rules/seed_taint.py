@@ -1,0 +1,34 @@
+"""RL010 — seed-provenance taint rule.
+
+RL001 bans direct ``np.random``/stdlib ``random`` *call sites* inside the
+package; this rule generalizes the contract to *flows*: an RNG value not
+derived from :class:`repro.rng.RngStreams` (or an explicit seed) must not
+reach the deterministic physics in ``atm/``, ``core/``, ``experiments/``,
+or ``fastpath/`` — even through layers of helpers that RL001 cannot see
+across.  The taint engine lives in :mod:`repro.lint.dataflow.taint`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..engine import Finding, ProjectRule
+
+
+class SeedTaintRule(ProjectRule):
+    """RL010: only RngStreams-derived randomness may reach the physics."""
+
+    rule_id = "RL010"
+    severity = "error"
+    summary = "seed-provenance"
+    rationale = (
+        "an unseeded generator laundered through two helpers decorrelates "
+        "same-seed runs without failing any test; taint analysis follows "
+        "the value, not the call site"
+    )
+
+    def check(self, project) -> Iterable[Finding]:
+        from ..dataflow.taint import TaintAnalysis
+
+        for path, line, col, message in TaintAnalysis(project).check_all():
+            yield self.finding(path, line, col, message)

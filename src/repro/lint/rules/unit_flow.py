@@ -1,0 +1,34 @@
+"""RL009 — interprocedural unit-mismatch rule.
+
+RL004 makes quantity names *say* their unit; this rule makes the program
+*respect* what the names say: adding, comparing, assigning, passing, or
+returning a value across two different stated units is reported wherever
+the flow happens — including through function summaries, so a ``_mhz``
+expression reaching a ``_v`` parameter two calls away is caught at the
+call site.  The analysis lives in :mod:`repro.lint.dataflow.unitflow`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..engine import Finding, ProjectRule
+
+
+class UnitFlowRule(ProjectRule):
+    """RL009: values flowing between unit-suffixed names must agree."""
+
+    rule_id = "RL009"
+    severity = "error"
+    summary = "unit-mismatch-flow"
+    rationale = (
+        "a _mhz value assigned into a _v parameter is a silent wrong answer "
+        "the suffix convention exists to prevent; the dataflow layer checks "
+        "it across calls, not just within one expression"
+    )
+
+    def check(self, project) -> Iterable[Finding]:
+        from ..dataflow.unitflow import UnitAnalysis
+
+        for path, line, col, message in UnitAnalysis(project).check_all():
+            yield self.finding(path, line, col, message)

@@ -1,0 +1,11 @@
+"""RL009 fixture: a ``_mhz`` expression reaching a ``_v`` parameter."""
+
+
+def apply_supply(vdd_v):
+    """Pretend to program the supply rail."""
+    return vdd_v * 1.02
+
+
+def drive(freq_mhz):
+    """Passes a frequency where a voltage is expected (line 11)."""
+    return apply_supply(freq_mhz)

@@ -1,0 +1,27 @@
+"""RL009 fixture: unit-correct flows that must stay clean."""
+
+
+def mhz_to_cycle_ps(freq_mhz):
+    """Suffix-named converter: returns picoseconds."""
+    return 1.0e6 / freq_mhz
+
+
+def apply_supply(vdd_v):
+    """Voltage in, voltage out."""
+    return vdd_v * 1.02
+
+
+def power_budget_w_for_mhz(freq_mhz):
+    """`for` names the argument; the value itself is watts."""
+    return 0.01 * freq_mhz
+
+
+def schedule(freq_mhz, limit_mhz, vdd_v):
+    """Same-unit arithmetic, converter use, and a `for`-keyed lookup."""
+    margin_mhz = limit_mhz - freq_mhz
+    cycle_ps = mhz_to_cycle_ps(freq_mhz)
+    rail_v = apply_supply(vdd_v)
+    budget_w = power_budget_w_for_mhz(freq_mhz)
+    if margin_mhz > 0 and cycle_ps > 0 and budget_w > 0:
+        return rail_v
+    return vdd_v

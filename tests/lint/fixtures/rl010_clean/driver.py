@@ -1,0 +1,9 @@
+"""RL010 fixture: stream-derived randomness entering a zone (clean)."""
+
+from exp import run_experiment
+
+
+def main(streams):
+    """RngStreams-minted generators are clean by construction."""
+    rng = streams.fresh("fixture.driver")
+    return run_experiment(rng, 8)

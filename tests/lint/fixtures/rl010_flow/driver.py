@@ -1,0 +1,10 @@
+"""RL010 fixture driver: hands an unseeded RNG to experiment code."""
+
+from exp import run_experiment
+from helpers import make_noise
+
+
+def main():
+    """The crossing happens at the call argument on line 10."""
+    noise = make_noise()
+    return run_experiment(noise, 8)

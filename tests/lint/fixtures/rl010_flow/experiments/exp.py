@@ -1,0 +1,9 @@
+"""RL010 fixture sink: experiment physics (protected zone by path)."""
+
+
+def run_experiment(rng, trials):
+    """Draws from whatever generator it is handed."""
+    total = 0.0
+    for _ in range(trials):
+        total += rng.normal()
+    return total

@@ -1,0 +1,8 @@
+"""RL010 fixture helper: mints an unseeded generator (not in a zone)."""
+
+import numpy as np
+
+
+def make_noise():
+    """Returns-tainted: an argument-less ``default_rng``."""
+    return np.random.default_rng()

@@ -1,0 +1,22 @@
+"""RL011 fixture: one violation of each obs-contract clause."""
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    seq: int
+
+
+@dataclass(frozen=True)
+class StepEvent(ObsEvent):
+    step: int
+    freq_mhz: float
+
+
+def emit(tracer):
+    event = StepEvent(step=3)
+    blob = json.dumps({"a": 1})
+    tracer.span("work")
+    return event, blob

@@ -1,0 +1,23 @@
+"""RL011 fixture: contract-respecting obs code (must stay clean)."""
+
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    seq: int
+
+
+@dataclass(frozen=True)
+class StepEvent(ObsEvent):
+    step: int
+    freq_mhz: float
+
+
+def emit(tracer):
+    event = StepEvent(seq=0, step=3, freq_mhz=4204.0)
+    blob = json.dumps({"a": 1}, sort_keys=True)
+    with tracer.span("work"):
+        pass
+    return event, blob

@@ -1,0 +1,7 @@
+"""RL012 fixture entry point (module name tail ``cli`` makes it a root)."""
+
+from lib import used_helper
+
+
+def main():
+    return used_helper()

@@ -1,0 +1,13 @@
+"""RL012 fixture library: one used, one dead, one private symbol."""
+
+
+def used_helper():
+    return 42
+
+
+def dead_helper():
+    return 43
+
+
+def _private_scratch():
+    return 44

@@ -1,0 +1,172 @@
+"""Unit tests for the dataflow layer: dimensions, symbols, cache, model."""
+
+import textwrap
+
+from repro.lint.dataflow.cache import ModuleCache, source_sha256
+from repro.lint.dataflow.dimensions import (
+    DIMENSIONLESS,
+    combine_add,
+    combine_div,
+    combine_mul,
+    mismatch,
+    unit_of_name,
+)
+from repro.lint.dataflow.project import ProjectModel
+from repro.lint.dataflow.symbols import extract_module, module_name_for
+
+
+def _write_module(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestUnitOfName:
+    def test_suffix_and_case(self):
+        assert unit_of_name("freq_mhz") == "mhz"
+        assert unit_of_name("STATIC_MARGIN_MHZ") == "mhz"
+        assert unit_of_name("slack_ps") == "ps"
+
+    def test_dimensionless_tails(self):
+        assert unit_of_name("speedup_ratio") == DIMENSIONLESS
+        assert unit_of_name("gain_factor") == DIMENSIONLESS
+
+    def test_unknowns(self):
+        assert unit_of_name("payload") is None
+        assert unit_of_name("s") is None  # bare suffix, no stem
+        assert unit_of_name("ceff_w_per_ghz") is None  # compound rate
+        assert unit_of_name("fence_k") is None  # multiplier, not kelvin
+
+    def test_for_keyed_names_use_the_part_before_for(self):
+        assert unit_of_name("power_budget_w_for_mhz") == "w"
+        assert unit_of_name("frequency_for_speedup") is None
+
+    def test_named_units(self):
+        assert unit_of_name("vdd") == "v"
+        assert unit_of_name("mv") == "mv"
+
+
+class TestLattice:
+    def test_mismatch_needs_two_concrete_units(self):
+        assert mismatch("mhz", "v")
+        assert not mismatch("mhz", "mhz")
+        assert not mismatch("mhz", None)
+        assert not mismatch("mhz", DIMENSIONLESS)
+
+    def test_combines(self):
+        assert combine_add("mhz", None) == "mhz"
+        assert combine_mul("mhz", DIMENSIONLESS) == "mhz"
+        assert combine_mul("mhz", "mhz") is None  # compound product
+        assert combine_div("w", "w") == DIMENSIONLESS
+
+
+class TestModuleNaming:
+    def test_package_walk_is_root_independent(self, tmp_path):
+        _write_module(tmp_path, "src/pkg/__init__.py", "")
+        _write_module(tmp_path, "src/pkg/sub/__init__.py", "")
+        inner = _write_module(tmp_path, "src/pkg/sub/mod.py", "X = 1\n")
+        assert module_name_for(inner) == "pkg.sub.mod"
+        assert module_name_for(tmp_path / "src/pkg/sub/__init__.py") == "pkg.sub"
+
+    def test_loose_file_gets_bare_stem(self, tmp_path):
+        loose = _write_module(tmp_path, "corpus/helpers.py", "X = 1\n")
+        assert module_name_for(loose) == "helpers"
+
+
+class TestBindings:
+    def test_relative_import_in_package_init(self, tmp_path):
+        _write_module(tmp_path, "pkg/__init__.py", "from . import mod\n")
+        _write_module(tmp_path, "pkg/mod.py", "def f():\n    return 1\n")
+        source = (tmp_path / "pkg/__init__.py").read_text(encoding="utf-8")
+        info = extract_module(
+            tmp_path / "pkg/__init__.py", source, source_sha256(source)
+        )
+        # Recorded as a symbol of the package; resolution falls through to
+        # the submodule when the package has no such def.
+        assert info.bindings["mod"].target == "pkg:mod"
+
+    def test_relative_import_in_sibling(self, tmp_path):
+        _write_module(tmp_path, "pkg/__init__.py", "")
+        _write_module(tmp_path, "pkg/a.py", "from .b import f\n")
+        source = (tmp_path / "pkg/a.py").read_text(encoding="utf-8")
+        info = extract_module(tmp_path / "pkg/a.py", source, source_sha256(source))
+        assert info.bindings["f"].target == "pkg.b:f"
+
+
+class TestProjectModel:
+    def test_cross_module_resolution(self, tmp_path):
+        _write_module(tmp_path, "corpus/lib.py", "def helper():\n    return 1\n")
+        _write_module(
+            tmp_path,
+            "corpus/app.py",
+            """\
+            from lib import helper
+
+            def run():
+                return helper()
+            """,
+        )
+        model = ProjectModel([tmp_path / "corpus"])
+        app = model.module_named("app")
+        resolved = model.resolve_dotted(app, "helper")
+        assert resolved is not None and resolved.kind == "function"
+        assert resolved.value.qualname == "lib:helper"
+
+    def test_parse_failure_is_a_finding_not_a_crash(self, tmp_path):
+        _write_module(tmp_path, "corpus/broken.py", "def broken(:\n")
+        model = ProjectModel([tmp_path / "corpus"])
+        assert len(model.parse_failures) == 1
+        assert model.parse_failures[0].rule_id == "PARSE"
+
+
+class TestModuleCache:
+    def test_round_trip_and_hit_counters(self, tmp_path):
+        path = _write_module(tmp_path, "corpus/m.py", "def f():\n    return 1\n")
+        cache = ModuleCache(tmp_path / "cache")
+        source = path.read_text(encoding="utf-8")
+        sha = source_sha256(source)
+        display = path.as_posix()
+        assert cache.get(sha, display) is None
+        info = extract_module(path, source, sha, display_path=display)
+        cache.put(info)
+        cached = cache.get(sha, display)
+        assert cached is not None
+        assert cached.name == info.name
+        assert "f" in cached.functions
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_identical_content_at_two_paths_does_not_collide(self, tmp_path):
+        a = _write_module(tmp_path, "corpus/a.py", "X = 1\n")
+        b = _write_module(tmp_path, "corpus/b.py", "X = 1\n")
+        cache = ModuleCache(tmp_path / "cache")
+        for path in (a, b):
+            source = path.read_text(encoding="utf-8")
+            sha = source_sha256(source)
+            cache.put(
+                extract_module(path, source, sha, display_path=path.as_posix())
+            )
+        source = a.read_text(encoding="utf-8")
+        sha = source_sha256(source)
+        got_a = cache.get(sha, a.as_posix())
+        got_b = cache.get(sha, b.as_posix())
+        assert got_a is not None and got_a.name == "a"
+        assert got_b is not None and got_b.name == "b"
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        path = _write_module(tmp_path, "corpus/m.py", "X = 1\n")
+        cache = ModuleCache(None)
+        source = path.read_text(encoding="utf-8")
+        sha = source_sha256(source)
+        cache.put(extract_module(path, source, sha, display_path=path.as_posix()))
+        assert cache.get(sha, path.as_posix()) is None
+        assert not cache.enabled
+
+    def test_warm_model_build_reads_from_cache(self, tmp_path):
+        _write_module(tmp_path, "corpus/m.py", "def f():\n    return 1\n")
+        cache_dir = tmp_path / "cache"
+        cold = ProjectModel([tmp_path / "corpus"], cache=ModuleCache(cache_dir))
+        assert cold.cache.misses == 1 and cold.cache.hits == 0
+        warm = ProjectModel([tmp_path / "corpus"], cache=ModuleCache(cache_dir))
+        assert warm.cache.hits == 1 and warm.cache.misses == 0
+        assert warm.module_named("m") is not None

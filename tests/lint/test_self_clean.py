@@ -27,6 +27,16 @@ class TestSelfClean:
         rendered = "\n".join(finding.render() for finding in findings)
         assert findings == [], f"lint findings in tests:\n{rendered}"
 
+    def test_project_rules_have_zero_findings(self):
+        """RL009-RL012 over src with tests as reachability roots: empty."""
+        from repro.lint.dataflow.project import analyze_project
+
+        findings = analyze_project(
+            [REPO_ROOT / "src"], root_only_paths=[REPO_ROOT / "tests"]
+        )
+        rendered = "\n".join(finding.render() for finding in findings)
+        assert findings == [], f"project findings in src:\n{rendered}"
+
 
 class TestRegressionCanary:
     def test_reintroducing_direct_default_rng_fails_rl001(self):
