@@ -15,6 +15,7 @@ minimum estimates the compute cost with the least scheduling noise.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -164,6 +165,183 @@ def run_fleet_bench(
 
 
 @dataclass(frozen=True)
+class ObsOverheadBench:
+    """Instrumentation tax: fleet characterization observed vs dark.
+
+    Both runs converge the identical chip set from a cold solve cache; the
+    observed run uses the metrics-only streaming-telemetry mode (NullSink
+    + streaming gauges) — the always-on configuration fleet-scale runs
+    pay for — so the delta is the metric-fold tax, not event serialization
+    or disk I/O.
+    """
+
+    n_chips: int
+    disabled_wall_s: float
+    enabled_wall_s: float
+    probes: int
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Fractional slowdown of the observed run (0.0 = free)."""
+        if self.disabled_wall_s <= 0.0:
+            return 0.0
+        return max(0.0, self.enabled_wall_s / self.disabled_wall_s - 1.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_chips": self.n_chips,
+            "disabled_wall_s": round(self.disabled_wall_s, 4),
+            "enabled_wall_s": round(self.enabled_wall_s, 4),
+            "probes": self.probes,
+            "overhead_ratio": round(self.overhead_ratio, 4),
+        }
+
+
+def run_obs_overhead_bench(
+    n_chips: int = 32,
+    *,
+    seed: int = 2019,
+    repeat: int = 1,
+) -> ObsOverheadBench:
+    """Time :func:`~repro.core.fleet.characterize_fleet` dark vs observed.
+
+    Best-of-``repeat`` walls on each side, cold solve cache per pass.  The
+    observed side uses a :class:`~repro.obs.sinks.NullSink` (events are
+    suppressed at the construction site; instruments still fold) with a
+    streaming-gauge registry, so the measured overhead is the
+    instrumentation tax the ``--metrics-mode streaming`` fleet path pays
+    — the number the tools/check.sh obs-overhead gate holds below its
+    threshold.
+    """
+    from ..core.fleet import characterize_fleet
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.runtime import Observability, observed
+    from ..obs.sinks import NullSink
+
+    if n_chips < 1:
+        raise ConfigurationError(f"obs bench chips must be >= 1, got {n_chips}")
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+
+    disabled_wall_s = float("inf")
+    enabled_wall_s = float("inf")
+    probes = 0
+    for _ in range(repeat):
+        reset_solve_cache()
+        start_s = wall_clock_s()
+        dark = characterize_fleet(n_chips, seed=seed)
+        disabled_wall_s = min(disabled_wall_s, wall_clock_s() - start_s)
+
+        reset_solve_cache()
+        obs = Observability(
+            NullSink(), metrics=MetricsRegistry(gauge_mode="streaming")
+        )
+        start_s = wall_clock_s()
+        with observed(obs):
+            lit = characterize_fleet(n_chips, seed=seed)
+        enabled_wall_s = min(enabled_wall_s, wall_clock_s() - start_s)
+        probes = lit.probe_runs
+        if lit.to_dict() != dark.to_dict():
+            raise SimulationError(
+                "observed fleet characterization deviates from the dark run"
+            )
+    reset_solve_cache()
+    return ObsOverheadBench(
+        n_chips=n_chips,
+        disabled_wall_s=disabled_wall_s,
+        enabled_wall_s=enabled_wall_s,
+        probes=probes,
+    )
+
+
+@dataclass(frozen=True)
+class GaugeMemoryBench:
+    """Exact-vs-streaming gauge memory at fleet-scale sample counts.
+
+    Feeds the identical sample series into an exact (trace-backed) gauge
+    and a streaming (sketch-backed) one, then reports the resident bytes
+    of each and the worst observed quantile error against the documented
+    sketch bound.
+    """
+
+    samples: int
+    exact_nbytes: int
+    streaming_nbytes: int
+    max_quantile_error: float
+    error_bound: float
+
+    @property
+    def compression(self) -> float:
+        """Exact bytes over streaming bytes (higher = better)."""
+        if self.streaming_nbytes <= 0:
+            return float("inf")
+        return self.exact_nbytes / self.streaming_nbytes
+
+    def to_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "exact_nbytes": self.exact_nbytes,
+            "streaming_nbytes": self.streaming_nbytes,
+            "compression": round(self.compression, 2),
+            "max_quantile_error": round(self.max_quantile_error, 6),
+            "error_bound": round(self.error_bound, 6),
+        }
+
+
+def run_gauge_memory_bench(
+    samples: int = 100_000,
+    *,
+    seed: int = 2019,
+) -> GaugeMemoryBench:
+    """Measure streaming-gauge memory against the exact recorder.
+
+    Draws ``samples`` lognormal values from a named
+    :class:`~repro.rng.RngStreams` stream (RL001), sets them on one exact
+    and one streaming gauge, and compares p50/p95/p99: the streaming
+    estimates must land within the sketch's documented relative error
+    bound of the exact values, at a small fixed memory footprint.
+    """
+    from ..obs.metrics import Gauge
+    from ..rng import RngStreams
+
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1, got {samples}")
+
+    stream = RngStreams(seed).stream("bench.gauge_memory")
+    values = stream.lognormal(mean=0.0, sigma=1.0, size=samples)
+
+    exact = Gauge("bench.exact", mode="exact")
+    streaming = Gauge("bench.streaming", mode="streaming")
+    for tick, value in enumerate(values):
+        exact.set(float(value), tick=float(tick))
+        streaming.set(float(value), tick=float(tick))
+
+    bound = streaming.sketch.quantile_error_bound
+    ordered = sorted(float(value) for value in values)
+    worst = 0.0
+    for q in (0.50, 0.95, 0.99):
+        # Nearest-rank truth — the rank semantics the sketch's relative
+        # error bound is stated against.
+        rank = max(1, math.ceil(q * samples))
+        truth = ordered[rank - 1]
+        estimate = streaming.sketch.quantile(q)
+        if truth > 0.0:
+            worst = max(worst, abs(estimate - truth) / truth)
+    if worst > bound:
+        raise SimulationError(
+            f"streaming gauge quantile error {worst:.6f} exceeds the "
+            f"documented bound {bound:.6f}"
+        )
+    return GaugeMemoryBench(
+        samples=samples,
+        exact_nbytes=exact.memory_nbytes,
+        streaming_nbytes=streaming.memory_nbytes,
+        max_quantile_error=worst,
+        error_bound=bound,
+    )
+
+
+@dataclass(frozen=True)
 class BenchReport:
     """Measured wall-clock profile of one benchmark invocation."""
 
@@ -176,6 +354,8 @@ class BenchReport:
     cache_misses: int
     baseline_total_s: float | None
     fleet: FleetBench | None = None
+    obs_overhead: ObsOverheadBench | None = None
+    gauge_memory: GaugeMemoryBench | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -212,6 +392,10 @@ class BenchReport:
             doc["speedup"] = round(self.speedup, 4)
         if self.fleet is not None:
             doc["fleet"] = self.fleet.to_dict()
+        if self.obs_overhead is not None:
+            doc["obs_overhead"] = self.obs_overhead.to_dict()
+        if self.gauge_memory is not None:
+            doc["gauge_memory"] = self.gauge_memory.to_dict()
         return doc
 
     def render(self) -> str:
@@ -240,6 +424,23 @@ class BenchReport:
                 f"population {self.fleet.population_wall_s:.3f}s -> "
                 f"speedup {self.fleet.speedup:.2f}x"
             )
+        if self.obs_overhead is not None:
+            oh = self.obs_overhead
+            lines.append(
+                f"obs overhead ({oh.n_chips} chips, {oh.probes} probes): "
+                f"dark {oh.disabled_wall_s:.3f}s / observed "
+                f"{oh.enabled_wall_s:.3f}s -> "
+                f"+{100.0 * oh.overhead_ratio:.1f}%"
+            )
+        if self.gauge_memory is not None:
+            gm = self.gauge_memory
+            lines.append(
+                f"gauge memory ({gm.samples} samples): exact "
+                f"{gm.exact_nbytes} B / streaming {gm.streaming_nbytes} B "
+                f"({gm.compression:.0f}x smaller), worst quantile error "
+                f"{100.0 * gm.max_quantile_error:.2f}% "
+                f"(bound {100.0 * gm.error_bound:.2f}%)"
+            )
         return "\n".join(lines)
 
 
@@ -252,6 +453,8 @@ def run_bench(
     baseline_total_s: float | None = None,
     out_path: str | Path | None = "BENCH_solver.json",
     fleet_chips: int = 0,
+    obs_chips: int = 0,
+    gauge_samples: int = 0,
 ) -> BenchReport:
     """Time the experiment suite and (optionally) write the JSON artifact.
 
@@ -261,7 +464,10 @@ def run_bench(
     inside workers are not collected, so the per-experiment map then
     carries one ``__suite__`` entry instead.  ``fleet_chips > 0`` appends
     a :class:`FleetBench` entry timing population-vs-loop solving over
-    that many sampled chips.
+    that many sampled chips.  ``obs_chips > 0`` appends an
+    :class:`ObsOverheadBench` entry (the tools/check.sh obs-overhead gate
+    reads it), and ``gauge_samples > 0`` a :class:`GaugeMemoryBench`
+    entry witnessing the streaming gauge's bounded memory.
     """
     # Local import: analysis must stay importable without dragging the
     # experiment registry's transitive imports in at module load.
@@ -310,6 +516,16 @@ def run_bench(
         if fleet_chips > 0
         else None
     )
+    obs_overhead = (
+        run_obs_overhead_bench(obs_chips, seed=seed, repeat=repeat)
+        if obs_chips > 0
+        else None
+    )
+    gauge_memory = (
+        run_gauge_memory_bench(gauge_samples, seed=seed)
+        if gauge_samples > 0
+        else None
+    )
     report = BenchReport(
         seed=seed,
         jobs=jobs,
@@ -320,6 +536,8 @@ def run_bench(
         cache_misses=cache_misses,
         baseline_total_s=baseline_total_s,
         fleet=fleet,
+        obs_overhead=obs_overhead,
+        gauge_memory=gauge_memory,
     )
     if out_path is not None:
         path = Path(out_path)
@@ -405,10 +623,14 @@ def compare_to_baseline(
 __all__ = [
     "BenchReport",
     "FleetBench",
+    "GaugeMemoryBench",
+    "ObsOverheadBench",
     "compare_to_baseline",
     "exceeds_ratio_gate",
     "run_bench",
     "run_fleet_bench",
+    "run_gauge_memory_bench",
+    "run_obs_overhead_bench",
     "MIN_REGRESSION_S",
     "SCHEMA",
 ]

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..obs.events import GuardbandViolationEvent
+from ..obs.metrics import identity_tick
 from ..obs.runtime import get_obs
 from ..power.core_power import chip_power_w
 from ..power.pdn import PowerDeliveryNetwork
@@ -331,7 +332,11 @@ class ChipSim:
                     obs.metrics.histogram("chip.solve_iterations").observe(
                         float(iteration)
                     )
-                    obs.metrics.gauge("chip.power_w").set(float(power))
+                    # Same hashed-chip-id tick as the fast path, so the
+                    # two solvers produce identical gauge states.
+                    obs.metrics.gauge("chip.power_w").set(
+                        float(power), tick=identity_tick(self._chip.chip_id)
+                    )
                 return ChipSteadyState(
                     freqs_mhz=tuple(float(f) for f in new_freqs),
                     chip_power_w=float(power),

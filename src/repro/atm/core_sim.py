@@ -70,6 +70,19 @@ def equilibrium_frequency_mhz(
     return 1.0e6 / cycle_ps
 
 
+def _probe_counters(obs):
+    """Resolve the ``probe.total`` / ``probe.failures`` counter handles.
+
+    Returns ``(None, None)`` when telemetry is off; the walk loops fetch
+    the pair once and thread it through every probe, keeping the hot-path
+    cost at two counter bumps instead of two registry lookups per probe.
+    """
+    if not obs.enabled:
+        return None, None
+    metrics = obs.metrics
+    return metrics.counter("probe.total"), metrics.counter("probe.failures")
+
+
 @dataclass(frozen=True)
 class ProbeResult:
     """Outcome of one safety probe of a (core, config, workload) triple."""
@@ -140,16 +153,28 @@ class SafetyProbe:
         Returns whether the run completed correctly; on failure, the result
         carries the sampled manifestation (crash / abnormal exit / SDC).
         """
-        return self._probe_once(core, reduction_steps, workload, get_obs())
+        obs = get_obs()
+        total, failures = _probe_counters(obs)
+        return self._probe_once(
+            core, reduction_steps, workload, obs, total, failures
+        )
 
     def _probe_once(
-        self, core: CoreSpec, reduction_steps: int, workload: Workload, obs
+        self,
+        core: CoreSpec,
+        reduction_steps: int,
+        workload: Workload,
+        obs,
+        probe_total,
+        probe_failures,
     ) -> ProbeResult:
         """One probe with the observability context already resolved.
 
-        The walk loops below fetch the context once per call and thread it
-        through, so the disabled-path cost per probe is a single attribute
-        check rather than a context lookup.
+        The walk loops below fetch the context — and the probe counter
+        handles, via :func:`_probe_counters` — once per call and thread
+        them through, so the per-probe telemetry cost is two counter
+        bumps plus (in event-capturing contexts) one fast-path emit,
+        rather than registry lookups and a frozen-dataclass construction.
         """
         self._probe_count += 1
         slack = core.margin_slack_ps(reduction_steps, workload.stress)
@@ -160,20 +185,19 @@ class SafetyProbe:
         else:
             mode = self._failure_model.sample_mode(self._rng, -slack)
             result = ProbeResult(safe=False, slack_ps=slack, failure_mode=mode)
-        if obs.enabled:
-            obs.emit(
-                CpmStepEvent(
-                    seq=0,
+        if probe_total is not None:
+            if obs.events_enabled:
+                obs.emit_new(
+                    CpmStepEvent,
                     core_label=core.label,
                     workload=workload.name,
                     reduction_steps=reduction_steps,
                     safe=result.safe,
                     slack_ps=result.slack_ps,
                 )
-            )
-            obs.metrics.counter("probe.total").inc()
+            probe_total.inc()
             if not result.safe:
-                obs.metrics.counter("probe.failures").inc()
+                probe_failures.inc()
         return result
 
     def max_safe_reduction(
@@ -200,11 +224,15 @@ class SafetyProbe:
         if repeats_per_step < 1:
             raise ConfigurationError("repeats_per_step must be >= 1")
         obs = get_obs()
+        total, failures = _probe_counters(obs)
         best = start
         for steps in range(start + 1, core.preset_code + 1):
             ok = True
             for _ in range(repeats_per_step):
-                if not self._probe_once(core, steps, workload, obs).safe:
+                probe = self._probe_once(
+                    core, steps, workload, obs, total, failures
+                )
+                if not probe.safe:
                     ok = False
                     break
             if not ok:
@@ -231,10 +259,14 @@ class SafetyProbe:
                 f"{core.label}: start must be in [0, {core.preset_code}]"
             )
         obs = get_obs()
+        total, failures = _probe_counters(obs)
         for steps in range(start, -1, -1):
             ok = True
             for _ in range(repeats_per_step):
-                if not self._probe_once(core, steps, workload, obs).safe:
+                probe = self._probe_once(
+                    core, steps, workload, obs, total, failures
+                )
+                if not probe.safe:
                     ok = False
                     break
             if ok:

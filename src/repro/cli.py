@@ -24,10 +24,16 @@ Mirrors the stages a vendor/operator would actually run:
 ``python -m repro obs diff <left> <right>``
     First-divergence diff of two observed runs (event streams and/or
     manifests); exits non-zero on any divergence or manifest drift.
+``python -m repro obs flame <run> [--format chrome|speedscope]``
+    Export a run's span tree as a Chrome-trace or speedscope profile.
 ``python -m repro obs history --store DIR``
     Per-metric time series across registered runs with regression flags.
 ``python -m repro obs report --store DIR [--format markdown|json]``
     Deterministic digest: registry, history, spans, optional fleet health.
+``python -m repro fleet characterize --chips N [--jobs J] [--metrics-mode streaming]``
+    Chunked fleet characterization; ``--metrics-mode streaming`` and
+    ``--segment-events`` keep memory bounded at any fleet size, and the
+    outputs are byte-identical across chunk sizes and job counts.
 ``python -m repro fleet health --chips N``
     Outlier-chip triage over a sampled fleet (quantile fences).
 ``python -m repro list-workloads``
@@ -135,6 +141,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         baseline_total_s=args.baseline_s,
         out_path=args.out,
         fleet_chips=args.fleet_chips,
+        obs_chips=args.obs_chips,
+        gauge_samples=args.gauge_samples,
     )
     print(report.render())
     print(f"bench report written to {args.out}")
@@ -151,7 +159,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
     from .atm.chip_sim import MarginMode
     from .core.fleet import characterize_fleet, run_fleet_observed
+    from .obs.stream.progress import ProgressReporter
 
+    progress = None
+    if args.progress:
+        # Operator-facing only: stderr, never the event stream or manifest.
+        progress = ProgressReporter(
+            args.chips,
+            write=sys.stderr.write,
+            label="fleet characterize",
+            unit="chips",
+        )
     kwargs = dict(
         chunk_size=args.chunk,
         trials=args.trials,
@@ -159,16 +177,32 @@ def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
         mode=MarginMode(args.mode),
         reduction_steps=args.reduction,
         population=not args.chip_loop,
+        jobs=args.jobs,
+        progress=progress,
     )
-    if args.out:
-        run = run_fleet_observed(
-            args.chips, out_dir=args.out, seed=args.seed, **kwargs
-        )
-        print(run.report.render())
-        print(f"\nevent stream: {run.events_path} ({run.event_count} events)")
-        print(f"manifest: {run.manifest_path}")
-        return 0
-    print(characterize_fleet(args.chips, seed=args.seed, **kwargs).render())
+    try:
+        if args.out:
+            run = run_fleet_observed(
+                args.chips,
+                out_dir=args.out,
+                seed=args.seed,
+                metrics_mode=args.metrics_mode,
+                segment_events=args.segment_events,
+                **kwargs,
+            )
+            if progress is not None:
+                progress.finish()
+            print(run.report.render())
+            print(
+                f"\nevent stream: {run.events_path} ({run.event_count} events)"
+            )
+            print(f"manifest: {run.manifest_path}")
+            return 0
+        report = characterize_fleet(args.chips, seed=args.seed, **kwargs)
+    finally:
+        if progress is not None:
+            progress.finish()
+    print(report.render())
     return 0
 
 
@@ -228,10 +262,16 @@ def _resolve_run_artifacts(arg: str, run_id: str | None):
     """Resolve a diff operand to ``(events_path, manifest_path)``.
 
     Accepts a run directory (``runs/``, disambiguated by ``--id`` when it
-    holds several runs), an ``.events.jsonl`` stream, or a
-    ``.manifest.json`` manifest; siblings are picked up automatically.
+    holds several runs), an ``.events.jsonl`` stream (single-file, or the
+    logical path of a segmented stream whose ``.segments.json`` index sits
+    beside it), or a ``.manifest.json`` manifest; siblings are picked up
+    automatically.
     """
     from .errors import ConfigurationError
+    from .obs.stream.rotate import segment_index_path
+
+    def _stream_exists(events: Path) -> bool:
+        return events.exists() or segment_index_path(events).exists()
 
     path = Path(arg)
     if path.is_dir():
@@ -246,11 +286,13 @@ def _resolve_run_artifacts(arg: str, run_id: str | None):
             )
         events = path / f"{base}.events.jsonl"
         manifest = path / f"{base}.manifest.json"
-        if not events.exists() and not manifest.exists():
+        if not _stream_exists(events) and not manifest.exists():
             raise ConfigurationError(f"no run artifacts for {base!r} in {path}")
-        return (events if events.exists() else None,
+        return (events if _stream_exists(events) else None,
                 manifest if manifest.exists() else None)
-    if not path.exists():
+    if not path.exists() and not (
+        path.name.endswith(".events.jsonl") and _stream_exists(path)
+    ):
         raise ConfigurationError(f"no run artifact at {path}")
     name = path.name
     if name.endswith(".events.jsonl"):
@@ -296,6 +338,34 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
             "(need two event streams and/or two manifests)"
         )
     return 1 if diverged else 0
+
+
+def _cmd_obs_flame(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .obs.sinks import read_jsonl_documents
+    from .obs.stream.flame import render_flame
+
+    events_path, _ = _resolve_run_artifacts(args.run, args.id)
+    if events_path is None:
+        raise ConfigurationError(
+            f"{args.run} has no event stream to export a flame graph from"
+        )
+    documents, skipped = read_jsonl_documents(events_path, tolerant=True)
+    if skipped:
+        print(
+            f"warning: {skipped} truncated line(s) skipped in {events_path}",
+            file=sys.stderr,
+        )
+    name = events_path.name
+    if name.endswith(".events.jsonl"):
+        name = name[: -len(".events.jsonl")]
+    text = render_flame(documents, args.format, name=name)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"{args.format} profile written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_obs_history(args: argparse.Namespace) -> int:
@@ -530,6 +600,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also bench fleet solving over N sampled chips: population "
              "batch vs chip-at-a-time loop (0 skips)",
     )
+    p_bench.add_argument(
+        "--obs-chips", type=int, default=0, dest="obs_chips",
+        help="also bench obs overhead: characterize N chips dark vs "
+             "observed with streaming metrics (0 skips)",
+    )
+    p_bench.add_argument(
+        "--gauge-samples", type=int, default=0, dest="gauge_samples",
+        help="also bench streaming-gauge memory vs the exact recorder "
+             "at N samples (0 skips)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_fleet = sub.add_parser(
@@ -562,6 +642,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fchar.add_argument("--out", default=None,
                          help="write fleet.events.jsonl + fleet.manifest.json here")
+    p_fchar.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the chunk fan-out (1 = serial; the "
+             "report and metric summaries are byte-identical either way)",
+    )
+    p_fchar.add_argument(
+        "--metrics-mode", choices=["exact", "streaming"], default="exact",
+        dest="metrics_mode",
+        help="gauge mode for the observed run (--out): 'streaming' keeps "
+             "O(sketch) memory per gauge and is required for --jobs > 1",
+    )
+    p_fchar.add_argument(
+        "--segment-events", type=int, default=0, dest="segment_events",
+        help="rotate the observed event stream every N events "
+             "(0 = single file; the manifest digest is identical either way)",
+    )
+    p_fchar.add_argument(
+        "--progress", action="store_true",
+        help="live chips/s + ETA on stderr (wall clock stays out of "
+             "artifacts)",
+    )
     p_fchar.set_defaults(func=_cmd_fleet_characterize)
 
     p_fhealth = fleet_sub.add_parser(
@@ -651,6 +752,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared context lines shown before the divergence",
     )
     p_diff.set_defaults(func=_cmd_obs_diff)
+
+    p_flame = obs_sub.add_parser(
+        "flame",
+        help="export a run's span tree as a Chrome-trace or speedscope "
+             "profile",
+    )
+    p_flame.add_argument("run", help="run dir, .events.jsonl, or manifest")
+    p_flame.add_argument(
+        "--id", default=None,
+        help="run base name when the operand directory holds several runs",
+    )
+    p_flame.add_argument(
+        "--format", choices=["chrome", "speedscope"], default="chrome",
+        help="profile format (load in chrome://tracing or speedscope.app)",
+    )
+    p_flame.add_argument("--out", default=None, help="write the profile here")
+    p_flame.set_defaults(func=_cmd_obs_flame)
 
     p_history = obs_sub.add_parser(
         "history", help="per-metric series + regression flags over a registry"

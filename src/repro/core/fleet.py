@@ -35,8 +35,12 @@ from ..errors import ConfigurationError
 from ..fastpath.cache import reset_solve_cache
 from ..fastpath.population import solve_fleet
 from ..obs.manifest import RunManifest, build_manifest, save_manifest
+from ..obs.metrics import MetricsRegistry
 from ..obs.runtime import Observability, get_obs, observed
-from ..obs.sinks import JsonlFileSink
+from ..obs.sinks import JsonlFileSink, NullSink
+from ..obs.stream.exact import MergeableStat
+from ..obs.stream.progress import ProgressReporter
+from ..obs.stream.rotate import RotatingJsonlSink
 from ..rng import RngStreams
 from ..silicon.chipspec import CORES_PER_CHIP, sample_chip
 from .characterize import Characterizer
@@ -64,30 +68,12 @@ def quantile_from_counts(counts: dict[int, int], q: float) -> int:
     return max(counts)
 
 
-class RunningStat:
-    """Streaming min/mean/max accumulator (no sample retention)."""
-
-    __slots__ = ("count", "total", "minimum", "maximum")
-
-    def __init__(self):
-        self.count = 0
-        self.total = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
-
-    def add(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
-
-    @property
-    def mean(self) -> float:
-        if self.count == 0:
-            raise ConfigurationError("no samples accumulated")
-        return self.total / self.count
+# Streaming min/mean/max accumulator (no sample retention).  Re-homed to
+# the obs streaming layer and upgraded to an *exact* sum: plain float
+# accumulation is not associative, so the old version's means could
+# differ in the last ulp between chunkings — fatal for the rollup
+# byte-identity contract.  The alias keeps the historical fleet name.
+RunningStat = MergeableStat
 
 
 @dataclass(frozen=True)
@@ -379,6 +365,205 @@ def collect_chip_stats(
     return tuple(stats)
 
 
+class _FleetAccumulator:
+    """Order-invariant fold state of a fleet run (the mergeable rollup).
+
+    Every component is a commutative, associative function of the
+    per-core observation multiset — integer counts and exact
+    :class:`~repro.obs.stream.exact.MergeableStat` sums — so folding
+    per-chunk partials in *any* order (serial chunk loop, ``--jobs N``
+    pool completion order) produces the same :class:`FleetReport` bytes.
+    """
+
+    __slots__ = (
+        "idle_counts",
+        "ubench_counts",
+        "rollback_counts",
+        "cores_total",
+        "cores_rolled_back",
+        "probe_runs",
+        "chips",
+        "baseline_stat",
+        "tuned_stat",
+    )
+
+    def __init__(self):
+        self.idle_counts: dict[int, int] = {}
+        self.ubench_counts: dict[int, int] = {}
+        self.rollback_counts: dict[int, int] = {}
+        self.cores_total = 0
+        self.cores_rolled_back = 0
+        self.probe_runs = 0
+        self.chips = 0
+        self.baseline_stat = MergeableStat()
+        self.tuned_stat = MergeableStat()
+
+    def merge_state(self, state: dict) -> None:
+        """Fold one worker's :meth:`to_state` partial in."""
+        for mine, theirs in (
+            (self.idle_counts, state["idle_counts"]),
+            (self.ubench_counts, state["ubench_counts"]),
+            (self.rollback_counts, state["rollback_counts"]),
+        ):
+            for key, count in theirs.items():
+                key = int(key)
+                mine[key] = mine.get(key, 0) + int(count)
+        self.cores_total += int(state["cores_total"])
+        self.cores_rolled_back += int(state["cores_rolled_back"])
+        self.probe_runs += int(state["probe_runs"])
+        self.chips += int(state["chips"])
+        self.baseline_stat.merge(MergeableStat.from_state(state["baseline_stat"]))
+        self.tuned_stat.merge(MergeableStat.from_state(state["tuned_stat"]))
+
+    def to_state(self) -> dict:
+        """Picklable partial-summary form (what pool workers return)."""
+        return {
+            "idle_counts": dict(self.idle_counts),
+            "ubench_counts": dict(self.ubench_counts),
+            "rollback_counts": dict(self.rollback_counts),
+            "cores_total": self.cores_total,
+            "cores_rolled_back": self.cores_rolled_back,
+            "probe_runs": self.probe_runs,
+            "chips": self.chips,
+            "baseline_stat": self.baseline_stat.to_state(),
+            "tuned_stat": self.tuned_stat.to_state(),
+        }
+
+
+def _process_chunk(
+    accumulator: _FleetAccumulator,
+    chunk: range,
+    *,
+    seed: int,
+    trials: int,
+    n_cores: int,
+    mode: MarginMode,
+    reduction_steps: int,
+    noise_sigma_ps: float,
+    population: bool,
+    obs: Observability,
+) -> None:
+    """Characterize + solve one chunk of chips into ``accumulator``."""
+    sims: list[ChipSim] = []
+    rows_per_chip = []
+    per_chip = []
+    for index in chunk:
+        chip, idle, ubench, probes = _characterize_chip(
+            index,
+            seed=seed,
+            trials=trials,
+            n_cores=n_cores,
+            noise_sigma_ps=noise_sigma_ps,
+        )
+        sim = ChipSim(chip)
+        baseline_row = sim.uniform_assignments(
+            mode=mode, reduction_steps=reduction_steps
+        )
+        tuned_row = sim.uniform_assignments(
+            reductions=[ubench[c.label].ubench_limit for c in chip.cores]
+        )
+        sims.append(sim)
+        rows_per_chip.append([baseline_row, tuned_row])
+        per_chip.append((chip, idle, ubench, probes))
+
+    states = solve_fleet(sims, rows_per_chip, population=population)
+
+    if obs.enabled:
+        # One registry lookup per instrument per chunk, not per chip.
+        metrics = obs.metrics
+        chips_counter = metrics.counter("fleet.chips")
+        cores_counter = metrics.counter("fleet.cores")
+        idle_hist = metrics.histogram("fleet.idle_limit_steps")
+        rollback_hist = metrics.histogram("fleet.ubench_rollback_steps")
+        tuned_gauge = metrics.gauge("fleet.tuned_slowest_mhz")
+
+    for index, (chip, idle, ubench, probes), chip_states in zip(
+        chunk, per_chip, states
+    ):
+        baseline_state, tuned_state = chip_states
+        accumulator.probe_runs += probes
+        accumulator.chips += 1
+        for core in chip.cores:
+            limit = idle[core.label].idle_limit
+            ub = ubench[core.label]
+            accumulator.idle_counts[limit] = (
+                accumulator.idle_counts.get(limit, 0) + 1
+            )
+            accumulator.ubench_counts[ub.ubench_limit] = (
+                accumulator.ubench_counts.get(ub.ubench_limit, 0) + 1
+            )
+            rollback = ub.rollback_distribution.maximum
+            accumulator.rollback_counts[rollback] = (
+                accumulator.rollback_counts.get(rollback, 0) + 1
+            )
+            accumulator.cores_total += 1
+            if ub.needed_rollback:
+                accumulator.cores_rolled_back += 1
+        for freq in baseline_state.freqs_mhz:
+            accumulator.baseline_stat.add(freq)
+        for freq in tuned_state.freqs_mhz:
+            accumulator.tuned_stat.add(freq)
+        if obs.enabled:
+            chips_counter.inc()
+            cores_counter.inc(len(chip.cores))
+            for core in chip.cores:
+                idle_hist.observe(float(idle[core.label].idle_limit))
+                rollback_hist.observe(
+                    float(ubench[core.label].rollback_distribution.maximum)
+                )
+            # Tick = global chip index: partition-invariant, so the
+            # gauge's "last" is the highest-index chip under any chunk
+            # size or worker scheduling.
+            tuned_gauge.set(float(tuned_state.slowest_mhz), tick=float(index))
+
+
+def _characterize_chunk_worker(
+    chunk_start: int,
+    chunk_stop: int,
+    seed: int,
+    trials: int,
+    n_cores: int,
+    mode: MarginMode,
+    reduction_steps: int,
+    noise_sigma_ps: float,
+    population: bool,
+    collect_metrics: bool,
+) -> tuple[dict, dict | None, int]:
+    """Pool worker: fold one chunk into a picklable partial summary.
+
+    Starts from a cold solve cache (scheduling must not leak into
+    behaviour) and, when the parent run is observed, collects metrics
+    into a private *streaming* registry behind a
+    :class:`~repro.obs.sinks.NullSink` — mergeable summaries come home,
+    per-event streams do not (worker interleaving would make them
+    nondeterministic).
+    """
+    reset_solve_cache()
+    accumulator = _FleetAccumulator()
+    chunk = range(chunk_start, chunk_stop)
+    kwargs = dict(
+        seed=seed,
+        trials=trials,
+        n_cores=n_cores,
+        mode=mode,
+        reduction_steps=reduction_steps,
+        noise_sigma_ps=noise_sigma_ps,
+        population=population,
+    )
+    if collect_metrics:
+        local_obs = Observability(
+            NullSink(), metrics=MetricsRegistry(gauge_mode="streaming")
+        )
+        with observed(local_obs):
+            _process_chunk(accumulator, chunk, obs=local_obs, **kwargs)
+        registry_state = local_obs.metrics.to_state()
+    else:
+        disabled = Observability(sink=None)
+        _process_chunk(accumulator, chunk, obs=disabled, **kwargs)
+        registry_state = None
+    return accumulator.to_state(), registry_state, len(chunk)
+
+
 def characterize_fleet(
     n_chips: int,
     *,
@@ -390,88 +575,94 @@ def characterize_fleet(
     reduction_steps: int = 0,
     noise_sigma_ps: float = 0.1,
     population: bool = True,
+    jobs: int = 1,
+    progress: ProgressReporter | None = None,
 ) -> FleetReport:
     """Run the Fig. 6 idle → uBench methodology over a sampled fleet.
 
     Chip ``i`` is ``sample_chip(seed + i)`` with its own characterizer
     seeded ``seed + i``, so the result is a pure function of ``seed`` and
-    ``n_chips`` — the chunk size only bounds memory.  ``mode`` and
+    ``n_chips`` — the chunk size only bounds memory, and ``jobs`` only
+    bounds wall-clock: chunks fold through order-invariant accumulators
+    (exact sums, integer counts, mergeable streaming metrics), so the
+    report and the metric summaries are byte-identical across any
+    ``chunk_size`` and ``jobs`` combination.  ``mode`` and
     ``reduction_steps`` configure the *baseline* row each chip is solved
     at (the fine-tuned row always applies the chip's own uBench limits);
     ``population=False`` solves chip-at-a-time for A/B comparison.
+
+    With ``jobs > 1`` under an enabled observability context the registry
+    must be in streaming gauge mode (exact gauge traces cannot merge),
+    and per-event streams are not captured — worker scheduling would
+    interleave them nondeterministically.  ``progress`` (an operator-
+    facing :class:`~repro.obs.stream.progress.ProgressReporter`) never
+    touches artifacts.
     """
     _validate_fleet_args(
         n_chips, chunk_size, trials, n_cores, mode, reduction_steps
     )
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     obs = get_obs()
+    if jobs > 1 and obs.enabled and obs.metrics.gauge_mode != "streaming":
+        raise ConfigurationError(
+            "jobs > 1 requires streaming metrics (exact gauge traces cannot "
+            "merge across workers); run with --metrics-mode streaming"
+        )
 
-    idle_counts: dict[int, int] = {}
-    ubench_counts: dict[int, int] = {}
-    rollback_counts: dict[int, int] = {}
-    cores_total = 0
-    cores_rolled_back = 0
-    probe_runs = 0
-    baseline_stat = RunningStat()
-    tuned_stat = RunningStat()
+    accumulator = _FleetAccumulator()
+    chunks = [
+        range(start, min(start + chunk_size, n_chips))
+        for start in range(0, n_chips, chunk_size)
+    ]
 
-    for chunk_start in range(0, n_chips, chunk_size):
-        chunk = range(chunk_start, min(chunk_start + chunk_size, n_chips))
-        sims: list[ChipSim] = []
-        rows_per_chip = []
-        per_chip = []
-        for index in chunk:
-            chip, idle, ubench, probes = _characterize_chip(
-                index,
+    if jobs == 1:
+        for chunk in chunks:
+            _process_chunk(
+                accumulator,
+                chunk,
                 seed=seed,
                 trials=trials,
                 n_cores=n_cores,
+                mode=mode,
+                reduction_steps=reduction_steps,
                 noise_sigma_ps=noise_sigma_ps,
+                population=population,
+                obs=obs,
             )
-            sim = ChipSim(chip)
-            baseline_row = sim.uniform_assignments(
-                mode=mode, reduction_steps=reduction_steps
-            )
-            tuned_row = sim.uniform_assignments(
-                reductions=[ubench[c.label].ubench_limit for c in chip.cores]
-            )
-            sims.append(sim)
-            rows_per_chip.append([baseline_row, tuned_row])
-            per_chip.append((chip, idle, ubench, probes))
+            if progress is not None:
+                progress.update(len(chunk))
+    else:
+        from ..experiments.runner import map_in_pool
 
-        states = solve_fleet(sims, rows_per_chip, population=population)
+        def _on_result(result: tuple[dict, dict | None, int]) -> None:
+            if progress is not None:
+                progress.update(result[2])
 
-        for (chip, idle, ubench, probes), chip_states in zip(per_chip, states):
-            baseline_state, tuned_state = chip_states
-            probe_runs += probes
-            for core in chip.cores:
-                limit = idle[core.label].idle_limit
-                ub = ubench[core.label]
-                idle_counts[limit] = idle_counts.get(limit, 0) + 1
-                ubench_counts[ub.ubench_limit] = (
-                    ubench_counts.get(ub.ubench_limit, 0) + 1
+        partials = map_in_pool(
+            _characterize_chunk_worker,
+            [
+                (
+                    chunk.start,
+                    chunk.stop,
+                    seed,
+                    trials,
+                    n_cores,
+                    mode,
+                    reduction_steps,
+                    noise_sigma_ps,
+                    population,
+                    obs.enabled,
                 )
-                rollback = ub.rollback_distribution.maximum
-                rollback_counts[rollback] = rollback_counts.get(rollback, 0) + 1
-                cores_total += 1
-                if ub.needed_rollback:
-                    cores_rolled_back += 1
-            for freq in baseline_state.freqs_mhz:
-                baseline_stat.add(freq)
-            for freq in tuned_state.freqs_mhz:
-                tuned_stat.add(freq)
-            if obs.enabled:
-                obs.metrics.counter("fleet.chips").inc()
-                obs.metrics.counter("fleet.cores").inc(len(chip.cores))
-                for core in chip.cores:
-                    obs.metrics.histogram("fleet.idle_limit_steps").observe(
-                        float(idle[core.label].idle_limit)
-                    )
-                    obs.metrics.histogram("fleet.ubench_rollback_steps").observe(
-                        float(ubench[core.label].rollback_distribution.maximum)
-                    )
-                obs.metrics.gauge("fleet.tuned_slowest_mhz").set(
-                    float(tuned_state.slowest_mhz)
-                )
+                for chunk in chunks
+            ],
+            jobs=jobs,
+            on_result=_on_result,
+        )
+        for accumulator_state, registry_state, _ in partials:
+            accumulator.merge_state(accumulator_state)
+            if registry_state is not None:
+                obs.metrics.merge_state(registry_state)
 
     return FleetReport(
         n_chips=n_chips,
@@ -481,18 +672,18 @@ def characterize_fleet(
         seed=seed,
         mode=mode,
         reduction_steps=reduction_steps,
-        idle_limit_counts=idle_counts,
-        ubench_limit_counts=ubench_counts,
-        rollback_counts=rollback_counts,
-        cores_total=cores_total,
-        cores_rolled_back=cores_rolled_back,
-        probe_runs=probe_runs,
-        baseline_freq_min_mhz=baseline_stat.minimum,
-        baseline_freq_mean_mhz=baseline_stat.mean,
-        baseline_freq_max_mhz=baseline_stat.maximum,
-        tuned_freq_min_mhz=tuned_stat.minimum,
-        tuned_freq_mean_mhz=tuned_stat.mean,
-        tuned_freq_max_mhz=tuned_stat.maximum,
+        idle_limit_counts=accumulator.idle_counts,
+        ubench_limit_counts=accumulator.ubench_counts,
+        rollback_counts=accumulator.rollback_counts,
+        cores_total=accumulator.cores_total,
+        cores_rolled_back=accumulator.cores_rolled_back,
+        probe_runs=accumulator.probe_runs,
+        baseline_freq_min_mhz=accumulator.baseline_stat.minimum,
+        baseline_freq_mean_mhz=accumulator.baseline_stat.mean,
+        baseline_freq_max_mhz=accumulator.baseline_stat.maximum,
+        tuned_freq_min_mhz=accumulator.tuned_stat.minimum,
+        tuned_freq_mean_mhz=accumulator.tuned_stat.mean,
+        tuned_freq_max_mhz=accumulator.tuned_stat.maximum,
     )
 
 
@@ -512,6 +703,8 @@ def run_fleet_observed(
     *,
     out_dir: str | Path = "runs",
     seed: int = 2019,
+    metrics_mode: str = "exact",
+    segment_events: int = 0,
     **kwargs,
 ) -> ObservedFleetRun:
     """Run :func:`characterize_fleet` under full observability.
@@ -521,6 +714,14 @@ def run_fleet_observed(
     :func:`repro.experiments.common.run_observed`: cold solve cache, JSONL
     event stream, manifest with metric summary and event digest — two
     runs with the same arguments produce byte-identical artifacts.
+
+    ``metrics_mode`` selects the registry's gauge mode: ``streaming``
+    keeps O(sketch) memory per gauge instead of the full sample series
+    (and is required for ``jobs > 1``).  ``segment_events > 0`` rotates
+    the event stream through a
+    :class:`~repro.obs.stream.rotate.RotatingJsonlSink` every that many
+    events; the manifest digest covers the logical concatenation, so it
+    is byte-identical to the single-file run.
     """
     reset_solve_cache()
     target_dir = Path(out_dir)
@@ -528,8 +729,14 @@ def run_fleet_observed(
     events_path = target_dir / "fleet.events.jsonl"
     manifest_path = target_dir / "fleet.manifest.json"
 
-    sink = JsonlFileSink(events_path)
-    obs = Observability(sink)
+    sink: JsonlFileSink | RotatingJsonlSink
+    if segment_events > 0:
+        sink = RotatingJsonlSink(
+            events_path, max_events_per_segment=segment_events
+        )
+    else:
+        sink = JsonlFileSink(events_path)
+    obs = Observability(sink, metrics=MetricsRegistry(gauge_mode=metrics_mode))
     try:
         with observed(obs):
             report = characterize_fleet(n_chips, seed=seed, **kwargs)
@@ -542,7 +749,9 @@ def run_fleet_observed(
         seed,
         result_metrics=report.metrics(),
         metrics_summary=metrics_summary,
-        events_path=events_path,
+        events_path=(
+            sink.index_path if isinstance(sink, RotatingJsonlSink) else events_path
+        ),
         event_count=sink.count,
     )
     save_manifest(manifest, manifest_path)

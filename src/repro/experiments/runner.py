@@ -30,6 +30,43 @@ from . import REGISTRY, run_experiment
 from .common import ExperimentResult, ObservedRun, run_observed
 
 
+def map_in_pool(worker, argument_tuples, *, jobs: int = 1, on_result=None):
+    """Run ``worker(*args)`` for each tuple, optionally across a process pool.
+
+    The generic fan-out under :func:`run_many` and
+    :func:`repro.core.fleet.characterize_fleet` ``--jobs``:
+
+    * results come back in submission order regardless of completion
+      order (deterministic output);
+    * ``on_result`` (if given) fires once per completed task — in
+      completion order when pooled, so progress reporting stays live;
+    * ``worker`` must be a module-level function taking only picklable
+      arguments (lint rule RL008 polices the call sites).
+    """
+    tasks = [tuple(args) for args in argument_tuples]
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        results = []
+        for args in tasks:
+            result = worker(*args)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(worker, *args) for args in tasks]
+        if on_result is not None:
+            for future in as_completed(futures):
+                on_result(future.result())
+        # Collect in submission order: the futures list, not
+        # as_completed, is what keeps output deterministic.
+        return [future.result() for future in futures]
+
+
 def _run_one(experiment_id: str, seed: int) -> ExperimentResult:
     """Pool worker: run one experiment from a cold solve cache.
 
@@ -84,27 +121,15 @@ def run_many(
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
 
-    if jobs == 1:
-        if out_dir is None:
-            return [_run_one(experiment_id, seed) for experiment_id in ids]
-        return [
-            _run_one_observed(experiment_id, seed, str(out_dir))
-            for experiment_id in ids
-        ]
-
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        if out_dir is None:
-            futures = [pool.submit(_run_one, experiment_id, seed) for experiment_id in ids]
-        else:
-            futures = [
-                pool.submit(_run_one_observed, experiment_id, seed, str(out_dir))
-                for experiment_id in ids
-            ]
-        # Collect in submission order: the list of futures, not
-        # as_completed, is what keeps output deterministic.
-        return [future.result() for future in futures]
+    if out_dir is None:
+        return map_in_pool(
+            _run_one, [(experiment_id, seed) for experiment_id in ids], jobs=jobs
+        )
+    return map_in_pool(
+        _run_one_observed,
+        [(experiment_id, seed, str(out_dir)) for experiment_id in ids],
+        jobs=jobs,
+    )
 
 
-__all__ = ["run_many"]
+__all__ = ["map_in_pool", "run_many"]

@@ -79,6 +79,22 @@ class SolveCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot in the mergeable-partial shape.
+
+        The keys match the ``fastpath.cache.*`` obs counters, so pool
+        workers can ship their process-local cache activity home and the
+        parent can fold it into the shared registry with plain
+        ``counter(name).inc(value)`` adds — the same order-invariant
+        merge the rest of the streaming layer uses.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
     def clear(self) -> None:
         """Drop every entry and zero the hit/miss/eviction counters."""
         self._entries.clear()

@@ -53,6 +53,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
+from ..obs.metrics import identity_tick
 from ..obs.runtime import get_obs
 from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD, STATIC_MARGIN_MHZ
 from .cache import get_solve_cache
@@ -534,8 +535,12 @@ def solve_chips_cached(entries: Sequence[tuple]) -> list[list]:
                     obs.metrics.histogram("chip.solve_iterations").observe(
                         float(solved[slot].iterations)
                     )
+                # Tick = hashed chip id: partition-invariant, so the
+                # merged gauge's "last" is identical no matter which
+                # worker solved this chip (see identity_tick).
                 obs.metrics.gauge("chip.power_w").set(
-                    float(solved[pending[-1][3]].chip_power_w)
+                    float(solved[pending[-1][3]].chip_power_w),
+                    tick=identity_tick(compiled.chip.chip_id),
                 )
             if evicted:
                 obs.metrics.counter("fastpath.cache.evictions").inc(evicted)

@@ -123,6 +123,13 @@ def render_markdown(report: ObsReport) -> str:
             )
     else:
         lines.append("(no runs registered)")
+    truncated = [run["run_id"] for run in runs if run["skipped_lines"]]
+    if truncated:
+        lines.append("")
+        lines.append(
+            f"**warning**: {len(truncated)} run(s) with truncated trailing "
+            "lines (tolerant read): " + ", ".join(truncated)
+        )
     lines.append("")
 
     lines.append("## Metrics history")

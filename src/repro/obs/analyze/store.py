@@ -15,8 +15,16 @@ Determinism rules (the same ones as the write side):
 * run ids default to ``<experiment>@s<seed>-<sha8>`` — a pure function
   of the artifact content, so re-registering an identical run is a
   no-op overwrite, never a duplicate;
-* :meth:`RunStore.prune` orders runs lexicographically by run id (the
-  registry has no clock to order by).
+* :meth:`RunStore.prune` orders runs by natural ``(experiment, seed,
+  sha)`` keys parsed out of the default run-id shape (the registry has no
+  clock to order by), falling back to lexicographic order for custom ids.
+
+Segmented runs (written by
+:class:`~repro.obs.stream.rotate.RotatingJsonlSink`) register through the
+same :meth:`RunStore.put`: the segment index is verified against the
+manifest digest, then the segments are *compacted* into the store's
+standard single-file layout — byte-identical to the logical stream, so
+the digest and every downstream reader are unchanged.
 """
 
 from __future__ import annotations
@@ -40,6 +48,23 @@ _MANIFEST_SUFFIX = ".manifest.json"
 _EVENTS_SUFFIX = ".events.jsonl"
 
 _RUN_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.@+-]*$")
+
+#: The default content-derived run-id shape (see :func:`default_run_id`).
+_RUN_ID_NATURAL = re.compile(r"^(?P<exp>.+)@s(?P<seed>\d+)-(?P<sha>[A-Za-z0-9]+)$")
+
+
+def natural_run_key(run_id: str) -> tuple[int, str]:
+    """Retention sort key: numeric seed first, run id as tiebreak.
+
+    Default run ids ``<experiment>@s<seed>-<sha8>`` sort by the *numeric*
+    seed (so ``s9`` < ``s10`` < ``s100``, where plain lexicographic order
+    would put ``s10`` first); custom ids fall back to lexicographic order
+    and sort before any default-shaped id.
+    """
+    match = _RUN_ID_NATURAL.match(run_id)
+    if match:
+        return (int(match.group("seed")), run_id)
+    return (-1, run_id)
 
 
 @dataclass(frozen=True)
@@ -132,15 +157,39 @@ class RunStore:
             events_path = manifest_source.with_name(
                 name[: -len(_MANIFEST_SUFFIX)] + _EVENTS_SUFFIX
             )
+        from ..stream.rotate import (
+            compact_segments,
+            is_segment_index,
+            segment_index_path,
+            segmented_events_sha256,
+        )
+
         events_source = Path(events_path)
-        if not events_source.exists():
+        segment_index: Path | None = None
+        if is_segment_index(events_source):
+            segment_index = events_source
+        elif not events_source.exists() and segment_index_path(events_source).exists():
+            segment_index = segment_index_path(events_source)
+        if segment_index is not None:
+            digest, _ = segmented_events_sha256(segment_index)
+            if manifest.events_sha256 and digest != manifest.events_sha256:
+                raise ConfigurationError(
+                    f"stream drift at ingest: segments of {segment_index} do "
+                    f"not hash to the manifest's events_sha256 "
+                    f"({manifest.events_sha256[:16]}…)"
+                )
+        elif not events_source.exists():
             raise ConfigurationError(f"no event stream at {events_source}")
-        stream_bytes = events_source.read_bytes()
-        if manifest.events_sha256 and sha256_hex(stream_bytes) != manifest.events_sha256:
-            raise ConfigurationError(
-                f"stream drift at ingest: {events_source} does not hash to "
-                f"the manifest's events_sha256 ({manifest.events_sha256[:16]}…)"
-            )
+        else:
+            stream_bytes = events_source.read_bytes()
+            if (
+                manifest.events_sha256
+                and sha256_hex(stream_bytes) != manifest.events_sha256
+            ):
+                raise ConfigurationError(
+                    f"stream drift at ingest: {events_source} does not hash to "
+                    f"the manifest's events_sha256 ({manifest.events_sha256[:16]}…)"
+                )
         resolved_id = run_id if run_id is not None else default_run_id(manifest)
         if not _RUN_ID_PATTERN.match(resolved_id):
             raise ConfigurationError(
@@ -149,7 +198,12 @@ class RunStore:
         self.manifest_path(resolved_id).write_bytes(
             manifest_source.read_bytes()
         )
-        self.events_path(resolved_id).write_bytes(stream_bytes)
+        if segment_index is not None:
+            # Normalize to the store's single-file layout; byte-identical
+            # to the logical stream, so the digest is unchanged.
+            compact_segments(segment_index, self.events_path(resolved_id))
+        else:
+            self.events_path(resolved_id).write_bytes(stream_bytes)
         self.rebuild_index()
         return self._record_for(resolved_id)
 
@@ -217,13 +271,15 @@ class RunStore:
         )
 
     def prune(self, keep: int, *, experiment_id: str | None = None) -> tuple[str, ...]:
-        """Drop all but the lexicographically-last ``keep`` runs per experiment.
+        """Drop all but the naturally-last ``keep`` runs per experiment.
 
         Returns the removed run ids.  With ``experiment_id`` only that
-        experiment's runs are considered.  Run ids are the only ordering
-        the registry has (deterministic by design — there is no clock),
-        so callers wanting retention-by-recency should encode an ordinal
-        in their run ids.
+        experiment's runs are considered.  Retention order is
+        :func:`natural_run_key` — numeric-seed order for default run ids
+        (``s9`` < ``s10`` < ``s100``), lexicographic for custom ids —
+        deterministic by design: there is no clock, so callers wanting
+        retention-by-recency should encode an ordinal in their seeds or
+        run ids.
         """
         if keep < 0:
             raise ConfigurationError(f"keep must be >= 0, got {keep}")
@@ -234,7 +290,8 @@ class RunStore:
             by_experiment.setdefault(record.experiment_id, []).append(record.run_id)
         removed = []
         for run_ids in by_experiment.values():
-            for run_id in sorted(run_ids)[: max(0, len(run_ids) - keep)]:
+            ordered = sorted(run_ids, key=natural_run_key)
+            for run_id in ordered[: max(0, len(run_ids) - keep)]:
                 self.manifest_path(run_id).unlink()
                 self.events_path(run_id).unlink(missing_ok=True)
                 removed.append(run_id)

@@ -39,6 +39,11 @@ class TraceRecorder:
     def columns(self) -> tuple[str, ...]:
         return self._columns
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the backing array (capacity, not just rows)."""
+        return int(self._data.nbytes)
+
     def __len__(self) -> int:
         return self._size
 

@@ -122,13 +122,34 @@ def build_manifest(
     events_path: str | Path | None = None,
     event_count: int = 0,
 ) -> RunManifest:
-    """Assemble a manifest, hashing the event stream when one was written."""
+    """Assemble a manifest, hashing the event stream when one was written.
+
+    ``events_path`` may be a plain JSONL file, a ``*.segments.json``
+    index written by :class:`~repro.obs.stream.rotate.RotatingJsonlSink`,
+    or the logical path of a rotated stream (index sitting beside it).
+    The segmented digest is the sha256 of the logical concatenation of
+    the segment bytes — identical to the single-file digest — so rotation
+    never changes manifest bytes.
+    """
+    from .stream.rotate import (
+        is_segment_index,
+        segment_index_path,
+        segmented_events_sha256,
+    )
+
     events_sha256 = ""
     if events_path is not None:
         events_file = Path(events_path)
-        if not events_file.exists():
+        if is_segment_index(events_file):
+            events_sha256, _ = segmented_events_sha256(events_file)
+        elif not events_file.exists() and segment_index_path(events_file).exists():
+            events_sha256, _ = segmented_events_sha256(
+                segment_index_path(events_file)
+            )
+        elif not events_file.exists():
             raise ConfigurationError(f"no event stream at {events_file}")
-        events_sha256 = sha256_hex(events_file.read_bytes())
+        else:
+            events_sha256 = sha256_hex(events_file.read_bytes())
     return RunManifest(
         experiment_id=experiment_id,
         seed=seed,

@@ -4,9 +4,27 @@ A :class:`MetricsRegistry` is a flat namespace of named instruments.  All
 three instrument types are cheap enough to leave permanently enabled: a
 counter increment is one integer add, a histogram observation is one
 binary search plus two adds, and a gauge observation is one columnar
-append (gauges store their full sample history in a
-:class:`~repro.obs.columnar.TraceRecorder`, the columnar backend shared
-with the transient simulator's traces).
+append (exact mode) or one sketch insert (streaming mode).
+
+Gauges come in two modes, chosen per registry:
+
+* ``exact`` (default) — full sample history in a
+  :class:`~repro.obs.columnar.TraceRecorder`; summaries are numpy
+  percentiles over every sample.  Memory grows with sample count.
+* ``streaming`` — bounded memory: samples fold into a deterministic
+  :class:`~repro.obs.stream.sketch.QuantileSketch`; summaries are
+  estimates within the sketch's documented relative error bound, and the
+  summary dict carries ``"mode": "streaming"`` so readers know.
+
+Counters and histograms are exact and **mergeable** in both modes;
+streaming gauges merge too.  :meth:`MetricsRegistry.merge` (and its
+state-dict form for process pools) is order-invariant: every component
+is a commutative, associative fold over the observation multiset —
+integer adds, error-free sums, min/max, and the partition-invariant
+sketch — so partial registries from chunked or pooled runs fold into
+byte-identical summaries regardless of chunk size or scheduling.  Exact
+gauges are the one non-mergeable instrument (a trace is a sequence, not
+a multiset); merging a registry that holds exact gauge samples raises.
 
 Nothing here reads the host clock; gauge samples are keyed on whatever
 simulated tick the caller supplies (defaulting to the sample index), so a
@@ -15,16 +33,35 @@ registry's summary is byte-for-byte reproducible for a fixed seed.
 
 from __future__ import annotations
 
-import bisect
+import hashlib
 from collections.abc import Sequence
 
 from ..analysis.rendering import ascii_table
 from ..errors import ConfigurationError
 from .columnar import TraceRecorder
+from .stream.histogram import MergeableHistogram
+from .stream.sketch import QuantileSketch
 
 #: Default histogram buckets (upper bounds); chosen to resolve both
 #: iteration counts and millisecond-scale quantities without tuning.
 DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0)
+
+#: Registry gauge modes (see the module docstring).
+GAUGE_MODES = ("exact", "streaming")
+
+
+def identity_tick(identity: str) -> float:
+    """Partition-invariant gauge tick derived from a stable identity.
+
+    Streaming gauges define ``last`` as the max ``(tick, value)`` pair, so
+    a merged ``last`` is only a pure function of the sample multiset when
+    ticks are themselves partition-invariant.  Call sites with no natural
+    global index (e.g. per-chip solves that may run in any pool worker)
+    hash a stable identity string — the chip id — into the tick.  The
+    first 13 hex digits (52 bits) fit a float64 exactly.
+    """
+    digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()
+    return float(int(digest[:13], 16))
 
 
 class Counter:
@@ -44,103 +81,254 @@ class Counter:
             raise ConfigurationError(f"{self.name}: cannot count down by {amount}")
         self._value += amount
 
+    def merge(self, other: Counter) -> None:
+        """Fold another counter in (integer add: order-invariant)."""
+        self._value += other._value
+
+    def to_state(self) -> dict:
+        return {"kind": "counter", "value": self._value}
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> Counter:
+        out = cls(name)
+        out._value = int(state["value"])
+        return out
+
 
 class Gauge:
-    """A sampled value with full columnar history."""
+    """A sampled value: full columnar history or a bounded-memory sketch."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, mode: str = "exact"):
+        if mode not in GAUGE_MODES:
+            raise ConfigurationError(
+                f"{name}: unknown gauge mode {mode!r} "
+                f"(choose from {', '.join(GAUGE_MODES)})"
+            )
         self.name = name
-        self._trace = TraceRecorder(("tick", "value"))
+        self.mode = mode
+        self._trace: TraceRecorder | None = None
+        self._sketch: QuantileSketch | None = None
+        # Streaming mode keeps "last" as the max (tick, value) pair — a
+        # pure function of the sample multiset, so merges stay invariant.
+        self._last: tuple[float, float] | None = None
+        if mode == "exact":
+            self._trace = TraceRecorder(("tick", "value"))
+        else:
+            self._sketch = QuantileSketch()
 
     @property
     def sample_count(self) -> int:
-        return len(self._trace)
+        if self._trace is not None:
+            return len(self._trace)
+        assert self._sketch is not None
+        return self._sketch.count
 
     @property
     def trace(self) -> TraceRecorder:
-        """The columnar sample history (tick, value)."""
+        """The columnar sample history (exact mode only)."""
+        if self._trace is None:
+            raise ConfigurationError(
+                f"{self.name}: streaming gauges keep no sample history"
+            )
         return self._trace
+
+    @property
+    def sketch(self) -> QuantileSketch:
+        """The quantile sketch (streaming mode only)."""
+        if self._sketch is None:
+            raise ConfigurationError(
+                f"{self.name}: exact gauges have no sketch; use .trace"
+            )
+        return self._sketch
 
     def set(self, value: float, tick: float | None = None) -> None:
         """Record one sample at simulated ``tick`` (default: sample index)."""
-        self._trace.record(
-            tick=float(len(self._trace)) if tick is None else float(tick),
-            value=float(value),
-        )
+        value = float(value)
+        if self._trace is not None:
+            self._trace.record(
+                tick=float(len(self._trace)) if tick is None else float(tick),
+                value=value,
+            )
+            return
+        assert self._sketch is not None
+        tick = float(self._sketch.count) if tick is None else float(tick)
+        self._sketch.add(value)
+        key = (tick, value)
+        if self._last is None or key > self._last:
+            self._last = key
 
     @property
     def last(self) -> float:
-        """Most recent sample; raises on an empty gauge."""
-        if len(self._trace) == 0:
+        """Most recent sample; raises on an empty gauge.
+
+        Streaming mode defines "most recent" as the sample with the
+        largest tick (value as tiebreak) — identical to emission order
+        when ticks are monotonic, and merge-order-invariant always.
+        """
+        if self._trace is not None:
+            if len(self._trace) == 0:
+                raise ConfigurationError(f"{self.name}: gauge has no samples")
+            return float(self._trace.column("value")[-1])
+        if self._last is None:
             raise ConfigurationError(f"{self.name}: gauge has no samples")
-        return float(self._trace.column("value")[-1])
+        return self._last[1]
 
     def summary(self) -> dict[str, float]:
-        """min/max/mean/p50/p95/p99 of every sample."""
-        return self._trace.summary("value")
+        """min/max/mean/p50/p95/p99 of every sample.
+
+        Exact mode: numpy percentiles over the full history.  Streaming
+        mode: sketch estimates within
+        :attr:`~repro.obs.stream.sketch.QuantileSketch.quantile_error_bound`.
+        """
+        if self._trace is not None:
+            return self._trace.summary("value")
+        assert self._sketch is not None
+        return self._sketch.summary()
+
+    def merge(self, other: Gauge) -> None:
+        """Fold another gauge in (streaming mode only)."""
+        if self.mode != other.mode:
+            raise ConfigurationError(
+                f"{self.name}: cannot merge {other.mode} gauge into "
+                f"{self.mode} gauge"
+            )
+        if self._trace is not None:
+            raise ConfigurationError(
+                f"{self.name}: exact gauges are not mergeable (a trace is "
+                f"a sequence, not a multiset); use streaming mode"
+            )
+        assert self._sketch is not None and other._sketch is not None
+        self._sketch.merge(other._sketch)
+        if other._last is not None and (
+            self._last is None or other._last > self._last
+        ):
+            self._last = other._last
+
+    @property
+    def memory_nbytes(self) -> int:
+        """Approximate bytes held for samples (the bench's O(1) witness)."""
+        if self._trace is not None:
+            return self._trace.nbytes
+        assert self._sketch is not None
+        return self._sketch.memory_nbytes
+
+    def to_state(self) -> dict:
+        if self._trace is not None:
+            return {
+                "kind": "gauge",
+                "mode": "exact",
+                "samples": [
+                    [float(t), float(v)]
+                    for t, v in zip(
+                        self._trace.column("tick"), self._trace.column("value")
+                    )
+                ],
+            }
+        assert self._sketch is not None
+        return {
+            "kind": "gauge",
+            "mode": "streaming",
+            "sketch": self._sketch.to_state(),
+            "last": list(self._last) if self._last is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> Gauge:
+        out = cls(name, mode=str(state["mode"]))
+        if out.mode == "exact":
+            for tick, value in state["samples"]:
+                out.set(float(value), tick=float(tick))
+        else:
+            out._sketch = QuantileSketch.from_state(state["sketch"])
+            last = state.get("last")
+            out._last = (float(last[0]), float(last[1])) if last else None
+        return out
 
 
 class Histogram:
-    """Fixed-bucket histogram of float observations."""
+    """Fixed-bucket histogram of float observations (exact, mergeable).
+
+    Backed by :class:`~repro.obs.stream.histogram.MergeableHistogram`:
+    integer bucket counts plus an error-free sum, so two histograms with
+    identical bounds merge order-invariantly.
+    """
 
     def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
         if not buckets:
             raise ConfigurationError(f"{name}: histogram needs buckets")
-        upper_bounds = tuple(float(b) for b in buckets)
-        if list(upper_bounds) != sorted(set(upper_bounds)):
-            raise ConfigurationError(
-                f"{name}: bucket bounds must be strictly increasing"
-            )
         self.name = name
-        self._bounds = upper_bounds
-        # One overflow bucket past the last bound.
-        self._counts = [0] * (len(upper_bounds) + 1)
-        self._total = 0
-        self._sum = 0.0
+        try:
+            self._hist = MergeableHistogram(buckets)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{name}: {exc}") from exc
 
     @property
     def bounds(self) -> tuple[float, ...]:
-        return self._bounds
+        return self._hist.bounds
 
     @property
     def count(self) -> int:
-        return self._total
+        return self._hist.count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        """Exact (correctly-rounded, order-invariant) observation sum."""
+        return self._hist.sum
 
     @property
     def mean(self) -> float:
-        if self._total == 0:
+        if self._hist.count == 0:
             raise ConfigurationError(f"{self.name}: histogram is empty")
-        return self._sum / self._total
+        return self._hist.mean
 
     def observe(self, value: float) -> None:
         """Count ``value`` into its bucket (observations <= bound)."""
-        self._counts[bisect.bisect_left(self._bounds, float(value))] += 1
-        self._total += 1
-        self._sum += float(value)
+        self._hist.observe(value)
 
     def bucket_counts(self) -> tuple[int, ...]:
         """Per-bucket counts; the last entry is the overflow bucket."""
-        return tuple(self._counts)
+        return tuple(self._hist.bucket_counts())
 
-    def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper bound of the covering bucket."""
-        if not (0.0 <= q <= 1.0):
-            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-        if self._total == 0:
+    def quantile(self, q: float, *, interpolate: bool = False) -> float:
+        """Approximate quantile over the bucket counts.
+
+        Default (``interpolate=False``): the covering bucket's **upper
+        bound** — read it as "q of observations were <= this"; the rank
+        falling in the overflow bucket returns ``inf``.  With
+        ``interpolate=True``: a finite point estimate, linearly
+        interpolated inside the covering bucket and clamped to the
+        observed min/max (see
+        :meth:`repro.obs.stream.histogram.MergeableHistogram.quantile`).
+        """
+        if self._hist.count == 0:
             raise ConfigurationError(f"{self.name}: histogram is empty")
-        target = q * self._total
-        seen = 0
-        for index, count in enumerate(self._counts):
-            seen += count
-            if seen >= target:
-                if index < len(self._bounds):
-                    return self._bounds[index]
-                return float("inf")
-        return float("inf")
+        return self._hist.quantile(q, interpolate=interpolate)
+
+    def merge(self, other: Histogram) -> None:
+        """Fold another histogram in (requires identical bounds)."""
+        try:
+            self._hist.merge(other._hist)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{self.name}: {exc}") from exc
+
+    def to_state(self) -> dict:
+        state = self._hist.to_state()
+        state["kind"] = "histogram"
+        return state
+
+    @classmethod
+    def from_state(cls, name: str, state: dict) -> Histogram:
+        out = cls(name, buckets=state["bounds"])
+        out._hist = MergeableHistogram.from_state(
+            {k: v for k, v in state.items() if k != "kind"}
+        )
+        return out
+
+
+#: Registry state-dict schema (the shape pool workers ship home).
+REGISTRY_STATE_SCHEMA = 1
+
+_INSTRUMENT_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
 class MetricsRegistry:
@@ -148,10 +336,22 @@ class MetricsRegistry:
 
     Instruments are get-or-create by name; asking for an existing name
     with a different instrument type is an error (one name, one meaning).
+    ``gauge_mode`` selects exact (full-history) or streaming
+    (bounded-memory, mergeable) gauges for every gauge in this registry.
     """
 
-    def __init__(self):
+    def __init__(self, gauge_mode: str = "exact"):
+        if gauge_mode not in GAUGE_MODES:
+            raise ConfigurationError(
+                f"unknown gauge mode {gauge_mode!r} "
+                f"(choose from {', '.join(GAUGE_MODES)})"
+            )
+        self._gauge_mode = gauge_mode
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    @property
+    def gauge_mode(self) -> str:
+        return self._gauge_mode
 
     def _get_or_create(self, name: str, factory, kind: type):
         if not name:
@@ -170,7 +370,9 @@ class MetricsRegistry:
         return self._get_or_create(name, lambda: Counter(name), Counter)
 
     def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, lambda: Gauge(name), Gauge)
+        return self._get_or_create(
+            name, lambda: Gauge(name, mode=self._gauge_mode), Gauge
+        )
 
     def histogram(
         self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
@@ -184,6 +386,69 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._instruments)
 
+    def merge(self, other: MetricsRegistry) -> None:
+        """Fold another registry in — the fleet rollup operator.
+
+        Order-invariant by construction: counters are integer adds,
+        histograms are integer bucket adds plus error-free sums, and
+        streaming gauges merge partition-invariant sketches, so any
+        sequence of merges over any partitioning of the observations
+        produces the same summary bytes.  Registries holding exact gauge
+        samples refuse to merge (full traces are sequences, and
+        concatenation order would leak scheduling into the result).
+        """
+        if self._gauge_mode != other._gauge_mode:
+            raise ConfigurationError(
+                f"cannot merge a {other._gauge_mode}-gauge registry into "
+                f"a {self._gauge_mode}-gauge registry"
+            )
+        for name in sorted(other._instruments):
+            theirs = other._instruments[name]
+            mine = self._instruments.get(name)
+            if mine is None:
+                if isinstance(theirs, Counter):
+                    mine = self.counter(name)
+                elif isinstance(theirs, Gauge):
+                    mine = self.gauge(name)
+                else:
+                    mine = self.histogram(name, buckets=theirs.bounds)
+            elif type(mine) is not type(theirs):
+                raise ConfigurationError(
+                    f"{name} is a {type(mine).__name__} here but a "
+                    f"{type(theirs).__name__} in the merged registry"
+                )
+            mine.merge(theirs)  # type: ignore[arg-type]
+
+    def to_state(self) -> dict:
+        """JSON-native mergeable state (what pool workers return)."""
+        return {
+            "schema": REGISTRY_STATE_SCHEMA,
+            "gauge_mode": self._gauge_mode,
+            "instruments": {
+                name: self._instruments[name].to_state() for name in self.names()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> MetricsRegistry:
+        schema = state.get("schema")
+        if schema != REGISTRY_STATE_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported registry state schema {schema!r}"
+            )
+        out = cls(gauge_mode=str(state["gauge_mode"]))
+        for name, instrument_state in state["instruments"].items():
+            kind = str(instrument_state.get("kind"))
+            factory = _INSTRUMENT_KINDS.get(kind)
+            if factory is None:
+                raise ConfigurationError(f"{name}: unknown instrument kind {kind!r}")
+            out._instruments[name] = factory.from_state(name, instrument_state)
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`to_state` dict in."""
+        self.merge(MetricsRegistry.from_state(state))
+
     def to_summary(self) -> dict[str, dict]:
         """Deterministic nested-dict summary of every instrument."""
         summary: dict[str, dict] = {}
@@ -193,6 +458,8 @@ class MetricsRegistry:
                 summary[name] = {"kind": "counter", "value": instrument.value}
             elif isinstance(instrument, Gauge):
                 entry: dict = {"kind": "gauge", "samples": instrument.sample_count}
+                if instrument.mode == "streaming":
+                    entry["mode"] = "streaming"
                 if instrument.sample_count:
                     entry.update(instrument.summary())
                 summary[name] = entry
@@ -203,6 +470,11 @@ class MetricsRegistry:
                     entry["p50"] = instrument.quantile(0.5)
                     entry["p95"] = instrument.quantile(0.95)
                     entry["p99"] = instrument.quantile(0.99)
+                    # Finite point estimates alongside the conservative
+                    # bucket bounds (rendered as ~p95 in the table).
+                    entry["p50_interp"] = instrument.quantile(0.5, interpolate=True)
+                    entry["p95_interp"] = instrument.quantile(0.95, interpolate=True)
+                    entry["p99_interp"] = instrument.quantile(0.99, interpolate=True)
                 summary[name] = entry
         return summary
 
@@ -213,7 +485,15 @@ class MetricsRegistry:
 
 def render_summary_table(summary: dict[str, dict], title: str = "metrics") -> str:
     """Render a :meth:`MetricsRegistry.to_summary` dict (or one read back
-    from a run manifest) as a fixed-width table."""
+    from a run manifest) as a fixed-width table.
+
+    Histogram quantiles render twice: the conservative bucket upper bound
+    (``p95<=``) and, when the raw counts are not available (summaries only
+    carry the precomputed bounds), that is the whole story — interpolated
+    point estimates are a live-:class:`Histogram` query
+    (``quantile(q, interpolate=True)``), surfaced here as ``~p95`` when an
+    entry carries them.
+    """
     rows = []
     for name in sorted(summary):
         entry = summary[name]
@@ -229,6 +509,8 @@ def render_summary_table(summary: dict[str, dict], title: str = "metrics") -> st
                 # Summaries read back from pre-p99 manifests lack the key.
                 if "p99" in entry:
                     detail += f" p99={entry['p99']:.4g}"
+                if entry.get("mode") == "streaming":
+                    detail += " (streaming est.)"
             else:
                 detail = "n=0"
         else:
@@ -239,6 +521,8 @@ def render_summary_table(summary: dict[str, dict], title: str = "metrics") -> st
                 )
                 if "p99" in entry:
                     detail += f" p99<={entry['p99']:.4g}"
+                if "p95_interp" in entry:
+                    detail += f" ~p95={entry['p95_interp']:.4g}"
             else:
                 detail = "n=0"
         rows.append((name, kind, detail))

@@ -55,6 +55,11 @@ class Observability:
     ):
         self._seq = 0
         self.sink = sink
+        #: True when events should be constructed at all: a sink is
+        #: attached *and* wants them.  Metrics-only sinks (NullSink)
+        #: leave :attr:`enabled` True — instruments still collect — while
+        #: hot instrumentation sites skip event construction entirely.
+        self.events_enabled = sink is not None and sink.wants_events
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = (
             tracer
@@ -64,7 +69,7 @@ class Observability:
 
     @property
     def enabled(self) -> bool:
-        """True when a sink is attached (events will be recorded)."""
+        """True when telemetry is on (a sink is attached; metrics collect)."""
         return self.sink is not None
 
     @property
@@ -80,7 +85,7 @@ class Observability:
         sites should still guard with :attr:`enabled` to avoid building
         event objects that would be dropped.
         """
-        if self.sink is None:
+        if not self.events_enabled:
             return
         if event.seq != self._seq:
             # Call sites build each event fresh with a seq=0 placeholder;
@@ -89,6 +94,27 @@ class Observability:
             # characterization hot path.
             object.__setattr__(event, "seq", self._seq)
         self.sink.emit(event)
+        self._seq += 1
+
+    def emit_new(self, cls: type[ObsEvent], **fields) -> None:
+        """Construct-and-emit fast path for hot instrumentation sites.
+
+        Equivalent to building ``cls(seq=0, **fields)`` and calling
+        :meth:`emit`, minus the frozen-dataclass construction tax (one
+        ``object.__setattr__`` per field): the instance dict is installed
+        wholesale through the same escape hatch.  Callers must pass
+        exactly the event's non-``seq`` fields — there is no per-field
+        validation here; the JSONL round-trip (``event_from_dict``)
+        rejects malformed shapes downstream.  Field insertion order never
+        reaches disk: the wire form sorts keys.
+        """
+        sink = self.sink
+        if sink is None or not self.events_enabled:
+            return
+        fields["seq"] = self._seq
+        event = object.__new__(cls)
+        object.__setattr__(event, "__dict__", fields)
+        sink.emit(event)
         self._seq += 1
 
     def _emit_span(self, span: Span) -> None:

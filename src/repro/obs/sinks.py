@@ -26,6 +26,12 @@ from .events import ObsEvent, event_from_dict, event_to_dict
 class EventSink:
     """Consumer interface for emitted events."""
 
+    #: Whether the runtime should construct and deliver events at all.
+    #: Metrics-only sinks (:class:`NullSink`) opt out, and instrumentation
+    #: sites skip event construction entirely — the streaming-telemetry
+    #: mode's obs overhead is metric folds, not dead event objects.
+    wants_events: bool = True
+
     def emit(self, event: ObsEvent) -> None:
         """Consume one event."""
         raise NotImplementedError
@@ -60,6 +66,31 @@ class RingBufferSink(EventSink):
 
     def __len__(self) -> int:
         return len(self._buffer)
+
+
+class NullSink(EventSink):
+    """Metrics-only observability: declines events before they exist.
+
+    Installed in process-pool workers and the obs-overhead bench
+    (``repro fleet characterize --jobs N``): instruments still fold into
+    mergeable summaries, but per-event streams are not captured — worker
+    scheduling would otherwise interleave them nondeterministically.
+    ``wants_events`` is False, so the runtime suppresses events at the
+    *construction site* (``emit`` only counts events pushed directly).
+    """
+
+    wants_events = False
+
+    def __init__(self):
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Events discarded so far (direct pushes only)."""
+        return self._count
+
+    def emit(self, event: ObsEvent) -> None:
+        self._count += 1
 
 
 def event_to_json_line(event: ObsEvent) -> str:
@@ -123,8 +154,22 @@ class TeeSink(EventSink):
 
 
 def read_jsonl(path: str | Path) -> Iterator[ObsEvent]:
-    """Parse a JSONL event file back into typed events, in file order."""
+    """Parse a JSONL event file back into typed events, in file order.
+
+    Accepts segmented streams the same way :func:`read_jsonl_documents`
+    does (a ``*.segments.json`` index, or a logical path whose index sits
+    beside it).
+    """
     source = Path(path)
+    from .stream.rotate import is_segment_index, segment_index_path
+
+    if is_segment_index(source) or (
+        not source.exists() and segment_index_path(source).exists()
+    ):
+        documents, _ = read_jsonl_documents(source)
+        for document in documents:
+            yield event_from_dict(document)
+        return
     if not source.exists():
         raise ConfigurationError(f"no event file at {source}")
     with source.open("r", encoding="utf-8") as handle:
@@ -152,9 +197,26 @@ def read_jsonl_documents(
     else always raise, because mid-stream corruption is never a clean
     truncation.  The analyze-layer loaders (diff engine, run store) use
     the tolerant mode so a crashed run can still be inspected.
+
+    Segmented streams read transparently: passing a ``*.segments.json``
+    index (or the logical path of a run that rotated, with the index
+    sitting beside it) delegates to the segment reader, which applies the
+    same tolerant-final-line rule to the final segment.
     """
     source = Path(path)
+    # Local import: stream.rotate uses this module's line codec.
+    from .stream.rotate import (
+        is_segment_index,
+        read_segmented_documents,
+        segment_index_path,
+    )
+
+    if is_segment_index(source):
+        return read_segmented_documents(source, tolerant=tolerant)
     if not source.exists():
+        sibling_index = segment_index_path(source)
+        if sibling_index.exists():
+            return read_segmented_documents(sibling_index, tolerant=tolerant)
         raise ConfigurationError(f"no event file at {source}")
     payload = [
         (lineno, stripped)

@@ -1,0 +1,169 @@
+"""Exact, order-invariant float accumulation (the merge substrate).
+
+Plain ``total += value`` accumulation is *not* associative in float
+arithmetic: ``(a + b) + c`` and ``a + (b + c)`` can differ in the last
+ulp, so two workers folding partial sums in different chunkings produce
+subtly different totals — fatal for the streaming layer's contract that
+fleet rollups are byte-identical regardless of chunk size or worker
+scheduling.
+
+:class:`ExactSum` fixes this with Shewchuk's error-free transformation
+(the algorithm behind :func:`math.fsum`): the running sum is kept as a
+list of non-overlapping float *partials* whose exact mathematical sum
+equals the exact sum of every value ever added.  Adding a value is
+error-free, merging two accumulators is error-free (add the other's
+partials), and :meth:`value` rounds the exact rational sum once, at read
+time, via :class:`fractions.Fraction`.  The rounded result is therefore a
+pure function of the input **multiset** — independent of insertion order
+and of how the inputs were partitioned across accumulators.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ...errors import ConfigurationError
+
+
+class ExactSum:
+    """Error-free streaming float sum; mergeable and order-invariant."""
+
+    __slots__ = ("_partials",)
+
+    def __init__(self):
+        self._partials: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Accumulate ``value`` exactly (no representable error is lost)."""
+        x = float(value)
+        if math.isnan(x) or math.isinf(x):
+            raise ConfigurationError(
+                f"cannot accumulate non-finite value {value!r}"
+            )
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            high = x + y
+            low = y - (high - x)
+            if low:
+                partials[i] = low
+                i += 1
+            x = high
+        partials[i:] = [x]
+
+    def merge(self, other: ExactSum) -> None:
+        """Fold another accumulator in; exactness makes this associative."""
+        for partial in other._partials:
+            self.add(partial)
+
+    def value(self) -> float:
+        """The correctly-rounded float of the exact accumulated sum.
+
+        Rounding happens exactly once, here, over the exact rational sum
+        of the partials — so the result is a pure function of the input
+        multiset, never of the accumulation or merge order.
+        """
+        if not self._partials:
+            return 0.0
+        if len(self._partials) == 1:
+            return self._partials[0]
+        return float(sum(Fraction(partial) for partial in self._partials))
+
+    def to_state(self) -> list[float]:
+        """Canonical JSON-native state: the unique greedy float expansion.
+
+        The in-memory partials list is order-dependent (only its exact
+        rational sum is not), so serializing it raw would leak insertion
+        order into state bytes.  Instead the exact sum is re-expanded
+        canonically: repeatedly extract the correctly-rounded float of
+        the remainder and subtract it exactly.  The result is a pure
+        function of the accumulated multiset, and re-adding the
+        components reconstructs the exact sum.
+        """
+        remainder = sum((Fraction(p) for p in self._partials), Fraction(0))
+        components: list[float] = []
+        while remainder:
+            component = float(remainder)
+            if component == 0.0:
+                break  # residual below float range; cannot occur for
+                # sums of representable floats, guarded anyway
+            components.append(component)
+            remainder -= Fraction(component)
+        return components
+
+    @classmethod
+    def from_state(cls, state: list[float]) -> ExactSum:
+        """Rebuild from :meth:`to_state` output (re-normalizes the partials)."""
+        out = cls()
+        for partial in state:
+            out.add(float(partial))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExactSum({self.value()!r})"
+
+
+class MergeableStat:
+    """Streaming count/sum/min/max with an order-invariant merge.
+
+    Every component is a commutative, associative fold over the sample
+    multiset: the count is an integer, the sum is an :class:`ExactSum`,
+    and min/max are lattice operations — so any partitioning of the
+    samples across instances folds to the same state.
+    """
+
+    __slots__ = ("count", "_sum", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self._sum = ExactSum()
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._sum.add(value)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: MergeableStat) -> None:
+        self.count += other.count
+        self._sum.merge(other._sum)
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    @property
+    def total(self) -> float:
+        """Correctly-rounded sum of every sample."""
+        return self._sum.value()
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ConfigurationError("no samples accumulated")
+        return self.total / self.count
+
+    def to_state(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self._sum.to_state(),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> MergeableStat:
+        out = cls()
+        out.count = int(state["count"])
+        out._sum = ExactSum.from_state(state["sum"])
+        out.minimum = float(state["min"])
+        out.maximum = float(state["max"])
+        return out

@@ -1,0 +1,155 @@
+"""Span-tree exports: Chrome-trace and speedscope flame formats.
+
+``repro obs flame <run>`` turns the :class:`~repro.obs.events.SpanEvent`
+records of a run's event stream into files the standard flame-graph
+viewers open directly:
+
+* **chrome** — Chrome trace-event format (``chrome://tracing``,
+  Perfetto): one complete ``"X"`` event per span;
+* **speedscope** — https://www.speedscope.app evented profile: balanced
+  open/close events reconstructed from the spans' tick intervals and
+  depths.
+
+Span timestamps are *observability ticks*, not wall time — the exports
+label the unit accordingly and are byte-identical across same-seed runs,
+like every other artifact.  When a run was traced in profiling mode the
+spans' wall_s values ride along as event args (chrome) for operator
+inspection, but never affect the deterministic structure.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ...errors import ConfigurationError
+
+#: Export formats understood by :func:`render_flame`.
+FLAME_FORMATS = ("chrome", "speedscope")
+
+
+def spans_from_documents(documents: list[dict]) -> list[dict]:
+    """The SpanEvent documents of an event stream, in a canonical order.
+
+    Spans are sorted by (start_tick, depth, seq): parents before their
+    children at equal start ticks, emission order as the final tiebreak.
+    """
+    spans = [d for d in documents if d.get("type") == "SpanEvent"]
+    for span in spans:
+        for field in ("name", "depth", "start_tick", "end_tick", "seq"):
+            if field not in span:
+                raise ConfigurationError(
+                    f"malformed SpanEvent document: missing {field!r}"
+                )
+    return sorted(
+        spans,
+        key=lambda s: (float(s["start_tick"]), int(s["depth"]), int(s["seq"])),
+    )
+
+
+def chrome_trace(documents: list[dict]) -> dict:
+    """Chrome trace-event document (complete ``"X"`` events, tick units)."""
+    events = []
+    for span in spans_from_documents(documents):
+        start = float(span["start_tick"])
+        duration = float(span["end_tick"]) - start
+        args: dict = {"seq": int(span["seq"]), "depth": int(span["depth"])}
+        if span.get("attrs"):
+            args["attrs"] = str(span["attrs"])
+        wall_s = float(span.get("wall_s", -1.0))
+        if wall_s >= 0.0:
+            args["wall_s"] = wall_s
+        events.append(
+            {
+                "name": str(span["name"]),
+                "cat": "span",
+                "ph": "X",
+                "ts": start,
+                "dur": duration,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "obs_ticks", "source": "repro obs flame"},
+    }
+
+
+def speedscope_profile(documents: list[dict], *, name: str = "run") -> dict:
+    """Speedscope evented-profile document reconstructed from spans."""
+    spans = spans_from_documents(documents)
+    frames: list[dict] = []
+    frame_index: dict[str, int] = {}
+    for span in spans:
+        label = str(span["name"])
+        if label not in frame_index:
+            frame_index[label] = len(frames)
+            frames.append({"name": label})
+    events: list[dict] = []
+    stack: list[dict] = []
+    for span in spans:
+        start = float(span["start_tick"])
+        # Close finished ancestors/siblings before opening this span.
+        while stack and float(stack[-1]["end_tick"]) <= start:
+            done = stack.pop()
+            events.append(
+                {
+                    "type": "C",
+                    "frame": frame_index[str(done["name"])],
+                    "at": float(done["end_tick"]),
+                }
+            )
+        if stack and float(span["end_tick"]) > float(stack[-1]["end_tick"]):
+            raise ConfigurationError(
+                f"span {span['name']!r} overlaps but does not nest within "
+                f"{stack[-1]['name']!r} — stream is not a valid span tree"
+            )
+        events.append({"type": "O", "frame": frame_index[str(span["name"])], "at": start})
+        stack.append(span)
+    while stack:
+        done = stack.pop()
+        events.append(
+            {
+                "type": "C",
+                "frame": frame_index[str(done["name"])],
+                "at": float(done["end_tick"]),
+            }
+        )
+    if events:
+        start_value = min(float(e["at"]) for e in events)
+        end_value = max(float(e["at"]) for e in events)
+    else:
+        start_value = end_value = 0.0
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": name,
+                "unit": "none",
+                "startValue": start_value,
+                "endValue": end_value,
+                "events": events,
+            }
+        ],
+        "name": name,
+        "exporter": "repro obs flame",
+    }
+
+
+def render_flame(
+    documents: list[dict], fmt: str = "chrome", *, name: str = "run"
+) -> str:
+    """Canonical JSON text of the requested flame export."""
+    if fmt == "chrome":
+        document = chrome_trace(documents)
+    elif fmt == "speedscope":
+        document = speedscope_profile(documents, name=name)
+    else:
+        raise ConfigurationError(
+            f"unknown flame format {fmt!r} (choose from {', '.join(FLAME_FORMATS)})"
+        )
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,94 @@
+"""Live progress/ETA reporting for long fleet runs — operator-facing only.
+
+:class:`ProgressReporter` turns "chips completed out of N" updates into
+throttled one-line status messages with a chips/s rate and an ETA.  Wall
+time flows exclusively through :mod:`repro.obs.profiling` (the sole RL002
+exemption), and the output goes to an injected ``write`` callable (the
+CLI passes ``sys.stderr.write``) — never into event streams, manifests,
+or any other deterministic artifact.  Disable it (the default when no
+``write`` target is given) and zero host-clock reads happen.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ...errors import ConfigurationError
+from ..profiling import wall_clock_s
+
+
+class ProgressReporter:
+    """Throttled operator-facing progress lines with rate + ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        write: Callable[[str], object] | None = None,
+        label: str = "progress",
+        unit: str = "items",
+        min_interval_s: float = 0.5,
+    ):
+        if total < 1:
+            raise ConfigurationError(f"total must be >= 1, got {total}")
+        if min_interval_s < 0.0:
+            raise ConfigurationError(
+                f"min_interval_s must be >= 0, got {min_interval_s}"
+            )
+        self._total = total
+        self._write = write
+        self._label = label
+        self._unit = unit
+        self._min_interval_s = min_interval_s
+        self._done = 0
+        # The clock is only read when a write target exists; a disabled
+        # reporter performs zero host-clock reads.
+        self._start_s = wall_clock_s() if write is not None else 0.0
+        self._last_report_s = -1.0
+
+    @property
+    def enabled(self) -> bool:
+        return self._write is not None
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    def _render(self, elapsed_s: float) -> str:
+        percent = 100.0 * self._done / self._total
+        if elapsed_s > 0.0 and self._done > 0:
+            rate = self._done / elapsed_s
+            remaining = self._total - self._done
+            eta_s = remaining / rate if rate > 0.0 else 0.0
+            tail = f" {rate:.0f} {self._unit}/s eta {eta_s:.1f}s"
+        else:
+            tail = ""
+        return (
+            f"{self._label}: {self._done}/{self._total} {self._unit} "
+            f"({percent:.1f}%){tail}"
+        )
+
+    def update(self, completed: int) -> None:
+        """Advance by ``completed`` items; may emit a throttled status line."""
+        if completed < 0:
+            raise ConfigurationError(f"completed must be >= 0, got {completed}")
+        self._done = min(self._done + completed, self._total)
+        if self._write is None:
+            return
+        now_s = wall_clock_s()
+        finished = self._done >= self._total
+        if not finished and (
+            self._last_report_s >= 0.0
+            and now_s - self._last_report_s < self._min_interval_s
+        ):
+            return
+        self._last_report_s = now_s
+        self._write(self._render(now_s - self._start_s) + "\n")
+
+    def finish(self) -> None:
+        """Emit a final line for whatever completed (idempotent)."""
+        if self._write is None:
+            return
+        if self._done < self._total:
+            # Interrupted run: still report where it stopped.
+            self._write(self._render(wall_clock_s() - self._start_s) + "\n")

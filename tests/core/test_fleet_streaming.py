@@ -1,0 +1,77 @@
+"""Golden test: fleet characterization is chunking- and pool-invariant.
+
+The streaming layer's headline contract: with streaming gauges, the
+fleet report, the metric summary, *and* the raw merged registry state
+are byte-identical across every ``chunk_size`` × ``jobs`` combination —
+partial registries from chunks and pool workers fold into the same
+rollup a serial run produces.  The matrix below is the acceptance matrix
+from the issue (chunk 16/64/256, jobs 1/4) plus a deliberately awkward
+odd chunking on two workers.
+"""
+
+import json
+
+import pytest
+
+from repro.core.fleet import characterize_fleet
+from repro.errors import ConfigurationError
+from repro.fastpath.cache import reset_solve_cache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import Observability, observed
+from repro.obs.sinks import NullSink
+
+SEED = 2019
+N_CHIPS = 40
+
+
+def _run(chunk_size, jobs):
+    reset_solve_cache()
+    obs = Observability(
+        NullSink(), metrics=MetricsRegistry(gauge_mode="streaming")
+    )
+    with observed(obs):
+        report = characterize_fleet(
+            N_CHIPS, seed=SEED, chunk_size=chunk_size, jobs=jobs
+        )
+    return (
+        json.dumps(report.to_dict(), sort_keys=True),
+        json.dumps(obs.metrics.to_summary(), sort_keys=True),
+        json.dumps(obs.metrics.to_state(), sort_keys=True),
+    )
+
+
+class TestChunkAndPoolInvariance:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return _run(16, 1)
+
+    @pytest.mark.parametrize(
+        ("chunk_size", "jobs"),
+        [(16, 4), (64, 1), (64, 4), (256, 1), (256, 4), (7, 2)],
+    )
+    def test_rollup_bytes_are_invariant(self, reference, chunk_size, jobs):
+        fresh = _run(chunk_size, jobs)
+        for name, expected, actual in zip(
+            ("report", "summary", "state"), reference, fresh
+        ):
+            assert actual == expected, (
+                f"{name} diverged at chunk_size={chunk_size} jobs={jobs}"
+            )
+
+
+class TestPoolGuards:
+    def test_pooled_exact_gauges_rejected(self):
+        """Exact gauges are unmergeable, so jobs > 1 must refuse them."""
+        reset_solve_cache()
+        obs = Observability(NullSink(), metrics=MetricsRegistry())
+        with observed(obs), pytest.raises(ConfigurationError):
+            characterize_fleet(8, seed=SEED, chunk_size=4, jobs=2)
+
+    def test_pooled_run_without_obs_matches_serial(self):
+        reset_solve_cache()
+        serial = characterize_fleet(12, seed=SEED, chunk_size=4, jobs=1)
+        reset_solve_cache()
+        pooled = characterize_fleet(12, seed=SEED, chunk_size=4, jobs=2)
+        assert json.dumps(pooled.to_dict(), sort_keys=True) == json.dumps(
+            serial.to_dict(), sort_keys=True
+        )

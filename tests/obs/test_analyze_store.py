@@ -84,6 +84,21 @@ class TestRunStore:
         assert store.run_ids() == ("fig01@r3",)
         assert "fig01@r1" not in store.index_path.read_text()
 
+    def test_prune_orders_default_ids_by_numeric_seed(self, tmp_path, fig01_run):
+        """Regression: retention must treat ``s9`` < ``s10`` < ``s100``.
+
+        Plain lexicographic order would rank ``s10`` and ``s100`` below
+        ``s9`` and prune the wrong runs; :func:`natural_run_key` parses
+        the numeric seed out of default-shaped run ids.
+        """
+        store = RunStore(tmp_path / "store")
+        sha8 = fig01_run.manifest.events_sha256[:8]
+        for seed in (100, 9, 10):
+            store.put(fig01_run.manifest_path, run_id=f"fig01@s{seed}-{sha8}")
+        removed = store.prune(1)
+        assert removed == (f"fig01@s10-{sha8}", f"fig01@s9-{sha8}")
+        assert store.run_ids() == (f"fig01@s100-{sha8}",)
+
 
 class TestFleetRunRoundTrip:
     def test_fleet_manifest_survives_store_round_trip(self, tmp_path):

@@ -7,6 +7,7 @@ from repro.obs.events import CpmStepEvent, RollbackEvent, SpanEvent
 from repro.obs.runtime import Observability, get_obs, install, observed
 from repro.obs.sinks import (
     JsonlFileSink,
+    NullSink,
     RingBufferSink,
     TeeSink,
     event_to_json_line,
@@ -168,3 +169,56 @@ class TestObservability:
         obs = Observability(RingBufferSink())
         obs.metrics.counter("x").inc()
         assert obs.metrics.counter("x").value == 1
+
+
+class TestEmitNew:
+    def test_fast_path_equals_normal_construction(self):
+        """``emit_new`` must be indistinguishable from ``emit`` downstream."""
+        fast_sink, slow_sink = RingBufferSink(), RingBufferSink()
+        fast, slow = Observability(fast_sink), Observability(slow_sink)
+        fast.emit_new(
+            CpmStepEvent,
+            core_label="P0C0",
+            workload="idle",
+            reduction_steps=1,
+            safe=True,
+            slack_ps=2.0,
+        )
+        slow.emit(_step())
+        fast_event, slow_event = fast_sink.events()[0], slow_sink.events()[0]
+        assert fast_event == slow_event
+        assert hash(fast_event) == hash(slow_event)
+        assert event_to_json_line(fast_event) == event_to_json_line(slow_event)
+        assert fast.next_seq == 1
+
+    def test_stamps_monotonic_sequence(self):
+        sink = RingBufferSink()
+        obs = Observability(sink)
+        for _ in range(3):
+            obs.emit_new(
+                CpmStepEvent,
+                core_label="P0C0",
+                workload="idle",
+                reduction_steps=1,
+                safe=True,
+                slack_ps=2.0,
+            )
+        assert [e.seq for e in sink.events()] == [0, 1, 2]
+
+    def test_metrics_only_sink_suppresses_event_construction(self):
+        """NullSink declines events at the source: nothing is built."""
+        sink = NullSink()
+        obs = Observability(sink)
+        assert obs.enabled  # metrics still collect ...
+        assert not obs.events_enabled  # ... but events are never made
+        obs.emit_new(
+            CpmStepEvent,
+            core_label="P0C0",
+            workload="idle",
+            reduction_steps=1,
+            safe=True,
+            slack_ps=2.0,
+        )
+        obs.emit(_step())
+        assert sink.count == 0  # neither path delivered anything
+        assert obs.next_seq == 0

@@ -1,0 +1,117 @@
+"""Flame exports and the progress reporter (operator-facing surfaces)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.stream.flame import (
+    chrome_trace,
+    render_flame,
+    spans_from_documents,
+    speedscope_profile,
+)
+from repro.obs.stream.progress import ProgressReporter
+
+
+def _span(name, start, end, depth, seq, **extra):
+    document = {
+        "type": "SpanEvent",
+        "name": name,
+        "depth": depth,
+        "start_tick": start,
+        "end_tick": end,
+        "seq": seq,
+        "attrs": "",
+        "wall_s": -1.0,
+    }
+    document.update(extra)
+    return document
+
+
+#: A two-level span tree interleaved with non-span documents.
+DOCUMENTS = [
+    {"type": "CpmStepEvent", "seq": 0},
+    _span("outer", 0.0, 10.0, 0, 9),
+    _span("inner_a", 1.0, 4.0, 1, 4),
+    {"type": "CpmStepEvent", "seq": 5},
+    _span("inner_b", 4.0, 9.0, 1, 8),
+]
+
+
+class TestFlameExports:
+    def test_chrome_trace_has_one_complete_event_per_span(self):
+        trace = chrome_trace(DOCUMENTS)
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner_a", "inner_b"]
+        assert all(e["ph"] == "X" for e in events)
+        outer = events[0]
+        assert outer["ts"] == pytest.approx(0.0)
+        assert outer["dur"] == pytest.approx(10.0)
+        assert trace["otherData"]["time_unit"] == "obs_ticks"
+
+    def test_speedscope_events_are_balanced_and_ordered(self):
+        profile = speedscope_profile(DOCUMENTS, name="t")
+        events = profile["profiles"][0]["events"]
+        opens = [e for e in events if e["type"] == "O"]
+        closes = [e for e in events if e["type"] == "C"]
+        assert len(opens) == len(closes) == 3
+        ticks = [float(e["at"]) for e in events]
+        assert ticks == sorted(ticks)
+        assert profile["profiles"][0]["endValue"] == pytest.approx(10.0)
+
+    def test_overlapping_non_nesting_spans_rejected(self):
+        documents = [
+            _span("a", 0.0, 5.0, 0, 1),
+            _span("b", 3.0, 8.0, 0, 2),
+        ]
+        with pytest.raises(ConfigurationError, match="does not nest"):
+            speedscope_profile(documents)
+
+    def test_malformed_span_document_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            spans_from_documents([{"type": "SpanEvent", "name": "x"}])
+
+    def test_render_is_canonical_and_deterministic(self):
+        first = render_flame(DOCUMENTS, "chrome")
+        second = render_flame(DOCUMENTS, "chrome")
+        assert first == second
+        json.loads(first)  # must be valid JSON text
+        with pytest.raises(ConfigurationError, match="unknown flame format"):
+            render_flame(DOCUMENTS, "svg")
+
+
+class TestProgressReporter:
+    def test_disabled_reporter_writes_nothing(self):
+        reporter = ProgressReporter(10)
+        assert not reporter.enabled
+        reporter.update(5)
+        reporter.finish()
+        assert reporter.done == 5
+
+    def test_enabled_reporter_emits_status_lines(self):
+        lines = []
+        reporter = ProgressReporter(
+            4, write=lines.append, label="fleet", unit="chips",
+            min_interval_s=0.0,
+        )
+        reporter.update(1)
+        reporter.update(3)
+        assert any("fleet: 1/4 chips (25.0%)" in line for line in lines)
+        assert any("4/4 chips (100.0%)" in line for line in lines)
+
+    def test_finish_reports_interrupted_runs(self):
+        lines = []
+        reporter = ProgressReporter(
+            8, write=lines.append, min_interval_s=0.0
+        )
+        reporter.update(3)
+        reporter.finish()
+        assert "3/8" in lines[-1]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProgressReporter(0)
+        reporter = ProgressReporter(4)
+        with pytest.raises(ConfigurationError):
+            reporter.update(-1)

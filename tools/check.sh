@@ -30,14 +30,43 @@ else
     echo "== mypy == (skipped: mypy not installed)"
 fi
 
-echo "== repro bench (smoke + perf gate) =="
+echo "== repro bench (smoke + perf gate + obs-overhead gate) =="
 bench_out="$(mktemp)"
 # Diffs a small fresh run against the committed artifact; the absolute
 # noise floor in compare_to_baseline keeps tiny smoke runs from tripping
 # on machine jitter, so this only fails on gross regressions.
 if python -m repro bench --experiments fig01 --fleet-chips 32 \
+        --obs-chips 24 \
         --compare BENCH_solver.json --out "$bench_out" >/dev/null; then
     echo "bench smoke ok"
+    # Observability must stay within its 10% wall-clock budget on the
+    # fleet-characterization path (streaming-telemetry mode).  Same
+    # two-condition shape as the perf gate: the ratio threshold plus the
+    # MIN_REGRESSION_S absolute floor, so sub-50ms deltas never flap.
+    if python - "$bench_out" <<'PYEOF'
+import json
+import sys
+
+from repro.analysis.bench import exceeds_ratio_gate
+
+entry = json.load(open(sys.argv[1]))["obs_overhead"]
+enabled, disabled = entry["enabled_wall_s"], entry["disabled_wall_s"]
+if exceeds_ratio_gate(enabled, disabled, threshold=1.10):
+    print(
+        f"obs overhead gate FAILED: dark {disabled}s vs observed "
+        f"{enabled}s (+{100.0 * entry['overhead_ratio']:.1f}%, budget 10%)"
+    )
+    raise SystemExit(1)
+print(
+    f"obs overhead gate ok: +{100.0 * entry['overhead_ratio']:.1f}% "
+    "(budget 10%)"
+)
+PYEOF
+    then
+        :
+    else
+        failures=$((failures + 1))
+    fi
 else
     failures=$((failures + 1))
 fi
@@ -58,6 +87,32 @@ else
     failures=$((failures + 1))
 fi
 rm -rf "$obs_tmp"
+
+echo "== repro obs flame (smoke) =="
+# table1 is the cheapest experiment that emits SpanEvents; both export
+# formats must produce valid JSON with at least one span.
+flame_tmp="$(mktemp -d)"
+if python -m repro trace table1 --out "$flame_tmp/run" --tail 0 >/dev/null \
+        && python -m repro obs flame "$flame_tmp/run" \
+            --format chrome --out "$flame_tmp/chrome.json" \
+        && python -m repro obs flame "$flame_tmp/run" \
+            --format speedscope --out "$flame_tmp/speedscope.json" \
+        && python - "$flame_tmp" <<'PYEOF'
+import json
+import sys
+
+base = sys.argv[1]
+chrome = json.load(open(f"{base}/chrome.json"))
+speedscope = json.load(open(f"{base}/speedscope.json"))
+assert chrome["traceEvents"], "chrome export has no spans"
+assert speedscope["profiles"][0]["events"], "speedscope export has no spans"
+PYEOF
+then
+    echo "obs flame smoke ok"
+else
+    failures=$((failures + 1))
+fi
+rm -rf "$flame_tmp"
 
 echo "== tier-1 pytest =="
 python -m pytest -x -q || failures=$((failures + 1))
