@@ -25,11 +25,18 @@ from ..fastpath.cache import get_solve_cache, reset_solve_cache
 from ..obs.profiling import wall_clock_s
 
 #: Schema tag written into the artifact so downstream tooling can evolve.
-SCHEMA = "bench_solver/v1"
+#: v2 adds the persistent-store cold/warm entry (``store``) alongside the
+#: v1 fields; v1 artifacts still load in :func:`compare_to_baseline`.
+SCHEMA = "bench_solver/v2"
 
 #: Absolute wall-clock slack for the regression gate: totals below this
 #: delta are scheduling noise on shared CI hosts, never a regression.
+#: ``repro bench --compare`` overrides it with ``--noise-floor-ms``.
 MIN_REGRESSION_S = 0.05
+
+#: Minimum warm-over-cold speedup the persistent solve store must keep
+#: delivering for ``--compare`` to pass when the fresh run benched it.
+STORE_SPEEDUP_FLOOR = 3.0
 
 
 def exceeds_ratio_gate(
@@ -342,6 +349,133 @@ def run_gauge_memory_bench(
 
 
 @dataclass(frozen=True)
+class StoreBench:
+    """Persistent solve-store payoff: cold vs warm fleet characterization.
+
+    The cold pass populates a fresh store (characterize + compile + solve,
+    plus record writes); the warm pass re-runs the identical fleet against
+    that store and must serve every characterization, compiled table, and
+    converged state from disk.  Reports are checked byte-equal before the
+    numbers are reported, so the speedup can never come from divergence.
+    """
+
+    n_chips: int
+    trials: int
+    cold_wall_s: float
+    warm_wall_s: float
+    warm_hits: int
+    warm_misses: int
+    store_entries: int
+    store_bytes: int
+
+    @property
+    def speedup(self) -> float:
+        """Cold wall over warm wall (the warm-run payoff)."""
+        if self.warm_wall_s <= 0.0:
+            return float("inf")
+        return self.cold_wall_s / self.warm_wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "n_chips": self.n_chips,
+            "trials": self.trials,
+            "cold_wall_s": round(self.cold_wall_s, 4),
+            "warm_wall_s": round(self.warm_wall_s, 4),
+            "speedup": round(self.speedup, 4),
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "store_entries": self.store_entries,
+            "store_bytes": self.store_bytes,
+        }
+
+
+def run_store_bench(
+    n_chips: int = 256,
+    *,
+    seed: int = 2019,
+    trials: int = 4,
+    repeat: int = 1,
+) -> StoreBench:
+    """Time :func:`~repro.core.fleet.characterize_fleet` cold vs warm.
+
+    Each cold pass runs into a *fresh* temporary store (so it always pays
+    characterization, compilation, solving, and record writes); warm
+    passes re-run against the first cold pass's populated store.  Best
+    wall on each side over ``repeat`` passes.  Raises
+    :class:`SimulationError` if any pass's report deviates from the cold
+    reference — the store must never change result bytes.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from ..core.fleet import characterize_fleet
+    from ..fastpath.store import configure_store, reset_store
+
+    if n_chips < 1:
+        raise ConfigurationError(f"store bench chips must be >= 1, got {n_chips}")
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+
+    cold_wall_s = float("inf")
+    warm_wall_s = float("inf")
+    warm_hits = 0
+    warm_misses = 0
+    store_entries = 0
+    store_bytes = 0
+    reference: dict | None = None
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as tmp:
+        try:
+            for pass_index in range(repeat):
+                root = _Path(tmp) / f"cold{pass_index}"
+                configure_store(root)
+                reset_solve_cache()
+                start_s = wall_clock_s()
+                cold = characterize_fleet(n_chips, seed=seed, trials=trials)
+                cold_wall_s = min(cold_wall_s, wall_clock_s() - start_s)
+                if reference is None:
+                    reference = cold.to_dict()
+                elif cold.to_dict() != reference:
+                    raise SimulationError(
+                        "cold store pass deviates from the reference run"
+                    )
+
+            # Warm passes replay the *first* cold pass's store.
+            warm_store = configure_store(_Path(tmp) / "cold0")
+            for _ in range(repeat):
+                reset_solve_cache()
+                before = warm_store.stats()
+                start_s = wall_clock_s()
+                warm = characterize_fleet(n_chips, seed=seed, trials=trials)
+                warm_wall_s = min(warm_wall_s, wall_clock_s() - start_s)
+                after = warm_store.stats()
+                warm_hits = after["hits"] - before["hits"]
+                warm_misses = after["misses"] - before["misses"]
+                if warm.to_dict() != reference:
+                    raise SimulationError(
+                        "warm store run deviates from the cold run"
+                    )
+            store_entries = len(warm_store)
+            store_bytes = (
+                warm_store.dat_path.stat().st_size
+                if warm_store.dat_path.exists()
+                else 0
+            )
+        finally:
+            reset_store()
+            reset_solve_cache()
+    return StoreBench(
+        n_chips=n_chips,
+        trials=trials,
+        cold_wall_s=cold_wall_s,
+        warm_wall_s=warm_wall_s,
+        warm_hits=warm_hits,
+        warm_misses=warm_misses,
+        store_entries=store_entries,
+        store_bytes=store_bytes,
+    )
+
+
+@dataclass(frozen=True)
 class BenchReport:
     """Measured wall-clock profile of one benchmark invocation."""
 
@@ -356,6 +490,7 @@ class BenchReport:
     fleet: FleetBench | None = None
     obs_overhead: ObsOverheadBench | None = None
     gauge_memory: GaugeMemoryBench | None = None
+    store: StoreBench | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -396,6 +531,8 @@ class BenchReport:
             doc["obs_overhead"] = self.obs_overhead.to_dict()
         if self.gauge_memory is not None:
             doc["gauge_memory"] = self.gauge_memory.to_dict()
+        if self.store is not None:
+            doc["store"] = self.store.to_dict()
         return doc
 
     def render(self) -> str:
@@ -441,6 +578,15 @@ class BenchReport:
                 f"{100.0 * gm.max_quantile_error:.2f}% "
                 f"(bound {100.0 * gm.error_bound:.2f}%)"
             )
+        if self.store is not None:
+            st = self.store
+            lines.append(
+                f"solve store ({st.n_chips} chips, trials {st.trials}): "
+                f"cold {st.cold_wall_s:.3f}s / warm {st.warm_wall_s:.3f}s -> "
+                f"speedup {st.speedup:.2f}x "
+                f"({st.warm_hits} hits / {st.warm_misses} misses warm, "
+                f"{st.store_entries} records, {st.store_bytes} B)"
+            )
         return "\n".join(lines)
 
 
@@ -455,6 +601,7 @@ def run_bench(
     fleet_chips: int = 0,
     obs_chips: int = 0,
     gauge_samples: int = 0,
+    store_chips: int = 0,
 ) -> BenchReport:
     """Time the experiment suite and (optionally) write the JSON artifact.
 
@@ -468,6 +615,9 @@ def run_bench(
     :class:`ObsOverheadBench` entry (the tools/check.sh obs-overhead gate
     reads it), and ``gauge_samples > 0`` a :class:`GaugeMemoryBench`
     entry witnessing the streaming gauge's bounded memory.
+    ``store_chips > 0`` appends a :class:`StoreBench` entry timing fleet
+    characterization cold vs warm against a temporary persistent store
+    (the tools/check.sh store gate holds its speedup above the floor).
     """
     # Local import: analysis must stay importable without dragging the
     # experiment registry's transitive imports in at module load.
@@ -526,6 +676,11 @@ def run_bench(
         if gauge_samples > 0
         else None
     )
+    store = (
+        run_store_bench(store_chips, seed=seed, repeat=repeat)
+        if store_chips > 0
+        else None
+    )
     report = BenchReport(
         seed=seed,
         jobs=jobs,
@@ -538,6 +693,7 @@ def run_bench(
         fleet=fleet,
         obs_overhead=obs_overhead,
         gauge_memory=gauge_memory,
+        store=store,
     )
     if out_path is not None:
         path = Path(out_path)
@@ -553,17 +709,26 @@ def compare_to_baseline(
     baseline_path: str | Path,
     *,
     threshold: float = 2.0,
+    noise_floor_s: float = MIN_REGRESSION_S,
 ) -> tuple[bool, str]:
     """Diff a fresh bench run against a committed artifact (CI perf gate).
 
     Compares the total wall-clock over the experiments both runs measured;
     the gate trips when ``fresh / baseline > threshold`` *and* the
-    absolute delta exceeds :data:`MIN_REGRESSION_S` (sub-50 ms deltas are
-    scheduling noise, not regressions).  Returns ``(ok, text)`` — the
-    caller turns ``ok=False`` into a non-zero exit.
+    absolute delta exceeds ``noise_floor_s`` (default
+    :data:`MIN_REGRESSION_S`: sub-50 ms deltas are scheduling noise, not
+    regressions; ``--noise-floor-ms`` tunes it).  When the fresh run
+    carries a :class:`StoreBench` entry, its warm-over-cold speedup must
+    also stay above :data:`STORE_SPEEDUP_FLOOR` — the same two-condition
+    shape, gating ``warm`` against ``cold / floor``.  Returns
+    ``(ok, text)`` — the caller turns ``ok=False`` into a non-zero exit.
     """
     if threshold <= 0.0:
         raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+    if noise_floor_s < 0.0:
+        raise ConfigurationError(
+            f"noise floor must be >= 0, got {noise_floor_s}"
+        )
     path = Path(baseline_path)
     if not path.exists():
         raise ConfigurationError(f"no bench baseline at {path}")
@@ -609,7 +774,9 @@ def compare_to_baseline(
             f"{float(doc['fleet'].get('speedup', 0.0)):.2f}x committed"
         )
 
-    regressed = exceeds_ratio_gate(fresh_total, base_total, threshold=threshold)
+    regressed = exceeds_ratio_gate(
+        fresh_total, base_total, threshold=threshold, min_delta=noise_floor_s
+    )
     if regressed:
         lines.append(
             f"REGRESSION: total wall exceeds the committed baseline by more "
@@ -617,7 +784,31 @@ def compare_to_baseline(
         )
     else:
         lines.append("within threshold")
-    return (not regressed, "\n".join(lines))
+
+    store_regressed = False
+    if report.store is not None:
+        st = report.store
+        committed = ""
+        if "store" in doc:
+            committed = (
+                f" vs {float(doc['store'].get('speedup', 0.0)):.2f}x committed"
+            )
+        lines.append(
+            f"  store speedup: {st.speedup:.2f}x warm-over-cold{committed} "
+            f"(floor {STORE_SPEEDUP_FLOOR:.1f}x)"
+        )
+        store_regressed = exceeds_ratio_gate(
+            st.warm_wall_s,
+            st.cold_wall_s / STORE_SPEEDUP_FLOOR,
+            threshold=1.0,
+            min_delta=noise_floor_s,
+        )
+        if store_regressed:
+            lines.append(
+                f"REGRESSION: warm store run no longer beats cold by "
+                f"{STORE_SPEEDUP_FLOOR:.1f}x"
+            )
+    return (not (regressed or store_regressed), "\n".join(lines))
 
 
 __all__ = [
@@ -625,12 +816,15 @@ __all__ = [
     "FleetBench",
     "GaugeMemoryBench",
     "ObsOverheadBench",
+    "StoreBench",
     "compare_to_baseline",
     "exceeds_ratio_gate",
     "run_bench",
     "run_fleet_bench",
     "run_gauge_memory_bench",
     "run_obs_overhead_bench",
+    "run_store_bench",
     "MIN_REGRESSION_S",
     "SCHEMA",
+    "STORE_SPEEDUP_FLOOR",
 ]

@@ -185,11 +185,15 @@ class ChipSim:
 
     @property
     def compiled(self) -> "CompiledChip":
-        """Array tables for the vectorized solver, built on first use."""
-        if self._compiled is None:
-            from ..fastpath.compiled import CompiledChip
+        """Array tables for the vectorized solver, built on first use.
 
-            self._compiled = CompiledChip(self._chip, self._thermal)
+        Served zero-copy from the persistent solve store when one is
+        configured (:func:`repro.fastpath.compiled.compile_chip`).
+        """
+        if self._compiled is None:
+            from ..fastpath.compiled import compile_chip
+
+            self._compiled = compile_chip(self._chip, self._thermal)
         return self._compiled
 
     @property

@@ -112,6 +112,9 @@ class SafetyProbe:
         steps, which corresponds to a fraction of a typical step width.
     failure_model:
         Sampler for how violations manifest.
+    recorder:
+        Optional :class:`repro.core.char_record.CharRecorder` that logs
+        every probe for later store-served replay (fleet cold path).
     """
 
     def __init__(
@@ -119,6 +122,8 @@ class SafetyProbe:
         rng: np.random.Generator,
         noise_sigma_ps: float = 0.25,
         failure_model: FailureModel | None = None,
+        *,
+        recorder=None,
     ):
         if noise_sigma_ps < 0.0:
             raise ConfigurationError(
@@ -129,6 +134,7 @@ class SafetyProbe:
         self._failure_model = (
             failure_model if failure_model is not None else FailureModel()
         )
+        self._recorder = recorder
         self._probe_count = 0
 
     @property
@@ -185,6 +191,11 @@ class SafetyProbe:
         else:
             mode = self._failure_model.sample_mode(self._rng, -slack)
             result = ProbeResult(safe=False, slack_ps=slack, failure_mode=mode)
+        if self._recorder is not None:
+            self._recorder.record_probe(
+                core.label, workload.name, reduction_steps,
+                result.safe, result.slack_ps,
+            )
         if probe_total is not None:
             if obs.events_enabled:
                 obs.emit_new(

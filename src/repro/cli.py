@@ -30,10 +30,14 @@ Mirrors the stages a vendor/operator would actually run:
     Per-metric time series across registered runs with regression flags.
 ``python -m repro obs report --store DIR [--format markdown|json]``
     Deterministic digest: registry, history, spans, optional fleet health.
-``python -m repro fleet characterize --chips N [--jobs J] [--metrics-mode streaming]``
+``python -m repro fleet characterize --chips N [--jobs J] [--solve-store DIR]``
     Chunked fleet characterization; ``--metrics-mode streaming`` and
     ``--segment-events`` keep memory bounded at any fleet size, and the
     outputs are byte-identical across chunk sizes and job counts.
+    ``--solve-store`` persists characterizations, compiled tables, and
+    converged states so a warm second run replays them from disk.
+``python -m repro store stats|verify|prune DIR``
+    Inspect, checksum-verify, or compact a persistent solve store.
 ``python -m repro fleet health --chips N``
     Outlier-chip triage over a sampled fleet (quantile fences).
 ``python -m repro list-workloads``
@@ -143,12 +147,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         fleet_chips=args.fleet_chips,
         obs_chips=args.obs_chips,
         gauge_samples=args.gauge_samples,
+        store_chips=args.store_chips,
     )
     print(report.render())
     print(f"bench report written to {args.out}")
     if args.compare:
         ok, text = compare_to_baseline(
-            report, args.compare, threshold=args.compare_threshold
+            report,
+            args.compare,
+            threshold=args.compare_threshold,
+            noise_floor_s=args.noise_floor_ms / 1000.0,
         )
         print(text)
         if not ok:
@@ -159,8 +167,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
     from .atm.chip_sim import MarginMode
     from .core.fleet import characterize_fleet, run_fleet_observed
+    from .fastpath.store import configure_store
     from .obs.stream.progress import ProgressReporter
 
+    if args.solve_store:
+        configure_store(args.solve_store)
     progress = None
     if args.progress:
         # Operator-facing only: stderr, never the event stream or manifest.
@@ -197,13 +208,36 @@ def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
                 f"\nevent stream: {run.events_path} ({run.event_count} events)"
             )
             print(f"manifest: {run.manifest_path}")
+            _print_store_traffic()
             return 0
         report = characterize_fleet(args.chips, seed=args.seed, **kwargs)
     finally:
         if progress is not None:
             progress.finish()
     print(report.render())
+    _print_store_traffic()
     return 0
+
+
+def _print_store_traffic() -> None:
+    """One stdout line of persistent-store traffic, when one is live.
+
+    Operator-facing only — the counters describe what was cached on this
+    machine, so they never appear in the report or the run manifest.
+    """
+    from .fastpath.store import get_store
+
+    store = get_store()
+    if store is None:
+        return
+    stats = store.stats()
+    print(
+        f"solve store {store.root}: {stats['hits']} hits / "
+        f"{stats['misses']} misses / {stats['writes']} writes "
+        f"({stats['entries']} records"
+        + (f", {stats['corrupt_entries']} corrupt)"
+          if stats["corrupt_entries"] else ")")
+    )
 
 
 def _register_run(run, store_dir: str | None) -> None:
@@ -387,7 +421,11 @@ def _cmd_obs_history(args: argparse.Namespace) -> int:
         build_history(store, experiment_id=args.experiment, metrics=metrics)
     )
     series.extend(bench_wall_series(args.bench or ()))
-    flags = flag_regressions(series, threshold=args.threshold)
+    flags = flag_regressions(
+        series,
+        threshold=args.threshold,
+        wall_min_delta=args.noise_floor_ms / 1000.0,
+    )
     print(
         render_history(
             series,
@@ -441,6 +479,76 @@ def _cmd_fleet_health(args: argparse.Namespace) -> int:
         print(_json.dumps(report.to_dict(), sort_keys=True, indent=2))
     else:
         print(report.render())
+    return 0
+
+
+def _check_store_dir(path: str) -> None:
+    from .errors import ConfigurationError
+
+    if not Path(path).is_dir():
+        raise ConfigurationError(f"no solve store directory at {path}")
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    from .fastpath.store import SolveStore
+
+    _check_store_dir(args.dir)
+    store = SolveStore(args.dir, writable=False)
+    try:
+        report = store.verify()
+    finally:
+        store.close()
+    print(f"solve store {report['path']} "
+          f"(format v{report['format_version']}, "
+          f"{'usable' if report['usable'] else 'UNUSABLE'})")
+    print(f"  records: {report['entries']}")
+    for kind, count in sorted(report["entries_by_kind"].items()):
+        print(f"    {kind:<9} {count}")
+    print(f"  data bytes: {report['data_bytes']}")
+    print(f"  reclaimable: {report['unreferenced_bytes']} "
+          f"(superseded / torn records; `repro store prune` compacts)")
+    if report["corrupt"]:
+        print(f"  corrupt: {report['corrupt']} record(s) dropped on read")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from .fastpath.store import SolveStore
+
+    _check_store_dir(args.dir)
+    store = SolveStore(args.dir, writable=False)
+    try:
+        report = store.verify()
+    finally:
+        store.close()
+    ok = report["usable"] and report["corrupt"] == 0
+    status = "ok" if ok else "CORRUPT"
+    print(
+        f"solve store {report['path']}: {status} — "
+        f"{report['entries']} record(s) verified, "
+        f"{report['corrupt']} corrupt"
+    )
+    if not report["usable"]:
+        print("  index/data header mismatch: store is ignored by readers "
+              "(runs recompute; prune or delete the directory)")
+    return 0 if ok else 1
+
+
+def _cmd_store_prune(args: argparse.Namespace) -> int:
+    from .fastpath.store import SolveStore
+
+    _check_store_dir(args.dir)
+    store = SolveStore(args.dir)
+    try:
+        before = store.verify()
+        report = store.prune(max_bytes=args.max_bytes)
+    finally:
+        store.close()
+    dropped = before["entries"] - report["kept"]
+    print(
+        f"solve store {report['path']}: kept {report['kept']} record(s), "
+        f"dropped {dropped}, data now {report['data_bytes']} bytes"
+    )
     return 0
 
 
@@ -596,6 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when fresh/baseline total wall exceeds this ratio",
     )
     p_bench.add_argument(
+        "--noise-floor-ms", type=float, default=50.0, dest="noise_floor_ms",
+        help="absolute wall-clock slack for --compare: deltas below this "
+             "are scheduling noise, never a regression",
+    )
+    p_bench.add_argument(
+        "--store-chips", type=int, default=0, dest="store_chips",
+        help="also bench the persistent solve store: characterize N chips "
+             "cold vs warm against a temporary store (0 skips)",
+    )
+    p_bench.add_argument(
         "--fleet-chips", type=int, default=0, dest="fleet_chips",
         help="also bench fleet solving over N sampled chips: population "
              "batch vs chip-at-a-time loop (0 skips)",
@@ -663,6 +781,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="live chips/s + ETA on stderr (wall clock stays out of "
              "artifacts)",
     )
+    p_fchar.add_argument(
+        "--solve-store", default=None, dest="solve_store",
+        help="persist characterizations, compiled tables, and converged "
+             "states in this directory; a warm second run replays them "
+             "from disk with byte-identical outputs",
+    )
     p_fchar.set_defaults(func=_cmd_fleet_characterize)
 
     p_fhealth = fleet_sub.add_parser(
@@ -683,6 +807,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the canonical JSON document instead of the table",
     )
     p_fhealth.set_defaults(func=_cmd_fleet_health)
+
+    p_store = sub.add_parser(
+        "store", help="inspect / maintain a persistent solve store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sstats = store_sub.add_parser(
+        "stats", help="record counts, bytes, and reclaimable space"
+    )
+    p_sstats.add_argument("dir", help="solve-store directory")
+    p_sstats.set_defaults(func=_cmd_store_stats)
+    p_sverify = store_sub.add_parser(
+        "verify",
+        help="re-check every record's bounds and checksum; exits non-zero "
+             "on any corruption",
+    )
+    p_sverify.add_argument("dir", help="solve-store directory")
+    p_sverify.set_defaults(func=_cmd_store_verify)
+    p_sprune = store_sub.add_parser(
+        "prune",
+        help="compact the store: drop corrupt, superseded, and torn "
+             "records (oldest-first down to --max-bytes)",
+    )
+    p_sprune.add_argument("dir", help="solve-store directory")
+    p_sprune.add_argument(
+        "--max-bytes", type=int, default=None, dest="max_bytes",
+        help="data-file budget; oldest records are dropped until it fits",
+    )
+    p_sprune.set_defaults(func=_cmd_store_prune)
 
     p_char = sub.add_parser("characterize", help="run the Fig. 6 methodology")
     p_char.add_argument("--random", action="store_true",
@@ -791,6 +943,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_history.add_argument(
         "--bench", action="append", default=None,
         help="bench_solver JSON artifact to fold in (repeatable)",
+    )
+    p_history.add_argument(
+        "--noise-floor-ms", type=float, default=50.0, dest="noise_floor_ms",
+        help="absolute slack for wall-clock series: deltas below this are "
+             "scheduling noise, never a regression",
     )
     p_history.set_defaults(func=_cmd_obs_history)
 

@@ -119,6 +119,10 @@ class Characterizer:
         Workload runs per configuration step within one trial.
     noise_sigma_ps:
         Measurement-noise level handed to every :class:`SafetyProbe`.
+    recorder:
+        Optional :class:`repro.core.char_record.CharRecorder`; when set,
+        every probe and rollback is logged so the finished
+        characterization can be stored and replayed (fleet cold path).
     """
 
     def __init__(
@@ -128,6 +132,7 @@ class Characterizer:
         trials: int = 10,
         repeats_per_step: int = 2,
         noise_sigma_ps: float = 0.1,
+        recorder=None,
     ):
         if trials < 1:
             raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -139,11 +144,14 @@ class Characterizer:
         self._trials = trials
         self._repeats = repeats_per_step
         self._noise_sigma_ps = noise_sigma_ps
+        self._recorder = recorder
         self._issued_probes: list[SafetyProbe] = []
 
     def _probe(self, stage: str, core_label: str, trial: int) -> SafetyProbe:
         rng = self._streams.stream(f"characterize.{stage}.{core_label}.{trial}")
-        probe = SafetyProbe(rng, noise_sigma_ps=self._noise_sigma_ps)
+        probe = SafetyProbe(
+            rng, noise_sigma_ps=self._noise_sigma_ps, recorder=self._recorder
+        )
         self._issued_probes.append(probe)
         return probe
 
@@ -169,6 +177,8 @@ class Characterizer:
                     core, IDLE, start=0, repeats_per_step=self._repeats
                 )
             )
+        if self._recorder is not None:
+            self._recorder.record_idle_outcomes(core.label, outcomes)
         return IdleCharacterization(
             core_label=core.label, distribution=summarize(outcomes)
         )
@@ -197,19 +207,26 @@ class Characterizer:
                 safe = probe.rollback_to_safe(
                     core, program, start=worst_safe, repeats_per_step=self._repeats
                 )
-                if safe < worst_safe and obs.enabled:
-                    obs.emit(
-                        RollbackEvent(
-                            seq=0,
-                            core_label=core.label,
-                            stage="ubench",
-                            workload=program.name,
-                            from_steps=worst_safe,
-                            to_steps=safe,
+                if safe < worst_safe:
+                    if self._recorder is not None:
+                        self._recorder.record_rollback(
+                            core.label, program.name, worst_safe, safe
                         )
-                    )
+                    if obs.enabled:
+                        obs.emit(
+                            RollbackEvent(
+                                seq=0,
+                                core_label=core.label,
+                                stage="ubench",
+                                workload=program.name,
+                                from_steps=worst_safe,
+                                to_steps=safe,
+                            )
+                        )
                 worst_safe = min(worst_safe, safe)
             rollbacks.append(idle_limit - worst_safe)
+        if self._recorder is not None:
+            self._recorder.record_ubench_rollbacks(core.label, rollbacks)
         return UbenchCharacterization(
             core_label=core.label,
             idle_limit=idle_limit,

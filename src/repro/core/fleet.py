@@ -30,10 +30,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..analysis.rendering import ascii_table
-from ..atm.chip_sim import ChipSim, MarginMode
+from ..atm.chip_sim import ChipSim, CoreAssignment, MarginMode
 from ..errors import ConfigurationError
 from ..fastpath.cache import reset_solve_cache
-from ..fastpath.population import solve_fleet
+from ..fastpath.compiled import compile_draw
+from ..fastpath.population import solve_chips_cached
+from ..fastpath.store import (
+    KIND_CHAR,
+    configure_worker_store,
+    diff_stats,
+    get_store,
+    publish_store_counters,
+)
 from ..obs.manifest import RunManifest, build_manifest, save_manifest
 from ..obs.metrics import MetricsRegistry
 from ..obs.runtime import Observability, get_obs, observed
@@ -42,7 +50,15 @@ from ..obs.stream.exact import MergeableStat
 from ..obs.stream.progress import ProgressReporter
 from ..obs.stream.rotate import RotatingJsonlSink
 from ..rng import RngStreams
-from ..silicon.chipspec import CORES_PER_CHIP, sample_chip
+from ..silicon.chipspec import CORES_PER_CHIP, ChipDraw, draw_chips
+from ..workloads.base import IDLE
+from ..workloads.ubench import UBENCH_SUITE
+from .char_record import (
+    CharRecorder,
+    char_key,
+    decode_char,
+    replay_characterization,
+)
 from .characterize import Characterizer
 
 #: Default chips per memory-bounded processing chunk.
@@ -237,27 +253,66 @@ def _validate_fleet_args(
         )
 
 
+#: Workload runs per configuration step in fleet characterization (the
+#: :class:`Characterizer` default; part of the characterization record's
+#: content address).
+_FLEET_REPEATS_PER_STEP = 2
+
+
 def _characterize_chip(
-    index: int,
+    draw: ChipDraw,
     *,
-    seed: int,
+    chip_seed: int,
     trials: int,
-    n_cores: int,
     noise_sigma_ps: float,
 ):
-    """Sample and characterize chip ``index`` (the Fig. 6 idle → uBench stages).
+    """Characterize one drawn chip (the Fig. 6 idle → uBench stages).
 
-    Chip ``index`` is ``sample_chip(seed + index)`` with its own
-    characterizer seeded the same way — the shared per-chip recipe of
-    :func:`characterize_fleet` and :func:`collect_chip_stats`, so both
-    observe identical chips (and emit identical event streams) for a
-    given seed.
+    Fleet chip ``index`` is ``draw_chip(seed + index)`` with its own
+    characterizer seeded the same way (``chip_seed``) — the shared
+    per-chip recipe of :func:`characterize_fleet` and
+    :func:`collect_chip_stats`, so both observe identical chips (and
+    emit identical event streams) for a given seed.
+
+    Returns ``(chip, idle, ubench, probe_count)``.  With a persistent
+    store configured, a chip whose characterization record is already on
+    disk is *replayed* — identical results and telemetry, no probes —
+    and ``chip`` comes back ``None`` because no spec objects were
+    materialized; a live characterization is recorded and written back
+    (writable stores only).
     """
-    chip = sample_chip(seed + index, chip_id=f"F{index}", n_cores=n_cores)
+    store = get_store()
+    key = None
+    corrupt_before = 0
+    if store is not None:
+        key = char_key(
+            draw,
+            seed=chip_seed,
+            trials=trials,
+            repeats_per_step=_FLEET_REPEATS_PER_STEP,
+            noise_sigma_ps=noise_sigma_ps,
+            workloads=(IDLE, *UBENCH_SUITE),
+        )
+        corrupt_before = store.corrupt_entries
+        payload = store.get(KIND_CHAR, key)
+        if payload is not None:
+            record = decode_char(payload)
+            if record is not None and record["labels"] == list(draw.labels):
+                idle, ubench, probes = replay_characterization(record, get_obs())
+                publish_store_counters(
+                    hits=1, corrupt=store.corrupt_entries - corrupt_before
+                )
+                return None, idle, ubench, probes
+
+    chip = draw.materialize()
+    recorder = (
+        CharRecorder() if store is not None and store.writable else None
+    )
     characterizer = Characterizer(
-        RngStreams(seed + index),
+        RngStreams(chip_seed),
         trials=trials,
         noise_sigma_ps=noise_sigma_ps,
+        recorder=recorder,
     )
     idle = {
         core.label: characterizer.characterize_idle(core)
@@ -269,7 +324,46 @@ def _characterize_chip(
         )
         for core in chip.cores
     }
-    return chip, idle, ubench, characterizer.total_probe_count
+    probes = characterizer.total_probe_count
+    if store is not None:
+        wrote = False
+        if recorder is not None:
+            wrote = store.put(
+                KIND_CHAR,
+                key,
+                recorder.encode(labels=draw.labels, probe_count=probes),
+            )
+        publish_store_counters(
+            misses=1,
+            writes=1 if wrote else 0,
+            corrupt=store.corrupt_entries - corrupt_before,
+        )
+    return chip, idle, ubench, probes
+
+
+def _validate_draw_rows(draw: ChipDraw, rows) -> None:
+    """Replicate :meth:`ChipSim.validate_assignments` against a raw draw.
+
+    The warm path never materializes the chip, so the same checks (and
+    the exact same error messages) run against the draw's preset codes.
+    """
+    for row in rows:
+        if len(row) != draw.n_cores:
+            raise ConfigurationError(
+                f"{draw.chip_id}: need {draw.n_cores} assignments, "
+                f"got {len(row)}"
+            )
+        for label, preset, assignment in zip(
+            draw.labels, draw.preset_codes, row
+        ):
+            if (
+                assignment.mode is MarginMode.ATM
+                and assignment.reduction_steps > preset
+            ):
+                raise ConfigurationError(
+                    f"{label}: reduction {assignment.reduction_steps} exceeds "
+                    f"preset {preset}"
+                )
 
 
 @dataclass(frozen=True)
@@ -332,20 +426,21 @@ def collect_chip_stats(
     """
     _validate_fleet_args(n_chips, 1, trials, n_cores, MarginMode.ATM, 0)
     stats = []
-    for index in range(n_chips):
-        chip, idle, ubench, probes = _characterize_chip(
-            index,
-            seed=seed,
+    for index, draw in zip(
+        range(n_chips), draw_chips(seed, range(n_chips), n_cores=n_cores)
+    ):
+        _chip, idle, ubench, probes = _characterize_chip(
+            draw,
+            chip_seed=seed + index,
             trials=trials,
-            n_cores=n_cores,
             noise_sigma_ps=noise_sigma_ps,
         )
         idle_counts: dict[int, int] = {}
         ubench_counts: dict[int, int] = {}
         rollback_counts: dict[int, int] = {}
-        for core in chip.cores:
-            limit = idle[core.label].idle_limit
-            ub = ubench[core.label]
+        for label in draw.labels:
+            limit = idle[label].idle_limit
+            ub = ubench[label]
             idle_counts[limit] = idle_counts.get(limit, 0) + 1
             ubench_counts[ub.ubench_limit] = (
                 ubench_counts.get(ub.ubench_limit, 0) + 1
@@ -354,8 +449,8 @@ def collect_chip_stats(
             rollback_counts[rollback] = rollback_counts.get(rollback, 0) + 1
         stats.append(
             ChipStats(
-                chip_id=chip.chip_id,
-                n_cores=len(chip.cores),
+                chip_id=draw.chip_id,
+                n_cores=draw.n_cores,
                 idle_limit_counts=idle_counts,
                 ubench_limit_counts=ubench_counts,
                 rollback_counts=rollback_counts,
@@ -443,30 +538,57 @@ def _process_chunk(
     population: bool,
     obs: Observability,
 ) -> None:
-    """Characterize + solve one chunk of chips into ``accumulator``."""
-    sims: list[ChipSim] = []
-    rows_per_chip = []
+    """Characterize + solve one chunk of chips into ``accumulator``.
+
+    Chips whose characterization and compiled tables are already in the
+    persistent store never materialize spec objects: the chunk streams
+    their draws straight into store-served :class:`CompiledChip` tables
+    and plain assignment tuples, and the solve batch (the same
+    :func:`solve_chips_cached` call either way) serves their converged
+    states from disk too.  Cold chips run the live path and write every
+    record back.
+    """
+    entries = []
     per_chip = []
-    for index in chunk:
+    for index, draw in zip(chunk, draw_chips(seed, chunk, n_cores=n_cores)):
         chip, idle, ubench, probes = _characterize_chip(
-            index,
-            seed=seed,
+            draw,
+            chip_seed=seed + index,
             trials=trials,
-            n_cores=n_cores,
             noise_sigma_ps=noise_sigma_ps,
         )
-        sim = ChipSim(chip)
-        baseline_row = sim.uniform_assignments(
-            mode=mode, reduction_steps=reduction_steps
-        )
-        tuned_row = sim.uniform_assignments(
-            reductions=[ubench[c.label].ubench_limit for c in chip.cores]
-        )
-        sims.append(sim)
-        rows_per_chip.append([baseline_row, tuned_row])
-        per_chip.append((chip, idle, ubench, probes))
+        tuned_reductions = [ubench[label].ubench_limit for label in draw.labels]
+        if chip is not None:
+            sim = ChipSim(chip)
+            baseline_row = sim.uniform_assignments(
+                mode=mode, reduction_steps=reduction_steps
+            )
+            tuned_row = sim.uniform_assignments(reductions=tuned_reductions)
+            sim.validate_assignments(baseline_row)
+            sim.validate_assignments(tuned_row)
+            compiled = sim.compiled
+        else:
+            baseline_row = tuple(
+                CoreAssignment(
+                    workload=IDLE, mode=mode, reduction_steps=reduction_steps
+                )
+                for _ in draw.labels
+            )
+            tuned_row = tuple(
+                CoreAssignment(workload=IDLE, reduction_steps=steps)
+                for steps in tuned_reductions
+            )
+            _validate_draw_rows(draw, (baseline_row, tuned_row))
+            compiled = compile_draw(draw)
+        entries.append((compiled, [baseline_row, tuned_row], None))
+        per_chip.append((draw, idle, ubench, probes))
 
-    states = solve_fleet(sims, rows_per_chip, population=population)
+    if population:
+        states = solve_chips_cached(entries)
+    else:
+        # Chip-at-a-time A/B path: same per-entry batches ChipSim.solve_many
+        # would submit.
+        states = [solve_chips_cached([entry])[0] for entry in entries]
 
     if obs.enabled:
         # One registry lookup per instrument per chunk, not per chip.
@@ -477,15 +599,15 @@ def _process_chunk(
         rollback_hist = metrics.histogram("fleet.ubench_rollback_steps")
         tuned_gauge = metrics.gauge("fleet.tuned_slowest_mhz")
 
-    for index, (chip, idle, ubench, probes), chip_states in zip(
+    for index, (draw, idle, ubench, probes), chip_states in zip(
         chunk, per_chip, states
     ):
         baseline_state, tuned_state = chip_states
         accumulator.probe_runs += probes
         accumulator.chips += 1
-        for core in chip.cores:
-            limit = idle[core.label].idle_limit
-            ub = ubench[core.label]
+        for label in draw.labels:
+            limit = idle[label].idle_limit
+            ub = ubench[label]
             accumulator.idle_counts[limit] = (
                 accumulator.idle_counts.get(limit, 0) + 1
             )
@@ -505,11 +627,11 @@ def _process_chunk(
             accumulator.tuned_stat.add(freq)
         if obs.enabled:
             chips_counter.inc()
-            cores_counter.inc(len(chip.cores))
-            for core in chip.cores:
-                idle_hist.observe(float(idle[core.label].idle_limit))
+            cores_counter.inc(draw.n_cores)
+            for label in draw.labels:
+                idle_hist.observe(float(idle[label].idle_limit))
                 rollback_hist.observe(
-                    float(ubench[core.label].rollback_distribution.maximum)
+                    float(ubench[label].rollback_distribution.maximum)
                 )
             # Tick = global chip index: partition-invariant, so the
             # gauge's "last" is the highest-index chip under any chunk
@@ -528,7 +650,8 @@ def _characterize_chunk_worker(
     noise_sigma_ps: float,
     population: bool,
     collect_metrics: bool,
-) -> tuple[dict, dict | None, int]:
+    store_root: str | None,
+) -> tuple[dict, dict | None, int, dict | None]:
     """Pool worker: fold one chunk into a picklable partial summary.
 
     Starts from a cold solve cache (scheduling must not leak into
@@ -537,7 +660,16 @@ def _characterize_chunk_worker(
     :class:`~repro.obs.sinks.NullSink` — mergeable summaries come home,
     per-event streams do not (worker interleaving would make them
     nondeterministic).
+
+    ``store_root`` synchronizes the worker to the parent's persistent
+    store, opened *read-only*: the store's compiled pages are shared
+    zero-copy across the pool through the common mmap, and a worker that
+    cannot serve a record recomputes it, so results never depend on
+    which process handled a chunk.  The worker's store-counter delta is
+    shipped home and folded into the parent store's stats.
     """
+    store = configure_worker_store(store_root)
+    stats_before = store.stats() if store is not None else None
     reset_solve_cache()
     accumulator = _FleetAccumulator()
     chunk = range(chunk_start, chunk_stop)
@@ -561,7 +693,10 @@ def _characterize_chunk_worker(
         disabled = Observability(sink=None)
         _process_chunk(accumulator, chunk, obs=disabled, **kwargs)
         registry_state = None
-    return accumulator.to_state(), registry_state, len(chunk)
+    store_delta = (
+        diff_stats(store.stats(), stats_before) if store is not None else None
+    )
+    return accumulator.to_state(), registry_state, len(chunk), store_delta
 
 
 def characterize_fleet(
@@ -635,7 +770,10 @@ def characterize_fleet(
     else:
         from ..experiments.runner import map_in_pool
 
-        def _on_result(result: tuple[dict, dict | None, int]) -> None:
+        store = get_store()
+        store_root = str(store.root) if store is not None else None
+
+        def _on_result(result: tuple[dict, dict | None, int, dict | None]) -> None:
             if progress is not None:
                 progress.update(result[2])
 
@@ -653,16 +791,21 @@ def characterize_fleet(
                     noise_sigma_ps,
                     population,
                     obs.enabled,
+                    store_root,
                 )
                 for chunk in chunks
             ],
             jobs=jobs,
             on_result=_on_result,
         )
-        for accumulator_state, registry_state, _ in partials:
+        for accumulator_state, registry_state, _, store_delta in partials:
             accumulator.merge_state(accumulator_state)
             if registry_state is not None:
                 obs.metrics.merge_state(registry_state)
+            if store_delta is not None and store is not None:
+                # Fold each worker's store traffic into the parent store's
+                # counters so `repro store stats` covers the whole run.
+                store.merge_stats(store_delta)
 
     return FleetReport(
         n_chips=n_chips,

@@ -10,6 +10,14 @@ simultaneously with masked per-row convergence (:func:`solve_many_compiled`),
 and memoizes converged states by content-addressed chip fingerprint plus
 assignment tuple (:class:`SolveCache`).
 
+Below the in-memory cache sits an optional disk layer
+(:class:`~repro.fastpath.store.SolveStore`): compiled tables, converged
+states, and characterization transcripts persist under the same
+content addresses, so a warm second run — or a read-only pool worker
+sharing the mmap — skips compile and solve entirely.  Configure it with
+:func:`configure_store` (the fleet CLI's ``--solve-store``); it is off
+by default and changes no result bytes when on.
+
 The scalar implementation remains the reference: the fast path reproduces
 it within ~1e-12 MHz (property-tested bound 1e-9 MHz in
 ``tests/fastpath``), and :meth:`repro.atm.chip_sim.ChipSim.
@@ -17,7 +25,7 @@ solve_steady_state_reference` stays available for direct comparison.
 """
 
 from .cache import SolveCache, get_solve_cache, reset_solve_cache
-from .compiled import CompiledChip
+from .compiled import CompiledChip, compile_chip, compile_draw, fingerprint_of
 from .population import (
     CompiledPopulation,
     solve_chips_cached,
@@ -26,13 +34,21 @@ from .population import (
     solve_population_compiled,
 )
 from .solver import solve_compiled, solve_many_compiled
+from .store import SolveStore, configure_store, get_store, reset_store
 
 __all__ = [
     "CompiledChip",
     "CompiledPopulation",
     "SolveCache",
+    "SolveStore",
+    "compile_chip",
+    "compile_draw",
+    "configure_store",
+    "fingerprint_of",
     "get_solve_cache",
+    "get_store",
     "reset_solve_cache",
+    "reset_store",
     "solve_chips_cached",
     "solve_compiled",
     "solve_fleet",

@@ -21,8 +21,65 @@ import hashlib
 import numpy as np
 
 from ..power.thermal import ThermalModel
-from ..silicon.chipspec import ChipSpec
+from ..silicon.chipspec import (
+    DEFAULT_INVERTER_STEP_PS,
+    DEFAULT_PDN_RESISTANCE_OHM,
+    DEFAULT_THRESHOLD_UNITS,
+    DEFAULT_UNCORE_POWER_W,
+    ChipSpec,
+    CorePowerSpec,
+)
+from ..silicon.paths import PathTimingModel
 from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD
+from .store import (
+    KIND_COMPILED,
+    compiled_key,
+    decode_compiled,
+    encode_compiled,
+    get_store,
+    publish_store_counters,
+)
+
+
+def _fingerprint_parts_from_values(
+    pdn_resistance_ohm: float,
+    uncore_power_w: float,
+    vrm_voltage: float,
+    slack_ps: float,
+    ambient_c: float,
+    resistance_c_per_w: float,
+    cores,
+) -> list[str]:
+    """Shared fingerprint builder over raw per-core value tuples.
+
+    ``cores`` yields ``(preset_code, base_delay_ps, v_threshold, alpha,
+    temp_coefficient_per_c, leakage_w, ceff_w_per_ghz,
+    leakage_temp_coeff_per_c, step_widths_ps)`` — the single definition
+    both :func:`_fingerprint_parts` (from a materialized :class:`ChipSpec`)
+    and :func:`fingerprint_from_draw` (from raw sampled values, no chip
+    objects) reduce to, so the two addresses cannot drift.
+    """
+    parts = [
+        "solver-v1",
+        float(pdn_resistance_ohm).hex(),
+        float(uncore_power_w).hex(),
+        float(vrm_voltage).hex(),
+        float(slack_ps).hex(),
+        float(ambient_c).hex(),
+        float(resistance_c_per_w).hex(),
+    ]
+    for (preset, base_delay, v_t, alpha, temp_coeff, leakage, ceff,
+         leak_temp, widths) in cores:
+        parts.append(f"core:{preset}")
+        parts.append(float(base_delay).hex())
+        parts.append(float(v_t).hex())
+        parts.append(float(alpha).hex())
+        parts.append(float(temp_coeff).hex())
+        parts.append(float(leakage).hex())
+        parts.append(float(ceff).hex())
+        parts.append(float(leak_temp).hex())
+        parts.extend(float(w).hex() for w in widths)
+    return parts
 
 
 def _fingerprint_parts(chip: ChipSpec, thermal: ThermalModel) -> list[str]:
@@ -33,26 +90,92 @@ def _fingerprint_parts(chip: ChipSpec, thermal: ThermalModel) -> list[str]:
     fingerprint (and therefore a cold cache), while renaming a chip or
     core does not.
     """
-    parts = [
-        "solver-v1",
-        float(chip.pdn_resistance_ohm).hex(),
-        float(chip.uncore_power_w).hex(),
-        float(chip.vrm_voltage).hex(),
-        float(chip.slack_ps).hex(),
-        float(thermal.ambient_c).hex(),
-        float(thermal.resistance_c_per_w).hex(),
-    ]
-    for core in chip.cores:
-        parts.append(f"core:{core.preset_code}")
-        parts.append(float(core.synth_path.base_delay_ps).hex())
-        parts.append(float(core.synth_path.v_threshold).hex())
-        parts.append(float(core.synth_path.alpha).hex())
-        parts.append(float(core.synth_path.temp_coefficient_per_c).hex())
-        parts.append(float(core.power.leakage_w).hex())
-        parts.append(float(core.power.ceff_w_per_ghz).hex())
-        parts.append(float(core.power.leakage_temp_coeff_per_c).hex())
-        parts.extend(float(w).hex() for w in core.step_widths_ps)
-    return parts
+    return _fingerprint_parts_from_values(
+        chip.pdn_resistance_ohm,
+        chip.uncore_power_w,
+        chip.vrm_voltage,
+        chip.slack_ps,
+        thermal.ambient_c,
+        thermal.resistance_c_per_w,
+        (
+            (
+                core.preset_code,
+                core.synth_path.base_delay_ps,
+                core.synth_path.v_threshold,
+                core.synth_path.alpha,
+                core.synth_path.temp_coefficient_per_c,
+                core.power.leakage_w,
+                core.power.ceff_w_per_ghz,
+                core.power.leakage_temp_coeff_per_c,
+                core.step_widths_ps,
+            )
+            for core in chip.cores
+        ),
+    )
+
+
+def fingerprint_of(chip: ChipSpec, thermal: ThermalModel | None = None) -> str:
+    """The chip's ``"solver-v1"`` content address, without compiling it."""
+    thermal = thermal if thermal is not None else ThermalModel()
+    return hashlib.sha256(
+        "\n".join(_fingerprint_parts(chip, thermal)).encode()
+    ).hexdigest()
+
+
+def fingerprint_from_draw(draw, thermal: ThermalModel | None = None) -> str:
+    """Solver fingerprint of a :class:`~repro.silicon.chipspec.ChipDraw`.
+
+    Byte-identical to ``fingerprint_of(draw.materialize())`` (pinned in
+    ``tests/fastpath/test_store.py``) but computed from the raw sampled
+    values, so the warm fleet path can address the store without building
+    any per-chip spec objects.  Sampled chips take every non-drawn
+    parameter at its dataclass default, which is what the constants below
+    restate.
+    """
+    thermal = thermal if thermal is not None else ThermalModel()
+    # Coefficient defaults shared by every sampled core (sample_chip only
+    # draws base_delay / leakage / ceff; the rest ride the dataclass
+    # defaults of PathTimingModel / CorePowerSpec).
+    path = PathTimingModel(base_delay_ps=1.0)
+    power = CorePowerSpec()
+    parts = _fingerprint_parts_from_values(
+        DEFAULT_PDN_RESISTANCE_OHM,
+        DEFAULT_UNCORE_POWER_W,
+        NOMINAL_VDD,
+        DEFAULT_THRESHOLD_UNITS * DEFAULT_INVERTER_STEP_PS,
+        thermal.ambient_c,
+        thermal.resistance_c_per_w,
+        (
+            (
+                draw.preset_codes[i],
+                draw.synth_base_ps[i],
+                path.v_threshold,
+                path.alpha,
+                path.temp_coefficient_per_c,
+                draw.leakage_w[i],
+                draw.ceff_w_per_ghz[i],
+                power.leakage_temp_coeff_per_c,
+                draw.step_widths_ps[i],
+            )
+            for i in range(len(draw.labels))
+        ),
+    )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+class ChipRef:
+    """Minimal chip handle for store-loaded tables (fleet warm path).
+
+    Downstream consumers of ``CompiledChip.chip`` only read ``chip_id``
+    (gauge identity ticks, solver error messages); when the warm fleet
+    pipeline serves a chip entirely from the store it never materializes
+    a :class:`ChipSpec`, and this stands in.
+    """
+
+    __slots__ = ("chip_id",)
+
+    def __init__(self, chip_id: str):
+        self.chip_id = chip_id
 
 
 class CompiledChip:
@@ -81,7 +204,13 @@ class CompiledChip:
         "fingerprint",
     )
 
-    def __init__(self, chip: ChipSpec, thermal: ThermalModel | None = None):
+    def __init__(
+        self,
+        chip: ChipSpec,
+        thermal: ThermalModel | None = None,
+        *,
+        fingerprint: str | None = None,
+    ):
         thermal = thermal if thermal is not None else ThermalModel()
         self.chip = chip
         self.thermal = thermal
@@ -131,10 +260,141 @@ class CompiledChip:
         self.ambient_c = float(thermal.ambient_c)
         self.thermal_resistance = float(thermal.resistance_c_per_w)
 
-        digest = hashlib.sha256("\n".join(_fingerprint_parts(chip, thermal)).encode())
-        self.fingerprint = digest.hexdigest()
+        if fingerprint is None:
+            digest = hashlib.sha256(
+                "\n".join(_fingerprint_parts(chip, thermal)).encode()
+            )
+            fingerprint = digest.hexdigest()
+        self.fingerprint = fingerprint
+
+    @classmethod
+    def from_tables(
+        cls,
+        tables: dict,
+        *,
+        chip,
+        thermal: ThermalModel,
+        fingerprint: str,
+    ) -> "CompiledChip":
+        """Rebuild a compiled chip from stored tables, zero-copy.
+
+        ``tables`` is the dict :func:`repro.fastpath.store.decode_compiled`
+        returns: scalars plus read-only numpy views aliasing the store's
+        mmap.  No array is copied — every process mapping the same store
+        shares the physical pages.  The solver treats compiled arrays as
+        immutable, so read-only views are indistinguishable from a fresh
+        compile (and bitwise identical: the store holds the exact bytes).
+        """
+        self = object.__new__(cls)
+        self.chip = chip
+        self.thermal = thermal
+        self.n_cores = tables["n_cores"]
+        self.slack_ps = tables["slack_ps"]
+        self.vrm_voltage = tables["vrm_voltage"]
+        self.pdn_resistance_ohm = tables["pdn_resistance_ohm"]
+        self.uncore_power_w = tables["uncore_power_w"]
+        self.ambient_c = tables["ambient_c"]
+        self.thermal_resistance = tables["thermal_resistance"]
+        for name in (
+            "base_delay_ps",
+            "v_threshold",
+            "alpha",
+            "nominal_alpha_factor",
+            "temp_coeff",
+            "leakage_w",
+            "ceff_w_per_ghz",
+            "leakage_temp_coeff",
+            "preset_code",
+            "insert_table_ps",
+        ):
+            setattr(self, name, tables[name])
+        self.fingerprint = fingerprint
+        return self
 
     @property
     def ambient_temperature_c(self) -> float:
         """Ambient reference of the delay/leakage temperature terms."""
         return AMBIENT_TEMPERATURE_C
+
+
+def compile_chip(
+    chip: ChipSpec,
+    thermal: ThermalModel | None = None,
+    *,
+    fingerprint: str | None = None,
+) -> CompiledChip:
+    """Compile ``chip``, serving the tables from the persistent store if on.
+
+    With no store configured this is exactly ``CompiledChip(chip,
+    thermal)``.  With one, the chip's content address is computed first
+    and a stored record is rebuilt zero-copy off the mmap; on a miss the
+    fresh compile is written back (writable stores only).  Either way the
+    returned object is bitwise identical to a fresh compile — the record
+    holds the exact array bytes, keyed by the physics that produced them.
+    """
+    thermal = thermal if thermal is not None else ThermalModel()
+    store = get_store()
+    if store is None:
+        return CompiledChip(chip, thermal, fingerprint=fingerprint)
+    if fingerprint is None:
+        fingerprint = fingerprint_of(chip, thermal)
+    key = compiled_key(fingerprint)
+    corrupt_before = store.corrupt_entries
+    payload = store.get(KIND_COMPILED, key)
+    result = None
+    if payload is not None:
+        tables = decode_compiled(payload)
+        if tables is not None and tables["n_cores"] == len(chip.cores):
+            result = CompiledChip.from_tables(
+                tables, chip=chip, thermal=thermal, fingerprint=fingerprint
+            )
+    wrote = False
+    if result is None:
+        result = CompiledChip(chip, thermal, fingerprint=fingerprint)
+        wrote = store.put(KIND_COMPILED, key, encode_compiled(result))
+    publish_store_counters(
+        hits=1 if payload is not None else 0,
+        misses=0 if payload is not None else 1,
+        writes=1 if wrote else 0,
+        corrupt=store.corrupt_entries - corrupt_before,
+    )
+    return result
+
+
+def compile_draw(draw, thermal: ThermalModel | None = None) -> CompiledChip:
+    """Compile a :class:`~repro.silicon.chipspec.ChipDraw`, store first.
+
+    The warm fleet path's compile entry: the fingerprint is computed from
+    the raw draw values, and a stored record is rebuilt zero-copy around a
+    :class:`ChipRef` — no :class:`ChipSpec` is ever materialized.  Only a
+    store miss (or no store) falls back to ``draw.materialize()`` plus the
+    regular :func:`compile_chip` write-back path.
+    """
+    thermal = thermal if thermal is not None else ThermalModel()
+    store = get_store()
+    if store is None:
+        return compile_chip(draw.materialize(), thermal)
+    fingerprint = fingerprint_from_draw(draw, thermal)
+    key = compiled_key(fingerprint)
+    corrupt_before = store.corrupt_entries
+    payload = store.get(KIND_COMPILED, key)
+    if payload is not None:
+        tables = decode_compiled(payload)
+        if tables is not None and tables["n_cores"] == len(draw.labels):
+            publish_store_counters(
+                hits=1, corrupt=store.corrupt_entries - corrupt_before
+            )
+            return CompiledChip.from_tables(
+                tables,
+                chip=ChipRef(draw.chip_id),
+                thermal=thermal,
+                fingerprint=fingerprint,
+            )
+    result = CompiledChip(draw.materialize(), thermal, fingerprint=fingerprint)
+    wrote = store.put(KIND_COMPILED, key, encode_compiled(result))
+    publish_store_counters(
+        misses=1,
+        writes=1 if wrote else 0,
+        corrupt=store.corrupt_entries - corrupt_before,
+    )
+    return result

@@ -58,6 +58,14 @@ from ..obs.runtime import get_obs
 from ..units import AMBIENT_TEMPERATURE_C, NOMINAL_VDD, STATIC_MARGIN_MHZ
 from .cache import get_solve_cache
 from .compiled import CompiledChip
+from .store import (
+    KIND_STATE,
+    decode_state,
+    encode_state,
+    get_store,
+    publish_store_counters,
+    state_key,
+)
 from .solver import MAX_ITERATIONS, TOLERANCE_MHZ, solve_many_compiled
 
 
@@ -472,17 +480,49 @@ def solve_chips_cached(entries: Sequence[tuple]) -> list[list]:
 
     solved: list = []
     if batch:
+        # Persistent-store layer: rows whose converged state is already on
+        # disk (same fingerprint, row, and warm seed — the content address
+        # covers the whole trajectory, so stored values are bitwise what a
+        # live solve would produce) are served without solving; only the
+        # remainder enters the batch.  The in-memory cache traffic above is
+        # untouched, so the cache-mirror contract holds with the store
+        # cold, warm, or disabled.
+        store = get_store()
+        store_states: dict[int, object] = {}
+        store_keys: list[bytes | None] = [None] * len(batch)
+        corrupt_before = store.corrupt_entries if store is not None else 0
+        if store is not None:
+            for slot, (entry_index, row_index) in enumerate(batch):
+                compiled, rows, warm = entries[entry_index]
+                row = rows[row_index]
+                key = state_key(compiled.fingerprint, row, warm)
+                store_keys[slot] = key
+                payload = store.get(KIND_STATE, key)
+                if payload is not None:
+                    state = decode_state(payload, row)
+                    if state is not None:
+                        store_states[slot] = state
+        live = [slot for slot in range(len(batch)) if slot not in store_states]
+
+        # Strategy choice (one-chip batch vs population stack) and the
+        # population's chip set are decided from the *full* pending batch,
+        # not the store-filtered remainder: the stacked array shapes — and
+        # therefore every row's floating-point reduction order — must not
+        # depend on which rows the store happened to hold.
         entry_order: list[int] = []
         for entry_index, _row_index in batch:
             if not entry_order or entry_order[-1] != entry_index:
                 entry_order.append(entry_index)
+        live_solved: list = []
         try:
-            if len(entry_order) == 1:
+            if not live:
+                pass
+            elif len(entry_order) == 1:
                 compiled, rows, warm = entries[entry_order[0]]
                 pending_rows = [
-                    entries[ei][1][ri] for ei, ri in batch
+                    entries[batch[slot][0]][1][batch[slot][1]] for slot in live
                 ]
-                solved = solve_many_compiled(
+                live_solved = solve_many_compiled(
                     compiled, pending_rows, warm_start=warm
                 )
             else:
@@ -491,9 +531,13 @@ def solve_chips_cached(entries: Sequence[tuple]) -> list[list]:
                 )
                 chip_of_entry = {ei: i for i, ei in enumerate(entry_order)}
                 row_specs = [
-                    (chip_of_entry[ei], entries[ei][1][ri]) for ei, ri in batch
+                    (
+                        chip_of_entry[batch[slot][0]],
+                        entries[batch[slot][0]][1][batch[slot][1]],
+                    )
+                    for slot in live
                 ]
-                warms = [entries[ei][2] for ei, _ri in batch]
+                warms = [entries[batch[slot][0]][2] for slot in live]
                 if any(w is not None for w in warms):
                     warm_freqs = [
                         None
@@ -503,7 +547,7 @@ def solve_chips_cached(entries: Sequence[tuple]) -> list[list]:
                     ]
                 else:
                     warm_freqs = None
-                solved = solve_population_compiled(
+                live_solved = solve_population_compiled(
                     population, row_specs, warm_freqs=warm_freqs
                 )
         except Exception:
@@ -513,6 +557,26 @@ def solve_chips_cached(entries: Sequence[tuple]) -> list[list]:
                 for _row_index, key, placeholder, _slot in pending:
                     cache.discard(key, placeholder)
             raise
+
+        solved = [None] * len(batch)
+        for slot, state in store_states.items():
+            solved[slot] = state
+        for slot, state in zip(live, live_solved):
+            solved[slot] = state
+        store_writes = 0
+        if store is not None:
+            if store.writable:
+                for slot in live:
+                    if store.put(
+                        KIND_STATE, store_keys[slot], encode_state(solved[slot])
+                    ):
+                        store_writes += 1
+            publish_store_counters(
+                hits=len(store_states),
+                misses=len(live),
+                writes=store_writes,
+                corrupt=store.corrupt_entries - corrupt_before,
+            )
 
     for (compiled, rows, _warm), states, (pending, evicted) in zip(
         entries, results, bookkeeping

@@ -328,6 +328,15 @@ class Histogram:
 #: Registry state-dict schema (the shape pool workers ship home).
 REGISTRY_STATE_SCHEMA = 1
 
+#: Instrument-name prefixes that describe the *execution environment*
+#: (what happened to be cached on this machine) rather than the physics
+#: of the run.  They stay live in the registry — and in the state dicts
+#: pool workers ship home, so parents see fleet-wide totals — but
+#: :meth:`MetricsRegistry.to_summary` omits them, keeping run manifests
+#: byte-identical whether the persistent solve store was cold, warm, or
+#: disabled.  Read them via ``repro store stats`` / ``SolveStore.stats``.
+EXECUTION_SCOPED_PREFIXES = ("fastpath.store.",)
+
 _INSTRUMENT_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
@@ -450,9 +459,16 @@ class MetricsRegistry:
         self.merge(MetricsRegistry.from_state(state))
 
     def to_summary(self) -> dict[str, dict]:
-        """Deterministic nested-dict summary of every instrument."""
+        """Deterministic nested-dict summary of every instrument.
+
+        Execution-scoped instruments (:data:`EXECUTION_SCOPED_PREFIXES`)
+        are omitted: they report store-cache traffic, which varies with
+        what is on disk, and a run's summary must not.
+        """
         summary: dict[str, dict] = {}
         for name in self.names():
+            if name.startswith(EXECUTION_SCOPED_PREFIXES):
+                continue
             instrument = self._instruments[name]
             if isinstance(instrument, Counter):
                 summary[name] = {"kind": "counter", "value": instrument.value}

@@ -627,20 +627,73 @@ def _stress_curve_from_profile(
     )
 
 
-def sample_chip(
+@dataclass(frozen=True)
+class ChipDraw:
+    """Raw sampled values of one manufactured chip, before any spec objects.
+
+    :func:`draw_chip` produces one of these by running exactly the RNG
+    draws and calibration arithmetic of :func:`sample_chip`, but collecting
+    the per-core results into flat tuples instead of constructing
+    :class:`CoreSpec` / :class:`ChipSpec` objects.  The fleet warm path
+    (:mod:`repro.core.fleet`) addresses the persistent solve store straight
+    from these values — :func:`repro.fastpath.compiled.fingerprint_from_draw`
+    and the characterization-record key — so a store-served chip never pays
+    for spec-object materialization; :meth:`materialize` rebuilds the exact
+    :class:`ChipSpec` (bit-identical fields, same validation) on demand.
+    """
+
+    chip_id: str
+    labels: tuple[str, ...]
+    synth_base_ps: tuple[float, ...]
+    preset_codes: tuple[int, ...]
+    step_widths_ps: tuple[tuple[float, ...], ...]
+    headroom_ps: tuple[float, ...]
+    stress_curves: tuple[tuple[tuple[float, float], ...], ...]
+    leakage_w: tuple[float, ...]
+    ceff_w_per_ghz: tuple[float, ...]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.labels)
+
+    def materialize(self) -> ChipSpec:
+        """Build the :class:`ChipSpec` these values describe.
+
+        Every field is passed through unchanged, so the result is
+        bit-identical to what :func:`sample_chip` constructs inline for the
+        same seed (pinned in ``tests/silicon/test_chipspec.py``).
+        """
+        cores = tuple(
+            CoreSpec(
+                label=self.labels[i],
+                synth_path=PathTimingModel(base_delay_ps=self.synth_base_ps[i]),
+                preset_code=self.preset_codes[i],
+                step_widths_ps=self.step_widths_ps[i],
+                protection_headroom_ps=self.headroom_ps[i],
+                stress_curve=self.stress_curves[i],
+                power=CorePowerSpec(
+                    leakage_w=self.leakage_w[i],
+                    ceff_w_per_ghz=self.ceff_w_per_ghz[i],
+                ),
+            )
+            for i in range(len(self.labels))
+        )
+        return ChipSpec(chip_id=self.chip_id, cores=cores)
+
+
+def draw_chip(
     seed: int,
     chip_id: str = "P0",
     *,
     n_cores: int = CORES_PER_CHIP,
     variation: ProcessVariationModel | None = None,
-) -> ChipSpec:
-    """Manufacture a random chip and factory-calibrate its CPM presets.
+) -> ChipDraw:
+    """Sample one chip's raw manufacturing draw (see :class:`ChipDraw`).
 
-    The preset search mirrors what vendors do at test time (Sec. III-A):
-    pick each core's inserted-delay code so that the default ATM
-    configuration delivers uniform performance near
-    :data:`repro.units.DEFAULT_ATM_IDLE_MHZ`, which hands fast cores large
-    presets (more hidden margin) and slow cores small ones.
+    This is :func:`sample_chip` minus the spec-object construction: the
+    RNG stream, the order of every draw, and all calibration arithmetic
+    are identical, so ``draw_chip(s).materialize()`` equals
+    ``sample_chip(s)`` field for field.
     """
     model = variation if variation is not None else ProcessVariationModel()
     streams = RngStreams(seed)
@@ -656,7 +709,14 @@ def sample_chip(
     median_insert = 12 * model.step_width_median_ps
     nominal_synth = base_total_ps - slack_ps - median_insert
 
-    cores = []
+    labels = []
+    synth_bases = []
+    presets = []
+    widths_per_core = []
+    headrooms = []
+    curves = []
+    leakages = []
+    ceffs = []
     for core_index, profile in enumerate(profiles):
         label = core_label(int(chip_id[1:]) if chip_id[1:].isdigit() else 0, core_index)
         synth_base = nominal_synth * profile.speed_factor
@@ -689,21 +749,68 @@ def sample_chip(
             np.clip(insert_at_preset - profile.cpm_mismatch_ps, 0.5, 26.0)
         )
         stress_curve = _stress_curve_from_profile(profile, rng)
-        cores.append(
-            CoreSpec(
-                label=label,
-                synth_path=PathTimingModel(base_delay_ps=synth_base),
-                preset_code=preset,
-                step_widths_ps=widths,
-                protection_headroom_ps=headroom,
-                stress_curve=stress_curve,
-                power=CorePowerSpec(
-                    leakage_w=float(1.2 * rng.uniform(0.85, 1.15)),
-                    ceff_w_per_ghz=float(2.6 * rng.uniform(0.93, 1.07)),
-                ),
-            )
-        )
-    return ChipSpec(chip_id=chip_id, cores=tuple(cores))
+        labels.append(label)
+        synth_bases.append(synth_base)
+        presets.append(preset)
+        widths_per_core.append(tuple(widths))
+        headrooms.append(headroom)
+        curves.append(stress_curve)
+        leakages.append(float(1.2 * rng.uniform(0.85, 1.15)))
+        ceffs.append(float(2.6 * rng.uniform(0.93, 1.07)))
+    return ChipDraw(
+        chip_id=chip_id,
+        labels=tuple(labels),
+        synth_base_ps=tuple(synth_bases),
+        preset_codes=tuple(presets),
+        step_widths_ps=tuple(widths_per_core),
+        headroom_ps=tuple(headrooms),
+        stress_curves=tuple(curves),
+        leakage_w=tuple(leakages),
+        ceff_w_per_ghz=tuple(ceffs),
+    )
+
+
+def draw_chips(
+    seed: int,
+    indices,
+    *,
+    n_cores: int = CORES_PER_CHIP,
+    variation: ProcessVariationModel | None = None,
+) -> tuple[ChipDraw, ...]:
+    """Batch-draw fleet chips ``F{i}`` for every ``i`` in ``indices``.
+
+    Chip ``i`` is ``draw_chip(seed + i, chip_id=f"F{i}")`` — the fleet
+    chunk recipe — drawn without materializing any per-chip spec objects;
+    the warm store path consumes the draws directly.
+    """
+    return tuple(
+        draw_chip(seed + i, chip_id=f"F{i}", n_cores=n_cores, variation=variation)
+        for i in indices
+    )
+
+
+def sample_chip(
+    seed: int,
+    chip_id: str = "P0",
+    *,
+    n_cores: int = CORES_PER_CHIP,
+    variation: ProcessVariationModel | None = None,
+) -> ChipSpec:
+    """Manufacture a random chip and factory-calibrate its CPM presets.
+
+    The preset search mirrors what vendors do at test time (Sec. III-A):
+    pick each core's inserted-delay code so that the default ATM
+    configuration delivers uniform performance near
+    :data:`repro.units.DEFAULT_ATM_IDLE_MHZ`, which hands fast cores large
+    presets (more hidden margin) and slow cores small ones.
+
+    Implemented as ``draw_chip(...).materialize()`` — the raw draw and the
+    spec construction are separable so the fleet warm path can skip the
+    latter (see :class:`ChipDraw`).
+    """
+    return draw_chip(
+        seed, chip_id, n_cores=n_cores, variation=variation
+    ).materialize()
 
 
 def sample_server(

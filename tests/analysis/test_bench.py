@@ -6,9 +6,11 @@ import pytest
 
 from repro.analysis.bench import (
     SCHEMA,
+    StoreBench,
     compare_to_baseline,
     run_bench,
     run_fleet_bench,
+    run_store_bench,
 )
 from repro.cli import main
 from repro.errors import ConfigurationError
@@ -94,6 +96,35 @@ class TestFleetBench:
             run_fleet_bench(0)
 
 
+class TestStoreBench:
+    def test_store_entry_schema_and_hits(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_bench(
+            ["fig01"], out_path=out, store_chips=4
+        )
+        assert report.store is not None
+        assert report.store.n_chips == 4
+        assert report.store.warm_misses == 0
+        assert report.store.warm_hits > 0
+        assert report.store.store_entries > 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert set(doc["store"]) == {
+            "n_chips",
+            "trials",
+            "cold_wall_s",
+            "warm_wall_s",
+            "speedup",
+            "warm_hits",
+            "warm_misses",
+            "store_entries",
+            "store_bytes",
+        }
+
+    def test_rejects_non_positive_chips(self):
+        with pytest.raises(ConfigurationError):
+            run_store_bench(0)
+
+
 class TestCompareToBaseline:
     def _baseline(self, tmp_path, wall_s, **extra):
         doc = {
@@ -167,6 +198,54 @@ class TestCompareToBaseline:
         path = self._baseline(tmp_path, wall_s=1.0)
         with pytest.raises(ConfigurationError):
             compare_to_baseline(report, path, threshold=0.0)
+
+    def test_invalid_noise_floor_rejected(self, tmp_path):
+        report = run_bench(["fig01"], out_path=None)
+        path = self._baseline(tmp_path, wall_s=1.0)
+        with pytest.raises(ConfigurationError):
+            compare_to_baseline(report, path, noise_floor_s=-0.1)
+
+    def test_noise_floor_is_tunable(self, tmp_path):
+        # The same (ratio > threshold) delta passes under a generous
+        # floor and trips once the floor drops below the delta.
+        report = run_bench(["fig01"], out_path=None)
+        fresh_s = report.experiment_wall_s["fig01"]
+        path = self._baseline(tmp_path, wall_s=fresh_s / 10.0)
+        ok, _ = compare_to_baseline(report, path, noise_floor_s=1e9)
+        assert ok
+        ok, text = compare_to_baseline(report, path, noise_floor_s=0.0)
+        assert not ok
+        assert "REGRESSION" in text
+
+    def test_store_speedup_gate(self, tmp_path):
+        def _with_store(cold_s, warm_s):
+            report = run_bench(["fig01"], out_path=None)
+            store = StoreBench(
+                n_chips=8,
+                trials=4,
+                cold_wall_s=cold_s,
+                warm_wall_s=warm_s,
+                warm_hits=32,
+                warm_misses=0,
+                store_entries=32,
+                store_bytes=1024,
+            )
+            return type(report)(
+                **{
+                    **{f: getattr(report, f) for f in report.__dataclass_fields__},
+                    "store": store,
+                }
+            )
+
+        path = self._baseline(tmp_path, wall_s=60.0)
+        # 5x warm speedup: comfortably above the 3x floor.
+        ok, text = compare_to_baseline(_with_store(10.0, 2.0), path)
+        assert ok
+        assert "store speedup" in text
+        # 1.25x: the warm run lost its payoff — gate trips.
+        ok, text = compare_to_baseline(_with_store(10.0, 8.0), path)
+        assert not ok
+        assert "REGRESSION: warm store run" in text
 
     def test_cli_compare_exit_codes(self, tmp_path, capsys):
         baseline = self._baseline(tmp_path, wall_s=60.0)

@@ -1,0 +1,166 @@
+"""Golden contract of the persistent solve store on the fleet pipeline.
+
+Same seed ⇒ byte-identical event streams, manifests, and fleet summaries
+with the store cold, warm, corrupted, disabled, or shared across pool
+workers — the store is a pure accelerator, never a source of physics.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.fleet import (
+    characterize_fleet,
+    collect_chip_stats,
+    run_fleet_observed,
+)
+from repro.fastpath.cache import reset_solve_cache
+from repro.fastpath.store import configure_store, get_store, reset_store
+
+CHIPS = 6
+TRIALS = 2
+CORES = 4
+
+
+@pytest.fixture(autouse=True)
+def _clean_layers():
+    reset_store()
+    reset_solve_cache()
+    yield
+    reset_store()
+    reset_solve_cache()
+
+
+def _fleet(**kwargs):
+    return characterize_fleet(
+        CHIPS, seed=2019, trials=TRIALS, n_cores=CORES, **kwargs
+    )
+
+
+def _observed(out_dir, **kwargs):
+    run = run_fleet_observed(
+        CHIPS,
+        out_dir=out_dir,
+        seed=2019,
+        trials=TRIALS,
+        n_cores=CORES,
+        chunk_size=4,
+        **kwargs,
+    )
+    events = hashlib.sha256(Path(run.events_path).read_bytes()).hexdigest()
+    manifest = json.dumps(
+        json.loads(Path(run.manifest_path).read_text()), sort_keys=True
+    )
+    return events, manifest, run.event_count
+
+
+class TestFleetSummaryIdentity:
+    def test_cold_warm_disabled_agree(self, tmp_path):
+        disabled = _fleet().to_dict()
+        configure_store(tmp_path / "store")
+        cold = _fleet().to_dict()
+        reset_solve_cache()
+        warm = _fleet().to_dict()
+        assert cold == disabled
+        assert warm == disabled
+        stats = get_store().stats()
+        assert stats["hits"] > 0
+        assert stats["corrupt_entries"] == 0
+
+    def test_warm_run_recompiles_nothing(self, tmp_path):
+        configure_store(tmp_path / "store")
+        _fleet()
+        reset_solve_cache()
+        before = get_store().stats()
+        _fleet()
+        after = get_store().stats()
+        assert after["misses"] == before["misses"]
+        assert after["compiled_misses"] == before["compiled_misses"]
+        assert after["writes"] == before["writes"]
+        # Everything the warm run needed came from disk.
+        assert after["compiled_hits"] - before["compiled_hits"] == CHIPS
+        assert after["char_hits"] - before["char_hits"] == CHIPS
+        assert after["state_hits"] - before["state_hits"] == 2 * CHIPS
+
+    def test_chip_loop_matches_population_with_store(self, tmp_path):
+        configure_store(tmp_path / "store")
+        batched = _fleet().to_dict()
+        reset_solve_cache()
+        looped = _fleet(population=False).to_dict()
+        assert looped == batched
+
+    def test_corrupted_store_falls_back_to_recompute(self, tmp_path):
+        reference = _fleet().to_dict()
+        store = configure_store(tmp_path / "store")
+        _fleet()
+        # Flip one byte in every record's tail region: some records now
+        # fail their checksum; the run must recompute those chips and
+        # still produce identical bytes.
+        store.close()
+        dat = tmp_path / "store" / "store.dat"
+        blob = bytearray(dat.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        dat.write_bytes(bytes(blob))
+        store = configure_store(tmp_path / "store")
+        reset_solve_cache()
+        assert _fleet().to_dict() == reference
+        assert get_store().stats()["corrupt_entries"] > 0
+
+    def test_collect_chip_stats_ignores_store_state(self, tmp_path):
+        baseline = collect_chip_stats(
+            CHIPS, seed=2019, trials=TRIALS, n_cores=CORES
+        )
+        configure_store(tmp_path / "store")
+        _fleet()  # populate char records
+        warm = collect_chip_stats(
+            CHIPS, seed=2019, trials=TRIALS, n_cores=CORES
+        )
+        assert warm == baseline
+        assert get_store().stats()["char_hits"] >= CHIPS
+
+
+class TestObservedRunIdentity:
+    def test_events_and_manifests_identical_cold_warm_disabled(self, tmp_path):
+        disabled = _observed(tmp_path / "disabled")
+        configure_store(tmp_path / "store")
+        cold = _observed(tmp_path / "cold")
+        warm = _observed(tmp_path / "warm")
+        assert disabled[2] > 0
+        assert cold == disabled
+        assert warm == disabled
+
+    def test_replayed_telemetry_matches_live(self, tmp_path):
+        # The store-served characterization replays every CpmStepEvent
+        # and RollbackEvent: the warm event stream is byte-identical,
+        # not merely the summaries.
+        configure_store(tmp_path / "store")
+        cold = _observed(tmp_path / "cold")
+        warm = _observed(tmp_path / "warm")
+        assert get_store().stats()["char_hits"] >= CHIPS
+        assert warm[0] == cold[0]
+
+    def test_jobs_with_store_match_jobs_without(self, tmp_path):
+        configure_store(tmp_path / "store")
+        _fleet()  # warm the store
+        with_store = _observed(
+            tmp_path / "with", metrics_mode="streaming", jobs=2
+        )
+        store_stats = get_store().stats()
+        reset_store()
+        without = _observed(
+            tmp_path / "without", metrics_mode="streaming", jobs=2
+        )
+        assert with_store == without
+        # Worker deltas came home: the pool run's reads are accounted.
+        assert store_stats["hits"] > 0
+
+    def test_worker_deltas_show_zero_warm_misses(self, tmp_path):
+        configure_store(tmp_path / "store")
+        _fleet()
+        before = get_store().stats()
+        _observed(tmp_path / "run", metrics_mode="streaming", jobs=2)
+        after = get_store().stats()
+        assert after["misses"] == before["misses"]
+        assert after["compiled_hits"] - before["compiled_hits"] == CHIPS

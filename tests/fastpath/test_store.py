@@ -1,0 +1,310 @@
+"""Tests for the persistent content-addressed solve store.
+
+Covers the record codecs, the append-only segment layout, corruption
+fallback (truncated tails, flipped checksum bytes, version-mismatched
+headers must read as misses — never crash, never serve bad physics),
+prune compaction, stats transport, and the draw-layer content addresses
+the store keys on.
+"""
+
+import struct
+
+import pytest
+
+from repro.atm.chip_sim import ChipSim
+from repro.errors import ConfigurationError
+from repro.fastpath.compiled import (
+    CompiledChip,
+    compile_draw,
+    fingerprint_from_draw,
+    fingerprint_of,
+)
+from repro.fastpath.store import (
+    KIND_CHAR,
+    KIND_COMPILED,
+    KIND_STATE,
+    STAT_KEYS,
+    SolveStore,
+    compiled_key,
+    configure_store,
+    decode_compiled,
+    decode_state,
+    diff_stats,
+    encode_compiled,
+    encode_state,
+    get_store,
+    reset_store,
+    state_key,
+)
+from repro.silicon.chipspec import draw_chip, draw_chips, sample_chip
+
+
+@pytest.fixture(autouse=True)
+def _no_global_store():
+    reset_store()
+    yield
+    reset_store()
+
+
+def _store(tmp_path, **kwargs):
+    return SolveStore(tmp_path / "store", **kwargs)
+
+
+class TestDrawLayer:
+    def test_draw_materializes_the_sampled_chip(self):
+        for seed in (2019, 7, 12345):
+            assert draw_chip(seed).materialize() == sample_chip(seed)
+
+    def test_draw_fingerprint_matches_compiled_fingerprint(self):
+        draw = draw_chip(2019, chip_id="F0")
+        assert fingerprint_from_draw(draw) == fingerprint_of(draw.materialize())
+
+    def test_draw_chips_batch_matches_per_index_draws(self):
+        batch = draw_chips(2019, range(3))
+        for index, draw in zip(range(3), batch):
+            assert draw == draw_chip(2019 + index, chip_id=f"F{index}")
+
+    def test_nonphysical_draw_rejected(self):
+        # Extreme variation produces chips draw_chip must refuse, with
+        # the same error sample_chip raises.
+        from repro.silicon.process import ProcessVariationModel
+
+        wild = ProcessVariationModel(step_width_median_ps=200.0)
+        with pytest.raises(ConfigurationError, match="non-physical"):
+            draw_chip(2019, variation=wild)
+
+
+class TestRecordCodecs:
+    def test_compiled_round_trip(self):
+        chip = sample_chip(2019)
+        compiled = CompiledChip(chip)
+        tables = decode_compiled(encode_compiled(compiled))
+        assert tables is not None
+        rebuilt = CompiledChip.from_tables(
+            tables, chip=chip, thermal=None, fingerprint=fingerprint_of(chip)
+        )
+        assert rebuilt.n_cores == compiled.n_cores
+        for name in (
+            "base_delay_ps",
+            "v_threshold",
+            "alpha",
+            "leakage_w",
+            "ceff_w_per_ghz",
+        ):
+            assert getattr(rebuilt, name).tolist() == pytest.approx(
+                getattr(compiled, name).tolist()
+            )
+
+    def test_state_round_trip_is_bit_exact(self):
+        chip = sample_chip(2019)
+        sim = ChipSim(chip)
+        row = sim.uniform_assignments(reduction_steps=1)
+        state = sim.solve_steady_state(row)
+        decoded = decode_state(encode_state(state), row)
+        assert decoded is not None
+        assert [f.hex() for f in decoded.freqs_mhz] == [
+            f.hex() for f in state.freqs_mhz
+        ]
+        assert decoded.chip_power_w.hex() == state.chip_power_w.hex()
+        assert decoded.vdd.hex() == state.vdd.hex()
+        assert decoded.temperature_c.hex() == state.temperature_c.hex()
+        assert decoded.iterations == state.iterations
+        assert decoded.assignments == row
+
+    def test_decode_rejects_garbage(self):
+        assert decode_compiled(b"nope") is None
+        assert decode_state(b"nope", ()) is None
+
+
+class TestSolveStore:
+    def test_round_trip_and_stats(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("ab" * 32)
+        assert store.get(KIND_COMPILED, key) is None
+        assert store.put(KIND_COMPILED, key, b"payload-1")
+        assert bytes(store.get(KIND_COMPILED, key)) == b"payload-1"
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["compiled_hits"] == 1
+        assert stats["entries"] == 1
+        store.close()
+
+    def test_last_write_wins(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("cd" * 32)
+        store.put(KIND_COMPILED, key, b"old")
+        store.put(KIND_COMPILED, key, b"new")
+        assert bytes(store.get(KIND_COMPILED, key)) == b"new"
+        store.close()
+        # Reopened: the index replays in order, so "new" still wins.
+        again = _store(tmp_path)
+        assert bytes(again.get(KIND_COMPILED, key)) == b"new"
+        again.close()
+
+    def test_kinds_are_distinct_namespaces(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("ee" * 32)
+        store.put(KIND_COMPILED, key, b"compiled")
+        store.put(KIND_STATE, key, b"state")
+        assert bytes(store.get(KIND_COMPILED, key)) == b"compiled"
+        assert bytes(store.get(KIND_STATE, key)) == b"state"
+        store.close()
+
+    def test_read_only_store_never_writes(self, tmp_path):
+        writer = _store(tmp_path)
+        key = compiled_key("99" * 32)
+        writer.put(KIND_COMPILED, key, b"payload")
+        writer.close()
+        reader = _store(tmp_path, writable=False)
+        assert bytes(reader.get(KIND_COMPILED, key)) == b"payload"
+        assert not reader.put(KIND_COMPILED, compiled_key("aa" * 32), b"x")
+        assert reader.stats()["writes"] == 0
+        reader.close()
+
+    def test_truncated_final_record_reads_as_miss(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("12" * 32)
+        store.put(KIND_COMPILED, key, b"x" * 64)
+        store.close()
+        dat = tmp_path / "store" / "store.dat"
+        dat.write_bytes(dat.read_bytes()[:-8])  # torn final append
+        again = _store(tmp_path)
+        assert again.get(KIND_COMPILED, key) is None
+        assert again.stats()["corrupt_entries"] == 1
+        # The corrupt record is dropped: a second read is a plain miss.
+        assert again.get(KIND_COMPILED, key) is None
+        assert again.stats()["corrupt_entries"] == 1
+        again.close()
+
+    def test_flipped_payload_byte_reads_as_miss(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("34" * 32)
+        store.put(KIND_COMPILED, key, b"y" * 64)
+        store.close()
+        dat = tmp_path / "store" / "store.dat"
+        blob = bytearray(dat.read_bytes())
+        blob[-1] ^= 0xFF  # checksum no longer matches
+        dat.write_bytes(bytes(blob))
+        again = _store(tmp_path)
+        assert again.get(KIND_COMPILED, key) is None
+        assert again.stats()["corrupt_entries"] == 1
+        again.close()
+
+    def test_version_mismatched_index_is_unusable_not_fatal(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("56" * 32)
+        store.put(KIND_COMPILED, key, b"z" * 32)
+        store.close()
+        idx = tmp_path / "store" / "store.idx"
+        blob = bytearray(idx.read_bytes())
+        struct.pack_into("<I", blob, 8, 999)  # future format version
+        idx.write_bytes(bytes(blob))
+        again = _store(tmp_path)
+        assert not again.usable
+        assert again.get(KIND_COMPILED, key) is None
+        assert again.put(KIND_COMPILED, key, b"w") is False
+        assert again.stats()["corrupt_entries"] >= 1
+        report = again.verify()
+        assert report["usable"] is False
+        assert report["corrupt"] >= 1
+        again.close()
+
+    def test_verify_counts_and_drops_corruption(self, tmp_path):
+        store = _store(tmp_path)
+        keys = [compiled_key(f"{i:02x}" * 32) for i in range(3)]
+        for key in keys:
+            store.put(KIND_COMPILED, key, b"k" * 48)
+        store.close()
+        dat = tmp_path / "store" / "store.dat"
+        blob = bytearray(dat.read_bytes())
+        blob[-1] ^= 0x01  # corrupt only the final record
+        dat.write_bytes(bytes(blob))
+        again = _store(tmp_path)
+        report = again.verify()
+        # The corrupt record is counted and dropped from the live index.
+        assert report["corrupt"] == 1
+        assert report["entries"] == 2
+        assert report["entries_by_kind"]["compiled"] == 2
+        again.close()
+
+    def test_prune_compacts_and_enforces_budget(self, tmp_path):
+        store = _store(tmp_path)
+        keys = [compiled_key(f"{i:02x}" * 32) for i in range(4)]
+        for key in keys:
+            store.put(KIND_COMPILED, key, b"p" * 64)
+        store.put(KIND_COMPILED, keys[0], b"q" * 64)  # supersede
+        before = store.verify()
+        assert before["unreferenced_bytes"] > 0
+        report = store.prune()
+        assert report["kept"] == 4
+        assert store.verify()["unreferenced_bytes"] == 0
+        # Budgeted prune drops oldest-first but keeps the store readable.
+        report = store.prune(max_bytes=16 + 2 * 64)
+        assert report["kept"] < 4
+        assert bytes(store.get(KIND_COMPILED, keys[0])) == b"q" * 64
+        store.close()
+
+    def test_prune_refuses_read_only(self, tmp_path):
+        _store(tmp_path).close()  # create
+        reader = _store(tmp_path, writable=False)
+        with pytest.raises(ConfigurationError):
+            reader.prune()
+        reader.close()
+
+    def test_diff_and_merge_stats(self, tmp_path):
+        store = _store(tmp_path)
+        key = compiled_key("77" * 32)
+        before = store.stats()
+        store.put(KIND_COMPILED, key, b"v")
+        store.get(KIND_COMPILED, key)
+        store.get(KIND_STATE, key)
+        delta = diff_stats(store.stats(), before)
+        assert delta["hits"] == 1
+        assert delta["misses"] == 1
+        assert delta["state_misses"] == 1
+        assert delta["writes"] == 1
+        other = _store(tmp_path)
+        other.merge_stats(delta)
+        merged = other.stats()
+        for name in STAT_KEYS:
+            assert merged[name] == delta[name]
+        store.close()
+        other.close()
+
+
+class TestGlobalStore:
+    def test_configure_get_reset(self, tmp_path):
+        assert get_store() is None
+        store = configure_store(tmp_path / "s")
+        assert get_store() is store
+        reset_store()
+        assert get_store() is None
+
+    def test_compile_draw_round_trips_through_store(self, tmp_path):
+        configure_store(tmp_path / "s")
+        draw = draw_chip(2019, chip_id="F0")
+        cold = compile_draw(draw)
+        warm = compile_draw(draw)
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.chip.chip_id == "F0"
+        assert warm.base_delay_ps.tolist() == cold.base_delay_ps.tolist()
+        assert warm.leakage_w.tolist() == cold.leakage_w.tolist()
+        stats = get_store().stats()
+        assert stats["compiled_hits"] == 1
+        assert stats["compiled_misses"] == 1
+
+    def test_state_key_separates_rows_and_warmth(self):
+        chip = sample_chip(2019)
+        sim = ChipSim(chip)
+        fp = fingerprint_of(chip)
+        row_a = sim.uniform_assignments(reduction_steps=0)
+        row_b = sim.uniform_assignments(reduction_steps=1)
+        state = sim.solve_steady_state(row_a)
+        keys = {
+            state_key(fp, row_a, None),
+            state_key(fp, row_b, None),
+            state_key(fp, row_a, state),
+        }
+        assert len(keys) == 3

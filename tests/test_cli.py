@@ -302,3 +302,87 @@ class TestFleetCli:
              "--trials", "2", "--cores", "2", "--chip-loop"]
         ) == 0
         assert capsys.readouterr().out == batched
+
+
+class TestStoreCli:
+    def _populate(self, tmp_path, capsys):
+        # Earlier in-process tests may have warmed the in-memory solve
+        # cache; drop it so this pass fully populates the disk store.
+        from repro.fastpath.cache import reset_solve_cache
+        from repro.fastpath.store import reset_store
+
+        reset_store()
+        reset_solve_cache()
+        store_dir = str(tmp_path / "store")
+        assert main(
+            ["fleet", "characterize", "--chips", "2", "--trials", "2",
+             "--cores", "2", "--solve-store", store_dir]
+        ) == 0
+        return store_dir, capsys.readouterr().out
+
+    def test_solve_store_warm_run_is_identical(self, tmp_path, capsys):
+        from repro.fastpath.cache import reset_solve_cache
+        from repro.fastpath.store import reset_store
+
+        try:
+            store_dir, cold_out = self._populate(tmp_path, capsys)
+            assert "solve store" in cold_out
+            # Drop the process-global store and in-memory cache so the
+            # second in-process invocation behaves like a fresh process:
+            # counters start at zero and every solve consults the disk.
+            reset_store()
+            reset_solve_cache()
+            assert main(
+                ["fleet", "characterize", "--chips", "2", "--trials", "2",
+                 "--cores", "2", "--solve-store", store_dir]
+            ) == 0
+            warm_out = capsys.readouterr().out
+
+            def _report(text):
+                return [
+                    line for line in text.splitlines()
+                    if not line.startswith("solve store")
+                ]
+
+            assert _report(warm_out) == _report(cold_out)
+            assert "0 misses" in warm_out
+        finally:
+            reset_store()
+            reset_solve_cache()
+
+    def test_stats_verify_prune_round_trip(self, tmp_path, capsys):
+        from repro.fastpath.store import reset_store
+
+        try:
+            store_dir, _ = self._populate(tmp_path, capsys)
+        finally:
+            reset_store()
+        assert main(["store", "stats", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "compiled" in out
+        assert main(["store", "verify", store_dir]) == 0
+        assert "0 corrupt" in capsys.readouterr().out
+        assert main(["store", "prune", store_dir]) == 0
+        assert "kept" in capsys.readouterr().out
+
+    def test_verify_flags_corruption(self, tmp_path, capsys):
+        from pathlib import Path
+
+        from repro.fastpath.store import reset_store
+
+        try:
+            store_dir, _ = self._populate(tmp_path, capsys)
+        finally:
+            reset_store()
+        dat = Path(store_dir) / "store.dat"
+        blob = bytearray(dat.read_bytes())
+        blob[-1] ^= 0xFF
+        dat.write_bytes(bytes(blob))
+        assert main(["store", "verify", store_dir]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_missing_store_dir_fails_cleanly(self, tmp_path, capsys):
+        code = main(["store", "stats", str(tmp_path / "nope")])
+        assert code == 1
+        assert "no solve store directory" in capsys.readouterr().err

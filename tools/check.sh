@@ -36,7 +36,7 @@ bench_out="$(mktemp)"
 # noise floor in compare_to_baseline keeps tiny smoke runs from tripping
 # on machine jitter, so this only fails on gross regressions.
 if python -m repro bench --experiments fig01 --fleet-chips 32 \
-        --obs-chips 24 \
+        --obs-chips 24 --store-chips 24 \
         --compare BENCH_solver.json --out "$bench_out" >/dev/null; then
     echo "bench smoke ok"
     # Observability must stay within its 10% wall-clock budget on the
@@ -71,6 +71,35 @@ else
     failures=$((failures + 1))
 fi
 rm -f "$bench_out"
+
+echo "== solve store cold-vs-warm smoke =="
+# Two fleet characterizations into the same store, in separate
+# processes: the warm run must serve everything from disk (zero misses)
+# and print a byte-identical report modulo the store-traffic line.
+store_tmp="$(mktemp -d)"
+if python -m repro fleet characterize --chips 8 --trials 2 --cores 4 \
+        --solve-store "$store_tmp/store" >"$store_tmp/cold.txt" \
+        && python -m repro fleet characterize --chips 8 --trials 2 --cores 4 \
+        --solve-store "$store_tmp/store" >"$store_tmp/warm.txt" \
+        && python -m repro store verify "$store_tmp/store" >/dev/null; then
+    grep -v '^solve store' "$store_tmp/cold.txt" >"$store_tmp/cold.body"
+    grep -v '^solve store' "$store_tmp/warm.txt" >"$store_tmp/warm.body"
+    if cmp -s "$store_tmp/cold.body" "$store_tmp/warm.body" \
+            && grep '^solve store' "$store_tmp/warm.txt" \
+                | grep -q ' 0 misses' \
+            && ! grep '^solve store' "$store_tmp/warm.txt" \
+                | grep -q '^solve store [^:]*: 0 hits'; then
+        echo "store cold-vs-warm smoke ok"
+    else
+        echo "store smoke FAILED: warm run diverged or missed the store"
+        diff "$store_tmp/cold.body" "$store_tmp/warm.body" || true
+        grep '^solve store' "$store_tmp/warm.txt" || true
+        failures=$((failures + 1))
+    fi
+else
+    failures=$((failures + 1))
+fi
+rm -rf "$store_tmp"
 
 echo "== repro obs selfcheck =="
 python -m repro obs selfcheck >/dev/null || failures=$((failures + 1))
