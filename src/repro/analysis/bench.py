@@ -25,9 +25,10 @@ from ..fastpath.cache import get_solve_cache, reset_solve_cache
 from ..obs.profiling import wall_clock_s
 
 #: Schema tag written into the artifact so downstream tooling can evolve.
-#: v2 adds the persistent-store cold/warm entry (``store``) alongside the
-#: v1 fields; v1 artifacts still load in :func:`compare_to_baseline`.
-SCHEMA = "bench_solver/v2"
+#: v2 adds the persistent-store cold/warm entry (``store``), v3 the
+#: alerting-tax entry (``obs_export``), alongside the v1 fields; older
+#: artifacts still load in :func:`compare_to_baseline`.
+SCHEMA = "bench_solver/v3"
 
 #: Absolute wall-clock slack for the regression gate: totals below this
 #: delta are scheduling noise on shared CI hosts, never a regression.
@@ -37,6 +38,11 @@ MIN_REGRESSION_S = 0.05
 #: Minimum warm-over-cold speedup the persistent solve store must keep
 #: delivering for ``--compare`` to pass when the fresh run benched it.
 STORE_SPEEDUP_FLOOR = 3.0
+
+#: Maximum wall-clock ratio the tsdb-capture + alert-evaluation path may
+#: reach over a plain fleet characterization for ``--compare`` to pass
+#: when the fresh run benched it (1.05 = at most 5% alerting tax).
+ALERTS_OVERHEAD_CEILING = 1.05
 
 
 def exceeds_ratio_gate(
@@ -476,6 +482,122 @@ def run_store_bench(
 
 
 @dataclass(frozen=True)
+class ObsExportBench:
+    """Alerting tax: fleet characterization plain vs tsdb-captured.
+
+    The alerting pass runs the identical fleet while recording per-chip
+    series into a :class:`~repro.obs.tsdb.Tsdb` and then evaluates the
+    default alert-rule pack over the captured windows — the always-on
+    cost of the alerting layer.  The OpenMetrics render is timed
+    separately (it is a read-side export, not part of the capture tax).
+    Reports are checked equal before the numbers are reported, so the
+    overhead can never hide divergence.
+    """
+
+    n_chips: int
+    plain_wall_s: float
+    alerting_wall_s: float
+    export_wall_s: float
+    series: int
+    samples: int
+    alerts_fired: int
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Fractional slowdown of the alerting run (0.0 = free)."""
+        if self.plain_wall_s <= 0.0:
+            return 0.0
+        return max(0.0, self.alerting_wall_s / self.plain_wall_s - 1.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_chips": self.n_chips,
+            "plain_wall_s": round(self.plain_wall_s, 4),
+            "alerting_wall_s": round(self.alerting_wall_s, 4),
+            "export_wall_s": round(self.export_wall_s, 4),
+            "series": self.series,
+            "samples": self.samples,
+            "alerts_fired": self.alerts_fired,
+            "overhead_ratio": round(self.overhead_ratio, 4),
+        }
+
+
+def run_obs_export_bench(
+    n_chips: int = 128,
+    *,
+    seed: int = 2019,
+    repeat: int = 1,
+) -> ObsExportBench:
+    """Time fleet characterization plain vs tsdb-captured-and-alerted.
+
+    Best-of-``repeat`` walls on each side, cold solve cache per pass.
+    The alerting side threads a fresh :class:`~repro.obs.tsdb.Tsdb`
+    through :func:`~repro.core.fleet.characterize_fleet` and evaluates
+    :func:`~repro.obs.alerts.default_rule_pack` over the captured
+    windows; the tools/check.sh alerting gate holds the measured
+    overhead below :data:`ALERTS_OVERHEAD_CEILING`.  The OpenMetrics
+    page render is timed on its own so export cost is visible without
+    polluting the capture tax.  Raises :class:`SimulationError` if the
+    alerting run's report deviates from the plain run's.
+    """
+    from ..core.fleet import characterize_fleet
+    from ..obs.alerts import default_rule_pack, evaluate_rules
+    from ..obs.tsdb import Tsdb, render_openmetrics
+
+    if n_chips < 1:
+        raise ConfigurationError(
+            f"export bench chips must be >= 1, got {n_chips}"
+        )
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+
+    rules = default_rule_pack()
+    plain_wall_s = float("inf")
+    alerting_wall_s = float("inf")
+    export_wall_s = float("inf")
+    series = 0
+    samples = 0
+    alerts_fired = 0
+    for _ in range(repeat):
+        reset_solve_cache()
+        start_s = wall_clock_s()
+        plain = characterize_fleet(n_chips, seed=seed)
+        plain_wall_s = min(plain_wall_s, wall_clock_s() - start_s)
+
+        reset_solve_cache()
+        tsdb = Tsdb("bench_fleet", seed)
+        start_s = wall_clock_s()
+        alerted = characterize_fleet(n_chips, seed=seed, tsdb=tsdb)
+        outcome = evaluate_rules(tsdb, rules)
+        alerting_wall_s = min(alerting_wall_s, wall_clock_s() - start_s)
+
+        start_s = wall_clock_s()
+        render_openmetrics(tsdb=tsdb)
+        export_wall_s = min(export_wall_s, wall_clock_s() - start_s)
+
+        series = len(tsdb)
+        samples = sum(
+            tsdb.series(metric).sample_count for metric in tsdb.metrics()
+        )
+        alerts_fired = len(outcome.alerts)
+        if alerted.to_dict() != plain.to_dict():
+            raise SimulationError(
+                "tsdb-captured fleet characterization deviates from the "
+                "plain run"
+            )
+    reset_solve_cache()
+    return ObsExportBench(
+        n_chips=n_chips,
+        plain_wall_s=plain_wall_s,
+        alerting_wall_s=alerting_wall_s,
+        export_wall_s=export_wall_s,
+        series=series,
+        samples=samples,
+        alerts_fired=alerts_fired,
+    )
+
+
+@dataclass(frozen=True)
 class BenchReport:
     """Measured wall-clock profile of one benchmark invocation."""
 
@@ -491,6 +613,7 @@ class BenchReport:
     obs_overhead: ObsOverheadBench | None = None
     gauge_memory: GaugeMemoryBench | None = None
     store: StoreBench | None = None
+    obs_export: ObsExportBench | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -533,6 +656,8 @@ class BenchReport:
             doc["gauge_memory"] = self.gauge_memory.to_dict()
         if self.store is not None:
             doc["store"] = self.store.to_dict()
+        if self.obs_export is not None:
+            doc["obs_export"] = self.obs_export.to_dict()
         return doc
 
     def render(self) -> str:
@@ -587,6 +712,15 @@ class BenchReport:
                 f"({st.warm_hits} hits / {st.warm_misses} misses warm, "
                 f"{st.store_entries} records, {st.store_bytes} B)"
             )
+        if self.obs_export is not None:
+            ox = self.obs_export
+            lines.append(
+                f"alerting ({ox.n_chips} chips, {ox.series} series / "
+                f"{ox.samples} samples): plain {ox.plain_wall_s:.3f}s / "
+                f"alerted {ox.alerting_wall_s:.3f}s -> "
+                f"+{100.0 * ox.overhead_ratio:.1f}%, export "
+                f"{ox.export_wall_s:.3f}s, {ox.alerts_fired} firing(s)"
+            )
         return "\n".join(lines)
 
 
@@ -602,6 +736,7 @@ def run_bench(
     obs_chips: int = 0,
     gauge_samples: int = 0,
     store_chips: int = 0,
+    export_chips: int = 0,
 ) -> BenchReport:
     """Time the experiment suite and (optionally) write the JSON artifact.
 
@@ -618,6 +753,10 @@ def run_bench(
     ``store_chips > 0`` appends a :class:`StoreBench` entry timing fleet
     characterization cold vs warm against a temporary persistent store
     (the tools/check.sh store gate holds its speedup above the floor).
+    ``export_chips > 0`` appends an :class:`ObsExportBench` entry timing
+    the tsdb-capture + alert-evaluation tax and the OpenMetrics export
+    (the tools/check.sh alerting gate holds the tax below
+    :data:`ALERTS_OVERHEAD_CEILING`).
     """
     # Local import: analysis must stay importable without dragging the
     # experiment registry's transitive imports in at module load.
@@ -681,6 +820,11 @@ def run_bench(
         if store_chips > 0
         else None
     )
+    obs_export = (
+        run_obs_export_bench(export_chips, seed=seed, repeat=repeat)
+        if export_chips > 0
+        else None
+    )
     report = BenchReport(
         seed=seed,
         jobs=jobs,
@@ -694,6 +838,7 @@ def run_bench(
         obs_overhead=obs_overhead,
         gauge_memory=gauge_memory,
         store=store,
+        obs_export=obs_export,
     )
     if out_path is not None:
         path = Path(out_path)
@@ -808,13 +953,42 @@ def compare_to_baseline(
                 f"REGRESSION: warm store run no longer beats cold by "
                 f"{STORE_SPEEDUP_FLOOR:.1f}x"
             )
-    return (not (regressed or store_regressed), "\n".join(lines))
+
+    alerts_regressed = False
+    if report.obs_export is not None:
+        ox = report.obs_export
+        committed = ""
+        if "obs_export" in doc:
+            committed = (
+                f" vs +{100.0 * float(doc['obs_export'].get('overhead_ratio', 0.0)):.1f}%"
+                " committed"
+            )
+        lines.append(
+            f"  alerting tax: +{100.0 * ox.overhead_ratio:.1f}%{committed} "
+            f"(ceiling +{100.0 * (ALERTS_OVERHEAD_CEILING - 1.0):.0f}%)"
+        )
+        alerts_regressed = exceeds_ratio_gate(
+            ox.alerting_wall_s,
+            ox.plain_wall_s,
+            threshold=ALERTS_OVERHEAD_CEILING,
+            min_delta=noise_floor_s,
+        )
+        if alerts_regressed:
+            lines.append(
+                f"REGRESSION: alerting capture exceeds the plain run by more "
+                f"than {100.0 * (ALERTS_OVERHEAD_CEILING - 1.0):.0f}%"
+            )
+    return (
+        not (regressed or store_regressed or alerts_regressed),
+        "\n".join(lines),
+    )
 
 
 __all__ = [
     "BenchReport",
     "FleetBench",
     "GaugeMemoryBench",
+    "ObsExportBench",
     "ObsOverheadBench",
     "StoreBench",
     "compare_to_baseline",
@@ -822,8 +996,10 @@ __all__ = [
     "run_bench",
     "run_fleet_bench",
     "run_gauge_memory_bench",
+    "run_obs_export_bench",
     "run_obs_overhead_bench",
     "run_store_bench",
+    "ALERTS_OVERHEAD_CEILING",
     "MIN_REGRESSION_S",
     "SCHEMA",
     "STORE_SPEEDUP_FLOOR",

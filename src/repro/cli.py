@@ -26,16 +26,26 @@ Mirrors the stages a vendor/operator would actually run:
     manifests); exits non-zero on any divergence or manifest drift.
 ``python -m repro obs flame <run> [--format chrome|speedscope]``
     Export a run's span tree as a Chrome-trace or speedscope profile.
-``python -m repro obs history --store DIR``
-    Per-metric time series across registered runs with regression flags.
+``python -m repro obs history --store DIR [--format table|json]``
+    Per-metric time series across registered runs with regression *and*
+    improvement flags (signed delta + direction).
 ``python -m repro obs report --store DIR [--format markdown|json]``
     Deterministic digest: registry, history, spans, optional fleet health.
+``python -m repro obs export [run] [--tsdb DIR] [--format openmetrics]``
+    OpenMetrics text page over a run's metric summary and/or persisted
+    tsdb series — byte-identical across same-seed runs.
+``python -m repro obs alerts list|eval``
+    Show a rule pack, or evaluate it over a recorded run's event stream
+    (tolerant of truncated segments); ``eval`` exits non-zero on firings.
 ``python -m repro fleet characterize --chips N [--jobs J] [--solve-store DIR]``
     Chunked fleet characterization; ``--metrics-mode streaming`` and
     ``--segment-events`` keep memory bounded at any fleet size, and the
     outputs are byte-identical across chunk sizes and job counts.
     ``--solve-store`` persists characterizations, compiled tables, and
     converged states so a warm second run replays them from disk.
+    ``--alerts``/``--slo`` evaluate rule packs over per-chip series
+    captured into a tsdb (``--tsdb DIR`` persists the series files) and
+    print an incident digest, exiting non-zero on any firing.
 ``python -m repro store stats|verify|prune DIR``
     Inspect, checksum-verify, or compact a persistent solve store.
 ``python -m repro fleet health --chips N``
@@ -148,6 +158,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         obs_chips=args.obs_chips,
         gauge_samples=args.gauge_samples,
         store_chips=args.store_chips,
+        export_chips=args.export_chips,
     )
     print(report.render())
     print(f"bench report written to {args.out}")
@@ -172,6 +183,12 @@ def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
 
     if args.solve_store:
         configure_store(args.solve_store)
+    alert_rules, alert_slos = _load_alert_packs(args.alerts, args.slo)
+    tsdb = None
+    if alert_rules or alert_slos or args.tsdb:
+        from .obs.tsdb import Tsdb
+
+        tsdb = Tsdb("fleet", args.seed, window_ticks=args.alert_window)
     progress = None
     if args.progress:
         # Operator-facing only: stderr, never the event stream or manifest.
@@ -190,6 +207,7 @@ def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
         population=not args.chip_loop,
         jobs=args.jobs,
         progress=progress,
+        tsdb=tsdb,
     )
     try:
         if args.out:
@@ -209,14 +227,54 @@ def _cmd_fleet_characterize(args: argparse.Namespace) -> int:
             )
             print(f"manifest: {run.manifest_path}")
             _print_store_traffic()
-            return 0
+            return _finish_fleet_alerts(
+                tsdb, alert_rules, alert_slos, args.tsdb
+            )
         report = characterize_fleet(args.chips, seed=args.seed, **kwargs)
     finally:
         if progress is not None:
             progress.finish()
     print(report.render())
     _print_store_traffic()
-    return 0
+    return _finish_fleet_alerts(tsdb, alert_rules, alert_slos, args.tsdb)
+
+
+def _load_alert_packs(rules_arg: str | None, slo_arg: str | None):
+    """Resolve ``--alerts``/``--slo`` values to rule/SLO tuples."""
+    rules = ()
+    slos = ()
+    if rules_arg:
+        from .obs.alerts import default_rule_pack, load_rule_pack
+
+        rules = (
+            default_rule_pack()
+            if rules_arg == "default"
+            else load_rule_pack(rules_arg)
+        )
+    if slo_arg:
+        from .obs.alerts import load_slo_pack
+
+        slos = load_slo_pack(slo_arg)
+    return rules, slos
+
+
+def _finish_fleet_alerts(tsdb, rules, slos, store_dir: str | None) -> int:
+    """Persist captured fleet series, then print the incident digest."""
+    if tsdb is None:
+        return 0
+    if store_dir:
+        from .obs.tsdb import TsdbStore
+
+        paths = TsdbStore(store_dir).write(tsdb)
+        print(f"tsdb: {len(paths)} series file(s) under {store_dir}")
+    if not rules and not slos:
+        return 0
+    from .obs.alerts import evaluate_rules
+
+    outcome = evaluate_rules(tsdb, rules, slos)
+    print()
+    print(outcome.render())
+    return 1 if outcome.fired else 0
 
 
 def _print_store_traffic() -> None:
@@ -403,10 +461,14 @@ def _cmd_obs_flame(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_history(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .obs.analyze.history import (
         bench_wall_series,
         build_history,
+        flag_improvements,
         flag_regressions,
+        history_to_dict,
         render_history,
     )
     from .obs.analyze.store import RunStore
@@ -426,15 +488,148 @@ def _cmd_obs_history(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         wall_min_delta=args.noise_floor_ms / 1000.0,
     )
+    improvements = flag_improvements(
+        series,
+        threshold=args.threshold,
+        wall_min_delta=args.noise_floor_ms / 1000.0,
+    )
+    if args.format == "json":
+        document = history_to_dict(
+            series, flags, improvements, threshold=args.threshold
+        )
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(
+            render_history(
+                series,
+                flags,
+                improvements=improvements,
+                title=f"metrics history: {len(store.run_ids())} run(s)",
+                threshold=args.threshold,
+            )
+        )
+    return 1 if flags else 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .obs.manifest import load_manifest
+    from .obs.tsdb import TsdbStore, render_openmetrics
+
+    summary = None
+    labels = None
+    tsdb = None
+    if args.run:
+        _, manifest_path = _resolve_run_artifacts(args.run, args.id)
+        if manifest_path is None:
+            raise ConfigurationError(
+                f"{args.run} has no manifest to export metrics from"
+            )
+        manifest = load_manifest(manifest_path)
+        summary = manifest.metrics_summary
+        labels = {
+            "experiment": manifest.experiment_id,
+            "seed": str(manifest.seed),
+        }
+    if args.tsdb:
+        store = TsdbStore(args.tsdb)
+        runs = store.runs()
+        if args.experiment is not None:
+            runs = [run for run in runs if run[0] == args.experiment]
+        if len(runs) > 1:
+            seeded = [run for run in runs if run[1] == args.seed]
+            if len(seeded) == 1:
+                runs = seeded
+        if len(runs) != 1:
+            names = ", ".join(f"{exp}@s{seed}" for exp, seed in runs)
+            raise ConfigurationError(
+                f"{args.tsdb} holds {len(runs)} matching run(s)"
+                + (f" ({names})" if names else "")
+                + "; pass --experiment/--seed to pick exactly one"
+            )
+        experiment, seed = runs[0]
+        tsdb = store.load_run(experiment, seed)
+        if labels is None:
+            labels = {"experiment": experiment, "seed": str(seed)}
+    if summary is None and tsdb is None:
+        raise ConfigurationError(
+            "nothing to export: give a run operand and/or --tsdb DIR"
+        )
+    text = render_openmetrics(summary=summary, tsdb=tsdb, labels=labels)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"openmetrics page written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_alerts_list(args: argparse.Namespace) -> int:
+    from .analysis.rendering import ascii_table
+    from .errors import ConfigurationError
+    from .obs.alerts import SLO_KIND
+
+    rules, slos = _load_alert_packs(args.rules, args.slo)
+    if not rules and not slos:
+        raise ConfigurationError("nothing to list: pass --rules and/or --slo")
+    rows = [
+        (rule.name, rule.kind, rule.metric, rule.severity, rule.describe())
+        for rule in rules
+    ] + [
+        (slo.name, SLO_KIND, slo.metric, slo.severity, slo.describe())
+        for slo in slos
+    ]
     print(
-        render_history(
-            series,
-            flags,
-            title=f"metrics history: {len(store.run_ids())} run(s)",
-            threshold=args.threshold,
+        ascii_table(
+            ("name", "kind", "metric", "severity", "predicate"),
+            rows,
+            title=f"{len(rules)} rule(s), {len(slos)} slo(s)",
         )
     )
-    return 1 if flags else 0
+    return 0
+
+
+def _cmd_obs_alerts_eval(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .obs.alerts import evaluate_rules
+    from .obs.manifest import load_manifest
+    from .obs.tsdb import Tsdb, TsdbStore, capture_stream, capture_summary
+
+    rules, slos = _load_alert_packs(args.rules, args.slo)
+    if not rules and not slos:
+        raise ConfigurationError(
+            "nothing to evaluate: pass --rules and/or --slo"
+        )
+    events_path, manifest_path = _resolve_run_artifacts(args.run, args.id)
+    manifest = None
+    experiment = None
+    seed = args.seed
+    if manifest_path is not None:
+        manifest = load_manifest(manifest_path)
+        experiment = manifest.experiment_id
+        seed = manifest.seed
+    elif events_path is not None:
+        experiment = events_path.name
+        if experiment.endswith(".events.jsonl"):
+            experiment = experiment[: -len(".events.jsonl")]
+    if experiment is None:
+        raise ConfigurationError(f"{args.run} has no run artifacts to evaluate")
+    tsdb = Tsdb(experiment, seed, window_ticks=args.window)
+    skipped = 0
+    if events_path is not None:
+        _, skipped = capture_stream(tsdb, events_path)
+    if manifest is not None:
+        capture_summary(tsdb, manifest.metrics_summary)
+    outcome = evaluate_rules(tsdb, rules, slos, skipped_lines=skipped)
+    if args.tsdb:
+        TsdbStore(args.tsdb).write(tsdb)
+    if args.out:
+        outcome.write_events(args.out)
+    if args.json:
+        print(outcome.to_json(), end="")
+    else:
+        print(outcome.render())
+    return 1 if outcome.fired else 0
 
 
 def _cmd_obs_report(args: argparse.Namespace) -> int:
@@ -728,6 +923,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also bench streaming-gauge memory vs the exact recorder "
              "at N samples (0 skips)",
     )
+    p_bench.add_argument(
+        "--export-chips", type=int, default=0, dest="export_chips",
+        help="also bench the alerting layer: characterize N chips plain "
+             "vs tsdb-captured + default-pack evaluation, plus the "
+             "OpenMetrics export (0 skips)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_fleet = sub.add_parser(
@@ -786,6 +987,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist characterizations, compiled tables, and converged "
              "states in this directory; a warm second run replays them "
              "from disk with byte-identical outputs",
+    )
+    p_fchar.add_argument(
+        "--alerts", default=None,
+        help="alert-rule pack JSON to evaluate over the captured per-chip "
+             "series, or 'default' for the shipped pack; exits non-zero "
+             "on any firing",
+    )
+    p_fchar.add_argument(
+        "--slo", default=None,
+        help="SLO pack JSON evaluated alongside --alerts (burn-rate "
+             "targets over the same tick windows)",
+    )
+    p_fchar.add_argument(
+        "--tsdb", default=None,
+        help="persist the captured per-chip series into this tsdb store "
+             "directory (merge-on-write; byte-identical across --jobs)",
+    )
+    p_fchar.add_argument(
+        "--alert-window", type=float, default=64.0, dest="alert_window",
+        help="tick-window width for the captured series (chips per "
+             "window; alert rules reduce over these windows)",
     )
     p_fchar.set_defaults(func=_cmd_fleet_characterize)
 
@@ -949,7 +1171,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute slack for wall-clock series: deltas below this are "
              "scheduling noise, never a regression",
     )
+    p_history.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="table (signed delta + direction columns) or the canonical "
+             "JSON document",
+    )
     p_history.set_defaults(func=_cmd_obs_history)
+
+    p_export = obs_sub.add_parser(
+        "export",
+        help="OpenMetrics text page over a run's metrics and/or persisted "
+             "tsdb series",
+    )
+    p_export.add_argument(
+        "run", nargs="?", default=None,
+        help="run dir or manifest whose metric summary to export",
+    )
+    p_export.add_argument(
+        "--id", default=None,
+        help="run base name when the operand directory holds several runs",
+    )
+    p_export.add_argument(
+        "--tsdb", default=None,
+        help="tsdb store directory whose persisted series to export",
+    )
+    p_export.add_argument(
+        "--experiment", default=None,
+        help="tsdb run to export when the store holds several",
+    )
+    p_export.add_argument(
+        "--format", choices=["openmetrics"], default="openmetrics",
+        help="exposition format",
+    )
+    p_export.add_argument("--out", default=None, help="write the page here")
+    p_export.set_defaults(func=_cmd_obs_export)
+
+    p_alerts = obs_sub.add_parser(
+        "alerts", help="deterministic alert rules over recorded telemetry"
+    )
+    alerts_sub = p_alerts.add_subparsers(dest="alerts_command", required=True)
+    p_alist = alerts_sub.add_parser(
+        "list", help="show a rule pack's predicates"
+    )
+    p_alist.add_argument(
+        "--rules", default="default",
+        help="rule pack JSON, or 'default' for the shipped pack",
+    )
+    p_alist.add_argument("--slo", default=None, help="SLO pack JSON")
+    p_alist.set_defaults(func=_cmd_obs_alerts_list)
+    p_aeval = alerts_sub.add_parser(
+        "eval",
+        help="evaluate rules over a recorded run (event stream + "
+             "manifest); exits non-zero on any firing",
+    )
+    p_aeval.add_argument(
+        "run", help="run dir, .events.jsonl (plain or segmented), or manifest"
+    )
+    p_aeval.add_argument(
+        "--id", default=None,
+        help="run base name when the operand directory holds several runs",
+    )
+    p_aeval.add_argument(
+        "--rules", default="default",
+        help="rule pack JSON, or 'default' for the shipped pack",
+    )
+    p_aeval.add_argument("--slo", default=None, help="SLO pack JSON")
+    p_aeval.add_argument(
+        "--window", type=float, default=64.0,
+        help="tick-window width for the ingested series",
+    )
+    p_aeval.add_argument(
+        "--tsdb", default=None,
+        help="also persist the ingested series into this tsdb store",
+    )
+    p_aeval.add_argument(
+        "--out", default=None,
+        help="write the alert/incident events as a JSONL stream here",
+    )
+    p_aeval.add_argument(
+        "--json", action="store_true",
+        help="print the canonical outcome document instead of the digest",
+    )
+    p_aeval.set_defaults(func=_cmd_obs_alerts_eval)
 
     p_oreport = obs_sub.add_parser(
         "report", help="rendered regression report over a run registry"
@@ -984,8 +1287,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="run the domain linter (RL001-RL008; --project adds the "
-        "interprocedural RL009-RL012) over the tree",
+        help="run the domain linter (RL001-RL008 and RL013; --project adds "
+        "the interprocedural RL009-RL012) over the tree",
     )
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=run_lint)

@@ -49,6 +49,7 @@ from ..obs.sinks import JsonlFileSink, NullSink
 from ..obs.stream.exact import MergeableStat
 from ..obs.stream.progress import ProgressReporter
 from ..obs.stream.rotate import RotatingJsonlSink
+from ..obs.tsdb.series import Tsdb
 from ..rng import RngStreams
 from ..silicon.chipspec import CORES_PER_CHIP, ChipDraw, draw_chips
 from ..workloads.base import IDLE
@@ -537,6 +538,7 @@ def _process_chunk(
     noise_sigma_ps: float,
     population: bool,
     obs: Observability,
+    tsdb: Tsdb | None = None,
 ) -> None:
     """Characterize + solve one chunk of chips into ``accumulator``.
 
@@ -637,6 +639,49 @@ def _process_chunk(
             # gauge's "last" is the highest-index chip under any chunk
             # size or worker scheduling.
             tuned_gauge.set(float(tuned_state.slowest_mhz), tick=float(index))
+        if tsdb is not None:
+            _record_chip_series(
+                tsdb, index, draw, idle, ubench, probes,
+                baseline_state, tuned_state,
+            )
+
+
+def _record_chip_series(
+    tsdb: Tsdb,
+    index: int,
+    draw: ChipDraw,
+    idle: dict,
+    ubench: dict,
+    probes: int,
+    baseline_state,
+    tuned_state,
+) -> None:
+    """Fold one chip's characterization into the run's tsdb.
+
+    The tick is the global chip index, so the windowed series are
+    partition-invariant: any chunking or worker scheduling folds the same
+    samples into the same windows, and alert evaluation over the tsdb is
+    byte-identical across the serial/chunked/pooled matrix.
+    """
+    tick = float(index)
+    baseline_mhz = float(baseline_state.slowest_mhz)
+    tuned_mhz = float(tuned_state.slowest_mhz)
+    tsdb.record("fleet.baseline_slowest_mhz", tick, baseline_mhz)
+    tsdb.record("fleet.tuned_slowest_mhz", tick, tuned_mhz)
+    tsdb.record("fleet.tuning_gain_mhz", tick, tuned_mhz - baseline_mhz)
+    tsdb.record("fleet.probe_runs", tick, float(probes))
+    for label in draw.labels:
+        tsdb.record(
+            "fleet.idle_limit_steps", tick, float(idle[label].idle_limit)
+        )
+        tsdb.record(
+            "fleet.ubench_limit_steps", tick, float(ubench[label].ubench_limit)
+        )
+        tsdb.record(
+            "fleet.ubench_rollback_steps",
+            tick,
+            float(ubench[label].rollback_distribution.maximum),
+        )
 
 
 def _characterize_chunk_worker(
@@ -651,7 +696,9 @@ def _characterize_chunk_worker(
     population: bool,
     collect_metrics: bool,
     store_root: str | None,
-) -> tuple[dict, dict | None, int, dict | None]:
+    tsdb_experiment: str | None,
+    tsdb_window_ticks: float,
+) -> tuple[dict, dict | None, int, dict | None, dict | None]:
     """Pool worker: fold one chunk into a picklable partial summary.
 
     Starts from a cold solve cache (scheduling must not leak into
@@ -673,6 +720,11 @@ def _characterize_chunk_worker(
     reset_solve_cache()
     accumulator = _FleetAccumulator()
     chunk = range(chunk_start, chunk_stop)
+    tsdb = (
+        Tsdb(tsdb_experiment, seed, window_ticks=tsdb_window_ticks)
+        if tsdb_experiment is not None
+        else None
+    )
     kwargs = dict(
         seed=seed,
         trials=trials,
@@ -681,6 +733,7 @@ def _characterize_chunk_worker(
         reduction_steps=reduction_steps,
         noise_sigma_ps=noise_sigma_ps,
         population=population,
+        tsdb=tsdb,
     )
     if collect_metrics:
         local_obs = Observability(
@@ -696,7 +749,14 @@ def _characterize_chunk_worker(
     store_delta = (
         diff_stats(store.stats(), stats_before) if store is not None else None
     )
-    return accumulator.to_state(), registry_state, len(chunk), store_delta
+    tsdb_state = tsdb.to_state() if tsdb is not None else None
+    return (
+        accumulator.to_state(),
+        registry_state,
+        len(chunk),
+        store_delta,
+        tsdb_state,
+    )
 
 
 def characterize_fleet(
@@ -712,6 +772,7 @@ def characterize_fleet(
     population: bool = True,
     jobs: int = 1,
     progress: ProgressReporter | None = None,
+    tsdb: Tsdb | None = None,
 ) -> FleetReport:
     """Run the Fig. 6 idle → uBench methodology over a sampled fleet.
 
@@ -732,6 +793,11 @@ def characterize_fleet(
     interleave them nondeterministically.  ``progress`` (an operator-
     facing :class:`~repro.obs.stream.progress.ProgressReporter`) never
     touches artifacts.
+
+    ``tsdb`` (a :class:`~repro.obs.tsdb.series.Tsdb`) receives per-chip
+    ``fleet.*`` series ticked on the global chip index; pool workers fold
+    private partial tsdbs back into it, so its state — and any alert
+    evaluation over it — is chunking- and pool-invariant too.
     """
     _validate_fleet_args(
         n_chips, chunk_size, trials, n_cores, mode, reduction_steps
@@ -743,6 +809,11 @@ def characterize_fleet(
         raise ConfigurationError(
             "jobs > 1 requires streaming metrics (exact gauge traces cannot "
             "merge across workers); run with --metrics-mode streaming"
+        )
+    if tsdb is not None and tsdb.seed != seed:
+        raise ConfigurationError(
+            f"tsdb is keyed on seed {tsdb.seed} but the fleet run uses "
+            f"seed {seed}; series from different seeds must not merge"
         )
 
     accumulator = _FleetAccumulator()
@@ -764,6 +835,7 @@ def characterize_fleet(
                 noise_sigma_ps=noise_sigma_ps,
                 population=population,
                 obs=obs,
+                tsdb=tsdb,
             )
             if progress is not None:
                 progress.update(len(chunk))
@@ -773,7 +845,9 @@ def characterize_fleet(
         store = get_store()
         store_root = str(store.root) if store is not None else None
 
-        def _on_result(result: tuple[dict, dict | None, int, dict | None]) -> None:
+        def _on_result(
+            result: tuple[dict, dict | None, int, dict | None, dict | None],
+        ) -> None:
             if progress is not None:
                 progress.update(result[2])
 
@@ -792,13 +866,21 @@ def characterize_fleet(
                     population,
                     obs.enabled,
                     store_root,
+                    tsdb.experiment if tsdb is not None else None,
+                    tsdb.window_ticks if tsdb is not None else 0.0,
                 )
                 for chunk in chunks
             ],
             jobs=jobs,
             on_result=_on_result,
         )
-        for accumulator_state, registry_state, _, store_delta in partials:
+        for (
+            accumulator_state,
+            registry_state,
+            _,
+            store_delta,
+            tsdb_state,
+        ) in partials:
             accumulator.merge_state(accumulator_state)
             if registry_state is not None:
                 obs.metrics.merge_state(registry_state)
@@ -806,6 +888,8 @@ def characterize_fleet(
                 # Fold each worker's store traffic into the parent store's
                 # counters so `repro store stats` covers the whole run.
                 store.merge_stats(store_delta)
+            if tsdb_state is not None and tsdb is not None:
+                tsdb.merge_state(tsdb_state)
 
     return FleetReport(
         n_chips=n_chips,

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ...errors import LintError
 from ..engine import ProjectRule, Rule
+from .alert_hygiene import AlertRuleHygieneRule
 from .constants import MagicPlatformConstantRule
 from .dead_api import DeadPublicApiRule
 from .determinism import UnseededRngRule, WallClockRule
@@ -31,6 +32,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MagicPlatformConstantRule(),
     DirectPrintRule(),
     ProcessUnsafeParallelRule(),
+    AlertRuleHygieneRule(),
 )
 
 #: Every shipped project-wide (``--project``) rule, in id order.

@@ -1,0 +1,141 @@
+"""RL013 — alert-rule hygiene.
+
+Alert and SLO rules (:mod:`repro.obs.alerts.rules`) are predicates over
+metric names, so the determinism and unit contracts have to hold at the
+*definition* site: a rule keyed on ``fleet.tuned_freq`` hides its unit
+exactly the way an unsuffixed float parameter does (RL004), and a rule
+keyed on a wall-clock-sourced metric (``bench.wall_s``) alerts on
+machine load instead of simulated behaviour (RL002).  This rule lints
+literal ``AlertRule(...)`` / ``SloTarget(...)`` constructions and
+rule-shaped dict literals; :func:`metric_name_problems` is the shared
+predicate the runtime loader applies to everything the linter cannot see
+(JSON rule packs, computed names).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from ..engine import Finding, LintContext, Rule
+from .units_suffix import expected_suffixes
+
+#: Name components marking a wall-clock-sourced quantity.  Profiling is
+#: the only sanctioned wall-clock reader (the RL002 exemption), and its
+#: output is explicitly outside the alerting contract.
+WALL_CLOCK_COMPONENTS = frozenset(
+    {"wall", "walltime", "wallclock", "hosttime", "realtime", "timestamp"}
+)
+
+#: Constructor names whose ``metric`` argument this rule inspects, with
+#: the positional index the metric lands on.
+_RULE_CONSTRUCTORS = {"AlertRule": 2, "SloTarget": 1}
+
+
+def metric_name_problems(metric: str) -> tuple[str, ...]:
+    """Hygiene problems with a metric name used in an alert predicate.
+
+    Empty tuple means clean.  Shared between this lint rule (literal
+    definitions in source) and the alerts runtime (rule packs loaded
+    from JSON), so both report identical diagnostics.
+    """
+    if not isinstance(metric, str) or not metric:
+        return ("metric name must be a non-empty string",)
+    components = [
+        word for part in metric.lower().split(".") for word in part.split("_")
+    ]
+    problems = []
+    wall_words = sorted(set(components) & WALL_CLOCK_COMPONENTS)
+    if wall_words:
+        problems.append(
+            f"keys on wall-clock source component(s) "
+            f"{', '.join(wall_words)}; alert predicates must reference "
+            "simulated quantities only"
+        )
+    needed = expected_suffixes("_".join(components))
+    if needed:
+        word, suffixes = needed
+        expected = ", ".join(f"_{suffix}" for suffix in sorted(suffixes))
+        problems.append(
+            f"names a {word} quantity but lacks a unit suffix "
+            f"(expected one of: {expected})"
+        )
+    return tuple(problems)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+class AlertRuleHygieneRule(Rule):
+    """RL013: alert/SLO definitions use unit-clean, clock-free metrics."""
+
+    rule_id = "RL013"
+    severity = "error"
+    summary = "alert-rule-hygiene"
+    rationale = (
+        "an alert keyed on an unsuffixed or wall-clock metric fires on "
+        "ambiguous units or machine load, not on simulated behaviour"
+    )
+    interests = (ast.Call, ast.Dict)
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro_src and not ctx.is_test
+
+    def visit(
+        self, node: ast.AST, parents: Sequence[ast.AST], ctx: LintContext
+    ) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            yield from self._visit_call(node, ctx)
+        elif isinstance(node, ast.Dict):
+            yield from self._visit_dict(node, ctx)
+
+    def _visit_call(
+        self, node: ast.Call, ctx: LintContext
+    ) -> Iterable[Finding]:
+        name = _call_name(node)
+        if name not in _RULE_CONSTRUCTORS:
+            return
+        metric_node: ast.expr | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "metric":
+                metric_node = keyword.value
+        if metric_node is None:
+            index = _RULE_CONSTRUCTORS[name]
+            if len(node.args) > index:
+                metric_node = node.args[index]
+        yield from self._check_metric(name, metric_node, ctx)
+
+    def _visit_dict(
+        self, node: ast.Dict, ctx: LintContext
+    ) -> Iterable[Finding]:
+        keys = {
+            key.value: value
+            for key, value in zip(node.keys, node.values)
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        # A rule-shaped literal carries a metric plus a rule discriminator
+        # (alert `kind` or SLO `objective`); plain data dicts do not.
+        if "metric" not in keys:
+            return
+        if "kind" not in keys and "objective" not in keys:
+            return
+        yield from self._check_metric("rule dict", keys["metric"], ctx)
+
+    def _check_metric(
+        self, owner: str, metric_node: ast.expr | None, ctx: LintContext
+    ) -> Iterable[Finding]:
+        if not isinstance(metric_node, ast.Constant) or not isinstance(
+            metric_node.value, str
+        ):
+            return
+        for problem in metric_name_problems(metric_node.value):
+            yield self.finding(
+                ctx,
+                metric_node,
+                f"{owner} metric {metric_node.value!r} {problem}",
+            )

@@ -15,9 +15,11 @@ Layering: ``columnar`` (storage) ← ``metrics`` / ``events`` / ``sinks`` /
 from .columnar import TraceRecorder
 from .events import (
     EVENT_TYPES,
+    AlertEvent,
     CpmStepEvent,
     DriftAlertEvent,
     GuardbandViolationEvent,
+    IncidentEvent,
     ObsEvent,
     RollbackEvent,
     SpanEvent,
@@ -57,6 +59,8 @@ __all__ = [
     "RollbackEvent",
     "DriftAlertEvent",
     "SpanEvent",
+    "AlertEvent",
+    "IncidentEvent",
     "EVENT_TYPES",
     "event_to_dict",
     "event_from_dict",

@@ -1,0 +1,48 @@
+"""Deterministic alerting and SLO tracking (``repro.obs.alerts``).
+
+The decide-half of the observability stack: declarative rules
+(:mod:`~repro.obs.alerts.rules`) evaluated deterministically over tsdb
+tick windows (:mod:`~repro.obs.alerts.engine`), emitting
+``AlertEvent``/``IncidentEvent`` through the standard event registry so
+firings are diffable, golden-testable, and replayable.
+"""
+
+from .engine import (
+    OUTCOME_SCHEMA,
+    AlertOutcome,
+    RuleEvaluation,
+    evaluate_rules,
+)
+from .rules import (
+    OPS,
+    REDUCERS,
+    RULE_KINDS,
+    RULE_PACK_SCHEMA,
+    SEVERITIES,
+    SLO_KIND,
+    SLO_PACK_SCHEMA,
+    AlertRule,
+    SloTarget,
+    default_rule_pack,
+    load_rule_pack,
+    load_slo_pack,
+)
+
+__all__ = [
+    "OPS",
+    "OUTCOME_SCHEMA",
+    "REDUCERS",
+    "RULE_KINDS",
+    "RULE_PACK_SCHEMA",
+    "SEVERITIES",
+    "SLO_KIND",
+    "SLO_PACK_SCHEMA",
+    "AlertOutcome",
+    "AlertRule",
+    "RuleEvaluation",
+    "SloTarget",
+    "default_rule_pack",
+    "evaluate_rules",
+    "load_rule_pack",
+    "load_slo_pack",
+]

@@ -45,7 +45,9 @@ from .history import (
     SeriesPoint,
     bench_wall_series,
     build_history,
+    flag_improvements,
     flag_regressions,
+    history_to_dict,
     render_history,
     span_wall_stats,
 )
@@ -69,7 +71,9 @@ __all__ = [
     "SeriesPoint",
     "bench_wall_series",
     "build_history",
+    "flag_improvements",
     "flag_regressions",
+    "history_to_dict",
     "render_history",
     "span_wall_stats",
     "build_report",

@@ -60,12 +60,18 @@ class MetricSeries:
 
 @dataclass(frozen=True)
 class RegressionFlag:
-    """One metric whose latest point trips the regression gate."""
+    """One metric whose latest point trips the ratio gate.
+
+    ``direction`` says which way: ``"regression"`` (latest exceeds first)
+    or ``"improvement"`` (first exceeds latest, the same gate with the
+    arguments swapped).
+    """
 
     name: str
     kind: str
     baseline: float
     latest: float
+    direction: str = "regression"
 
     @property
     def ratio(self) -> float:
@@ -73,11 +79,26 @@ class RegressionFlag:
             return self.latest / self.baseline
         return float("inf") if self.latest > 0.0 else 0.0
 
+    @property
+    def delta(self) -> float:
+        """Signed change, latest minus baseline."""
+        return self.latest - self.baseline
+
     def render(self) -> str:
         return (
             f"{self.name} ({self.kind}): {self.baseline:.6g} -> "
-            f"{self.latest:.6g} ({self.ratio:.2f}x)"
+            f"{self.latest:.6g} ({self.delta:+.6g}, {self.ratio:.2f}x)"
         )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "latest": self.latest,
+            "delta": self.delta,
+            "direction": self.direction,
+        }
 
 
 def headline_value(entry: dict) -> float | None:
@@ -201,6 +222,41 @@ def flag_regressions(
     return tuple(flags)
 
 
+def flag_improvements(
+    series: Sequence[MetricSeries],
+    *,
+    threshold: float = 2.0,
+    min_delta: float = 0.0,
+    wall_min_delta: float = MIN_REGRESSION_S,
+) -> tuple[RegressionFlag, ...]:
+    """Flag series whose latest point *improves* past their first point.
+
+    The exact mirror of :func:`flag_regressions` — the same two-condition
+    ratio gate with the arguments swapped, so a drop only counts when the
+    first point exceeds the latest by the threshold ratio and the floor.
+    Surfacing wins keeps ``repro obs history`` honest in both directions:
+    a bench that got 3x faster shows up next to one that got 3x slower.
+    """
+    flags = []
+    for one in series:
+        if len(one.points) < 2:
+            continue
+        floor = wall_min_delta if one.kind == "wall" else min_delta
+        if exceeds_ratio_gate(
+            one.first, one.latest, threshold=threshold, min_delta=floor
+        ):
+            flags.append(
+                RegressionFlag(
+                    name=one.name,
+                    kind=one.kind,
+                    baseline=one.first,
+                    latest=one.latest,
+                    direction="improvement",
+                )
+            )
+    return tuple(flags)
+
+
 def span_wall_stats(documents: Sequence[dict]) -> dict:
     """Wall-clock statistics over a stream's ``SpanEvent`` documents.
 
@@ -229,13 +285,20 @@ def render_history(
     series: Sequence[MetricSeries],
     flags: Sequence[RegressionFlag],
     *,
+    improvements: Sequence[RegressionFlag] = (),
     title: str = "metrics history",
     threshold: float = 2.0,
 ) -> str:
-    """Fixed-width history table plus the regression verdict."""
+    """Fixed-width history table plus the regression/improvement verdict.
+
+    The delta column is signed and the direction column marks both ways:
+    ``REGRESSED`` for cost increases past the gate, ``improved`` for
+    drops past the same gate.
+    """
     if not series:
         return f"{title}\n(no metric series)"
     flagged = {flag.name for flag in flags}
+    improved = {flag.name for flag in improvements}
     rows = []
     for one in series:
         if one.first > 0.0:
@@ -244,6 +307,12 @@ def render_history(
             ratio = "inf"
         else:
             ratio = "-"
+        if one.name in flagged:
+            direction = "REGRESSED"
+        elif one.name in improved:
+            direction = "improved"
+        else:
+            direction = ""
         rows.append(
             (
                 one.name,
@@ -251,12 +320,13 @@ def render_history(
                 len(one.points),
                 f"{one.first:.6g}",
                 f"{one.latest:.6g}",
+                f"{one.latest - one.first:+.6g}",
                 ratio,
-                "REGRESSED" if one.name in flagged else "",
+                direction,
             )
         )
     table = ascii_table(
-        ("metric", "kind", "n", "first", "latest", "ratio", "flag"),
+        ("metric", "kind", "n", "first", "latest", "delta", "ratio", "direction"),
         rows,
         title=title,
     )
@@ -265,4 +335,37 @@ def render_history(
         if flags
         else f"no regressions past {threshold:.2f}x"
     )
+    if improvements:
+        verdict += f", {len(improvements)} improvement(s)"
     return f"{table}\n{verdict}"
+
+
+def history_to_dict(
+    series: Sequence[MetricSeries],
+    flags: Sequence[RegressionFlag],
+    improvements: Sequence[RegressionFlag],
+    *,
+    threshold: float = 2.0,
+) -> dict:
+    """Canonical JSON document for ``repro obs history --format json``."""
+    return {
+        "kind": "obs_history",
+        "schema": 1,
+        "threshold": threshold,
+        "series": [
+            {
+                "name": one.name,
+                "kind": one.kind,
+                "points": [
+                    {"label": point.label, "value": point.value}
+                    for point in one.points
+                ],
+                "first": one.first,
+                "latest": one.latest,
+                "delta": one.latest - one.first,
+            }
+            for one in series
+        ],
+        "regressions": [flag.to_dict() for flag in flags],
+        "improvements": [flag.to_dict() for flag in improvements],
+    }

@@ -22,6 +22,7 @@ from .history import (
     RegressionFlag,
     bench_wall_series,
     build_history,
+    flag_improvements,
     flag_regressions,
     span_wall_stats,
 )
@@ -38,6 +39,7 @@ class ObsReport:
     document: dict
     series: tuple[MetricSeries, ...]
     flags: tuple[RegressionFlag, ...]
+    improvements: tuple[RegressionFlag, ...] = ()
 
 
 def build_report(
@@ -55,6 +57,7 @@ def build_report(
     series = list(build_history(store, metrics=metrics))
     series.extend(bench_wall_series(bench_paths))
     flags = flag_regressions(series, threshold=threshold)
+    improvements = flag_improvements(series, threshold=threshold)
 
     spans = {}
     for record in records:
@@ -89,14 +92,32 @@ def build_report(
                 "kind": flag.kind,
                 "baseline": round(flag.baseline, 6),
                 "latest": round(flag.latest, 6),
+                "delta": round(flag.delta, 6),
+                "direction": flag.direction,
             }
             for flag in flags
+        ],
+        "improvements": [
+            {
+                "name": flag.name,
+                "kind": flag.kind,
+                "baseline": round(flag.baseline, 6),
+                "latest": round(flag.latest, 6),
+                "delta": round(flag.delta, 6),
+                "direction": flag.direction,
+            }
+            for flag in improvements
         ],
         "spans": spans,
     }
     if fleet_health is not None:
         document["fleet_health"] = fleet_health.to_dict()
-    return ObsReport(document=document, series=tuple(series), flags=tuple(flags))
+    return ObsReport(
+        document=document,
+        series=tuple(series),
+        flags=tuple(flags),
+        improvements=tuple(improvements),
+    )
 
 
 def render_json(report: ObsReport) -> str:
@@ -150,6 +171,15 @@ def render_markdown(report: ObsReport) -> str:
     lines.append("")
     if report.flags:
         for flag in report.flags:
+            lines.append(f"- **{flag.name}**: {flag.render()}")
+    else:
+        lines.append("none")
+    lines.append("")
+
+    lines.append(f"## Improvements (threshold {doc['threshold']:.2f}x)")
+    lines.append("")
+    if report.improvements:
+        for flag in report.improvements:
             lines.append(f"- **{flag.name}**: {flag.render()}")
     else:
         lines.append("none")

@@ -26,6 +26,12 @@ Event taxonomy (see OBSERVABILITY.md for the full schema):
     deployed Eq. 1 predictor.
 ``SpanEvent``
     A completed tracer span (emitted by :class:`repro.obs.trace.Tracer`).
+``AlertEvent``
+    One alert-rule firing on one tick window (emitted by
+    :mod:`repro.obs.alerts` evaluation, never during simulation).
+``IncidentEvent``
+    The open or close edge of a maximal run of consecutive firing
+    windows for one rule — the incident timeline entry.
 """
 
 from __future__ import annotations
@@ -110,6 +116,39 @@ class SpanEvent(ObsEvent):
     wall_s: float = -1.0  # wall-clock duration; -1 outside profiling mode
 
 
+@dataclass(frozen=True)
+class AlertEvent(ObsEvent):
+    """One alert-rule firing on one tick window.
+
+    ``seq`` is the deterministic evaluation-order index (alerts sorted by
+    ``(window, rule)``), not a simulation tick: alert evaluation happens
+    after the run, over the tsdb, and must replay byte-identically.
+    """
+
+    rule: str
+    kind: str  # "threshold" | "ratio_vs_baseline" | "quantile_fence" | "slo_burn_rate"
+    metric: str
+    severity: str  # "info" | "warning" | "critical"
+    window: int
+    start_tick: float
+    value: float
+    threshold: float
+
+
+@dataclass(frozen=True)
+class IncidentEvent(ObsEvent):
+    """The open or close edge of a run of consecutive firing windows."""
+
+    rule: str
+    metric: str
+    severity: str
+    action: str  # "open" | "close"
+    window: int
+    windows_active: int
+    worst_value: float
+    threshold: float
+
+
 #: Wire name → event class, the round-trip registry for the JSONL sink.
 EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.__name__: cls
@@ -119,6 +158,8 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
         RollbackEvent,
         DriftAlertEvent,
         SpanEvent,
+        AlertEvent,
+        IncidentEvent,
     )
 }
 

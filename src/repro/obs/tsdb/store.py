@@ -1,0 +1,152 @@
+"""Append-only on-disk store of canonical tsdb series files.
+
+Layout::
+
+    <root>/<experiment>@s<seed>/<metric>.series.json
+
+One file per ``(experiment, seed, metric)``, holding the windowed
+aggregator state as canonical JSON (sorted keys, two-space indent,
+trailing newline).  Writes are merge-on-write: an existing file is
+loaded, the new samples are folded in with the order-invariant series
+merge, and the union is rewritten.  Appending is therefore idempotent at
+the sample-multiset level and commutes across writers — pool workers,
+chunked runs, and repeated serial runs over the same samples all
+converge to byte-identical files, which is what the alert layer's golden
+tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ...errors import ConfigurationError
+from .series import TSDB_SCHEMA, MetricTimeSeries, Tsdb, validate_metric_name
+
+#: Filename suffix of every series document in a store.
+SERIES_SUFFIX = ".series.json"
+
+
+def _canonical_json(document: dict) -> str:
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+class TsdbStore:
+    """Directory of per-metric series files, merged on write."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def run_dir(self, experiment: str, seed: int) -> Path:
+        return self.root / f"{experiment}@s{int(seed)}"
+
+    def series_path(self, experiment: str, seed: int, metric: str) -> Path:
+        return self.run_dir(experiment, seed) / (
+            validate_metric_name(metric) + SERIES_SUFFIX
+        )
+
+    def write(self, tsdb: Tsdb) -> list[Path]:
+        """Fold ``tsdb`` into the store; returns the paths rewritten."""
+        run_dir = self.run_dir(tsdb.experiment, tsdb.seed)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for metric in tsdb.metrics():
+            merged = MetricTimeSeries.from_state(tsdb.series(metric).to_state())
+            path = run_dir / (metric + SERIES_SUFFIX)
+            if path.exists():
+                merged.merge(
+                    self._read_series(path, tsdb.experiment, tsdb.seed, metric)
+                )
+            document = {
+                "kind": "tsdb_series",
+                "schema": TSDB_SCHEMA,
+                "experiment": tsdb.experiment,
+                "seed": tsdb.seed,
+                "metric": metric,
+                "window_ticks": merged.window_ticks,
+                "aggregator": merged.to_state()["aggregator"],
+            }
+            path.write_text(_canonical_json(document), encoding="utf-8")
+            paths.append(path)
+        return paths
+
+    def _read_series(
+        self, path: Path, experiment: str, seed: int, metric: str
+    ) -> MetricTimeSeries:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"unreadable tsdb series file {path}: {error}"
+            ) from error
+        if (
+            document.get("kind") != "tsdb_series"
+            or document.get("schema") != TSDB_SCHEMA
+        ):
+            raise ConfigurationError(
+                f"{path} is not a schema-{TSDB_SCHEMA} tsdb series document"
+            )
+        if (
+            document.get("experiment") != experiment
+            or int(document.get("seed", -1)) != int(seed)
+            or document.get("metric") != metric
+        ):
+            raise ConfigurationError(
+                f"{path} header does not match its store location "
+                f"({experiment}@s{seed}/{metric})"
+            )
+        return MetricTimeSeries.from_state(
+            {"metric": metric, "aggregator": document["aggregator"]}
+        )
+
+    def load_series(
+        self, experiment: str, seed: int, metric: str
+    ) -> MetricTimeSeries:
+        """One persisted series; raises if absent."""
+        path = self.series_path(experiment, seed, metric)
+        if not path.exists():
+            raise ConfigurationError(
+                f"no persisted series for {experiment}@s{seed}/{metric} "
+                f"under {self.root}"
+            )
+        return self._read_series(path, experiment, seed, metric)
+
+    def metrics(self, experiment: str, seed: int) -> tuple[str, ...]:
+        """Persisted metric names for one run, sorted."""
+        run_dir = self.run_dir(experiment, seed)
+        if not run_dir.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                path.name[: -len(SERIES_SUFFIX)]
+                for path in run_dir.iterdir()
+                if path.name.endswith(SERIES_SUFFIX)
+            )
+        )
+
+    def load_run(self, experiment: str, seed: int) -> Tsdb:
+        """Rebuild a :class:`Tsdb` from every persisted series of a run."""
+        names = self.metrics(experiment, seed)
+        if not names:
+            raise ConfigurationError(
+                f"no persisted series for {experiment}@s{seed} under "
+                f"{self.root}"
+            )
+        series = [self.load_series(experiment, seed, name) for name in names]
+        tsdb = Tsdb(experiment, seed, window_ticks=series[0].window_ticks)
+        state = tsdb.to_state()
+        for one in series:
+            state["series"][one.metric] = one.to_state()["aggregator"]
+        return Tsdb.from_state(state)
+
+    def runs(self) -> list[tuple[str, int]]:
+        """Every ``(experiment, seed)`` with persisted series, sorted."""
+        out = []
+        for path in self.root.iterdir():
+            if not path.is_dir() or "@s" not in path.name:
+                continue
+            experiment, _, seed_text = path.name.rpartition("@s")
+            if experiment and seed_text.isdigit():
+                out.append((experiment, int(seed_text)))
+        return sorted(out)

@@ -1,0 +1,27 @@
+"""RL013 bad exemplar: alert definitions with dirty metric names."""
+
+from repro.obs.alerts import AlertRule, SloTarget
+
+# Unsuffixed quantity: "freq" without a unit suffix hides the unit.
+UNSUFFIXED = AlertRule(
+    name="tuned-floor",
+    kind="threshold",
+    metric="fleet.tuned_freq",
+    op="below",
+    threshold=3600.0,
+)
+
+# Wall-clock source: alerts must key on simulated quantities only.
+WALL_CLOCK = SloTarget(
+    name="latency-budget",
+    metric="bench.wall_s",
+    threshold=1.0,
+)
+
+# Rule-shaped dict literal (as embedded in a pack) gets the same check.
+PACK_ENTRY = {
+    "name": "drift",
+    "kind": "ratio_vs_baseline",
+    "metric": "probe.walltime_s",
+    "ratio": 3.0,
+}

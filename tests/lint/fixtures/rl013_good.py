@@ -1,0 +1,28 @@
+"""RL013 good exemplar: unit-suffixed, clock-free alert definitions."""
+
+from repro.obs.alerts import AlertRule, SloTarget
+
+SUFFIXED = AlertRule(
+    name="tuned-floor",
+    kind="threshold",
+    metric="fleet.tuned_slowest_mhz",
+    op="below",
+    threshold=3600.0,
+)
+
+SIMULATED = SloTarget(
+    name="rollback-budget",
+    metric="fleet.ubench_rollback_steps",
+    threshold=4.0,
+)
+
+PACK_ENTRY = {
+    "name": "drift",
+    "kind": "ratio_vs_baseline",
+    "metric": "fleet.probe_runs",
+    "ratio": 3.0,
+}
+
+# A plain data dict with a "metric" key but no rule discriminator is
+# not rule-shaped, so a raw name here is out of scope.
+PLAIN_DATA = {"metric": "fleet.tuned_freq", "value": 4600.0}

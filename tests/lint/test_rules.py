@@ -16,6 +16,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 RULE_IDS = [
     "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008",
+    "RL013",
 ]
 
 
@@ -97,6 +98,14 @@ class TestRuleDetails:
     def test_rl008_ignores_shadowed_and_immutable_globals(self):
         findings = lint_fixture("rl008_good.py", "RL008")
         assert findings == []
+
+    def test_rl013_flags_constructors_and_pack_dicts(self):
+        findings = lint_fixture("rl013_bad.py", "RL013")
+        joined = " ".join(finding.message for finding in findings)
+        assert "unit suffix" in joined
+        assert "wall-clock" in joined
+        assert "rule dict" in joined
+        assert len(findings) == 3
 
     def test_rules_do_not_apply_to_test_files(self):
         source = (FIXTURES / "rl001_bad.py").read_text(encoding="utf-8")

@@ -1,0 +1,87 @@
+"""Golden test: alert/incident timelines are chunking- and pool-invariant.
+
+The tentpole's acceptance gate: the tsdb a fleet characterization fills,
+the series files a :class:`TsdbStore` persists, and the alert outcome a
+rule pack evaluates to — including the incident timeline's event bytes —
+are all byte-identical across serial and pooled runs and across chunk
+sizes {16, 256}.  A deliberately tight rule pack makes the timeline
+non-trivial (dozens of firings), so equality is meaningful rather than
+vacuous.
+"""
+
+import pytest
+
+from repro.core.fleet import characterize_fleet
+from repro.fastpath.cache import reset_solve_cache
+from repro.obs.alerts import AlertRule, evaluate_rules
+from repro.obs.tsdb import Tsdb, TsdbStore
+
+SEED = 2019
+N_CHIPS = 40
+
+#: A pack tuned to *fire* on the seeded fleet: every chip probes, and
+#: healthy tuned chips sit far above 1000 MHz, so both rules trip often.
+FIRING_RULES = (
+    AlertRule(
+        name="probe-activity",
+        kind="threshold",
+        metric="fleet.probe_runs",
+        reduce="max",
+        op="above",
+        threshold=1.0,
+        severity="warning",
+    ),
+    AlertRule(
+        name="tuned-ceiling",
+        kind="threshold",
+        metric="fleet.tuned_slowest_mhz",
+        reduce="min",
+        op="above",
+        threshold=1000.0,
+        severity="info",
+    ),
+)
+
+
+def _run(tmp_path, chunk_size, jobs):
+    reset_solve_cache()
+    tsdb = Tsdb("fleet", SEED, window_ticks=8.0)
+    characterize_fleet(
+        N_CHIPS, seed=SEED, chunk_size=chunk_size, jobs=jobs, tsdb=tsdb
+    )
+    store = TsdbStore(tmp_path / f"store_{chunk_size}_{jobs}")
+    series_bytes = {
+        path.name: path.read_bytes() for path in store.write(tsdb)
+    }
+    outcome = evaluate_rules(tsdb, FIRING_RULES)
+    events_path = outcome.write_events(
+        tmp_path / f"events_{chunk_size}_{jobs}.jsonl"
+    )
+    return outcome, series_bytes, events_path.read_bytes()
+
+
+class TestAlertTimelineInvariance:
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("golden")
+        return _run(tmp_path, 16, 1)
+
+    def test_reference_timeline_is_non_trivial(self, reference):
+        outcome, _, _ = reference
+        assert len(outcome.alerts) >= 5
+        assert outcome.incidents  # at least one (open, close) pair
+
+    @pytest.mark.parametrize(
+        ("chunk_size", "jobs"), [(256, 1), (16, 4), (256, 4)]
+    )
+    def test_timeline_bytes_are_invariant(
+        self, reference, tmp_path, chunk_size, jobs
+    ):
+        ref_outcome, ref_series, ref_events = reference
+        outcome, series, events = _run(tmp_path, chunk_size, jobs)
+        label = f"chunk_size={chunk_size} jobs={jobs}"
+        assert outcome.to_json() == ref_outcome.to_json(), (
+            f"alert outcome diverged at {label}"
+        )
+        assert events == ref_events, f"incident timeline diverged at {label}"
+        assert series == ref_series, f"tsdb series files diverged at {label}"

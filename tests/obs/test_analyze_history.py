@@ -10,8 +10,10 @@ from repro.obs.analyze.history import (
     SeriesPoint,
     bench_wall_series,
     build_history,
+    flag_improvements,
     flag_regressions,
     headline_value,
+    history_to_dict,
     render_history,
     span_wall_stats,
 )
@@ -153,13 +155,76 @@ class TestSpanWallStats:
         assert stats == {"spans": 1, "profiled": 0}
 
 
+class TestFlagImprovements:
+    """Satellite: history surfaces drops with the same gate, mirrored."""
+
+    def test_flags_drop_past_threshold(self):
+        flags = flag_improvements(
+            [_series("rollbacks", "counter", 5.0, 2.0)], threshold=2.0
+        )
+        assert len(flags) == 1
+        assert flags[0].direction == "improvement"
+        assert flags[0].delta == pytest.approx(-3.0)
+
+    def test_drop_below_threshold_not_flagged(self):
+        flags = flag_improvements(
+            [_series("rollbacks", "counter", 3.0, 2.0)], threshold=2.0
+        )
+        assert flags == ()
+
+    def test_wall_series_gets_noise_floor(self):
+        # 3x faster but only 30ms absolute: under the bench noise floor.
+        flags = flag_improvements(
+            [_series("bench.total_wall_s", "wall", 0.045, 0.015)], threshold=2.0
+        )
+        assert flags == ()
+
+    def test_regression_never_flags_as_improvement(self):
+        assert flag_improvements([_series("x", "counter", 1.0, 5.0)]) == ()
+
+
 class TestRenderHistory:
     def test_table_marks_flagged_series(self):
         series = [_series("rollbacks", "counter", 2.0, 5.0)]
         flags = flag_regressions(series, threshold=2.0)
         text = render_history(series, flags, threshold=2.0)
         assert "REGRESSED" in text
+        assert "+3" in text  # signed delta column
         assert "1 regression(s) past 2.00x" in text
+
+    def test_table_marks_improved_series(self):
+        series = [_series("rollbacks", "counter", 6.0, 2.0)]
+        improvements = flag_improvements(series, threshold=2.0)
+        text = render_history(
+            series, [], improvements=improvements, threshold=2.0
+        )
+        assert "improved" in text
+        assert "-4" in text
+        assert "1 improvement(s)" in text
 
     def test_empty_series_renders_placeholder(self):
         assert "(no metric series)" in render_history([], [])
+
+
+class TestHistoryToDict:
+    def test_document_carries_delta_and_direction(self):
+        series = [
+            _series("rollbacks", "counter", 2.0, 5.0),
+            _series("probes", "counter", 8.0, 2.0),
+        ]
+        flags = flag_regressions(series, threshold=2.0)
+        improvements = flag_improvements(series, threshold=2.0)
+        document = history_to_dict(
+            series, flags, improvements, threshold=2.0
+        )
+        assert document["kind"] == "obs_history"
+        by_name = {one["name"]: one for one in document["series"]}
+        assert by_name["rollbacks"]["delta"] == pytest.approx(3.0)
+        assert by_name["probes"]["delta"] == pytest.approx(-6.0)
+        assert document["regressions"][0]["direction"] == "regression"
+        assert document["improvements"][0]["direction"] == "improvement"
+
+    def test_document_is_json_serializable(self):
+        series = [_series("x", "counter", 1.0, 2.0)]
+        text = json.dumps(history_to_dict(series, [], []), sort_keys=True)
+        assert "obs_history" in text

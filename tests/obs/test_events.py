@@ -14,9 +14,11 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ConfigurationError
 from repro.obs.events import (
     EVENT_TYPES,
+    AlertEvent,
     CpmStepEvent,
     DriftAlertEvent,
     GuardbandViolationEvent,
+    IncidentEvent,
     RollbackEvent,
     SpanEvent,
     event_from_dict,
@@ -44,6 +46,17 @@ EXEMPLARS = (
     SpanEvent(
         seq=4, name="characterize.core", depth=1,
         start_tick=10.0, end_tick=42.0, attrs="core=P0C3",
+    ),
+    AlertEvent(
+        seq=5, rule="fleet-tuned-floor", kind="threshold",
+        metric="fleet.tuned_slowest_mhz", severity="critical",
+        window=3, start_tick=192.0, value=3550.0, threshold=3600.0,
+    ),
+    IncidentEvent(
+        seq=6, rule="fleet-tuned-floor",
+        metric="fleet.tuned_slowest_mhz", severity="critical",
+        action="open", window=3, windows_active=2,
+        worst_value=3540.0, threshold=3600.0,
     ),
 )
 
@@ -130,6 +143,23 @@ EVENT_STRATEGIES = st.one_of(
     st.builds(
         SpanEvent, seq=_ints, name=_text, depth=_ints,
         start_tick=_floats, end_tick=_floats, attrs=_text, wall_s=_floats,
+    ),
+    st.builds(
+        AlertEvent, seq=_ints, rule=_text,
+        kind=st.sampled_from(
+            ("threshold", "ratio_vs_baseline", "quantile_fence",
+             "slo_burn_rate")
+        ),
+        metric=_text,
+        severity=st.sampled_from(("info", "warning", "critical")),
+        window=_ints, start_tick=_floats, value=_floats, threshold=_floats,
+    ),
+    st.builds(
+        IncidentEvent, seq=_ints, rule=_text, metric=_text,
+        severity=st.sampled_from(("info", "warning", "critical")),
+        action=st.sampled_from(("open", "close")),
+        window=_ints, windows_active=_ints,
+        worst_value=_floats, threshold=_floats,
     ),
 )
 

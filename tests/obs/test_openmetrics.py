@@ -1,0 +1,121 @@
+"""Tests for the OpenMetrics exposition layer (render + parse)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.tsdb import (
+    Tsdb,
+    openmetrics_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+SEED = 2019
+
+
+def _summary():
+    return {
+        "chip.solves": {"kind": "counter", "value": 12},
+        "cpm.slack_ps": {
+            "kind": "gauge",
+            "samples": 3,
+            "min": -1.5,
+            "max": 0.5,
+            "mean": -0.25,
+        },
+        "probe.cost_runs": {"kind": "histogram", "count": 4, "mean": 2.5},
+    }
+
+
+def _tsdb():
+    tsdb = Tsdb("exp", SEED, window_ticks=2.0)
+    for index in range(4):
+        tsdb.record("fleet.probe_runs", float(index), float(index))
+    return tsdb
+
+
+class TestNameMapping:
+    def test_dots_become_underscores(self):
+        assert openmetrics_name("fleet.probe_runs") == "fleet_probe_runs"
+
+    def test_leading_digit_prefixed(self):
+        assert openmetrics_name("9lives").startswith("_")
+
+
+class TestRender:
+    def test_counter_becomes_total_family(self):
+        page = render_openmetrics(summary=_summary())
+        assert "# TYPE chip_solves counter" in page
+        assert "chip_solves_total 12.0" in page
+        assert page.endswith("# EOF\n")
+
+    def test_gauge_stats_are_stat_labeled(self):
+        page = render_openmetrics(summary=_summary())
+        assert 'cpm_slack_ps{stat="mean"} -0.25' in page
+        assert 'probe_cost_runs{stat="count"} 4.0' in page
+
+    def test_labels_are_sorted_and_escaped(self):
+        page = render_openmetrics(
+            summary={"chip.solves": {"kind": "counter", "value": 1}},
+            labels={"seed": "2019", "experiment": 'fig"01'},
+        )
+        assert (
+            'chip_solves_total{experiment="fig\\"01",seed="2019"} 1.0' in page
+        )
+
+    def test_unknown_summary_kind_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_openmetrics(summary={"x.y_mhz": {"kind": "mystery"}})
+
+    def test_tsdb_series_become_window_families(self):
+        page = render_openmetrics(tsdb=_tsdb())
+        assert "# TYPE fleet_probe_runs_window gauge" in page
+        assert 'fleet_probe_runs_window{stat="count",window="0"} 2.0' in page
+        assert 'fleet_probe_runs_window{stat="max",window="1"} 3.0' in page
+
+    def test_page_is_deterministic(self):
+        kwargs = dict(summary=_summary(), tsdb=_tsdb())
+        assert render_openmetrics(**kwargs) == render_openmetrics(**kwargs)
+
+
+class TestParse:
+    def test_round_trips_rendered_page(self):
+        page = render_openmetrics(
+            summary=_summary(), tsdb=_tsdb(), labels={"seed": "2019"}
+        )
+        parsed = parse_openmetrics(page)
+        assert parsed["types"]["chip_solves"] == "counter"
+        assert parsed["types"]["fleet_probe_runs_window"] == "gauge"
+        by_name = {}
+        for sample in parsed["samples"]:
+            by_name.setdefault(sample["name"], []).append(sample)
+        assert by_name["chip_solves_total"][0]["value"] == 12.0
+        assert by_name["chip_solves_total"][0]["labels"] == {"seed": "2019"}
+        # 2 windows x 5 stats per tsdb series.
+        assert len(by_name["fleet_probe_runs_window"]) == 10
+
+    def test_float_values_round_trip_exactly(self):
+        # repr(0.1 + 0.2) — a value a shorter rendering would corrupt.
+        value = 0.30000000000000004
+        summary = {"x.y_mhz": {"kind": "counter", "value": value}}
+        parsed = parse_openmetrics(render_openmetrics(summary=summary))
+        assert repr(parsed["samples"][0]["value"]) == repr(value)
+
+    @pytest.mark.parametrize(
+        "page",
+        [
+            "# TYPE broken\n# EOF\n",
+            "not a sample line at all!\n# EOF\n",
+            "metric_total nope\n# EOF\n",
+            "# EOF\nmetric_total 1.0\n",
+            "metric_total 1.0\n",
+        ],
+    )
+    def test_malformed_pages_rejected(self, page):
+        with pytest.raises(ConfigurationError):
+            parse_openmetrics(page)
+
+    def test_escaped_labels_unescape(self):
+        page = 'm_total{note="a\\"b\\nc"} 1.0\n# EOF\n'
+        parsed = parse_openmetrics(page)
+        assert parsed["samples"][0]["labels"] == {"note": 'a"b\nc'}

@@ -15,7 +15,7 @@ else
     echo "== ruff check == (skipped: ruff not installed)"
 fi
 
-echo "== repro.lint (RL001-RL008) =="
+echo "== repro.lint (RL001-RL008, RL013) =="
 python -m repro.lint src tests || failures=$((failures + 1))
 
 echo "== repro.lint --project (RL009-RL012) =="
@@ -36,7 +36,7 @@ bench_out="$(mktemp)"
 # noise floor in compare_to_baseline keeps tiny smoke runs from tripping
 # on machine jitter, so this only fails on gross regressions.
 if python -m repro bench --experiments fig01 --fleet-chips 32 \
-        --obs-chips 24 --store-chips 24 \
+        --obs-chips 24 --store-chips 24 --export-chips 24 \
         --compare BENCH_solver.json --out "$bench_out" >/dev/null; then
     echo "bench smoke ok"
     # Observability must stay within its 10% wall-clock budget on the
@@ -60,6 +60,32 @@ if exceeds_ratio_gate(enabled, disabled, threshold=1.10):
 print(
     f"obs overhead gate ok: +{100.0 * entry['overhead_ratio']:.1f}% "
     "(budget 10%)"
+)
+PYEOF
+    then
+        :
+    else
+        failures=$((failures + 1))
+    fi
+    # The alerting path (tsdb capture + rule evaluation during a fleet
+    # characterization) has its own, tighter 5% budget.
+    if python - "$bench_out" <<'PYEOF'
+import json
+import sys
+
+from repro.analysis.bench import exceeds_ratio_gate
+
+entry = json.load(open(sys.argv[1]))["obs_export"]
+alerted, plain = entry["alerting_wall_s"], entry["plain_wall_s"]
+if exceeds_ratio_gate(alerted, plain, threshold=1.05):
+    print(
+        f"alerting overhead gate FAILED: plain {plain}s vs alerted "
+        f"{alerted}s (+{100.0 * entry['overhead_ratio']:.1f}%, budget 5%)"
+    )
+    raise SystemExit(1)
+print(
+    f"alerting overhead gate ok: +{100.0 * entry['overhead_ratio']:.1f}% "
+    "(budget 5%)"
 )
 PYEOF
     then
@@ -103,6 +129,37 @@ rm -rf "$store_tmp"
 
 echo "== repro obs selfcheck =="
 python -m repro obs selfcheck >/dev/null || failures=$((failures + 1))
+
+echo "== alerts self-clean + openmetrics round-trip =="
+# The shipped default rule pack must not fire on a healthy seeded fleet
+# (exit 0 = zero alert windows), and the OpenMetrics page exported from
+# the persisted tsdb must parse back losslessly.
+alerts_tmp="$(mktemp -d)"
+if python -m repro fleet characterize --chips 8 --trials 2 --cores 4 \
+        --alerts default --tsdb "$alerts_tmp/tsdb" >/dev/null \
+        && python -m repro obs export --tsdb "$alerts_tmp/tsdb" \
+            --out "$alerts_tmp/page.txt" \
+        && python - "$alerts_tmp/page.txt" <<'PYEOF'
+import sys
+
+from repro.obs.tsdb import parse_openmetrics
+
+page = open(sys.argv[1], encoding="utf-8").read()
+parsed = parse_openmetrics(page)
+assert parsed["types"], "export produced no metric families"
+assert parsed["samples"], "export produced no samples"
+print(
+    f"openmetrics round-trip ok: {len(parsed['types'])} families, "
+    f"{len(parsed['samples'])} samples"
+)
+PYEOF
+then
+    echo "alerts self-clean smoke ok"
+else
+    echo "alerts smoke FAILED: default pack fired or export did not parse"
+    failures=$((failures + 1))
+fi
+rm -rf "$alerts_tmp"
 
 echo "== repro obs diff (same-seed self-comparison) =="
 # Two observed runs at the same seed must diff clean: first-divergence
